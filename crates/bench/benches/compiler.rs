@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the Occamy compiler: analysis and elastic
+//! code generation across the Table 3 kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occamy_compiler::{analyze, ArrayLayout, CodeGenOptions, Compiler};
+use workloads::table3;
+
+fn layout_for_all() -> ArrayLayout {
+    let mut layout = ArrayLayout::new();
+    let mut addr = 0x1_0000u64;
+    for name in table3::kernel_names() {
+        for array in table3::kernel(name).arrays() {
+            layout.bind(array, addr);
+            addr += 0x1_0000;
+        }
+    }
+    layout
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let kernels: Vec<_> = table3::kernel_names().iter().map(|n| table3::kernel(n)).collect();
+    c.bench_function("analyze_all_table3_kernels", |b| {
+        b.iter(|| {
+            kernels
+                .iter()
+                .map(|k| analyze(std::hint::black_box(k)).oi.mem())
+                .sum::<f64>()
+        });
+    });
+}
+
+fn bench_elastic_codegen(c: &mut Criterion) {
+    let layout = layout_for_all();
+    let compiler = Compiler::new(CodeGenOptions::default());
+    let phases: Vec<_> =
+        table3::kernel_names().iter().map(|n| (table3::kernel(n), 4096usize)).collect();
+    c.bench_function("compile_all_table3_kernels_elastic", |b| {
+        b.iter(|| {
+            compiler.compile(std::hint::black_box(&phases), &layout).expect("compile").len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_analysis, bench_elastic_codegen);
+criterion_main!(benches);

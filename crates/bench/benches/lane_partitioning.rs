@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the lane manager: partition-plan latency for
+//! the hardware-relevant configurations (the LaneMgr runs this on every
+//! phase change, so it must be cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_simd::OperationalIntensity;
+use lane_manager::{LaneManager, PhaseDemand};
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lane_partition_plan");
+    for cores in [2usize, 4, 8] {
+        let mgr = LaneManager::paper_default(cores, 4 * cores);
+        let demands: Vec<PhaseDemand> = (0..cores)
+            .map(|i| {
+                PhaseDemand::Active(OperationalIntensity::uniform(0.05 + 0.3 * i as f64))
+            })
+            .collect();
+        group.bench_function(BenchmarkId::from_parameter(format!("{cores}core")), |b| {
+            b.iter(|| mgr.plan(std::hint::black_box(&demands)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_roofline(c: &mut Criterion) {
+    let ceilings = roofline::MachineCeilings::paper_default();
+    let oi = OperationalIntensity::new(1.0 / 6.0, 0.25);
+    c.bench_function("roofline_attainable", |b| {
+        b.iter(|| {
+            ceilings.attainable(
+                std::hint::black_box(em_simd::VectorLength::new(3)),
+                std::hint::black_box(oi),
+                roofline::MemLevel::Dram,
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_plan, bench_roofline);
+criterion_main!(benches);

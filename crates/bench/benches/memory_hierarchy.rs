@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the memory-hierarchy substrate: streaming and
+//! random access patterns through the cache/bandwidth model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mem_sim::{MemConfig, MemorySystem};
+
+fn bench_streaming(c: &mut Criterion) {
+    c.bench_function("veccache_stream_4k_accesses", |b| {
+        b.iter_batched(
+            || MemorySystem::new(MemConfig::paper_2core()),
+            |mut sys| {
+                let mut now = 0;
+                for i in 0..4096u64 {
+                    now = sys.vector_access(now, (i % 2) as usize, i * 64, 64, i % 4 == 3);
+                }
+                now
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_warm_reuse(c: &mut Criterion) {
+    c.bench_function("veccache_warm_reuse_4k_accesses", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = MemorySystem::new(MemConfig::paper_2core());
+                sys.warm(0, 64 << 10, mem_sim::ServiceLevel::FirstLevel);
+                sys
+            },
+            |mut sys| {
+                let mut now = 0;
+                for i in 0..4096u64 {
+                    now = sys.vector_access(now, 0, (i * 64) % (64 << 10), 64, false);
+                }
+                now
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_streaming, bench_warm_reuse);
+criterion_main!(benches);

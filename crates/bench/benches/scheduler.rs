@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the OS scheduler: full time-shared schedules
+//! (simulation included) and the isolated context-switch round trip, so
+//! regressions in the §5 drain/save/restore path show up as wall-clock
+//! changes here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use em_simd::VectorLength;
+use mem_sim::Memory;
+use occamy_compiler::{ArrayLayout, CodeGenOptions, Compiler, Expr, Kernel, VlMode};
+use occamy_os::{Scheduler, Task};
+use occamy_sim::{Architecture, Machine, SimConfig};
+
+const N: usize = 2048;
+const HALO: u64 = 16;
+
+fn build(n_tasks: usize) -> (Machine, Vec<Task>) {
+    let mut mem = Memory::new(16 << 20);
+    let compiler = Compiler::new(CodeGenOptions {
+        mode: VlMode::Elastic { default: VectorLength::new(2) },
+        ..CodeGenOptions::default()
+    });
+    let mut tasks = Vec::new();
+    for t in 0..n_tasks {
+        let kernel = Kernel::new(format!("t{t}")).assign(
+            "y",
+            Expr::load("x") * Expr::constant(1.0 + t as f32) + Expr::constant(0.5),
+        );
+        let mut layout = ArrayLayout::new();
+        for name in kernel.base_arrays() {
+            let addr = mem.alloc_f32(N as u64 + 2 * HALO) + 4 * HALO;
+            layout.bind(name, addr);
+        }
+        let program = compiler.compile(&[(kernel, N)], &layout).expect("compile");
+        tasks.push(Task::new(format!("t{t}"), program));
+    }
+    (Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap(), tasks)
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_run");
+    group.sample_size(10);
+    for n_tasks in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{n_tasks}tasks")), |b| {
+            b.iter(|| {
+                let (mut machine, tasks) = build(n_tasks);
+                let report = Scheduler::new(1_000).run(&mut machine, tasks, 100_000_000);
+                assert!(report.completed);
+                report.makespan
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_context_switch(c: &mut Criterion) {
+    c.bench_function("preempt_resume_roundtrip", |b| {
+        b.iter(|| {
+            let (mut machine, mut tasks) = build(1);
+            machine.load_program(0, tasks.remove(0).program);
+            for _ in 0..400 {
+                machine.tick();
+            }
+            let task = machine.preempt(0, 100_000);
+            machine.resume(0, task, 100_000);
+            machine.cycle()
+        });
+    });
+}
+
+criterion_group!(benches, bench_schedules, bench_context_switch);
+criterion_main!(benches);

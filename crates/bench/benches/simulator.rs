@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the cycle-level simulator itself: how fast
+//! each architecture simulates the motivating example (cycles/second of
+//! host throughput), and the cost of the elastic machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use occamy_sim::{Architecture, SimConfig};
+use workloads::{corun, motivating};
+
+fn bench_architectures(c: &mut Criterion) {
+    let cfg = SimConfig::paper_2core();
+    let specs = [motivating::wl0_scaled(0.1), motivating::wl1_scaled(0.1)];
+    let mut group = c.benchmark_group("simulate_motivating");
+    group.sample_size(10);
+    for arch in [
+        Architecture::Private,
+        Architecture::TemporalSharing,
+        Architecture::StaticSpatialSharing { partition: corun::vls_partition(&specs, &cfg) },
+        Architecture::Occamy,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(arch.short_name()), |b| {
+            b.iter(|| {
+                let mut machine =
+                    corun::build_machine(&specs, &cfg, &arch, 1.0).expect("build");
+                let stats = machine.run(50_000_000);
+                assert!(stats.completed);
+                stats.cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tick_throughput(c: &mut Criterion) {
+    let cfg = SimConfig::paper_2core();
+    let specs = [motivating::wl0(), motivating::wl1()];
+    c.bench_function("machine_ticks_10k", |b| {
+        b.iter_batched(
+            || corun::build_machine(&specs, &cfg, &Architecture::Occamy, 1.0).expect("build"),
+            |mut machine| {
+                for _ in 0..10_000 {
+                    machine.tick();
+                }
+                machine.cycle()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_architectures, bench_tick_throughput);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation (beyond the paper): contention-aware lane planning.
+//!
+//! The paper's lane manager (§5.2) plans every workload against the
+//! full-machine roofline ceilings. When several *memory-bound* phases
+//! co-run they share one DRAM channel, so the full-ceiling model
+//! overestimates each one's saturation point and parks lanes on
+//! streams that cannot feed them. `SimConfig::contention_aware_planning`
+//! divides the memory-bandwidth ceiling among the co-running
+//! memory-bound phases; this study measures what that buys on the
+//! Fig. 16 four-core groups (two memory + two compute workloads each).
+
+use bench::{geomean, rule, Args};
+use occamy_sim::{Architecture, SimConfig};
+use workloads::{corun, table3};
+
+fn main() {
+    let args = Args::parse();
+    let groups = table3::four_core_groups(args.scale);
+
+    println!(
+        "Contention-aware-planning ablation: Occamy on the Fig. 16 groups\n\
+         (per-core time under full-ceiling vs shared-bandwidth planning)"
+    );
+    rule(78);
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "group", "c0", "c1", "c2", "c3", "util", "(aware/full)"
+    );
+    rule(78);
+    let mut ratios = Vec::new();
+    for (label, specs) in &groups {
+        let mut times = Vec::new();
+        let mut utils = Vec::new();
+        for aware in [false, true] {
+            let mut cfg = SimConfig::paper(4);
+            cfg.contention_aware_planning = aware;
+            let mut m = corun::build_machine(specs, &cfg, &Architecture::Occamy, 1.0)
+                .expect("build");
+            let stats = m.run(500_000_000);
+            assert!(stats.completed, "{label} timed out");
+            times.push((0..4).map(|c| stats.core_time(c)).collect::<Vec<_>>());
+            utils.push(stats.simd_utilization());
+        }
+        let speedup: Vec<f64> =
+            (0..4).map(|c| times[0][c] as f64 / times[1][c] as f64).collect();
+        ratios.extend(speedup.iter().copied());
+        println!(
+            "{:<16} {:>8.2}x {:>8.2}x {:>8.2}x {:>8.2}x {:>4.1}->{:>4.1}%",
+            label,
+            speedup[0],
+            speedup[1],
+            speedup[2],
+            speedup[3],
+            100.0 * utils[0],
+            100.0 * utils[1],
+        );
+    }
+    rule(78);
+    println!("GM per-core speedup from contention awareness: {:.3}", geomean(ratios.iter().copied()));
+    println!(
+        "Finding: contention awareness is ~neutral end to end (GM ~1.00, a\n\
+         few percent either way per core). The planner's leftover\n\
+         redistribution already hands compute-bound co-runners every granule\n\
+         the streams cannot profit from, so only the marginal granule moves\n\
+         — and a stream's marginal granule costs it about what the compute\n\
+         side gains. This *validates the paper's design choice*: the simple\n\
+         full-ceiling planner (which Fig. 2(e) depends on) leaves essentially\n\
+         nothing on the table versus a contention-model refinement."
+    );
+}

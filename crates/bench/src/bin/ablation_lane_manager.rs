@@ -1,0 +1,76 @@
+//! Ablation: how much of Occamy's win comes from each lane-manager
+//! design choice?
+//!
+//! Compares, on the motivating example and three representative pairs:
+//!
+//! 1. **full** — the shipped manager (roofline-guided greedy + leftover
+//!    redistribution), i.e. the `Occamy` architecture;
+//! 2. **static-oracle** — the same planner run once (VLS with the oracle
+//!    partition): isolates the value of *elasticity* over a well-chosen
+//!    static split;
+//! 3. **even-split** — a naive equal static partition: isolates the
+//!    value of the roofline model over no model at all;
+//! 4. **full-width** — temporal sharing (FTS): the no-partitioning
+//!    alternative.
+
+use bench::{rule, Args, MAX_CYCLES};
+use occamy_sim::{Architecture, SimConfig};
+use workloads::{corun, motivating, table3, WorkloadSpec};
+
+fn run(specs: &[WorkloadSpec], cfg: &SimConfig, arch: &Architecture) -> (u64, u64, f64) {
+    let mut m = corun::build_machine(specs, cfg, arch, 1.0).expect("build");
+    let stats = m.run(MAX_CYCLES);
+    assert!(stats.completed);
+    (stats.core_time(0), stats.core_time(1), stats.simd_utilization())
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = SimConfig::paper_2core();
+    let half = cfg.total_granules / 2;
+
+    let mut cases: Vec<(String, Vec<WorkloadSpec>)> = vec![(
+        "motivating".to_owned(),
+        vec![motivating::wl0_scaled(args.scale), motivating::wl1_scaled(args.scale)],
+    )];
+    for label in ["8+17", "20+9", "6+16"] {
+        let pair = table3::all_pairs(args.scale)
+            .into_iter()
+            .find(|p| p.label == label)
+            .expect("known pair");
+        cases.push((label.to_owned(), pair.workloads.to_vec()));
+    }
+
+    println!("Ablation: lane-manager design choices (core-1 speedup over even-split)");
+    rule(78);
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14}",
+        "case", "even-split", "static-oracle", "full-width", "full (Occamy)"
+    );
+    rule(78);
+    for (label, specs) in &cases {
+        let even = run(specs, &cfg, &Architecture::StaticSpatialSharing {
+            partition: vec![half; cfg.cores],
+        });
+        let oracle = run(specs, &cfg, &Architecture::StaticSpatialSharing {
+            partition: corun::vls_partition(specs, &cfg),
+        });
+        let fts = run(specs, &cfg, &Architecture::TemporalSharing);
+        let full = run(specs, &cfg, &Architecture::Occamy);
+        let su = |t: (u64, u64, f64)| even.1 as f64 / t.1 as f64;
+        println!(
+            "{:<12} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            label,
+            1.0,
+            su(oracle),
+            su(fts),
+            su(full)
+        );
+    }
+    rule(78);
+    println!(
+        "Reading: `static-oracle` minus `even-split` is the roofline model's\n\
+         contribution; `full` minus `static-oracle` is elasticity's (phase\n\
+         adaptation + lane reclamation after a co-runner exits)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Ablation: the VecCache stream prefetcher.
+//!
+//! DESIGN.md argues that without prefetching, streaming loops are bound
+//! by `load latency x LSU depth` rather than memory bandwidth — memory
+//! workloads become VL-sensitive and the roofline model's assumptions
+//! break. This ablation sweeps the prefetch degree and reports the
+//! memory workload's solo runtime at 8 vs 32 lanes: with a working
+//! prefetcher the two converge (bandwidth-bound, VL-insensitive).
+
+use bench::{rule, Args, MAX_CYCLES};
+use occamy_sim::{Architecture, SimConfig};
+use workloads::{corun, motivating};
+
+fn main() {
+    let args = Args::parse();
+    println!("Ablation: VecCache stream-prefetch degree (WL#0 solo runtime, cycles)");
+    rule(70);
+    println!(
+        "{:<10} {:>12} {:>12} {:>18}",
+        "degree", "8 lanes", "28 lanes", "slowdown @8 lanes"
+    );
+    rule(70);
+    for degree in [0u64, 1, 2, 4, 8, 16] {
+        let mut cfg = SimConfig::paper_2core();
+        cfg.mem.vec_prefetch_lines = degree;
+        let time_at = |granules: usize| {
+            let specs = [motivating::wl0_scaled(args.scale)];
+            let arch = Architecture::StaticSpatialSharing {
+                partition: vec![granules, cfg.total_granules - granules],
+            };
+            let mut m = corun::build_machine(&specs, &cfg, &arch, 1.0).expect("build");
+            let stats = m.run(MAX_CYCLES);
+            assert!(stats.completed);
+            stats.core_time(0)
+        };
+        let narrow = time_at(2);
+        let wide = time_at(7); // 28 lanes: core 1 keeps its mandatory granule
+        println!(
+            "{:<10} {:>12} {:>12} {:>17.2}x",
+            degree,
+            narrow,
+            wide,
+            narrow as f64 / wide as f64
+        );
+    }
+    rule(70);
+    println!(
+        "A bandwidth-bound stream is VL-insensitive (ratio -> 1.0); without\n\
+         prefetching the narrow configuration collapses to latency-bound\n\
+         behaviour and the elastic lane manager's roofline reasoning would\n\
+         mispredict memory workloads."
+    );
+}

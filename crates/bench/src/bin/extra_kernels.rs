@@ -1,0 +1,42 @@
+//! Beyond Table 3: the `workloads::extra` showcase suite (stencils,
+//! conditionals, reductions, runtime parameters) co-run on all four
+//! architectures — an independently-constructed check that the paper's
+//! conclusions are not an artefact of the synthetic Table 3 kernels.
+
+use bench::{rule, sweep, Args};
+use occamy_sim::SimConfig;
+use workloads::extra;
+
+fn main() {
+    let _ = Args::parse();
+    let cfg = SimConfig::paper_2core();
+    let specs = [extra::memory_workload(), extra::compute_workload()];
+    let sw = sweep("extra", &specs, &cfg, 1.0);
+
+    println!("Extra-suite co-run (memory: triad+relu | compute: ratpoly+jacobi+sqdist)");
+    rule(72);
+    println!(
+        "{:<9} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "arch", "t(mem)", "t(comp)", "su(mem)", "su(comp)", "util"
+    );
+    rule(72);
+    for (arch, stats) in &sw.results {
+        println!(
+            "{:<9} {:>10} {:>10} {:>12.2} {:>12.2} {:>9.1}%",
+            arch,
+            stats.core_time(0),
+            stats.core_time(1),
+            sw.speedup(arch, 0),
+            sw.speedup(arch, 1),
+            100.0 * stats.simd_utilization()
+        );
+    }
+    rule(72);
+    println!(
+        "Notes: with two moderate-intensity workloads both partitioners shift\n\
+         lanes toward the compute side, paying a memory-side slowdown for a\n\
+         compute-side gain; temporal sharing profits from both sides' idle\n\
+         issue slots. The paper's large elastic wins need the Table 3 regime\n\
+         — a strongly memory-bound co-runner that frees most of its lanes."
+    );
+}

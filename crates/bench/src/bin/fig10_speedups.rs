@@ -1,0 +1,55 @@
+//! Fig. 10: speedups of FTS/VLS/Occamy over Private for all 25 co-run
+//! pairs, on Core0 (memory side) and Core1 (compute side), with
+//! geometric means.
+
+use bench::{geomean, rule, sweep_pair, Args};
+use occamy_sim::SimConfig;
+use workloads::table3;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = SimConfig::paper_2core();
+    let pairs = table3::all_pairs(args.scale);
+
+    println!("Fig. 10: speedups over Private (Core0 / Core1)");
+    rule(86);
+    println!(
+        "{:<7} {:>12} {:>12} {:>12}   {:>12} {:>12} {:>12}",
+        "pair", "FTS c0", "VLS c0", "Occamy c0", "FTS c1", "VLS c1", "Occamy c1"
+    );
+    rule(86);
+    let mut per_arch: Vec<(usize, Vec<f64>)> = Vec::new(); // (core, speedups)
+    let mut collect: std::collections::HashMap<(&str, usize), Vec<f64>> = Default::default();
+    for pair in &pairs {
+        let sw = sweep_pair(pair, &cfg, 1.0);
+        let row: Vec<f64> = [("FTS", 0), ("VLS", 0), ("Occamy", 0), ("FTS", 1), ("VLS", 1), ("Occamy", 1)]
+            .iter()
+            .map(|&(arch, core)| {
+                let s = sw.speedup(arch, core);
+                collect.entry((arch, core)).or_default().push(s);
+                s
+            })
+            .collect();
+        println!(
+            "{:<7} {:>12.2} {:>12.2} {:>12.2}   {:>12.2} {:>12.2} {:>12.2}",
+            pair.label, row[0], row[1], row[2], row[3], row[4], row[5]
+        );
+    }
+    rule(86);
+    let gm = |arch: &str, core: usize| geomean(collect[&(arch, core)].iter().copied());
+    println!(
+        "{:<7} {:>12.2} {:>12.2} {:>12.2}   {:>12.2} {:>12.2} {:>12.2}",
+        "GM",
+        gm("FTS", 0),
+        gm("VLS", 0),
+        gm("Occamy", 0),
+        gm("FTS", 1),
+        gm("VLS", 1),
+        gm("Occamy", 1)
+    );
+    println!(
+        "{:<7} {:>12} {:>12} {:>12}   {:>12} {:>12} {:>12}",
+        "paper", "~1.00", "~1.00", "~1.00", "1.20", "1.11", "1.39"
+    );
+    let _ = &mut per_arch;
+}

@@ -1,0 +1,44 @@
+//! Fig. 15: runtime overhead of elastic spatial sharing on Occamy —
+//! monitoring lane-partition decisions (the speculative `MRS <decision>`
+//! per iteration) and reconfiguring the vector length (pipeline drains).
+//!
+//! Paper reference: 0.5 % of execution time on average (0.3 %
+//! monitoring + 0.2 % reconfiguration).
+
+use bench::{geomean, rule, Args};
+use occamy_sim::{Architecture, SimConfig};
+use workloads::{corun, table3};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = SimConfig::paper_2core();
+    let pairs = table3::all_pairs(args.scale);
+
+    println!("Fig. 15: Occamy elastic-sharing overhead (% of each core's runtime)");
+    rule(60);
+    println!(
+        "{:<7} {:>12} {:>12} {:>12}",
+        "pair", "monitor", "reconfig", "total"
+    );
+    rule(60);
+    let mut totals = Vec::new();
+    for pair in &pairs {
+        let mut machine =
+            corun::build_machine(&pair.workloads, &cfg, &Architecture::Occamy, 1.0)
+                .expect("build");
+        let stats = machine.run(bench::MAX_CYCLES);
+        assert!(stats.completed);
+        // Average the two cores' overhead fractions, like the figure.
+        let (mut mon, mut rec) = (0.0, 0.0);
+        for core in 0..cfg.cores {
+            let (m, r) = stats.overhead_fractions(core);
+            mon += 100.0 * m / cfg.cores as f64;
+            rec += 100.0 * r / cfg.cores as f64;
+        }
+        totals.push((mon + rec).max(0.001));
+        println!("{:<7} {:>12.2} {:>12.2} {:>12.2}", pair.label, mon, rec, mon + rec);
+    }
+    rule(60);
+    println!("{:<7} {:>38.2}", "GM", geomean(totals.iter().copied()));
+    println!("(paper: 0.5% total on average — 0.3% monitoring + 0.2% reconfiguration)");
+}

@@ -1,0 +1,41 @@
+//! Fig. 16: scaling to four cores — four groups of workloads (memory-
+//! intensive on the low cores, compute-intensive on the high cores) on
+//! FTS/VLS/Occamy, with speedups over Private per core.
+
+use bench::{geomean, rule, sweep, Args};
+use occamy_sim::SimConfig;
+use workloads::table3;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = SimConfig::paper(4);
+    let groups = table3::four_core_groups(args.scale);
+
+    println!("Fig. 16: 4-core speedups over Private");
+    rule(76);
+    println!(
+        "{:<16} {:<8} {:>9} {:>9} {:>9} {:>9}",
+        "group", "arch", "core0", "core1", "core2", "core3"
+    );
+    rule(76);
+    let mut by_arch: std::collections::HashMap<&str, Vec<f64>> = Default::default();
+    for (label, specs) in &groups {
+        let sw = sweep(label, specs, &cfg, 1.0);
+        for arch in ["FTS", "VLS", "Occamy"] {
+            let s: Vec<f64> = (0..4).map(|c| sw.speedup(arch, c)).collect();
+            by_arch.entry(arch).or_default().extend(s.iter().copied());
+            println!(
+                "{:<16} {:<8} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                label, arch, s[0], s[1], s[2], s[3]
+            );
+        }
+        rule(76);
+    }
+    for arch in ["FTS", "VLS", "Occamy"] {
+        println!("GM {:<8} {:>6.2}", arch, geomean(by_arch[arch].iter().copied()));
+    }
+    println!(
+        "(paper: Occamy keeps core0/core1 at Private speed and wins on the \
+         compute cores; FTS needs 33.5% more area to keep up at 4 cores)"
+    );
+}

@@ -1,0 +1,60 @@
+//! Table 3: the evaluation workloads — printed with their *computed*
+//! operational intensities (Eq. 5) next to the paper's published values.
+
+use bench::rule;
+use occamy_compiler::analyze;
+use workloads::table3;
+
+fn main() {
+    println!("Table 3: workloads (computed oi_mem [paper], oi_issue where it differs)");
+    rule(74);
+    println!(
+        "{:<16} {:>9} {:>9} {:>7} {:>7} {:>7} {:>9}",
+        "phase", "oi_mem", "[paper]", "comp", "loads", "stores", "oi_issue"
+    );
+    rule(74);
+    for name in table3::kernel_names() {
+        let info = analyze(&table3::kernel(name));
+        let issue = if (info.oi.issue() - info.oi.mem()).abs() > 1e-9 {
+            format!("{:.3}", info.oi.issue())
+        } else {
+            String::from("=")
+        };
+        println!(
+            "{:<16} {:>9.3} {:>9} {:>7} {:>7} {:>7} {:>9}",
+            name,
+            info.oi.mem(),
+            table3::paper_oi(name),
+            info.comp,
+            info.loads,
+            info.stores,
+            issue
+        );
+    }
+    rule(74);
+
+    println!("\nWorkload compositions:");
+    for i in 1..=22 {
+        let wl = table3::spec_workload(i, 1.0);
+        let phases: Vec<String> = wl
+            .phases
+            .iter()
+            .map(|p| format!("{} ({:.2})", p.kernel.name(), p.computed_oi_mem()))
+            .collect();
+        println!("  WL{i:<3} [{:?}] {}", wl.class(), phases.join(" + "));
+    }
+    for i in 1..=12 {
+        let wl = table3::opencv_workload(i, 1.0);
+        let phases: Vec<String> = wl
+            .phases
+            .iter()
+            .map(|p| format!("{} ({:.2})", p.kernel.name(), p.computed_oi_mem()))
+            .collect();
+        println!("  cv{i:<3} [{:?}] {}", wl.class(), phases.join(" + "));
+    }
+    println!(
+        "\n(Known Table 3 inconsistencies in the paper — select_atoms5, sff5,\n\
+         rho_eos2 listed with two different intensities — resolved to the\n\
+         first-listed value; see workloads::table3.)"
+    );
+}

@@ -1,0 +1,58 @@
+//! Table 5: attainable performance (GFLOP/s) for WL8.p1 (`rho_eos2`,
+//! `oi_issue = 0.17`, `oi_mem = 0.25`) as the vector length sweeps from
+//! 4 to 32 lanes — the case where the SIMD-issue-bandwidth ceiling, not
+//! memory bandwidth, sets the lane demand (§7.4 case 4).
+
+use bench::rule;
+use em_simd::VectorLength;
+use occamy_compiler::analyze;
+use roofline::{MachineCeilings, MemLevel};
+use workloads::table3;
+
+fn main() {
+    let ceilings = MachineCeilings::paper_default();
+    // Use the *actual* analysed intensity of our rho_eos2 kernel — the
+    // tests pin it to the paper's (1/6, 0.25).
+    let oi = analyze(&table3::kernel("rho_eos2")).oi;
+    println!(
+        "Table 5: attainable performance for WL8.p1 (oi_issue={:.3}, oi_mem={:.2})",
+        oi.issue(),
+        oi.mem()
+    );
+    rule(78);
+    println!(
+        "{:<6} {:>15} {:>12} {:>12} {:>14}",
+        "VL", "SIMDIssueBound", "MemBound", "CompBound", "Performance"
+    );
+    rule(78);
+    let paper_rows: &[(usize, f64, f64, f64, f64)] = &[
+        (4, 5.3, 16.0, 8.0, 5.3),
+        (8, 10.7, 16.0, 16.0, 10.7),
+        (12, 16.0, 16.0, 24.0, 16.0),
+        (16, 21.3, 16.0, 32.0, 16.0),
+        (20, 26.7, 16.0, 40.0, 16.0),
+        (24, 32.0, 16.0, 48.0, 16.0),
+        (28, 37.3, 16.0, 56.0, 16.0),
+        (32, 42.7, 16.0, 64.0, 16.0),
+    ];
+    for &(lanes, p_issue, p_mem, p_comp, p_perf) in paper_rows {
+        let vl = VectorLength::from_lanes(lanes);
+        let issue = ceilings.simd_issue_bw(vl) * oi.issue();
+        let mem = ceilings.mem_bw(MemLevel::Dram) * oi.mem();
+        let comp = ceilings.fp_peak(vl);
+        let perf = ceilings.attainable(vl, oi, MemLevel::Dram);
+        println!(
+            "{:<6} {:>7.1} [{:>4.1}] {:>6.1} [{:>4.1}] {:>6.1} [{:>4.1}] {:>7.1} [{:>4.1}]",
+            lanes, issue, p_issue, mem, p_mem, comp, p_comp, perf, p_perf
+        );
+    }
+    rule(78);
+    println!("(measured [paper]; GFLOP/s)");
+    println!(
+        "\nLane demand: rho_eos2 saturates at {} lanes (paper: 12, trading 4 \
+         under-utilised lanes for issue bandwidth)",
+        ceilings
+            .saturation_vl(oi, MemLevel::Dram, VectorLength::new(8))
+            .lanes()
+    );
+}

@@ -1,0 +1,159 @@
+//! # Experiment harness
+//!
+//! Shared machinery for the binaries that regenerate every table and
+//! figure of the Occamy evaluation (§7). Each binary prints the paper's
+//! reference numbers next to the measured ones; `EXPERIMENTS.md` records
+//! a snapshot.
+//!
+//! All binaries accept `--fast` (quarter-size workloads) and
+//! `--scale <f>` for custom sizing.
+
+use occamy_sim::{Architecture, MachineStats, SimConfig};
+use workloads::table3::CorunPair;
+use workloads::{corun, WorkloadSpec};
+
+/// Cycle budget per simulation (generous; runs normally finish well
+/// under it).
+pub const MAX_CYCLES: u64 = 200_000_000;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Args {
+    /// Workload size multiplier (1.0 = paper-sized).
+    pub scale: f64,
+}
+
+impl Args {
+    /// Parses `--fast` / `--scale <f>` from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Args {
+        let mut scale = 1.0;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--fast" => scale = 0.25,
+                "--scale" => {
+                    let v = args.next().expect("--scale needs a value");
+                    scale = v.parse().expect("--scale needs a number");
+                }
+                other => panic!("unknown argument `{other}` (supported: --fast, --scale <f>)"),
+            }
+        }
+        Args { scale }
+    }
+}
+
+/// The four architectures for a given pair of workloads, in Fig. 1
+/// order. The VLS partition is chosen by the static oracle of
+/// [`corun::vls_partition`].
+pub fn architectures(specs: &[WorkloadSpec], cfg: &SimConfig) -> Vec<Architecture> {
+    vec![
+        Architecture::Private,
+        Architecture::TemporalSharing,
+        Architecture::StaticSpatialSharing { partition: corun::vls_partition(specs, cfg) },
+        Architecture::Occamy,
+    ]
+}
+
+/// Results of running one workload set on all four architectures.
+#[derive(Debug, Clone)]
+pub struct ArchSweep {
+    /// Pair/group label.
+    pub label: String,
+    /// `(architecture name, stats)` in Fig. 1 order.
+    pub results: Vec<(&'static str, MachineStats)>,
+}
+
+impl ArchSweep {
+    /// Stats for an architecture by short name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture was not part of the sweep.
+    pub fn stats(&self, arch: &str) -> &MachineStats {
+        &self.results.iter().find(|(a, _)| *a == arch).expect("architecture in sweep").1
+    }
+
+    /// Speedup of `arch` over Private for `core` (ratio of core times).
+    pub fn speedup(&self, arch: &str, core: usize) -> f64 {
+        let base = self.stats("Private").core_time(core) as f64;
+        let t = self.stats(arch).core_time(core) as f64;
+        if t == 0.0 {
+            1.0
+        } else {
+            base / t
+        }
+    }
+}
+
+/// Runs `specs` on every architecture.
+///
+/// # Panics
+///
+/// Panics if a machine fails to build or a run does not complete (the
+/// experiment would be meaningless otherwise).
+pub fn sweep(label: &str, specs: &[WorkloadSpec], cfg: &SimConfig, scale: f64) -> ArchSweep {
+    let results = architectures(specs, cfg)
+        .into_iter()
+        .map(|arch| {
+            let name = arch.short_name();
+            let mut machine = corun::build_machine(specs, cfg, &arch, scale)
+                .unwrap_or_else(|e| panic!("{label}/{name}: {e}"));
+            let stats = machine.run(MAX_CYCLES);
+            assert!(stats.completed, "{label}/{name}: exceeded {MAX_CYCLES} cycles");
+            (name, stats)
+        })
+        .collect();
+    ArchSweep { label: label.to_owned(), results }
+}
+
+/// Runs one co-run pair (Fig. 10/11 row) on every architecture.
+pub fn sweep_pair(pair: &CorunPair, cfg: &SimConfig, scale: f64) -> ArchSweep {
+    sweep(&pair.label, &pair.workloads, cfg, scale)
+}
+
+/// Geometric mean (the paper's average, §7.1). Empty input yields 1.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0u32);
+    for v in values {
+        log_sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / f64::from(n)).exp()
+    }
+}
+
+/// Prints a rule line for the result tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+        assert!((geomean([1.39]) - 1.39).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_produces_all_four_architectures() {
+        let cfg = SimConfig::paper_2core();
+        let pair = &workloads::table3::all_pairs(0.05)[0];
+        let sw = sweep_pair(pair, &cfg, 0.05);
+        assert_eq!(sw.results.len(), 4);
+        for arch in ["Private", "FTS", "VLS", "Occamy"] {
+            assert!(sw.stats(arch).completed);
+        }
+        assert!((sw.speedup("Private", 1) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the ISA layer.
+
+use em_simd::{
+    InstTag, Operand, OperationalIntensity, ProgramBuilder, ScalarInst, VectorLength, XReg,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// `<OI>` register encoding round-trips any representable pair.
+    #[test]
+    fn oi_bits_round_trip(issue in 0.0f64..1e6, mem in 0.0f64..1e6) {
+        let oi = OperationalIntensity::new(issue, mem);
+        let back = OperationalIntensity::from_bits(oi.to_bits());
+        // f32 storage: compare at f32 precision.
+        prop_assert_eq!(back.issue() as f32, issue as f32);
+        prop_assert_eq!(back.mem() as f32, mem as f32);
+    }
+
+    /// Vector lengths round-trip through their `u64` register encoding.
+    #[test]
+    fn vl_round_trip(granules in 0usize..=64) {
+        let vl = VectorLength::new(granules);
+        let raw: u64 = vl.into();
+        prop_assert_eq!(VectorLength::try_from(raw).unwrap(), vl);
+        prop_assert_eq!(vl.lanes(), granules * 4);
+        prop_assert_eq!(vl.bytes(), granules * 16);
+    }
+
+    /// A phase-end marker is exactly the all-zero encoding.
+    #[test]
+    fn only_zero_is_phase_end(issue in 0.001f64..1e3, mem in 0.001f64..1e3) {
+        prop_assert!(!OperationalIntensity::new(issue, mem).is_phase_end());
+        prop_assert!(OperationalIntensity::from_bits(0).is_phase_end());
+    }
+
+    /// The builder assigns the active tag to every emitted instruction
+    /// and resolves every bound label, for arbitrary emission patterns.
+    #[test]
+    fn builder_tags_and_labels(pattern in proptest::collection::vec(0u8..4, 1..64)) {
+        let mut b = ProgramBuilder::new();
+        let mut expected = Vec::new();
+        let mut labels = Vec::new();
+        for &p in &pattern {
+            let tag = match p {
+                0 => InstTag::Body,
+                1 => InstTag::Monitor,
+                2 => InstTag::Reconfigure,
+                _ => InstTag::PhasePrologue,
+            };
+            b.set_tag(tag);
+            if p == 2 {
+                let l = b.fresh_label("x");
+                b.bind(l);
+                labels.push((l, b.next_pc()));
+            }
+            b.scalar(ScalarInst::Add { dst: XReg::X0, a: XReg::X0, b: Operand::Imm(1) });
+            expected.push(tag);
+        }
+        b.set_tag(InstTag::Body);
+        b.halt();
+        let program = b.build();
+        for (pc, tag) in expected.iter().enumerate() {
+            prop_assert_eq!(program.tag(pc), *tag);
+        }
+        for (l, pc) in labels {
+            prop_assert_eq!(program.resolve(l), pc);
+        }
+        // The disassembly covers every instruction.
+        prop_assert_eq!(program.disassemble().lines().count() >= program.len(), true);
+    }
+}

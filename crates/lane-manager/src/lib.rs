@@ -1,0 +1,35 @@
+//! # The Occamy SIMD lane manager
+//!
+//! The hardware component (`LaneMgr` in Fig. 5) that decides *when* and
+//! *how* to re-partition the SIMD lanes among co-running workloads (§5 of
+//! the paper), together with the on-chip [`ResourceTable`] holding the five
+//! dedicated EM-SIMD registers per core.
+//!
+//! The manager listens for writes to `<OI>` (phase-changing points),
+//! gathers the operational intensities of all co-running workloads, and
+//! produces a [`PartitionPlan`] with the greedy algorithm of §5.2, guided
+//! by the vector-length-aware roofline model of the [`roofline`] crate.
+//!
+//! # Examples
+//!
+//! Partition 8 ExeBUs between a memory-intensive and a compute-intensive
+//! workload (the motivating example's phase p1):
+//!
+//! ```
+//! use lane_manager::{LaneManager, PhaseDemand};
+//! use em_simd::OperationalIntensity;
+//!
+//! let mgr = LaneManager::paper_default(2, 8);
+//! let plan = mgr.plan(&[
+//!     PhaseDemand::Active(OperationalIntensity::uniform(0.09)),
+//!     PhaseDemand::Active(OperationalIntensity::uniform(1.0)),
+//! ]);
+//! assert_eq!(plan.granules(0), 2); // 8 lanes, Fig. 2(e)
+//! assert_eq!(plan.granules(1), 6); // 24 lanes, Fig. 2(e)
+//! ```
+
+mod manager;
+mod table;
+
+pub use manager::{LaneManager, PartitionPlan, PhaseDemand};
+pub use table::{ReconfigureError, ResourceTable};

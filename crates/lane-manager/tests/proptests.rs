@@ -1,0 +1,217 @@
+//! Property-based tests for the lane manager and resource table.
+
+use em_simd::{OperationalIntensity, VectorLength};
+use lane_manager::{LaneManager, PhaseDemand, ResourceTable};
+use proptest::prelude::*;
+
+fn demand_strategy() -> impl Strategy<Value = PhaseDemand> {
+    prop_oneof![
+        2 => Just(PhaseDemand::Idle),
+        5 => (0.01f64..4.0, 0.01f64..4.0).prop_map(|(issue, mem)| {
+            PhaseDemand::Active(OperationalIntensity::new(issue, mem))
+        }),
+    ]
+}
+
+proptest! {
+    /// Plan invariants for any demand mix on any machine size:
+    /// capacity respected, idle cores get nothing, active cores get at
+    /// least one granule (when capacity allows), and — with the
+    /// leftover-redistribution step — no granule idles while someone is
+    /// active.
+    #[test]
+    fn plan_invariants(
+        demands in proptest::collection::vec(demand_strategy(), 1..8),
+        granules_per_core in 1usize..8,
+    ) {
+        let total = granules_per_core * demands.len();
+        let mgr = LaneManager::paper_default(demands.len(), total);
+        let plan = mgr.plan(&demands);
+
+        let active: Vec<usize> = demands
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.intensity().is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let allocated: usize = (0..demands.len()).map(|c| plan.granules(c)).sum();
+        prop_assert!(allocated + plan.free_granules() == total);
+
+        for (c, d) in demands.iter().enumerate() {
+            if d.intensity().is_none() {
+                prop_assert_eq!(plan.granules(c), 0, "idle core {} got lanes", c);
+            }
+        }
+        if !active.is_empty() {
+            prop_assert_eq!(plan.free_granules(), 0, "lanes idle despite active work");
+            if active.len() <= total {
+                for &c in &active {
+                    prop_assert!(plan.granules(c) >= 1, "active core {} starved", c);
+                }
+            }
+        }
+    }
+
+    /// Planning is deterministic.
+    #[test]
+    fn plan_is_deterministic(
+        demands in proptest::collection::vec(demand_strategy(), 1..6),
+    ) {
+        let mgr = LaneManager::paper_default(demands.len(), 4 * demands.len());
+        prop_assert_eq!(mgr.plan(&demands), mgr.plan(&demands));
+    }
+
+    /// Identical demands receive identical allocations (fairness).
+    #[test]
+    fn equal_demands_equal_shares(oi in 0.01f64..4.0, cores in 2usize..5) {
+        let demand = PhaseDemand::Active(OperationalIntensity::uniform(oi));
+        let mgr = LaneManager::paper_default(cores, 4 * cores);
+        let plan = mgr.plan(&vec![demand; cores]);
+        let first = plan.granules(0);
+        for c in 1..cores {
+            prop_assert!(
+                plan.granules(c).abs_diff(first) <= 1,
+                "cores {} vs 0: {} vs {}", c, plan.granules(c), first
+            );
+        }
+    }
+
+    /// The resource table conserves lanes across arbitrary sequences of
+    /// reconfiguration attempts (successes and failures alike).
+    #[test]
+    fn table_conserves_lanes(
+        ops in proptest::collection::vec((0usize..4, 0usize..10), 1..64),
+    ) {
+        let mut tbl = ResourceTable::new(4, 16);
+        for (core, req) in ops {
+            let _ = tbl.try_reconfigure(core, VectorLength::new(req));
+            prop_assert!(tbl.invariant_holds());
+            let allocated: usize = (0..4).map(|c| tbl.vl(c).granules()).sum();
+            prop_assert_eq!(allocated + tbl.free_granules(), 16);
+        }
+    }
+
+    /// A failed reconfiguration changes nothing except `<status>`.
+    #[test]
+    fn failed_reconfigure_is_a_no_op(request in 9usize..64) {
+        let mut tbl = ResourceTable::new(2, 8);
+        tbl.try_reconfigure(0, VectorLength::new(3)).unwrap();
+        let before_vl = tbl.vl(0);
+        let before_free = tbl.free_granules();
+        prop_assert!(tbl.try_reconfigure(0, VectorLength::new(request)).is_err());
+        prop_assert_eq!(tbl.vl(0), before_vl);
+        prop_assert_eq!(tbl.free_granules(), before_free);
+    }
+}
+
+proptest! {
+    /// A workload's own allocation is monotone in its own compute
+    /// intensity: becoming more compute-bound (higher oi, later
+    /// saturation) never costs it lanes, with the co-runners' demands
+    /// held fixed.
+    #[test]
+    fn own_allocation_is_monotone_in_own_intensity(
+        base in 0.02f64..2.0,
+        bump in 1.0f64..4.0,
+        other in 0.02f64..4.0,
+        cores in 2usize..5,
+    ) {
+        let mgr = LaneManager::paper_default(cores, 4 * cores);
+        let mut demands: Vec<PhaseDemand> = (0..cores)
+            .map(|_| PhaseDemand::Active(OperationalIntensity::uniform(other)))
+            .collect();
+        demands[0] = PhaseDemand::Active(OperationalIntensity::uniform(base));
+        let before = mgr.plan(&demands).vl(0).granules();
+        demands[0] = PhaseDemand::Active(OperationalIntensity::uniform(base * bump));
+        let after = mgr.plan(&demands).vl(0).granules();
+        prop_assert!(
+            after >= before,
+            "raising oi {base} -> {} cost lanes: {before} -> {after}",
+            base * bump
+        );
+    }
+
+    /// Switching a co-runner from active to idle never shrinks anyone
+    /// else's allocation (its lanes are redistributed, not withheld).
+    #[test]
+    fn idling_a_corunner_never_hurts_the_rest(
+        ois in proptest::collection::vec(0.02f64..4.0, 2..5),
+        victim_idx in 0usize..4,
+    ) {
+        let cores = ois.len();
+        prop_assume!(victim_idx < cores);
+        let mgr = LaneManager::paper_default(cores, 4 * cores);
+        let active: Vec<PhaseDemand> = ois
+            .iter()
+            .map(|&o| PhaseDemand::Active(OperationalIntensity::uniform(o)))
+            .collect();
+        let plan_all = mgr.plan(&active);
+        let mut one_idle = active.clone();
+        one_idle[victim_idx] = PhaseDemand::Idle;
+        let plan_idle = mgr.plan(&one_idle);
+        for c in 0..cores {
+            if c != victim_idx {
+                prop_assert!(
+                    plan_idle.vl(c).granules() >= plan_all.vl(c).granules(),
+                    "core {c} shrank when core {victim_idx} idled"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Contention-aware plans obey the same §5.2 invariants as the
+    /// paper's planner: capacity respected, no starvation, no granule
+    /// idles while someone is active.
+    #[test]
+    fn contention_aware_plans_keep_the_core_invariants(
+        ois in proptest::collection::vec(0.01f64..4.0, 2..5),
+    ) {
+        let cores = ois.len();
+        let mgr = LaneManager::paper_default(cores, 4 * cores).with_contention_awareness(true);
+        let demands: Vec<PhaseDemand> = ois
+            .iter()
+            .map(|&o| PhaseDemand::Active(OperationalIntensity::uniform(o)))
+            .collect();
+        let plan = mgr.plan(&demands);
+        let total: usize = (0..cores).map(|c| plan.granules(c)).sum();
+        prop_assert!(total <= 4 * cores);
+        prop_assert_eq!(total + plan.free_granules(), 4 * cores);
+        prop_assert_eq!(plan.free_granules(), 0, "no idling while active");
+        for c in 0..cores {
+            prop_assert!(plan.granules(c) >= 1, "§5.2 no-starvation");
+        }
+    }
+
+    /// When every co-runner is compute-bound at full width (intensity at
+    /// or above the machine balance point), nobody meaningfully touches
+    /// DRAM and contention awareness changes nothing.
+    #[test]
+    fn contention_awareness_is_identity_for_all_compute_mixes(
+        ois in proptest::collection::vec(0.0f64..4.0, 2..5),
+    ) {
+        let cores = ois.len();
+        let base = LaneManager::paper_default(cores, 4 * cores);
+        // Shift every intensity to or above the balance point
+        // fp_peak(total)/mem_bw for this machine size.
+        let balance = base.ceilings().fp_peak(em_simd::VectorLength::new(4 * cores))
+            / base.ceilings().mem_bw(roofline::MemLevel::Dram);
+        let demands: Vec<PhaseDemand> = ois
+            .iter()
+            .map(|&o| PhaseDemand::Active(OperationalIntensity::uniform(balance + o)))
+            .collect();
+        let aware = base.clone().with_contention_awareness(true);
+        prop_assert_eq!(base.plan(&demands), aware.plan(&demands));
+    }
+
+    /// With a single active workload the two modes are identical —
+    /// there is nobody to share with.
+    #[test]
+    fn contention_awareness_is_identity_for_solo_runs(oi in 0.01f64..4.0) {
+        let demands = [PhaseDemand::Active(OperationalIntensity::uniform(oi)), PhaseDemand::Idle];
+        let base = LaneManager::paper_default(2, 8);
+        let aware = base.clone().with_contention_awareness(true);
+        prop_assert_eq!(base.plan(&demands), aware.plan(&demands));
+    }
+}

@@ -1,0 +1,469 @@
+//! The `occamy` command-line tool.
+//!
+//! ```text
+//! occamy analyze <kernel.ok>                     phase behaviour (Eq. 5)
+//! occamy disasm  <kernel.ok> [options]           compiled EM-SIMD assembly
+//! occamy run     <kernel.ok> [options]           simulate on one core
+//! occamy roofline <oi> [<oi>...]                 ceilings + partition plan
+//!
+//! options:
+//!   --trip <n>          elements per pass            (default 4096)
+//!   --passes <n>        sweeps over the arrays       (default 1)
+//!   --arch <a>          occamy|private|fts|vls       (default occamy)
+//!   --granules <g>      fixed VL for private/vls     (default 4)
+//!   --param <name=v>    set a runtime parameter      (repeatable)
+//!   --trace             print the instruction pipeview
+//!   --timeline          print the lane timeline
+//!   --opt, -O           run the optimizer before compiling
+//! ```
+
+use std::process::ExitCode;
+
+use em_simd::{OperationalIntensity, VectorLength};
+use lane_manager::{LaneManager, PhaseDemand};
+use mem_sim::Memory;
+use occamy_compiler::{
+    analyze, parse_kernel, ArrayLayout, CodeGenOptions, Compiler, Kernel, VlMode,
+};
+use occamy_sim::{render_lane_timeline, render_pipeview, to_kanata, Architecture, Machine, SimConfig};
+use roofline::{MachineCeilings, MemLevel};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("corun") => cmd_corun(&args[1..]),
+        Some("sched") => cmd_sched(&args[1..]),
+        Some("roofline") => cmd_roofline(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "occamy — elastic SIMD co-processor toolkit\n\n\
+         usage:\n  occamy analyze <kernel.ok>\n  occamy disasm <kernel.ok> [options]\n  \
+         occamy run <kernel.ok> [options]\n  \
+         occamy corun <k0.ok> <k1.ok> [options]   # two cores, elastic lanes\n  \
+         occamy sched <k.ok>... [options]          # time-share N kernels (§5)\n  \
+         occamy roofline <oi> [<oi>...]\n\n\
+         options:\n  --trip <n>        elements per pass (default 4096)\n  \
+         --passes <n>      sweeps over the arrays (default 1)\n  \
+         --arch <a>        occamy|private|fts|vls (default occamy)\n  \
+         --granules <g>    fixed vector length in 128-bit granules (default 4)\n  \
+         --param <k=v>     set a runtime parameter (repeatable)\n  \
+         --trace           print the instruction pipeview\n  \
+         --timeline        print the lane timeline\n  \
+         --stats           print the full statistics report\n  \
+         --opt, -O         run the optimizer before compiling\n  \
+         --quantum <c>     sched: round-robin time slice in cycles (default 5000)\n  \
+         --trace-out <f>   run: write a Kanata trace file (Konata viewer)"
+    );
+}
+
+struct RunOpts {
+    file: String,
+    trip: usize,
+    passes: usize,
+    arch: String,
+    granules: usize,
+    params: Vec<(String, f32)>,
+    trace: bool,
+    timeline: bool,
+    stats: bool,
+    optimize: bool,
+    quantum: u64,
+    trace_out: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
+    let mut opts = RunOpts {
+        file: String::new(),
+        trip: 4096,
+        passes: 1,
+        arch: "occamy".into(),
+        granules: 4,
+        params: Vec::new(),
+        trace: false,
+        timeline: false,
+        stats: false,
+        optimize: false,
+        quantum: 5_000,
+        trace_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--trip" => opts.trip = value("--trip")?.parse().map_err(|e| format!("--trip: {e}"))?,
+            "--passes" => {
+                opts.passes = value("--passes")?.parse().map_err(|e| format!("--passes: {e}"))?
+            }
+            "--arch" => opts.arch = value("--arch")?,
+            "--granules" => {
+                opts.granules =
+                    value("--granules")?.parse().map_err(|e| format!("--granules: {e}"))?
+            }
+            "--param" => {
+                let kv = value("--param")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--param expects name=value, got `{kv}`"))?;
+                opts.params.push((
+                    k.to_owned(),
+                    v.parse().map_err(|e| format!("--param {k}: {e}"))?,
+                ));
+            }
+            "--trace" => opts.trace = true,
+            "--timeline" => opts.timeline = true,
+            "--stats" => opts.stats = true,
+            "--opt" | "-O" => opts.optimize = true,
+            "--quantum" => {
+                opts.quantum =
+                    value("--quantum")?.parse().map_err(|e| format!("--quantum: {e}"))?
+            }
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            file => {
+                if !opts.file.is_empty() {
+                    return Err(format!("unexpected argument `{file}`"));
+                }
+                opts.file = file.to_owned();
+            }
+        }
+    }
+    if opts.file.is_empty() {
+        return Err("no kernel file given".into());
+    }
+    Ok(opts)
+}
+
+fn load_kernel(path: &str) -> Result<Kernel, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_kernel(&text).map_err(|e| format!("{path}:{e}"))
+}
+
+fn load_kernel_opts(path: &str, opts: &RunOpts) -> Result<Kernel, String> {
+    let kernel = load_kernel(path)?;
+    Ok(if opts.optimize { occamy_compiler::optimize(&kernel) } else { kernel })
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("no kernel file given")?;
+    let kernel = load_kernel(file)?;
+    let info = analyze(&kernel);
+    println!("kernel `{}`", kernel.name());
+    println!("  per-element vector instructions:");
+    println!("    compute : {}", info.comp);
+    println!("    loads   : {}  ({:?})", info.loads, kernel.loaded_arrays());
+    println!("    stores  : {}  ({:?})", info.stores, kernel.stored_arrays());
+    if !kernel.reduction_outputs().is_empty() {
+        println!("    reduce  : {:?}", kernel.reduction_outputs());
+    }
+    if !kernel.params().is_empty() {
+        println!("    params  : {:?}", kernel.params());
+    }
+    println!("  footprint : {} bytes/element (reuse considered)", info.footprint_bytes);
+    println!("  <OI>      : issue={:.4}  mem={:.4}  FLOPs/byte", info.oi.issue(), info.oi.mem());
+    let ceilings = MachineCeilings::paper_default();
+    let sat = ceilings.saturation_vl(info.oi, MemLevel::Dram, VectorLength::new(8));
+    println!(
+        "  lane demand (paper 2-core machine, DRAM ceiling): saturates at {} lanes",
+        sat.lanes()
+    );
+    Ok(())
+}
+
+/// Everything `run`/`disasm` need: the initialised memory image, the
+/// array layout, the (name, address) pairs for printing outputs, the
+/// compiled program, and the architecture the program targets.
+type BuiltProgram = (Memory, ArrayLayout, Vec<(String, u64)>, em_simd::Program, Architecture);
+
+fn build_program(kernel: &Kernel, opts: &RunOpts) -> Result<BuiltProgram, String> {
+    let halo = 16u64;
+    let mut mem = Memory::new((kernel.base_arrays().len() * (opts.trip + 64) * 4 + (1 << 20)).max(1 << 20));
+    let mut layout = ArrayLayout::new();
+    let mut addrs = Vec::new();
+    for name in kernel.base_arrays() {
+        let addr = mem.alloc_f32(opts.trip as u64 + 2 * halo) + 4 * halo;
+        for i in 0..opts.trip as u64 + 2 * halo {
+            // Deterministic, mildly varied initial data.
+            let v = 0.5 + ((i * 29 + 11) % 97) as f32 / 97.0;
+            mem.write_f32(addr - 4 * halo + 4 * i, v);
+        }
+        layout.bind(name.clone(), addr);
+        addrs.push((name, addr));
+    }
+    for (name, value) in &opts.params {
+        let addr = addrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
+            .ok_or_else(|| format!("--param {name}: kernel has no such parameter"))?;
+        mem.write_f32(addr, *value);
+    }
+
+    let cfg = SimConfig::paper_2core();
+    let (arch, mode) = match opts.arch.as_str() {
+        "occamy" => (
+            Architecture::Occamy,
+            VlMode::Elastic { default: VectorLength::new(2) },
+        ),
+        "private" => (Architecture::Private, VlMode::Fixed(VectorLength::new(4))),
+        "fts" => (Architecture::TemporalSharing, VlMode::Fixed(VectorLength::new(8))),
+        "vls" => {
+            let g = opts.granules.clamp(1, cfg.total_granules - 1);
+            (
+                Architecture::StaticSpatialSharing {
+                    partition: vec![g, cfg.total_granules - g],
+                },
+                VlMode::Fixed(VectorLength::new(g)),
+            )
+        }
+        other => return Err(format!("unknown architecture `{other}`")),
+    };
+    let compiler = Compiler::new(CodeGenOptions { mode, ..CodeGenOptions::default() });
+    let program = compiler
+        .compile_repeated(&[(kernel.clone(), opts.trip, opts.passes)], &layout)
+        .map_err(|e| e.to_string())?;
+    Ok((mem, layout, addrs, program, arch))
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let kernel = load_kernel_opts(&opts.file, &opts)?;
+    let (_, _, _, program, _) = build_program(&kernel, &opts)?;
+    print!("{}", program.disassemble());
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let kernel = load_kernel_opts(&opts.file, &opts)?;
+    let info = analyze(&kernel);
+    let (mem, _, addrs, program, arch) = build_program(&kernel, &opts)?;
+    let cfg = SimConfig::paper_2core();
+    let mut machine = Machine::new(cfg, arch, mem).map_err(|e| e.to_string())?;
+    if opts.trace || opts.trace_out.is_some() {
+        machine.enable_trace(4096);
+    }
+    machine.load_program(0, program);
+    let stats = machine.run(500_000_000);
+    if !stats.completed {
+        return Err("run exceeded the cycle budget".into());
+    }
+
+    println!(
+        "kernel `{}` on {}: {} elements x {} pass(es), OI {}",
+        kernel.name(),
+        opts.arch,
+        opts.trip,
+        opts.passes,
+        info.oi
+    );
+    println!(
+        "  {} cycles | SIMD issue {:.2} insts/cycle | utilisation {:.1}%",
+        stats.core_time(0),
+        stats.cores[0].issue_rate(stats.core_time(0)),
+        100.0 * stats.simd_utilization()
+    );
+    for p in stats.cores[0].phases.iter().take(3) {
+        println!(
+            "  phase: {} lanes, issue {:.2}, {} cycles",
+            p.configured_granules * 4,
+            p.issue_rate(),
+            p.duration()
+        );
+    }
+    // Show a few output elements.
+    for name in kernel.stored_arrays().iter().chain(&kernel.reduction_outputs()) {
+        if let Some((_, addr)) = addrs.iter().find(|(n, _)| n == name) {
+            let values: Vec<String> = (0..4.min(opts.trip as u64))
+                .map(|i| format!("{:.4}", machine.memory().read_f32(addr + 4 * i)))
+                .collect();
+            println!("  {name}[0..4] = [{}]", values.join(", "));
+        }
+    }
+    if opts.stats {
+        println!();
+        print!("{}", stats.report());
+    }
+    if opts.timeline {
+        println!();
+        print!(
+            "{}",
+            render_lane_timeline(&stats.timeline, stats.total_lanes, 100)
+        );
+    }
+    if opts.trace {
+        println!();
+        print!("{}", render_pipeview(machine.trace()));
+    }
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, to_kanata(machine.trace())).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote Kanata trace to {path} (open with the Konata viewer)");
+    }
+    Ok(())
+}
+
+/// Co-run two kernels on a two-core Occamy machine and show how the
+/// lane manager moves lanes between them.
+fn cmd_corun(args: &[String]) -> Result<(), String> {
+    let files: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    if files.len() != 2 {
+        return Err("corun needs exactly two kernel files".into());
+    }
+    let rest: Vec<String> = args[2..].to_vec();
+    let opts = parse_opts(&[vec![files[0].clone()], rest].concat())?;
+
+    let cfg = SimConfig::paper_2core();
+    let halo = 16u64;
+    let mut mem = Memory::new(64 << 20);
+    let mut machines: Vec<(Kernel, ArrayLayout)> = Vec::new();
+    for (idx, file) in files.iter().enumerate() {
+        let kernel = load_kernel_opts(file, &opts)?.with_array_prefix(&format!("c{idx}_"));
+        let mut layout = ArrayLayout::new();
+        for name in kernel.base_arrays() {
+            let addr = mem.alloc_f32(opts.trip as u64 + 2 * halo) + 4 * halo;
+            for i in 0..opts.trip as u64 + 2 * halo {
+                let v = 0.5 + ((i * 29 + 11) % 97) as f32 / 97.0;
+                mem.write_f32(addr - 4 * halo + 4 * i, v);
+            }
+            layout.bind(name, addr);
+        }
+        machines.push((kernel, layout));
+    }
+    let mut machine = Machine::new(cfg, Architecture::Occamy, mem).map_err(|e| e.to_string())?;
+    let compiler = Compiler::new(CodeGenOptions {
+        mode: VlMode::Elastic { default: VectorLength::new(2) },
+        ..CodeGenOptions::default()
+    });
+    for (core, (kernel, layout)) in machines.iter().enumerate() {
+        let program = compiler
+            .compile_repeated(&[(kernel.clone(), opts.trip, opts.passes)], layout)
+            .map_err(|e| e.to_string())?;
+        machine.load_program(core, program);
+    }
+    let stats = machine.run(500_000_000);
+    if !stats.completed {
+        return Err("run exceeded the cycle budget".into());
+    }
+    for (core, (kernel, _)) in machines.iter().enumerate() {
+        println!(
+            "core {core} `{}`: {} cycles, issue {:.2} insts/cycle",
+            kernel.name(),
+            stats.core_time(core),
+            stats.cores[core].issue_rate(stats.core_time(core)),
+        );
+    }
+    println!(
+        "machine: {} cycles, SIMD utilisation {:.1}%\n",
+        stats.cycles,
+        100.0 * stats.simd_utilization()
+    );
+    print!("{}", render_lane_timeline(&stats.timeline, stats.total_lanes, 100));
+    Ok(())
+}
+
+/// Time-share any number of kernels over the two-core machine with the
+/// `occamy-os` round-robin scheduler (the §5 OS interaction).
+fn cmd_sched(args: &[String]) -> Result<(), String> {
+    let files: Vec<String> =
+        args.iter().take_while(|a| !a.starts_with("--")).cloned().collect();
+    if files.is_empty() {
+        return Err("sched needs at least one kernel file".into());
+    }
+    let rest: Vec<String> = args[files.len()..].to_vec();
+    let opts = parse_opts(&[vec![files[0].clone()], rest].concat())?;
+
+    let halo = 16u64;
+    let mut mem = Memory::new(64 << 20);
+    let compiler = Compiler::new(CodeGenOptions {
+        mode: VlMode::Elastic { default: VectorLength::new(2) },
+        ..CodeGenOptions::default()
+    });
+    let mut tasks = Vec::new();
+    for (idx, file) in files.iter().enumerate() {
+        let kernel = load_kernel_opts(file, &opts)?.with_array_prefix(&format!("t{idx}_"));
+        let mut layout = ArrayLayout::new();
+        for name in kernel.base_arrays() {
+            let addr = mem.alloc_f32(opts.trip as u64 + 2 * halo) + 4 * halo;
+            for i in 0..opts.trip as u64 + 2 * halo {
+                let v = 0.5 + ((i * 29 + 11) % 97) as f32 / 97.0;
+                mem.write_f32(addr - 4 * halo + 4 * i, v);
+            }
+            layout.bind(name, addr);
+        }
+        let program = compiler
+            .compile_repeated(&[(kernel.clone(), opts.trip, opts.passes)], &layout)
+            .map_err(|e| e.to_string())?;
+        tasks.push(occamy_os::Task::new(format!("{}#{idx}", kernel.name()), program));
+    }
+    let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem)
+        .map_err(|e| e.to_string())?;
+    let report = occamy_os::Scheduler::new(opts.quantum).run(&mut machine, tasks, 500_000_000);
+    if !report.completed {
+        return Err("schedule exceeded the cycle budget".into());
+    }
+    println!(
+        "{} task(s), 2 cores, round-robin quantum {} cycles",
+        files.len(),
+        opts.quantum
+    );
+    print!("{}", report.render());
+    if opts.timeline {
+        let stats = machine.stats();
+        println!();
+        print!("{}", render_lane_timeline(&stats.timeline, stats.total_lanes, 100));
+    }
+    Ok(())
+}
+
+fn cmd_roofline(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("give one operational intensity per co-running workload".into());
+    }
+    let ois: Vec<f64> = args
+        .iter()
+        .map(|a| a.parse().map_err(|e| format!("`{a}`: {e}")))
+        .collect::<Result<_, String>>()?;
+    let ceilings = MachineCeilings::paper_default();
+    println!("{:<8} {:>12} {:>14} {:>14}", "lanes", "FP peak", "issue-bound", "attainable");
+    let oi = OperationalIntensity::uniform(ois[0]);
+    for g in 1..=8usize {
+        let vl = VectorLength::new(g);
+        println!(
+            "{:<8} {:>12.1} {:>14.1} {:>14.1}",
+            vl.lanes(),
+            ceilings.fp_peak(vl),
+            ceilings.simd_issue_bw(vl) * oi.issue(),
+            ceilings.attainable(vl, oi, MemLevel::Dram),
+        );
+    }
+    if ois.len() > 1 {
+        let mgr = LaneManager::paper_default(ois.len(), 4 * ois.len().max(2));
+        let demands: Vec<PhaseDemand> = ois
+            .iter()
+            .map(|&o| PhaseDemand::Active(OperationalIntensity::uniform(o)))
+            .collect();
+        let plan = mgr.plan(&demands);
+        let lanes: Vec<String> = (0..ois.len()).map(|c| plan.vl(c).lanes().to_string()).collect();
+        println!("\nlane partition plan: [{}] lanes", lanes.join(", "));
+    }
+    Ok(())
+}

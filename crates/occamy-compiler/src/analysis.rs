@@ -1,0 +1,142 @@
+//! Phase-behaviour analysis (§6.3, Eq. 5).
+
+use em_simd::OperationalIntensity;
+
+use crate::ir::{split_array_offset, Kernel};
+
+/// The analysed behaviour of one phase (vectorized loop), the information
+/// the compiler writes into `<OI>` at the phase prologue.
+///
+/// Eq. 5 of the paper, instantiated for our f32-only IR with load CSE:
+///
+/// * `oi.issue = comp / (4 * mem)` — FLOPs per byte *moved by vector
+///   memory instructions* (`mem` = distinct loads + stores per
+///   iteration, one 4-byte element each);
+/// * `oi.mem = comp / footprint` — FLOPs per byte of per-iteration
+///   memory *footprint* with data reuse considered (`footprint` =
+///   4 bytes × distinct arrays touched, so a load-and-store to the same
+///   array counts once).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseInfo {
+    /// Vector compute instructions (= FLOPs/lane) per iteration.
+    pub comp: usize,
+    /// Vector load instructions per iteration (after CSE).
+    pub loads: usize,
+    /// Vector store instructions per iteration.
+    pub stores: usize,
+    /// Per-iteration footprint in bytes (reuse considered).
+    pub footprint_bytes: usize,
+    /// The operational-intensity pair written to `<OI>`.
+    pub oi: OperationalIntensity,
+}
+
+impl PhaseInfo {
+    /// Total vector memory instructions per iteration.
+    pub fn mem(&self) -> usize {
+        self.loads + self.stores
+    }
+}
+
+/// Analyses a kernel's phase behaviour.
+///
+/// # Examples
+///
+/// Case 4 of §7.4 (data reuse makes `oi.issue < oi.mem`):
+///
+/// ```
+/// use occamy_compiler::{analyze, Kernel, Expr};
+///
+/// // b[i] = a[i] + 1; also accumulate a[i] into a sum: `a` is loaded
+/// // once (CSE) but feeds two statements.
+/// let k = Kernel::new("reuse")
+///     .assign("b", Expr::load("a") + Expr::constant(1.0))
+///     .reduce_add("s", Expr::load("a") * Expr::load("a"));
+/// let info = analyze(&k);
+/// assert_eq!(info.loads, 1);
+/// assert!(info.oi.issue() < info.oi.mem() + 1e-9);
+/// ```
+pub fn analyze(kernel: &Kernel) -> PhaseInfo {
+    let comp = kernel.flops_per_element();
+    let loads = kernel.loaded_arrays().len();
+    let stores = kernel.stored_arrays().len();
+    // Reduction outputs are written once per phase, not per iteration —
+    // they contribute neither memory traffic nor footprint here. Offset
+    // (stencil) references share their base array's footprint: that is
+    // Eq. 5's data-reuse term.
+    let mut touched: std::collections::BTreeSet<String> = kernel
+        .loaded_arrays()
+        .iter()
+        .map(|a| split_array_offset(a).0.to_owned())
+        .collect();
+    touched.extend(kernel.stored_arrays());
+    let footprint_bytes = 4 * touched.len();
+    let mem = loads + stores;
+    let oi = if comp == 0 || mem == 0 {
+        OperationalIntensity::PHASE_END
+    } else {
+        OperationalIntensity::new(
+            comp as f64 / (4.0 * mem as f64),
+            comp as f64 / footprint_bytes as f64,
+        )
+    };
+    PhaseInfo { comp, loads, stores, footprint_bytes, oi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Expr;
+
+    #[test]
+    fn streaming_kernel_has_equal_intensities() {
+        // c = a + b: 1 flop, 3 mem insts, 3 distinct arrays.
+        let k = Kernel::new("vadd").assign("c", Expr::load("a") + Expr::load("b"));
+        let info = analyze(&k);
+        assert_eq!(info.comp, 1);
+        assert_eq!(info.loads, 2);
+        assert_eq!(info.stores, 1);
+        assert!((info.oi.issue() - 1.0 / 12.0).abs() < 1e-6);
+        assert!((info.oi.mem() - 1.0 / 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn read_modify_write_has_reuse() {
+        // y = 2x + y: arrays {x, y}; mem insts = 2 loads + 1 store = 3.
+        let k = Kernel::new("saxpy")
+            .assign("y", Expr::constant(2.0) * Expr::load("x") + Expr::load("y"));
+        let info = analyze(&k);
+        assert_eq!(info.mem(), 3);
+        assert_eq!(info.footprint_bytes, 8);
+        assert!((info.oi.issue() - 2.0 / 12.0).abs() < 1e-6);
+        assert!((info.oi.mem() - 2.0 / 8.0).abs() < 1e-6);
+        assert!(info.oi.issue() < info.oi.mem());
+    }
+
+    #[test]
+    fn compute_heavy_kernel_has_high_intensity() {
+        let mut e = Expr::load("a");
+        for _ in 0..16 {
+            e = e * Expr::constant(1.0001) + Expr::constant(0.5);
+        }
+        let k = Kernel::new("poly").assign("b", e);
+        let info = analyze(&k);
+        assert_eq!(info.comp, 32);
+        assert!(info.oi.mem() > 2.0);
+    }
+
+    #[test]
+    fn empty_kernel_is_phase_end() {
+        let k = Kernel::new("empty");
+        assert!(analyze(&k).oi.is_phase_end());
+    }
+
+    #[test]
+    fn pure_reduction_counts_no_stores() {
+        let k = Kernel::new("sum").reduce_add("out", Expr::load("a"));
+        let info = analyze(&k);
+        assert_eq!(info.stores, 0);
+        assert_eq!(info.loads, 1);
+        assert_eq!(info.comp, 1);
+        assert_eq!(info.footprint_bytes, 4);
+    }
+}

@@ -1,0 +1,1232 @@
+//! Vectorized code generation with eager-lazy lane partitioning (Fig. 9).
+//!
+//! ## Register conventions
+//!
+//! Scalar: `x0`–`x11` array bases, `x12` loop index, `x13` trip count,
+//! `x14` lanes, `x15` `<status>` reads, `x16` `<decision>` reads, `x17`
+//! next index, `x18` current granules, `x19`/`x29` scalar reduction
+//! accumulators, `x20`–`x27` scalar expression temporaries, `x28`
+//! scratch.
+//!
+//! Vector: `z0`–`z7` per-iteration loads, `z8`–`z23` expression
+//! temporaries, `z24`–`z29` loop-invariant constant broadcasts,
+//! `z31`/`z30` reduction accumulators.
+//!
+//! ## Correctness across reconfiguration (§6.4)
+//!
+//! The reconfiguration block folds each vector reduction accumulator
+//! into its scalar partial sum *before* requesting the new vector length
+//! (freed RegBlk values are not preserved), then re-broadcasts every
+//! loop-invariant constant and re-zeroes the accumulators at the new
+//! width. Values loaded fresh each iteration need no repair.
+
+use std::collections::HashMap;
+
+use em_simd::{
+    DedicatedReg, EmSimdInst, InstTag, Operand, PReg, Program, ProgramBuilder, ScalarInst,
+    VBinOp, VReg, VectorInst, VectorLength, XReg,
+};
+
+use crate::analysis::{analyze, PhaseInfo};
+use crate::error::CompileError;
+use crate::ir::{split_array_offset, Expr, Kernel, Stmt};
+
+const MAX_ARRAYS: usize = 12;
+const MAX_LOADS: usize = 8;
+const MAX_VTEMPS: usize = 16;
+const MAX_CONSTS: usize = 6;
+const MAX_REDUCTIONS: usize = 2;
+const MAX_STEMPS: usize = 8;
+/// Predicate temporaries for `select` comparisons (`p1`..`p7`; `p0` is
+/// the loop-tail predicate).
+const MAX_PTEMPS: usize = 7;
+
+const R_I: XReg = XReg::X12;
+const R_N: XReg = XReg::X13;
+const R_LANES: XReg = XReg::X14;
+const R_STATUS: XReg = XReg::X15;
+const R_DEC: XReg = XReg::X16;
+const R_NEXT: XReg = XReg::X17;
+const R_CURG: XReg = XReg::X18;
+const R_SCRATCH: XReg = XReg::X28;
+const R_RACC: [XReg; MAX_REDUCTIONS] = [XReg::X19, XReg::X29];
+const R_PASS: XReg = XReg::X30;
+const V_ACC: [VReg; MAX_REDUCTIONS] = [VReg::Z31, VReg::Z30];
+/// The loop-tail governing predicate (SVE-style predicated epilogue).
+const P_TAIL: PReg = PReg::P0;
+
+/// Maps array names to base addresses in the functional memory.
+///
+/// # Examples
+///
+/// ```
+/// use occamy_compiler::ArrayLayout;
+///
+/// let mut layout = ArrayLayout::new();
+/// layout.bind("a", 0x1000);
+/// assert_eq!(layout.addr("a"), Some(0x1000));
+/// assert_eq!(layout.addr("zzz"), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArrayLayout {
+    map: HashMap<String, u64>,
+}
+
+impl ArrayLayout {
+    /// An empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `name` to a base address (replacing any previous binding).
+    pub fn bind(&mut self, name: impl Into<String>, addr: u64) -> &mut Self {
+        self.map.insert(name.into(), addr);
+        self
+    }
+
+    /// The address bound to `name`, if any.
+    pub fn addr(&self, name: &str) -> Option<u64> {
+        self.map.get(name).copied()
+    }
+}
+
+/// How the generated code chooses its vector length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VlMode {
+    /// Request a fixed vector length once per phase (the Private, FTS and
+    /// VLS baselines of §7, where the hardware allocation is static).
+    Fixed(VectorLength),
+    /// Full elastic mode: the prologue requests the lane manager's
+    /// `<decision>` and every iteration runs the partition monitor of
+    /// Fig. 9 (falling back to `default` while no plan exists).
+    Elastic {
+        /// The compiler-selected default of Fig. 9's prologue.
+        default: VectorLength,
+    },
+}
+
+/// Code-generation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeGenOptions {
+    /// Vector-length mode.
+    pub mode: VlMode,
+    /// Trip counts below this compile to the scalar (non-vectorized)
+    /// variant — the multi-version strategy of §6.3 resolved at compile
+    /// time (trip counts are statically known in our workloads).
+    pub min_vec_trip: usize,
+    /// Fuse `a * b + c` into a single FMLA where the addend is a
+    /// clobberable temporary. Off by default: fusion contracts two
+    /// roundings into one (`mul_add`), so results can differ in the
+    /// last bit from the unfused evaluation — and one fewer compute
+    /// instruction issues, which perturbs the Table 3 intensity
+    /// calibration the evaluation workloads rely on.
+    pub fuse_fma: bool,
+}
+
+impl Default for CodeGenOptions {
+    fn default() -> Self {
+        CodeGenOptions {
+            mode: VlMode::Elastic { default: VectorLength::new(2) },
+            min_vec_trip: 32,
+            fuse_fma: false,
+        }
+    }
+}
+
+/// The Occamy compiler: turns [`Kernel`] phases into a complete EM-SIMD
+/// program (see the crate docs for an example).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Compiler {
+    opts: CodeGenOptions,
+}
+
+impl Compiler {
+    /// Creates a compiler with the given options.
+    pub fn new(opts: CodeGenOptions) -> Self {
+        Compiler { opts }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &CodeGenOptions {
+        &self.opts
+    }
+
+    /// Compiles a sequence of phases (kernel + trip count) into one
+    /// workload program ending in `Halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] for unbound arrays or register pressure.
+    pub fn compile(
+        &self,
+        phases: &[(Kernel, usize)],
+        layout: &ArrayLayout,
+    ) -> Result<Program, CompileError> {
+        let with_repeats: Vec<(Kernel, usize, usize)> =
+            phases.iter().map(|(k, t)| (k.clone(), *t, 1)).collect();
+        self.compile_repeated(&with_repeats, layout)
+    }
+
+    /// Compiles phases of the form `(kernel, trip, passes)`: each kernel
+    /// loops over its arrays `passes` times inside a *single* phase
+    /// (prologue/epilogue hoisted out of the repetition — the §6.3 code-
+    /// hoisting optimisation that avoids chaining phase-changing points
+    /// for the same phase). Reductions accumulate across passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] for unbound arrays or register pressure.
+    pub fn compile_repeated(
+        &self,
+        phases: &[(Kernel, usize, usize)],
+        layout: &ArrayLayout,
+    ) -> Result<Program, CompileError> {
+        let mut b = ProgramBuilder::new();
+        for (kernel, trip, passes) in phases {
+            self.compile_into(&mut b, kernel, *trip, (*passes).max(1), layout)?;
+        }
+        b.set_tag(InstTag::Body);
+        b.halt();
+        Ok(b.build())
+    }
+
+    /// Compiles one phase (`passes` sweeps over `trip` elements) into an
+    /// existing builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] for unbound arrays or register pressure.
+    pub fn compile_into(
+        &self,
+        b: &mut ProgramBuilder,
+        kernel: &Kernel,
+        trip: usize,
+        passes: usize,
+        layout: &ArrayLayout,
+    ) -> Result<(), CompileError> {
+        let info = analyze(kernel);
+        let mut ctx = PhaseCtx::prepare(kernel, layout)?;
+        ctx.fuse_fma = self.opts.fuse_fma;
+
+        b.set_tag(InstTag::Body);
+        // Materialise base addresses and the trip count. Offset (stencil)
+        // references use their base array's address shifted by the
+        // element offset, so `z = load [base', i]` reads `base[i + off]`.
+        for (name, reg) in &ctx.base_order {
+            let addr = PhaseCtx::resolve(name, layout).expect("checked in prepare");
+            b.scalar(ScalarInst::MovImm { dst: *reg, imm: addr });
+        }
+        // Runtime parameters: load element 0 once; the value register is
+        // live for the whole phase (and feeds the broadcast invariants).
+        for (name, xreg, _) in &ctx.param_regs {
+            let addr = PhaseCtx::resolve(name, layout).expect("checked in prepare");
+            b.scalar(ScalarInst::MovImm { dst: *xreg, imm: addr });
+            b.scalar(ScalarInst::MovImm { dst: R_NEXT, imm: 0 });
+            b.scalar(ScalarInst::Ldr { dst: *xreg, base: *xreg, index: R_NEXT });
+        }
+        b.scalar(ScalarInst::MovImm { dst: R_N, imm: trip as i64 });
+
+        // Multiple-version code generation (§6.3): the vectorized variant
+        // is guarded by a *runtime* trip-count check; loops too short to
+        // amortise lane acquisition run the scalar variant and never
+        // claim lanes. (With zero vector compute there is nothing to
+        // vectorize at all, so only the scalar variant is emitted.)
+        let scalar_only = info.comp == 0;
+        let scalar_variant = b.fresh_label("scalar_variant");
+        let phase_end = b.fresh_label("phase_end");
+        if !scalar_only {
+            b.scalar(ScalarInst::Blt {
+                a: R_N,
+                b: Operand::Imm(self.opts.min_vec_trip as i64),
+                target: scalar_variant,
+            });
+            self.emit_vector_phase(b, kernel, &info, &ctx, passes)?;
+            b.set_tag(InstTag::Body);
+            b.scalar(ScalarInst::B { target: phase_end });
+        }
+        b.bind(scalar_variant);
+        for r in 0..ctx.reductions.len() {
+            b.scalar(ScalarInst::FmovImm { dst: R_RACC[r], imm: 0.0 });
+        }
+        b.scalar(ScalarInst::MovImm { dst: R_PASS, imm: passes as i64 });
+        let pass_top = b.fresh_label("scalar_pass");
+        b.bind(pass_top);
+        b.scalar(ScalarInst::MovImm { dst: R_I, imm: 0 });
+        emit_scalar_loop(b, kernel, &ctx)?;
+        b.scalar(ScalarInst::Sub { dst: R_PASS, a: R_PASS, b: Operand::Imm(1) });
+        b.scalar(ScalarInst::Bne { a: R_PASS, b: Operand::Imm(0), target: pass_top });
+        emit_reduction_stores(b, &ctx);
+        b.bind(phase_end);
+        Ok(())
+    }
+
+    /// Emits the vectorized variant of a phase: Fig. 9's prologue, the
+    /// (elastic or fixed) strip-mined vector loop with remainder, and the
+    /// epilogue.
+    fn emit_vector_phase(
+        &self,
+        b: &mut ProgramBuilder,
+        kernel: &Kernel,
+        info: &PhaseInfo,
+        ctx: &PhaseCtx,
+        passes: usize,
+    ) -> Result<(), CompileError> {
+
+        // ---- Phase prologue (eager partition point) ----
+        b.set_tag(InstTag::PhasePrologue);
+        b.em_simd(EmSimdInst::Msr {
+            reg: DedicatedReg::Oi,
+            src: Operand::Imm(info.oi.to_bits() as i64),
+        });
+        let retry = b.fresh_label("vl_config");
+        match self.opts.mode {
+            VlMode::Fixed(vl) => {
+                b.bind(retry);
+                b.em_simd(EmSimdInst::Msr {
+                    reg: DedicatedReg::Vl,
+                    src: Operand::Imm(vl.granules() as i64),
+                });
+            }
+            VlMode::Elastic { default } => {
+                // Ask for the plan's suggestion; fall back to the default
+                // while no plan exists.
+                b.scalar(ScalarInst::MovImm { dst: R_DEC, imm: default.granules() as i64 });
+                b.bind(retry);
+                b.em_simd(EmSimdInst::Mrs { dst: R_SCRATCH, reg: DedicatedReg::Decision });
+                let use_default = b.fresh_label("use_default");
+                b.scalar(ScalarInst::Beq { a: R_SCRATCH, b: Operand::Imm(0), target: use_default });
+                b.scalar(ScalarInst::Mov { dst: R_DEC, src: R_SCRATCH });
+                b.bind(use_default);
+                b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Reg(R_DEC) });
+            }
+        }
+        b.em_simd(EmSimdInst::Mrs { dst: R_STATUS, reg: DedicatedReg::Status });
+        b.scalar(ScalarInst::Bne { a: R_STATUS, b: Operand::Imm(1), target: retry });
+        b.em_simd(EmSimdInst::Mrs { dst: R_CURG, reg: DedicatedReg::Vl });
+        b.scalar(ScalarInst::ShlImm { dst: R_LANES, a: R_CURG, shift: 2 });
+        emit_invariants(b, ctx);
+        for r in 0..ctx.reductions.len() {
+            b.scalar(ScalarInst::FmovImm { dst: R_RACC[r], imm: 0.0 });
+        }
+        b.set_tag(InstTag::Body);
+        b.scalar(ScalarInst::MovImm { dst: R_PASS, imm: passes as i64 });
+        let pass_top = b.fresh_label("pass_top");
+        b.bind(pass_top);
+        b.scalar(ScalarInst::MovImm { dst: R_I, imm: 0 });
+
+        // ---- Vector loop ----
+        let vloop = b.fresh_label("vloop");
+        let body = b.fresh_label("body");
+        let rem = b.fresh_label("remainder");
+        let rem_loop = b.fresh_label("rem_loop");
+        let phase_done = b.fresh_label("phase_done");
+
+        b.bind(vloop);
+        if let VlMode::Elastic { .. } = self.opts.mode {
+            // Partition monitor (lazy partition point).
+            b.set_tag(InstTag::Monitor);
+            b.em_simd(EmSimdInst::Mrs { dst: R_DEC, reg: DedicatedReg::Decision });
+            b.scalar(ScalarInst::Beq { a: R_DEC, b: Operand::Reg(R_CURG), target: body });
+
+            // Vector-length reconfiguration.
+            b.set_tag(InstTag::Reconfigure);
+            // §6.4 repair, step 1: fold partial reduction results into
+            // scalar registers before the RegBlk contents are dropped.
+            for r in 0..ctx.reductions.len() {
+                b.vector(VectorInst::ReduceAdd { dst: R_SCRATCH, src: V_ACC[r] });
+                b.scalar(ScalarInst::Fadd { dst: R_RACC[r], a: R_RACC[r], b: R_SCRATCH });
+            }
+            let reconf = b.fresh_label("reconf");
+            b.bind(reconf);
+            // Re-read the decision each attempt so a stale plan cannot
+            // wedge the retry loop.
+            b.em_simd(EmSimdInst::Mrs { dst: R_DEC, reg: DedicatedReg::Decision });
+            b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Reg(R_DEC) });
+            b.em_simd(EmSimdInst::Mrs { dst: R_STATUS, reg: DedicatedReg::Status });
+            b.scalar(ScalarInst::Bne { a: R_STATUS, b: Operand::Imm(1), target: reconf });
+            b.em_simd(EmSimdInst::Mrs { dst: R_CURG, reg: DedicatedReg::Vl });
+            b.scalar(ScalarInst::ShlImm { dst: R_LANES, a: R_CURG, shift: 2 });
+            // §6.4 repair, step 2: re-materialise loop invariants and
+            // restart the vector accumulators at the new width.
+            emit_invariants(b, ctx);
+        }
+
+        b.bind(body);
+        b.set_tag(InstTag::Body);
+        b.scalar(ScalarInst::Add { dst: R_NEXT, a: R_I, b: Operand::Reg(R_LANES) });
+        b.scalar(ScalarInst::Blt { a: R_N, b: Operand::Reg(R_NEXT), target: rem });
+        emit_vector_body(b, kernel, ctx, None)?;
+        b.scalar(ScalarInst::Mov { dst: R_I, src: R_NEXT });
+        b.scalar(ScalarInst::B { target: vloop });
+
+        // ---- Predicated tail (SVE-style): one WHILELO-governed pass over
+        // the remaining `n - i` elements instead of a scalar loop. ----
+        b.bind(rem);
+        b.scalar(ScalarInst::Bge { a: R_I, b: Operand::Reg(R_N), target: rem_loop });
+        b.vector(VectorInst::Whilelo { dst: P_TAIL, a: R_I, b: R_N });
+        emit_vector_body(b, kernel, ctx, Some(P_TAIL))?;
+        b.bind(rem_loop);
+        for r in 0..ctx.reductions.len() {
+            // Fold the pass's partial sums and restart the accumulator so
+            // the next pass does not double-count.
+            b.vector(VectorInst::ReduceAdd { dst: R_SCRATCH, src: V_ACC[r] });
+            b.scalar(ScalarInst::Fadd { dst: R_RACC[r], a: R_RACC[r], b: R_SCRATCH });
+            b.vector(VectorInst::DupImm { dst: V_ACC[r], imm: 0.0 });
+        }
+
+        b.bind(phase_done);
+        b.scalar(ScalarInst::Sub { dst: R_PASS, a: R_PASS, b: Operand::Imm(1) });
+        b.scalar(ScalarInst::Bne { a: R_PASS, b: Operand::Imm(0), target: pass_top });
+        emit_reduction_stores(b, ctx);
+
+        // ---- Phase epilogue (eager partition point) ----
+        b.set_tag(InstTag::PhaseEpilogue);
+        b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Oi, src: Operand::Imm(0) });
+        let release = b.fresh_label("vl_release");
+        b.bind(release);
+        b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(0) });
+        b.em_simd(EmSimdInst::Mrs { dst: R_STATUS, reg: DedicatedReg::Status });
+        b.scalar(ScalarInst::Bne { a: R_STATUS, b: Operand::Imm(1), target: release });
+        b.set_tag(InstTag::Body);
+        Ok(())
+    }
+
+    /// Convenience: analyse a kernel (re-exported for symmetric access).
+    pub fn analyze(&self, kernel: &Kernel) -> PhaseInfo {
+        analyze(kernel)
+    }
+}
+
+/// Pre-computed per-phase register assignments.
+struct PhaseCtx {
+    /// (array name, base register), in deterministic order.
+    base_order: Vec<(String, XReg)>,
+    bases: HashMap<String, XReg>,
+    /// (array name, load register) for distinct loaded arrays.
+    load_regs: HashMap<String, VReg>,
+    load_order: Vec<(String, VReg)>,
+    /// constant bits -> broadcast register.
+    const_regs: Vec<(f32, VReg)>,
+    /// runtime parameter -> (scalar value register, broadcast register).
+    param_regs: Vec<(String, XReg, VReg)>,
+    /// reduction output arrays in statement order.
+    reductions: Vec<String>,
+    /// Whether `emit_vec_expr` may contract mul+add into FMLA.
+    fuse_fma: bool,
+}
+
+impl PhaseCtx {
+    /// Resolves an array reference to a byte address: direct bindings
+    /// win; otherwise `"base@off"` resolves to `addr(base) + 4 * off`.
+    fn resolve(name: &str, layout: &ArrayLayout) -> Option<i64> {
+        if let Some(a) = layout.addr(name) {
+            return Some(a as i64);
+        }
+        let (base, off) = split_array_offset(name);
+        layout.addr(base).map(|a| a as i64 + 4 * off)
+    }
+
+    fn prepare(kernel: &Kernel, layout: &ArrayLayout) -> Result<Self, CompileError> {
+        let arrays = kernel.arrays();
+        let params = kernel.params();
+        for a in arrays.iter().chain(&params) {
+            if Self::resolve(a, layout).is_none() {
+                return Err(CompileError::UnboundArray {
+                    kernel: kernel.name().to_owned(),
+                    array: a.clone(),
+                });
+            }
+        }
+        // Parameters borrow base registers (their base register is
+        // overwritten with the loaded value in the prologue).
+        if arrays.len() + params.len() > MAX_ARRAYS {
+            return Err(CompileError::RegisterPressure {
+                kernel: kernel.name().to_owned(),
+                resource: "array base registers",
+                needed: arrays.len() + params.len(),
+                available: MAX_ARRAYS,
+            });
+        }
+        let loaded = kernel.loaded_arrays();
+        if loaded.len() > MAX_LOADS {
+            return Err(CompileError::RegisterPressure {
+                kernel: kernel.name().to_owned(),
+                resource: "vector load registers",
+                needed: loaded.len(),
+                available: MAX_LOADS,
+            });
+        }
+        let consts = kernel.constants();
+        if consts.len() + params.len() > MAX_CONSTS {
+            return Err(CompileError::RegisterPressure {
+                kernel: kernel.name().to_owned(),
+                resource: "constant broadcast registers",
+                needed: consts.len() + params.len(),
+                available: MAX_CONSTS,
+            });
+        }
+        let reductions = kernel.reduction_outputs();
+        if reductions.len() > MAX_REDUCTIONS {
+            return Err(CompileError::RegisterPressure {
+                kernel: kernel.name().to_owned(),
+                resource: "reduction accumulators",
+                needed: reductions.len(),
+                available: MAX_REDUCTIONS,
+            });
+        }
+        let max_depth = kernel
+            .stmts()
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign { expr, .. } | Stmt::ReduceAdd { expr, .. } => expr.eval_depth(),
+            })
+            .max()
+            .unwrap_or(0);
+        if max_depth > MAX_STEMPS {
+            return Err(CompileError::RegisterPressure {
+                kernel: kernel.name().to_owned(),
+                resource: "expression temporaries",
+                needed: max_depth,
+                available: MAX_STEMPS,
+            });
+        }
+        let max_pred_depth = kernel
+            .stmts()
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign { expr, .. } | Stmt::ReduceAdd { expr, .. } => expr.pred_depth(),
+            })
+            .max()
+            .unwrap_or(0);
+        if max_pred_depth > MAX_PTEMPS {
+            return Err(CompileError::RegisterPressure {
+                kernel: kernel.name().to_owned(),
+                resource: "predicate temporaries",
+                needed: max_pred_depth,
+                available: MAX_PTEMPS,
+            });
+        }
+
+        let base_order: Vec<(String, XReg)> = arrays
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), XReg::from_index(i)))
+            .collect();
+        let bases = base_order.iter().cloned().collect();
+        let load_order: Vec<(String, VReg)> = loaded
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), VReg::from_index(i)))
+            .collect();
+        let load_regs = load_order.iter().cloned().collect();
+        let const_regs: Vec<(f32, VReg)> =
+            consts.iter().enumerate().map(|(i, &c)| (c, VReg::from_index(24 + i))).collect();
+        let param_regs = params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                (
+                    p.clone(),
+                    XReg::from_index(arrays.len() + i),
+                    VReg::from_index(24 + consts.len() + i),
+                )
+            })
+            .collect();
+        Ok(PhaseCtx {
+            base_order,
+            bases,
+            load_regs,
+            load_order,
+            const_regs,
+            param_regs,
+            reductions,
+            fuse_fma: false,
+        })
+    }
+
+    fn param_reg(&self, name: &str) -> (XReg, VReg) {
+        self.param_regs
+            .iter()
+            .find(|(p, _, _)| p == name)
+            .map(|(_, x, v)| (*x, *v))
+            .expect("parameter collected in prepare")
+    }
+
+    fn const_reg(&self, c: f32) -> VReg {
+        self.const_regs
+            .iter()
+            .find(|(v, _)| v.to_bits() == c.to_bits())
+            .map(|(_, r)| *r)
+            .expect("constant collected in prepare")
+    }
+}
+
+/// Broadcasts loop invariants and zeroes the vector accumulators — run
+/// in the prologue and after every reconfiguration (§6.4).
+fn emit_invariants(b: &mut ProgramBuilder, ctx: &PhaseCtx) {
+    for (c, reg) in &ctx.const_regs {
+        b.vector(VectorInst::DupImm { dst: *reg, imm: *c });
+    }
+    for (_, xreg, vreg) in &ctx.param_regs {
+        b.vector(VectorInst::Dup { dst: *vreg, src: *xreg });
+    }
+    for r in 0..ctx.reductions.len() {
+        b.vector(VectorInst::DupImm { dst: V_ACC[r], imm: 0.0 });
+    }
+}
+
+/// Emits the vector loop body: CSE'd loads, per-statement expression
+/// evaluation, stores and reduction accumulation.
+///
+/// Statements have *sequential* semantics: a statement reading an array
+/// that an earlier statement stored must see the new value. Loads are
+/// hoisted to the top of the iteration, so stored values are forwarded
+/// in registers to later readers instead of being re-loaded.
+fn emit_vector_body(
+    b: &mut ProgramBuilder,
+    kernel: &Kernel,
+    ctx: &PhaseCtx,
+    pred: Option<PReg>,
+) -> Result<(), CompileError> {
+    let governed = |inst: VectorInst| match pred {
+        Some(p) => inst.predicated(p),
+        None => inst,
+    };
+    for (name, reg) in &ctx.load_order {
+        b.vector(governed(VectorInst::Load { dst: *reg, base: ctx.bases[name], index: R_I }));
+    }
+    let mut temps = TempPool::vector(kernel.name());
+    let mut ptemps = PredPool::new(kernel.name());
+    // Store-to-load forwarding map: array -> register holding the value
+    // written by the most recent earlier statement.
+    let mut forwards: HashMap<String, VecVal> = HashMap::new();
+    let mut reduction_idx = 0;
+    for stmt in kernel.stmts() {
+        match stmt {
+            Stmt::Assign { dst, expr } => {
+                let r = emit_vec_expr(b, expr, ctx, &forwards, &mut temps, &mut ptemps)?;
+                b.vector(governed(VectorInst::Store {
+                    src: r.reg,
+                    base: ctx.bases[dst],
+                    index: R_I,
+                }));
+                if ctx.load_regs.contains_key(dst) {
+                    // A later statement may read dst: keep the value live.
+                    if let Some(old) = forwards.insert(dst.clone(), r) {
+                        temps.release(old);
+                    }
+                } else {
+                    temps.release(r);
+                }
+            }
+            Stmt::ReduceAdd { expr, .. } => {
+                let acc = V_ACC[reduction_idx];
+                // The accumulator is clobberable by construction, so a
+                // product folds straight into the accumulate as one
+                // FMLA (`acc += a*b`, the dot-product contraction).
+                if let (true, Expr::Binary(VBinOp::Fmul, ma, mb)) = (ctx.fuse_fma, expr) {
+                    let x = emit_vec_expr(b, ma, ctx, &forwards, &mut temps, &mut ptemps)?;
+                    let y = emit_vec_expr(b, mb, ctx, &forwards, &mut temps, &mut ptemps)?;
+                    b.vector(governed(VectorInst::Fma { dst: acc, a: x.reg, b: y.reg }));
+                    temps.release(x);
+                    temps.release(y);
+                } else {
+                    let r = emit_vec_expr(b, expr, ctx, &forwards, &mut temps, &mut ptemps)?;
+                    // Predicated accumulate: inactive lanes keep the
+                    // partial sums (merging /m).
+                    b.vector(governed(VectorInst::Binary {
+                        op: VBinOp::Fadd,
+                        dst: acc,
+                        a: acc,
+                        b: r.reg,
+                    }));
+                    temps.release(r);
+                }
+                reduction_idx += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Emits one scalar iteration of the kernel (the remainder loop body).
+fn emit_scalar_body(
+    b: &mut ProgramBuilder,
+    kernel: &Kernel,
+    ctx: &PhaseCtx,
+) -> Result<(), CompileError> {
+    let mut reduction_idx = 0;
+    for stmt in kernel.stmts() {
+        match stmt {
+            Stmt::Assign { dst, expr } => {
+                let mut temps = TempPool::scalar(kernel.name());
+                let r = emit_scalar_expr(b, expr, ctx, &mut temps)?;
+                b.scalar(ScalarInst::Str { src: r, base: ctx.bases[dst], index: R_I });
+            }
+            Stmt::ReduceAdd { expr, .. } => {
+                let mut temps = TempPool::scalar(kernel.name());
+                let r = emit_scalar_expr(b, expr, ctx, &mut temps)?;
+                let acc = R_RACC[reduction_idx];
+                b.scalar(ScalarInst::Fadd { dst: acc, a: acc, b: r });
+                reduction_idx += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Emits the scalar-only variant of a whole phase (multi-version path).
+fn emit_scalar_loop(
+    b: &mut ProgramBuilder,
+    kernel: &Kernel,
+    ctx: &PhaseCtx,
+) -> Result<(), CompileError> {
+    let top = b.fresh_label("scalar_loop");
+    let done = b.fresh_label("scalar_done");
+    b.bind(top);
+    b.scalar(ScalarInst::Bge { a: R_I, b: Operand::Reg(R_N), target: done });
+    emit_scalar_body(b, kernel, ctx)?;
+    b.scalar(ScalarInst::Add { dst: R_I, a: R_I, b: Operand::Imm(1) });
+    b.scalar(ScalarInst::B { target: top });
+    b.bind(done);
+    Ok(())
+}
+
+/// Stores each scalar reduction accumulator to its output array.
+fn emit_reduction_stores(b: &mut ProgramBuilder, ctx: &PhaseCtx) {
+    for (r, out) in ctx.reductions.iter().enumerate() {
+        b.scalar(ScalarInst::MovImm { dst: R_NEXT, imm: 0 });
+        b.scalar(ScalarInst::Str { src: R_RACC[r], base: ctx.bases[out], index: R_NEXT });
+    }
+}
+
+/// Pool of predicate temporaries (`p1`..`p7`) for `select` comparisons.
+struct PredPool {
+    free: Vec<usize>,
+    kernel: String,
+}
+
+impl PredPool {
+    fn new(kernel: &str) -> Self {
+        PredPool { free: (1..=MAX_PTEMPS).rev().collect(), kernel: kernel.to_owned() }
+    }
+
+    fn alloc(&mut self) -> Result<PReg, CompileError> {
+        self.free.pop().map(PReg::from_index).ok_or_else(|| CompileError::RegisterPressure {
+            kernel: self.kernel.clone(),
+            resource: "predicate temporaries",
+            needed: MAX_PTEMPS + 1,
+            available: MAX_PTEMPS,
+        })
+    }
+
+    fn release(&mut self, p: PReg) {
+        self.free.push(p.index());
+    }
+}
+
+/// A value produced by expression evaluation: either a shared register
+/// (load/const — must not be clobbered) or an owned temporary.
+#[derive(Debug, Clone, Copy)]
+struct VecVal {
+    reg: VReg,
+    owned: bool,
+}
+
+/// Temporary-register pool (vector `z8..z23` or scalar `x20..x27`).
+struct TempPool {
+    free: Vec<usize>,
+    kernel: String,
+    resource: &'static str,
+    capacity: usize,
+}
+
+impl TempPool {
+    fn vector(kernel: &str) -> Self {
+        TempPool {
+            free: (8..8 + MAX_VTEMPS).rev().collect(),
+            kernel: kernel.to_owned(),
+            resource: "vector temporaries",
+            capacity: MAX_VTEMPS,
+        }
+    }
+
+    fn scalar(kernel: &str) -> Self {
+        TempPool {
+            free: (20..20 + MAX_STEMPS).rev().collect(),
+            kernel: kernel.to_owned(),
+            resource: "scalar temporaries",
+            capacity: MAX_STEMPS,
+        }
+    }
+
+    fn alloc(&mut self) -> Result<usize, CompileError> {
+        self.free.pop().ok_or_else(|| CompileError::RegisterPressure {
+            kernel: self.kernel.clone(),
+            resource: self.resource,
+            needed: self.capacity + 1,
+            available: self.capacity,
+        })
+    }
+
+    fn release(&mut self, v: VecVal) {
+        if v.owned {
+            self.free.push(v.reg.index());
+        }
+    }
+
+    fn release_scalar(&mut self, idx: usize) {
+        self.free.push(idx);
+    }
+}
+
+/// Evaluates an expression into a vector register (post-order).
+/// `forwards` carries store-to-load forwarding from earlier statements.
+fn emit_vec_expr(
+    b: &mut ProgramBuilder,
+    expr: &Expr,
+    ctx: &PhaseCtx,
+    forwards: &HashMap<String, VecVal>,
+    temps: &mut TempPool,
+    ptemps: &mut PredPool,
+) -> Result<VecVal, CompileError> {
+    match expr {
+        Expr::Load(name) => match forwards.get(name) {
+            // Forwarded values stay owned by the forwarding map.
+            Some(v) => Ok(VecVal { reg: v.reg, owned: false }),
+            None => Ok(VecVal { reg: ctx.load_regs[name], owned: false }),
+        },
+        Expr::Const(c) => Ok(VecVal { reg: ctx.const_reg(*c), owned: false }),
+        Expr::Param(p) => Ok(VecVal { reg: ctx.param_reg(p).1, owned: false }),
+        Expr::Unary(op, e) => {
+            let v = emit_vec_expr(b, e, ctx, forwards, temps, ptemps)?;
+            temps.release(v);
+            let dst = VReg::from_index(temps.alloc()?);
+            b.vector(VectorInst::Unary { op: *op, dst, src: v.reg });
+            Ok(VecVal { reg: dst, owned: true })
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            // FMA contraction (§6, as real elastic compilers do under
+            // -ffp-contract): `c + a*b` with a clobberable addend
+            // becomes one FMLA into the addend's register.
+            if ctx.fuse_fma && *op == em_simd::VBinOp::Fadd {
+                let (mul, addend) = match (&**lhs, &**rhs) {
+                    (Expr::Binary(em_simd::VBinOp::Fmul, ma, mb), other) => {
+                        (Some((ma, mb)), other)
+                    }
+                    (other, Expr::Binary(em_simd::VBinOp::Fmul, ma, mb)) => {
+                        (Some((ma, mb)), other)
+                    }
+                    _ => (None, &**rhs),
+                };
+                if let Some((ma, mb)) = mul {
+                    let acc = emit_vec_expr(b, addend, ctx, forwards, temps, ptemps)?;
+                    if acc.owned {
+                        let x = emit_vec_expr(b, ma, ctx, forwards, temps, ptemps)?;
+                        let y = emit_vec_expr(b, mb, ctx, forwards, temps, ptemps)?;
+                        temps.release(x);
+                        temps.release(y);
+                        b.vector(VectorInst::Fma { dst: acc.reg, a: x.reg, b: y.reg });
+                        return Ok(acc);
+                    }
+                    // Un-clobberable addend (load/const/param register):
+                    // fall through, reusing the evaluated addend.
+                    let x = emit_vec_expr(b, ma, ctx, forwards, temps, ptemps)?;
+                    let y = emit_vec_expr(b, mb, ctx, forwards, temps, ptemps)?;
+                    temps.release(x);
+                    temps.release(y);
+                    let prod = VReg::from_index(temps.alloc()?);
+                    b.vector(VectorInst::Binary {
+                        op: em_simd::VBinOp::Fmul,
+                        dst: prod,
+                        a: x.reg,
+                        b: y.reg,
+                    });
+                    temps.release(VecVal { reg: prod, owned: true });
+                    temps.release(acc);
+                    let dst = VReg::from_index(temps.alloc()?);
+                    b.vector(VectorInst::Binary {
+                        op: em_simd::VBinOp::Fadd,
+                        dst,
+                        a: prod,
+                        b: acc.reg,
+                    });
+                    return Ok(VecVal { reg: dst, owned: true });
+                }
+            }
+            let a = emit_vec_expr(b, lhs, ctx, forwards, temps, ptemps)?;
+            let bb = emit_vec_expr(b, rhs, ctx, forwards, temps, ptemps)?;
+            temps.release(a);
+            temps.release(bb);
+            let dst = VReg::from_index(temps.alloc()?);
+            b.vector(VectorInst::Binary { op: *op, dst, a: a.reg, b: bb.reg });
+            Ok(VecVal { reg: dst, owned: true })
+        }
+        Expr::Select { cmp, lhs, rhs, on_true, on_false } => {
+            let a = emit_vec_expr(b, lhs, ctx, forwards, temps, ptemps)?;
+            let bb = emit_vec_expr(b, rhs, ctx, forwards, temps, ptemps)?;
+            temps.release(a);
+            temps.release(bb);
+            let p = ptemps.alloc()?;
+            b.vector(VectorInst::Fcm { op: *cmp, dst: p, a: a.reg, b: bb.reg });
+            let t = emit_vec_expr(b, on_true, ctx, forwards, temps, ptemps)?;
+            let f = emit_vec_expr(b, on_false, ctx, forwards, temps, ptemps)?;
+            temps.release(t);
+            temps.release(f);
+            ptemps.release(p);
+            let dst = VReg::from_index(temps.alloc()?);
+            b.vector(VectorInst::Sel { dst, sel: p, a: t.reg, b: f.reg });
+            Ok(VecVal { reg: dst, owned: true })
+        }
+    }
+}
+
+/// Evaluates an expression into a scalar register (post-order); loads
+/// are re-issued per occurrence (the remainder loop is short).
+fn emit_scalar_expr(
+    b: &mut ProgramBuilder,
+    expr: &Expr,
+    ctx: &PhaseCtx,
+    temps: &mut TempPool,
+) -> Result<XReg, CompileError> {
+    match expr {
+        Expr::Load(name) => {
+            let dst = XReg::from_index(temps.alloc()?);
+            b.scalar(ScalarInst::Ldr { dst, base: ctx.bases[name], index: R_I });
+            Ok(dst)
+        }
+        Expr::Const(c) => {
+            let dst = XReg::from_index(temps.alloc()?);
+            b.scalar(ScalarInst::FmovImm { dst, imm: *c });
+            Ok(dst)
+        }
+        Expr::Param(p) => {
+            // Copy: scalar expression ops overwrite their first operand.
+            let dst = XReg::from_index(temps.alloc()?);
+            b.scalar(ScalarInst::Mov { dst, src: ctx.param_reg(p).0 });
+            Ok(dst)
+        }
+        Expr::Unary(op, e) => {
+            let src = emit_scalar_expr(b, e, ctx, temps)?;
+            match op {
+                em_simd::VUnOp::Fneg => {
+                    let z = XReg::from_index(temps.alloc()?);
+                    b.scalar(ScalarInst::FmovImm { dst: z, imm: 0.0 });
+                    b.scalar(ScalarInst::Fsub { dst: src, a: z, b: src });
+                    temps.release_scalar(z.index());
+                }
+                em_simd::VUnOp::Fabs => {
+                    // |x| = max(x, -x) via 0 - x then a compare-free trick
+                    // is overkill; emit via multiply by sign... keep it
+                    // simple: square root of square would lose precision,
+                    // so use 0 - x and branchless max is unavailable —
+                    // scalar abs: x = x < 0 ? -x : x with a branch.
+                    let z = XReg::from_index(temps.alloc()?);
+                    b.scalar(ScalarInst::FmovImm { dst: z, imm: 0.0 });
+                    b.scalar(ScalarInst::Fsub { dst: z, a: z, b: src });
+                    // max(x, -x): fmax is not in the scalar ISA; use
+                    // branch on integer sign bit (f32 sign = top bit of
+                    // the low word). Shift-based test:
+                    let skip = b.fresh_label("abs_skip");
+                    // if x >= 0 (interpreting f32 bits: sign bit clear =>
+                    // value as i64 is < 0x8000_0000), keep x.
+                    b.scalar(ScalarInst::Blt {
+                        a: src,
+                        b: Operand::Imm(0x8000_0000),
+                        target: skip,
+                    });
+                    b.scalar(ScalarInst::Mov { dst: src, src: z });
+                    b.bind(skip);
+                    temps.release_scalar(z.index());
+                }
+                em_simd::VUnOp::Fsqrt => {
+                    // Newton iteration is silly here; scalar Fdiv-based
+                    // sqrt is not available either. The scalar ISA lacks
+                    // sqrt, so approximate via exp/log is impossible —
+                    // instead compute via the vector unit? The remainder
+                    // loop must stay scalar, so emulate sqrt(x) with
+                    // x^0.5 via iteration: y = x; 4 Newton steps of
+                    // y = 0.5*(y + x/y) (exact enough for f32 tests).
+                    let y = src;
+                    let t = XReg::from_index(temps.alloc()?);
+                    let x = XReg::from_index(temps.alloc()?);
+                    let half = XReg::from_index(temps.alloc()?);
+                    b.scalar(ScalarInst::Mov { dst: x, src: y });
+                    b.scalar(ScalarInst::FmovImm { dst: half, imm: 0.5 });
+                    // Guard: sqrt(0) -> 0 (skip iterations to avoid 0/0).
+                    let skip = b.fresh_label("sqrt_skip");
+                    b.scalar(ScalarInst::Beq { a: y, b: Operand::Imm(0), target: skip });
+                    for _ in 0..4 {
+                        b.scalar(ScalarInst::Fdiv { dst: t, a: x, b: y });
+                        b.scalar(ScalarInst::Fadd { dst: y, a: y, b: t });
+                        b.scalar(ScalarInst::Fmul { dst: y, a: y, b: half });
+                    }
+                    b.bind(skip);
+                    temps.release_scalar(t.index());
+                    temps.release_scalar(x.index());
+                    temps.release_scalar(half.index());
+                }
+            }
+            Ok(src)
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let a = emit_scalar_expr(b, lhs, ctx, temps)?;
+            let bb = emit_scalar_expr(b, rhs, ctx, temps)?;
+            match op {
+                VBinOp::Fadd => {
+                    b.scalar(ScalarInst::Fadd { dst: a, a, b: bb });
+                }
+                VBinOp::Fsub => {
+                    b.scalar(ScalarInst::Fsub { dst: a, a, b: bb });
+                }
+                VBinOp::Fmul => {
+                    b.scalar(ScalarInst::Fmul { dst: a, a, b: bb });
+                }
+                VBinOp::Fdiv => {
+                    b.scalar(ScalarInst::Fdiv { dst: a, a, b: bb });
+                }
+                VBinOp::Fmax | VBinOp::Fmin => {
+                    // max/min via branch: if (a < b) == want_min keep a.
+                    let skip = b.fresh_label("mm_skip");
+                    // Compare as floats: a - b < 0 ?
+                    let t = XReg::from_index(temps.alloc()?);
+                    b.scalar(ScalarInst::Fsub { dst: t, a, b: bb });
+                    // Negative f32 has the sign bit set: bits >= 0x8000_0000.
+                    let (keep_a_when_neg, _) = (matches!(op, VBinOp::Fmin), ());
+                    if keep_a_when_neg {
+                        // min: if a - b < 0 keep a (skip), else take b.
+                        b.scalar(ScalarInst::Bge {
+                            a: t,
+                            b: Operand::Imm(0x8000_0000),
+                            target: skip,
+                        });
+                        b.scalar(ScalarInst::Mov { dst: a, src: bb });
+                    } else {
+                        // max: if a - b < 0 take b.
+                        b.scalar(ScalarInst::Blt {
+                            a: t,
+                            b: Operand::Imm(0x8000_0000),
+                            target: skip,
+                        });
+                        b.scalar(ScalarInst::Mov { dst: a, src: bb });
+                    }
+                    b.bind(skip);
+                    temps.release_scalar(t.index());
+                }
+            }
+            temps.release_scalar(bb.index());
+            Ok(a)
+        }
+        Expr::Select { cmp, lhs, rhs, on_true, on_false } => {
+            let a = emit_scalar_expr(b, lhs, ctx, temps)?;
+            let bb = emit_scalar_expr(b, rhs, ctx, temps)?;
+            let t = emit_scalar_expr(b, on_true, ctx, temps)?;
+            let f = emit_scalar_expr(b, on_false, ctx, temps)?;
+            // diff = a - b, with -0.0 normalised to +0.0 (x + 0.0 does it)
+            // so the sign-bit tests below are exact.
+            b.scalar(ScalarInst::Fsub { dst: a, a, b: bb });
+            b.scalar(ScalarInst::FmovImm { dst: bb, imm: 0.0 });
+            b.scalar(ScalarInst::Fadd { dst: a, a, b: bb });
+            // Choose: result lands in `a`. f32 bit patterns as integers:
+            // negative <=> bits >= 0x8000_0000; zero <=> bits == 0.
+            let take_true = b.fresh_label("sel_true");
+            let done = b.fresh_label("sel_done");
+            const NEG: i64 = 0x8000_0000;
+            match cmp {
+                em_simd::VCmpOp::Eq => {
+                    b.scalar(ScalarInst::Beq { a, b: Operand::Imm(0), target: take_true });
+                }
+                em_simd::VCmpOp::Ne => {
+                    b.scalar(ScalarInst::Bne { a, b: Operand::Imm(0), target: take_true });
+                }
+                em_simd::VCmpOp::Lt => {
+                    b.scalar(ScalarInst::Bge { a, b: Operand::Imm(NEG), target: take_true });
+                }
+                em_simd::VCmpOp::Ge => {
+                    b.scalar(ScalarInst::Blt { a, b: Operand::Imm(NEG), target: take_true });
+                }
+                em_simd::VCmpOp::Gt => {
+                    // > : not negative and not zero.
+                    let not_gt = b.fresh_label("sel_not_gt");
+                    b.scalar(ScalarInst::Bge { a, b: Operand::Imm(NEG), target: not_gt });
+                    b.scalar(ScalarInst::Bne { a, b: Operand::Imm(0), target: take_true });
+                    b.bind(not_gt);
+                }
+                em_simd::VCmpOp::Le => {
+                    // <= : negative or zero.
+                    b.scalar(ScalarInst::Bge { a, b: Operand::Imm(NEG), target: take_true });
+                    b.scalar(ScalarInst::Beq { a, b: Operand::Imm(0), target: take_true });
+                }
+            }
+            b.scalar(ScalarInst::Mov { dst: a, src: f });
+            b.scalar(ScalarInst::B { target: done });
+            b.bind(take_true);
+            b.scalar(ScalarInst::Mov { dst: a, src: t });
+            b.bind(done);
+            temps.release_scalar(bb.index());
+            temps.release_scalar(t.index());
+            temps.release_scalar(f.index());
+            Ok(a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_simd::Inst;
+
+    fn layout_for(kernel: &Kernel) -> ArrayLayout {
+        let mut l = ArrayLayout::new();
+        for (i, a) in kernel.arrays().iter().enumerate() {
+            l.bind(a.clone(), 0x1000 + (i as u64) * 0x1000);
+        }
+        l
+    }
+
+    fn saxpy() -> Kernel {
+        Kernel::new("saxpy")
+            .assign("y", Expr::constant(2.0) * Expr::load("x") + Expr::load("y"))
+    }
+
+    #[test]
+    fn elastic_program_contains_monitor_and_reconfigure() {
+        let k = saxpy();
+        let p = Compiler::new(CodeGenOptions::default())
+            .compile(&[(k, 1000)], &layout_for(&saxpy()))
+            .unwrap();
+        let tags: Vec<InstTag> = (0..p.len()).map(|i| p.tag(i)).collect();
+        assert!(tags.contains(&InstTag::PhasePrologue));
+        assert!(tags.contains(&InstTag::Monitor));
+        assert!(tags.contains(&InstTag::Reconfigure));
+        assert!(tags.contains(&InstTag::PhaseEpilogue));
+    }
+
+    #[test]
+    fn fixed_program_has_no_monitor() {
+        let p = Compiler::new(CodeGenOptions {
+            mode: VlMode::Fixed(VectorLength::new(4)),
+            ..CodeGenOptions::default()
+        })
+        .compile(&[(saxpy(), 1000)], &layout_for(&saxpy()))
+        .unwrap();
+        let tags: Vec<InstTag> = (0..p.len()).map(|i| p.tag(i)).collect();
+        assert!(!tags.contains(&InstTag::Monitor));
+        assert!(!tags.contains(&InstTag::Reconfigure));
+        assert!(tags.contains(&InstTag::PhasePrologue));
+    }
+
+    #[test]
+    fn multi_version_guard_precedes_lane_acquisition() {
+        // §6.3 runtime multi-versioning: the trip-count guard must come
+        // before any EM-SIMD instruction so short loops never claim
+        // lanes.
+        let p = Compiler::new(CodeGenOptions::default())
+            .compile(&[(saxpy(), 1000)], &layout_for(&saxpy()))
+            .unwrap();
+        let guard = p
+            .insts()
+            .iter()
+            .position(|i| matches!(i, Inst::Scalar(ScalarInst::Blt { .. })))
+            .expect("runtime guard present");
+        let first_em = p
+            .insts()
+            .iter()
+            .position(|i| matches!(i, Inst::EmSimd(_)))
+            .expect("vector variant present");
+        assert!(guard < first_em);
+    }
+
+    #[test]
+    fn zero_compute_kernels_have_no_vector_variant() {
+        let k = Kernel::new("copy").assign("y", Expr::load("x"));
+        let p = Compiler::new(CodeGenOptions::default())
+            .compile(&[(k.clone(), 1000)], &layout_for(&k))
+            .unwrap();
+        assert!(!p.insts().iter().any(|i| matches!(i, Inst::Vector(_))));
+        assert!(!p.insts().iter().any(|i| matches!(i, Inst::EmSimd(_))));
+    }
+
+    #[test]
+    fn unbound_array_is_reported() {
+        let err = Compiler::new(CodeGenOptions::default())
+            .compile(&[(saxpy(), 100)], &ArrayLayout::new())
+            .unwrap_err();
+        assert!(matches!(err, CompileError::UnboundArray { .. }));
+    }
+
+    #[test]
+    fn too_many_constants_is_reported() {
+        let mut e = Expr::load("a");
+        for i in 0..10 {
+            e = e + Expr::constant(i as f32 + 0.125);
+        }
+        let k = Kernel::new("consts").assign("b", e);
+        let err = Compiler::new(CodeGenOptions::default())
+            .compile(&[(k.clone(), 100)], &layout_for(&k))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::RegisterPressure { resource: "constant broadcast registers", .. }
+        ));
+    }
+
+    #[test]
+    fn loads_are_cse_d_in_the_vector_body() {
+        // y uses x three times: exactly one vector load of x per iter.
+        let k = Kernel::new("k").assign(
+            "y",
+            Expr::load("x") * Expr::load("x") + Expr::load("x"),
+        );
+        let p = Compiler::new(CodeGenOptions {
+            mode: VlMode::Fixed(VectorLength::new(4)),
+            ..CodeGenOptions::default()
+        })
+        .compile(&[(k.clone(), 1000)], &layout_for(&k))
+        .unwrap();
+        let loads = p
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, Inst::Vector(VectorInst::Load { .. })))
+            .count();
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn reduction_emits_fold_and_store() {
+        let k = Kernel::new("dot").reduce_add("out", Expr::load("a") * Expr::load("b"));
+        let p = Compiler::new(CodeGenOptions::default())
+            .compile(&[(k.clone(), 1000)], &layout_for(&k))
+            .unwrap();
+        let reduces = p
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, Inst::Vector(VectorInst::ReduceAdd { .. })))
+            .count();
+        // One fold in the reconfiguration block + one at the remainder.
+        assert_eq!(reduces, 2);
+    }
+
+    #[test]
+    fn multiple_phases_concatenate() {
+        let k1 = saxpy();
+        let k2 = Kernel::new("scale").assign("y", Expr::load("x") * Expr::constant(3.0));
+        let mut layout = layout_for(&k1);
+        layout.bind("x", 0x1000);
+        let p = Compiler::new(CodeGenOptions::default())
+            .compile(&[(k1, 500), (k2, 500)], &layout)
+            .unwrap();
+        let oi_writes = p
+            .insts()
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::EmSimd(EmSimdInst::Msr { reg: DedicatedReg::Oi, .. })
+                )
+            })
+            .count();
+        assert_eq!(oi_writes, 4, "two phases x (prologue + epilogue)");
+        assert!(matches!(p.insts().last(), Some(Inst::Halt)));
+    }
+}

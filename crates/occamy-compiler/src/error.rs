@@ -1,0 +1,60 @@
+//! Compiler errors.
+
+use std::fmt;
+
+/// Error produced while compiling a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A referenced array has no bound address in the layout.
+    UnboundArray {
+        /// The kernel referencing the array.
+        kernel: String,
+        /// The unbound array name.
+        array: String,
+    },
+    /// The kernel needs more registers than the conventions provide.
+    RegisterPressure {
+        /// The offending kernel.
+        kernel: String,
+        /// What ran out (e.g. "load registers").
+        resource: &'static str,
+        /// How many were needed.
+        needed: usize,
+        /// How many exist.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnboundArray { kernel, array } => {
+                write!(f, "kernel `{kernel}` references array `{array}` with no bound address")
+            }
+            CompileError::RegisterPressure { kernel, resource, needed, available } => write!(
+                f,
+                "kernel `{kernel}` needs {needed} {resource} but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_kernel() {
+        let e = CompileError::UnboundArray { kernel: "k1".into(), array: "zz".into() };
+        assert!(e.to_string().contains("k1") && e.to_string().contains("zz"));
+        let e = CompileError::RegisterPressure {
+            kernel: "k2".into(),
+            resource: "load registers",
+            needed: 10,
+            available: 8,
+        };
+        assert!(e.to_string().contains("k2") && e.to_string().contains("10"));
+    }
+}

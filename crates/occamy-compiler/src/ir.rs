@@ -1,0 +1,612 @@
+//! The loop-kernel IR: one vectorizable inner loop over unit-stride
+//! arrays of `f32`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops;
+
+use em_simd::{VBinOp, VCmpOp, VUnOp};
+
+/// An element-wise expression evaluated at loop index `i`.
+///
+/// Expressions are built with ordinary operators:
+///
+/// ```
+/// use occamy_compiler::Expr;
+///
+/// let e = (Expr::load("a") + Expr::load("b")) * Expr::constant(0.5);
+/// assert_eq!(e.flops(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `array[i]` (unit stride, f32).
+    Load(String),
+    /// A loop-invariant constant (broadcast once per configuration).
+    Const(f32),
+    /// A runtime scalar parameter: `param[0]` is loaded once in the
+    /// phase prologue and broadcast (SVE `DUP` from a scalar register).
+    Param(String),
+    /// A unary lane-wise operation.
+    Unary(VUnOp, Box<Expr>),
+    /// A binary lane-wise operation.
+    Binary(VBinOp, Box<Expr>, Box<Expr>),
+    /// A lane-wise conditional: `cmp(lhs, rhs) ? on_true : on_false`
+    /// (compiled to SVE `FCMxx` + `SEL`; both branches are evaluated).
+    Select {
+        /// The comparison.
+        cmp: VCmpOp,
+        /// Comparison left operand.
+        lhs: Box<Expr>,
+        /// Comparison right operand.
+        rhs: Box<Expr>,
+        /// Value for lanes where the comparison holds.
+        on_true: Box<Expr>,
+        /// Value for the remaining lanes.
+        on_false: Box<Expr>,
+    },
+}
+
+/// Splits an array reference into its base name and element offset
+/// (`"dz@-1"` → `("dz", -1)`; plain names have offset 0).
+///
+/// # Examples
+///
+/// ```
+/// use occamy_compiler::split_array_offset;
+///
+/// assert_eq!(split_array_offset("dz@-1"), ("dz", -1));
+/// assert_eq!(split_array_offset("dz"), ("dz", 0));
+/// ```
+pub fn split_array_offset(name: &str) -> (&str, i64) {
+    match name.rsplit_once('@') {
+        Some((base, off)) => match off.parse() {
+            Ok(o) => (base, o),
+            Err(_) => (name, 0),
+        },
+        None => (name, 0),
+    }
+}
+
+impl Expr {
+    /// `array[i]`.
+    pub fn load(name: impl Into<String>) -> Expr {
+        Expr::Load(name.into())
+    }
+
+    /// A runtime scalar parameter, read once per phase from element 0 of
+    /// the bound array and broadcast to all lanes.
+    pub fn param(name: impl Into<String>) -> Expr {
+        Expr::Param(name.into())
+    }
+
+    /// `array[i + offset]` — a stencil access (e.g. the wsm5 k-loop of
+    /// Fig. 2(a) reads `dz[k-1]` and `dz[k]`). Boundary elements read the
+    /// adjacent halo; allocate arrays with `|offset|` extra elements on
+    /// the appropriate side, as stencil codes do.
+    ///
+    /// Offset accesses to the same base array share its memory footprint
+    /// (Eq. 5's data-reuse term) but are distinct vector loads.
+    pub fn load_offset(name: impl Into<String>, offset: i64) -> Expr {
+        let name = name.into();
+        if offset == 0 {
+            Expr::Load(name)
+        } else {
+            Expr::Load(format!("{name}@{offset}"))
+        }
+    }
+
+    /// A loop-invariant constant.
+    pub fn constant(v: f32) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Square root.
+    #[must_use]
+    pub fn sqrt(self) -> Expr {
+        Expr::Unary(VUnOp::Fsqrt, Box::new(self))
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Expr {
+        Expr::Unary(VUnOp::Fabs, Box::new(self))
+    }
+
+    /// Lane-wise maximum.
+    #[must_use]
+    pub fn max(self, other: Expr) -> Expr {
+        Expr::Binary(VBinOp::Fmax, Box::new(self), Box::new(other))
+    }
+
+    /// Lane-wise minimum.
+    #[must_use]
+    pub fn min(self, other: Expr) -> Expr {
+        Expr::Binary(VBinOp::Fmin, Box::new(self), Box::new(other))
+    }
+
+    /// A lane-wise conditional: `cmp(lhs, rhs) ? on_true : on_false`.
+    ///
+    /// ```
+    /// use occamy_compiler::Expr;
+    /// use em_simd::VCmpOp;
+    ///
+    /// // Threshold: out = a > 0.5 ? a : 0.
+    /// let e = Expr::select(
+    ///     VCmpOp::Gt,
+    ///     Expr::load("a"),
+    ///     Expr::constant(0.5),
+    ///     Expr::load("a"),
+    ///     Expr::constant(0.0),
+    /// );
+    /// assert_eq!(e.flops(), 2); // FCM + SEL
+    /// ```
+    pub fn select(cmp: VCmpOp, lhs: Expr, rhs: Expr, on_true: Expr, on_false: Expr) -> Expr {
+        Expr::Select {
+            cmp,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            on_true: Box::new(on_true),
+            on_false: Box::new(on_false),
+        }
+    }
+
+    /// The number of vector compute instructions per element (FLOP-ish:
+    /// comparisons and selects count as one instruction each).
+    pub fn flops(&self) -> usize {
+        match self {
+            Expr::Load(_) | Expr::Const(_) | Expr::Param(_) => 0,
+            Expr::Unary(_, e) => 1 + e.flops(),
+            Expr::Binary(_, a, b) => 1 + a.flops() + b.flops(),
+            Expr::Select { lhs, rhs, on_true, on_false, .. } => {
+                2 + lhs.flops() + rhs.flops() + on_true.flops() + on_false.flops()
+            }
+        }
+    }
+
+    /// The maximum operand-stack depth a post-order evaluation needs.
+    pub fn eval_depth(&self) -> usize {
+        match self {
+            Expr::Load(_) | Expr::Const(_) | Expr::Param(_) => 1,
+            Expr::Unary(_, e) => e.eval_depth(),
+            Expr::Binary(_, a, b) => a.eval_depth().max(b.eval_depth() + 1),
+            // Conservative (scalar-path) accounting: comparison operands
+            // stay live while both branch values are evaluated.
+            Expr::Select { lhs, rhs, on_true, on_false, .. } => lhs
+                .eval_depth()
+                .max(rhs.eval_depth() + 1)
+                .max(on_true.eval_depth() + 2)
+                .max(on_false.eval_depth() + 3)
+                .max(4),
+        }
+    }
+
+    /// The maximum number of live predicate temporaries (nested selects).
+    pub fn pred_depth(&self) -> usize {
+        match self {
+            Expr::Load(_) | Expr::Const(_) | Expr::Param(_) => 0,
+            Expr::Unary(_, e) => e.pred_depth(),
+            Expr::Binary(_, a, b) => a.pred_depth().max(b.pred_depth()),
+            Expr::Select { lhs, rhs, on_true, on_false, .. } => (1 + on_true
+                .pred_depth()
+                .max(on_false.pred_depth()))
+            .max(lhs.pred_depth())
+            .max(rhs.pred_depth()),
+        }
+    }
+
+    /// Evaluates the expression for one element (the reference semantics
+    /// used by tests).
+    pub fn eval(&self, read: &dyn Fn(&str) -> f32) -> f32 {
+        match self {
+            Expr::Load(a) => read(a),
+            Expr::Const(c) => *c,
+            // The caller's closure decides how to resolve a parameter
+            // (conventionally element 0 of the named array).
+            Expr::Param(p) => read(p),
+            Expr::Unary(op, e) => {
+                let x = e.eval(read);
+                match op {
+                    VUnOp::Fneg => -x,
+                    VUnOp::Fabs => x.abs(),
+                    VUnOp::Fsqrt => x.sqrt(),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let (x, y) = (a.eval(read), b.eval(read));
+                match op {
+                    VBinOp::Fadd => x + y,
+                    VBinOp::Fsub => x - y,
+                    VBinOp::Fmul => x * y,
+                    VBinOp::Fdiv => x / y,
+                    VBinOp::Fmax => x.max(y),
+                    VBinOp::Fmin => x.min(y),
+                }
+            }
+            Expr::Select { cmp, lhs, rhs, on_true, on_false } => {
+                if cmp.eval(lhs.eval(read), rhs.eval(read)) {
+                    on_true.eval(read)
+                } else {
+                    on_false.eval(read)
+                }
+            }
+        }
+    }
+
+    fn collect_loads(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Load(a) => {
+                out.insert(a.clone());
+            }
+            Expr::Const(_) | Expr::Param(_) => {}
+            Expr::Unary(_, e) => e.collect_loads(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_loads(out);
+                b.collect_loads(out);
+            }
+            Expr::Select { lhs, rhs, on_true, on_false, .. } => {
+                lhs.collect_loads(out);
+                rhs.collect_loads(out);
+                on_true.collect_loads(out);
+                on_false.collect_loads(out);
+            }
+        }
+    }
+
+    fn collect_consts(&self, out: &mut Vec<f32>) {
+        match self {
+            Expr::Load(_) | Expr::Param(_) => {}
+            Expr::Const(c) => {
+                if !out.iter().any(|x| x.to_bits() == c.to_bits()) {
+                    out.push(*c);
+                }
+            }
+            Expr::Unary(_, e) => e.collect_consts(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_consts(out);
+                b.collect_consts(out);
+            }
+            Expr::Select { lhs, rhs, on_true, on_false, .. } => {
+                lhs.collect_consts(out);
+                rhs.collect_consts(out);
+                on_true.collect_consts(out);
+                on_false.collect_consts(out);
+            }
+        }
+    }
+    fn collect_params(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Param(p) => {
+                out.insert(p.clone());
+            }
+            Expr::Load(_) | Expr::Const(_) => {}
+            Expr::Unary(_, e) => e.collect_params(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            Expr::Select { lhs, rhs, on_true, on_false, .. } => {
+                lhs.collect_params(out);
+                rhs.collect_params(out);
+                on_true.collect_params(out);
+                on_false.collect_params(out);
+            }
+        }
+    }
+}
+
+macro_rules! expr_op {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl ops::$trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::Binary($op, Box::new(self), Box::new(rhs))
+            }
+        }
+    };
+}
+expr_op!(Add, add, VBinOp::Fadd);
+expr_op!(Sub, sub, VBinOp::Fsub);
+expr_op!(Mul, mul, VBinOp::Fmul);
+expr_op!(Div, div, VBinOp::Fdiv);
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Unary(VUnOp::Fneg, Box::new(self))
+    }
+}
+
+/// One statement of a kernel body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `dst[i] = expr`.
+    Assign {
+        /// Destination array.
+        dst: String,
+        /// Element expression.
+        expr: Expr,
+    },
+    /// `out[0] = Σ_i expr` — a sum reduction over the loop.
+    ReduceAdd {
+        /// Array whose element 0 receives the final sum.
+        out: String,
+        /// Element expression.
+        expr: Expr,
+    },
+}
+
+/// A vectorizable inner loop: a list of element-wise statements executed
+/// for `i in 0..n` over unit-stride `f32` arrays. One kernel is one
+/// *phase* in the paper's sense.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    stmts: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Creates an empty kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        Kernel { name: name.into(), stmts: Vec::new() }
+    }
+
+    /// Adds `dst[i] = expr` (builder style).
+    #[must_use]
+    pub fn assign(mut self, dst: impl Into<String>, expr: Expr) -> Self {
+        self.stmts.push(Stmt::Assign { dst: dst.into(), expr });
+        self
+    }
+
+    /// Adds `out[0] = Σ_i expr` (builder style).
+    #[must_use]
+    pub fn reduce_add(mut self, out: impl Into<String>, expr: Expr) -> Self {
+        self.stmts.push(Stmt::ReduceAdd { out: out.into(), expr });
+        self
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A copy of the kernel with every array name prefixed — used to give
+    /// co-running instances of the same kernel disjoint memory.
+    #[must_use]
+    pub fn with_array_prefix(&self, prefix: &str) -> Kernel {
+        fn rename_expr(e: &Expr, prefix: &str) -> Expr {
+            match e {
+                // The prefix goes on the base name; offsets stay suffixed.
+                Expr::Load(a) => Expr::Load(format!("{prefix}{a}")),
+                Expr::Const(c) => Expr::Const(*c),
+                Expr::Param(p) => Expr::Param(format!("{prefix}{p}")),
+                Expr::Unary(op, x) => Expr::Unary(*op, Box::new(rename_expr(x, prefix))),
+                Expr::Binary(op, a, b) => Expr::Binary(
+                    *op,
+                    Box::new(rename_expr(a, prefix)),
+                    Box::new(rename_expr(b, prefix)),
+                ),
+                Expr::Select { cmp, lhs, rhs, on_true, on_false } => Expr::Select {
+                    cmp: *cmp,
+                    lhs: Box::new(rename_expr(lhs, prefix)),
+                    rhs: Box::new(rename_expr(rhs, prefix)),
+                    on_true: Box::new(rename_expr(on_true, prefix)),
+                    on_false: Box::new(rename_expr(on_false, prefix)),
+                },
+            }
+        }
+        Kernel {
+            name: self.name.clone(),
+            stmts: self
+                .stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Assign { dst, expr } => Stmt::Assign {
+                        dst: format!("{prefix}{dst}"),
+                        expr: rename_expr(expr, prefix),
+                    },
+                    Stmt::ReduceAdd { out, expr } => Stmt::ReduceAdd {
+                        out: format!("{prefix}{out}"),
+                        expr: rename_expr(expr, prefix),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// The statements in order.
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// The distinct arrays loaded by the body (sorted).
+    pub fn loaded_arrays(&self) -> Vec<String> {
+        let mut set = BTreeSet::new();
+        for s in &self.stmts {
+            match s {
+                Stmt::Assign { expr, .. } | Stmt::ReduceAdd { expr, .. } => {
+                    expr.collect_loads(&mut set)
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// The arrays stored per iteration (the `Assign` destinations, in
+    /// statement order, deduplicated).
+    pub fn stored_arrays(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in &self.stmts {
+            if let Stmt::Assign { dst, .. } = s {
+                if !out.contains(dst) {
+                    out.push(dst.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Reduction output arrays (element 0 written once at phase end).
+    pub fn reduction_outputs(&self) -> Vec<String> {
+        self.stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::ReduceAdd { out, .. } => Some(out.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every array *reference* the kernel makes: loads (including
+    /// offset pseudo-references like `"dz@-1"`), stores and reduction
+    /// outputs (sorted, deduplicated).
+    pub fn arrays(&self) -> Vec<String> {
+        let mut set: BTreeSet<String> = self.loaded_arrays().into_iter().collect();
+        set.extend(self.stored_arrays());
+        set.extend(self.reduction_outputs());
+        set.into_iter().collect()
+    }
+
+    /// The distinct *base* arrays the kernel touches — what must be
+    /// allocated (offset references resolve into their base array).
+    pub fn base_arrays(&self) -> Vec<String> {
+        let mut set: BTreeSet<String> = self
+            .arrays()
+            .iter()
+            .map(|a| split_array_offset(a).0.to_owned())
+            .collect();
+        set.extend(self.params());
+        set.into_iter().collect()
+    }
+
+    /// The distinct runtime parameters (sorted).
+    pub fn params(&self) -> Vec<String> {
+        let mut set = BTreeSet::new();
+        for s in &self.stmts {
+            match s {
+                Stmt::Assign { expr, .. } | Stmt::ReduceAdd { expr, .. } => {
+                    expr.collect_params(&mut set)
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// The distinct loop-invariant constants, in first-use order.
+    pub fn constants(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for s in &self.stmts {
+            match s {
+                Stmt::Assign { expr, .. } | Stmt::ReduceAdd { expr, .. } => {
+                    expr.collect_consts(&mut out)
+                }
+            }
+        }
+        out
+    }
+
+    /// Floating-point operations per element (reductions contribute one
+    /// extra accumulate per element).
+    pub fn flops_per_element(&self) -> usize {
+        self.stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign { expr, .. } => expr.flops(),
+                Stmt::ReduceAdd { expr, .. } => expr.flops() + 1,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel {} {{", self.name)?;
+        for s in &self.stmts {
+            match s {
+                Stmt::Assign { dst, expr } => writeln!(f, "  {dst}[i] = {expr:?}")?,
+                Stmt::ReduceAdd { out, expr } => writeln!(f, "  {out}[0] += {expr:?}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn saxpy() -> Kernel {
+        Kernel::new("saxpy")
+            .assign("y", Expr::constant(2.0) * Expr::load("x") + Expr::load("y"))
+    }
+
+    #[test]
+    fn operators_build_trees() {
+        let e = Expr::load("a") * Expr::load("b") - Expr::constant(1.0);
+        assert_eq!(e.flops(), 2);
+        assert_eq!(e.eval_depth(), 2);
+    }
+
+    #[test]
+    fn loads_are_deduplicated_and_sorted() {
+        let k = Kernel::new("k")
+            .assign("c", Expr::load("b") + Expr::load("a") * Expr::load("b"));
+        assert_eq!(k.loaded_arrays(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn saxpy_accounting() {
+        let k = saxpy();
+        assert_eq!(k.flops_per_element(), 2);
+        assert_eq!(k.loaded_arrays(), vec!["x".to_owned(), "y".to_owned()]);
+        assert_eq!(k.stored_arrays(), vec!["y".to_owned()]);
+        assert_eq!(k.arrays(), vec!["x".to_owned(), "y".to_owned()]);
+        assert_eq!(k.constants(), vec![2.0]);
+    }
+
+    #[test]
+    fn reduction_counts_extra_flop() {
+        let k = Kernel::new("dot").reduce_add("out", Expr::load("a") * Expr::load("b"));
+        assert_eq!(k.flops_per_element(), 2);
+        assert_eq!(k.reduction_outputs(), vec!["out".to_owned()]);
+        assert!(k.arrays().contains(&"out".to_owned()));
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let e = (Expr::load("a") + Expr::constant(1.0)).sqrt();
+        let v = e.eval(&|name| if name == "a" { 8.0 } else { 0.0 });
+        assert_eq!(v, 3.0);
+    }
+
+    #[test]
+    fn duplicate_constants_collapse() {
+        let k = Kernel::new("k").assign(
+            "c",
+            Expr::constant(0.5) * Expr::load("a") + Expr::constant(0.5) * Expr::load("b"),
+        );
+        assert_eq!(k.constants(), vec![0.5]);
+    }
+
+    #[test]
+    fn neg_is_unary() {
+        let e = -Expr::load("a");
+        assert_eq!(e.flops(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(saxpy().to_string().contains("saxpy"));
+    }
+
+    #[test]
+    fn array_prefixing_renames_everything() {
+        let k = Kernel::new("k")
+            .assign("c", Expr::load("a") + Expr::constant(1.0))
+            .reduce_add("s", Expr::load("a"));
+        let p = k.with_array_prefix("w0_");
+        assert_eq!(p.arrays(), vec!["w0_a".to_owned(), "w0_c".to_owned(), "w0_s".to_owned()]);
+        assert_eq!(p.name(), "k");
+        // Analysis-relevant counts are unchanged.
+        assert_eq!(p.flops_per_element(), k.flops_per_element());
+    }
+}

@@ -1,0 +1,51 @@
+//! # The Occamy compiler
+//!
+//! The software half of the Occamy co-design (§6 of the paper): given a
+//! loop kernel in a small array-expression IR, it
+//!
+//! 1. analyses the **phase behaviour** — the operational-intensity pair
+//!    of Eq. 5, with load CSE providing the data-reuse term;
+//! 2. **vectorizes** the kernel into vector-length-agnostic code
+//!    (strip-mined vector loop + scalar remainder, multi-version fallback
+//!    for small trip counts);
+//! 3. inserts the **eager-lazy lane-partitioning skeleton** of Fig. 9:
+//!    eager phase prologue/epilogue (`MSR <OI>`), and — in elastic mode —
+//!    the per-iteration partition monitor and vector-length
+//!    reconfiguration block, including the §6.4 repair code (re-broadcast
+//!    of loop invariants and folding of partial reduction results).
+//!
+//! # Examples
+//!
+//! Compile `c[i] = a[i] + b[i]` for a fixed 16-lane machine:
+//!
+//! ```
+//! use occamy_compiler::{Kernel, Expr, ArrayLayout, Compiler, CodeGenOptions, VlMode};
+//! use em_simd::VectorLength;
+//!
+//! let k = Kernel::new("vadd").assign("c", Expr::load("a") + Expr::load("b"));
+//! let mut layout = ArrayLayout::new();
+//! layout.bind("a", 0x1000);
+//! layout.bind("b", 0x2000);
+//! layout.bind("c", 0x3000);
+//! let compiler = Compiler::new(CodeGenOptions {
+//!     mode: VlMode::Fixed(VectorLength::new(4)),
+//!     ..CodeGenOptions::default()
+//! });
+//! let program = compiler.compile(&[(k, 1000)], &layout)?;
+//! assert!(program.len() > 10);
+//! # Ok::<(), occamy_compiler::CompileError>(())
+//! ```
+
+mod analysis;
+mod codegen;
+mod error;
+mod ir;
+mod opt;
+mod parse;
+
+pub use analysis::{analyze, PhaseInfo};
+pub use codegen::{ArrayLayout, CodeGenOptions, Compiler, VlMode};
+pub use error::CompileError;
+pub use ir::{split_array_offset, Expr, Kernel, Stmt};
+pub use opt::{optimize, optimize_expr};
+pub use parse::{parse_kernel, ParseError};

@@ -1,0 +1,330 @@
+//! Kernel optimization passes.
+//!
+//! Every rewrite here is **bit-exact** under IEEE-754 f32 semantics (with
+//! one documented `-0.0` exception) — the optimizer never trades accuracy
+//! for speed, so `optimize` can be applied unconditionally before
+//! [`compile`](crate::compile). The passes:
+//!
+//! * **Constant folding** — `Binary`/`Unary`/`Select` over constants are
+//!   evaluated at compile time.
+//! * **Algebraic identities** — `x * 1`, `x / 1`, `x ± 0`, `--x`,
+//!   `|−x|`, `||x||`, `max(x, x)`, and `select` with identical arms. The
+//!   additive identities map `-0.0 + 0.0` to `+0.0`, which compares equal
+//!   (`==`) and is indistinguishable to every kernel in this crate.
+//! * **Strength reduction** — `x / c` becomes `x * (1/c)` when `c` is a
+//!   power of two, where the reciprocal is exact.
+//!
+//! Rewrites that are *not* exact — `x * 0 → 0` (NaN/∞/−0), `x − x → 0`
+//! (NaN/∞), reassociation — are deliberately absent.
+//!
+//! # Examples
+//!
+//! ```
+//! use occamy_compiler::{optimize, Expr, Kernel};
+//!
+//! let k = Kernel::new("k").assign(
+//!     "y",
+//!     (Expr::constant(2.0) * Expr::constant(3.0)) * Expr::load("x") + Expr::constant(0.0),
+//! );
+//! let opt = optimize(&k);
+//! // 2*3 folds to 6 and the +0 disappears: one multiply remains.
+//! assert_eq!(opt.flops_per_element(), 1);
+//! ```
+
+use em_simd::{VBinOp, VUnOp};
+
+use crate::ir::{Expr, Kernel, Stmt};
+
+/// Whether a rewrite pass may *create* constant values that were not in
+/// the source. Folding `-(2.0)` to `-2.0` saves an instruction but mints
+/// a new entry in the kernel's constant pool, which the code generator
+/// broadcasts from a small register budget — so [`optimize`] retries
+/// without minting folds when the pool grows.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// All rewrites.
+    Full,
+    /// Only rewrites that return existing subtrees (identities, select
+    /// folding): the constant pool can only shrink.
+    NoNewConsts,
+}
+
+/// Applies all optimization passes to every statement of `kernel`.
+///
+/// The result computes bit-identical values (see the module docs for the
+/// single `-0.0` caveat) with at most as many vector instructions, and
+/// never needs more constant-broadcast registers than the input: when
+/// constant folding would mint values that grow the kernel's distinct-
+/// constant pool (e.g. `-(2.0)` → `-2.0` while `2.0` remains live
+/// elsewhere), the offending folds are dropped and only pool-neutral
+/// rewrites are kept.
+#[must_use]
+pub fn optimize(kernel: &Kernel) -> Kernel {
+    let full = rewrite(kernel, Mode::Full);
+    if full.constants().len() <= kernel.constants().len() {
+        full
+    } else {
+        rewrite(kernel, Mode::NoNewConsts)
+    }
+}
+
+fn rewrite(kernel: &Kernel, mode: Mode) -> Kernel {
+    let mut out = Kernel::new(kernel.name());
+    for stmt in kernel.stmts() {
+        out = match stmt {
+            Stmt::Assign { dst, expr } => {
+                out.assign(dst.clone(), rewrite_expr(expr.clone(), mode))
+            }
+            Stmt::ReduceAdd { out: o, expr } => {
+                out.reduce_add(o.clone(), rewrite_expr(expr.clone(), mode))
+            }
+        };
+    }
+    out
+}
+
+/// Rewrites one expression bottom-up until no rule applies, with every
+/// rewrite enabled (including constant folds that may mint new constant
+/// values — see [`optimize`] for the pool-aware kernel-level entry).
+#[must_use]
+pub fn optimize_expr(expr: Expr) -> Expr {
+    rewrite_expr(expr, Mode::Full)
+}
+
+fn rewrite_expr(expr: Expr, mode: Mode) -> Expr {
+    match expr {
+        Expr::Load(_) | Expr::Const(_) | Expr::Param(_) => expr,
+        Expr::Unary(op, e) => simplify_unary(op, rewrite_expr(*e, mode), mode),
+        Expr::Binary(op, a, b) => {
+            simplify_binary(op, rewrite_expr(*a, mode), rewrite_expr(*b, mode), mode)
+        }
+        Expr::Select { cmp, lhs, rhs, on_true, on_false } => {
+            let lhs = rewrite_expr(*lhs, mode);
+            let rhs = rewrite_expr(*rhs, mode);
+            let on_true = rewrite_expr(*on_true, mode);
+            let on_false = rewrite_expr(*on_false, mode);
+            // Both arms of a SEL are computed lane-wise and the untaken
+            // one discarded, so choosing at compile time is exact. The
+            // result is an existing subtree: allowed in every mode.
+            if let (Expr::Const(l), Expr::Const(r)) = (&lhs, &rhs) {
+                return if cmp.eval(*l, *r) { on_true } else { on_false };
+            }
+            if on_true == on_false {
+                return on_true;
+            }
+            Expr::Select {
+                cmp,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                on_true: Box::new(on_true),
+                on_false: Box::new(on_false),
+            }
+        }
+    }
+}
+
+fn simplify_unary(op: VUnOp, e: Expr, mode: Mode) -> Expr {
+    if let Expr::Const(c) = e {
+        if mode == Mode::Full {
+            let v = match op {
+                VUnOp::Fneg => -c,
+                VUnOp::Fabs => c.abs(),
+                VUnOp::Fsqrt => c.sqrt(),
+            };
+            return Expr::Const(v);
+        }
+        return Expr::Unary(op, Box::new(e));
+    }
+    match (op, e) {
+        // --x = x, exactly (negation only flips the sign bit).
+        (VUnOp::Fneg, Expr::Unary(VUnOp::Fneg, inner)) => *inner,
+        // |−x| = |x| and ||x|| = |x|, exactly.
+        (VUnOp::Fabs, Expr::Unary(VUnOp::Fneg | VUnOp::Fabs, inner)) => {
+            Expr::Unary(VUnOp::Fabs, inner)
+        }
+        (op, e) => Expr::Unary(op, Box::new(e)),
+    }
+}
+
+fn simplify_binary(op: VBinOp, a: Expr, b: Expr, mode: Mode) -> Expr {
+    if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+        if mode == Mode::Full {
+            let v = match op {
+                VBinOp::Fadd => x + y,
+                VBinOp::Fsub => x - y,
+                VBinOp::Fmul => x * y,
+                VBinOp::Fdiv => x / y,
+                VBinOp::Fmax => x.max(*y),
+                VBinOp::Fmin => x.min(*y),
+            };
+            return Expr::Const(v);
+        }
+    }
+    let is = |e: &Expr, v: f32| matches!(e, Expr::Const(c) if c.to_bits() == v.to_bits());
+    match op {
+        // x*1 = 1*x = x, exactly.
+        VBinOp::Fmul if is(&b, 1.0) => a,
+        VBinOp::Fmul if is(&a, 1.0) => b,
+        // x/1 = x, exactly; x/2^k = x * 2^-k, exactly (mints 2^-k, so
+        // full mode only).
+        VBinOp::Fdiv if is(&b, 1.0) => a,
+        VBinOp::Fdiv => match &b {
+            Expr::Const(c) if mode == Mode::Full && exact_reciprocal(*c).is_some() => {
+                let r = exact_reciprocal(*c).expect("checked");
+                Expr::Binary(VBinOp::Fmul, Box::new(a), Box::new(Expr::Const(r)))
+            }
+            _ => Expr::Binary(op, Box::new(a), Box::new(b)),
+        },
+        // x + 0 and x − 0: exact except that −0.0 + 0.0 = +0.0 (see the
+        // module docs — the two compare equal and load/store identically
+        // for every consumer in this crate).
+        VBinOp::Fadd if is(&b, 0.0) => a,
+        VBinOp::Fadd if is(&a, 0.0) => b,
+        VBinOp::Fsub if is(&b, 0.0) => a,
+        // max(x,x) = min(x,x) = x for every x including NaN.
+        VBinOp::Fmax | VBinOp::Fmin if a == b => a,
+        _ => Expr::Binary(op, Box::new(a), Box::new(b)),
+    }
+}
+
+/// `Some(1/c)` when the reciprocal of `c` is exactly representable — `c`
+/// a (possibly negative) power of two whose reciprocal stays normal.
+fn exact_reciprocal(c: f32) -> Option<f32> {
+    if !c.is_normal() {
+        return None;
+    }
+    let r = 1.0 / c;
+    // Exact iff c is a power of two (mantissa bits all zero) and the
+    // reciprocal did not round (round-trips back to c) and stays normal.
+    let pow2 = c.to_bits() & 0x007f_ffff == 0;
+    (pow2 && r.is_normal() && (1.0 / r).to_bits() == c.to_bits()).then_some(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_simd::VCmpOp;
+
+    fn x() -> Expr {
+        Expr::load("x")
+    }
+
+    #[test]
+    fn folds_constant_trees() {
+        let e = (Expr::constant(2.0) + Expr::constant(3.0)) * Expr::constant(4.0);
+        assert_eq!(optimize_expr(e), Expr::Const(20.0));
+    }
+
+    #[test]
+    fn folds_unary_constants() {
+        assert_eq!(optimize_expr(-Expr::constant(2.5)), Expr::Const(-2.5));
+        assert_eq!(optimize_expr(Expr::constant(9.0).sqrt()), Expr::Const(3.0));
+        assert_eq!(optimize_expr(Expr::constant(-4.0).abs()), Expr::Const(4.0));
+    }
+
+    #[test]
+    fn multiplicative_identities() {
+        assert_eq!(optimize_expr(x() * Expr::constant(1.0)), x());
+        assert_eq!(optimize_expr(Expr::constant(1.0) * x()), x());
+        assert_eq!(optimize_expr(x() / Expr::constant(1.0)), x());
+    }
+
+    #[test]
+    fn additive_identities() {
+        assert_eq!(optimize_expr(x() + Expr::constant(0.0)), x());
+        assert_eq!(optimize_expr(Expr::constant(0.0) + x()), x());
+        assert_eq!(optimize_expr(x() - Expr::constant(0.0)), x());
+        // x − x is NOT folded (NaN/∞).
+        assert_eq!((x() - x()).flops(), optimize_expr(x() - x()).flops());
+    }
+
+    #[test]
+    fn never_folds_multiply_by_zero() {
+        let e = optimize_expr(x() * Expr::constant(0.0));
+        assert_eq!(e.flops(), 1, "x*0 must stay: x may be NaN or inf");
+    }
+
+    #[test]
+    fn double_negation_and_abs_chains() {
+        assert_eq!(optimize_expr(-(-x())), x());
+        assert_eq!(optimize_expr((-x()).abs()), x().abs());
+        assert_eq!(optimize_expr(x().abs().abs()), x().abs());
+    }
+
+    #[test]
+    fn min_max_of_identical_operands() {
+        assert_eq!(optimize_expr(x().max(x())), x());
+        assert_eq!(optimize_expr(x().min(x())), x());
+        // Different operands survive.
+        assert_eq!(optimize_expr(x().max(Expr::load("y"))).flops(), 1);
+    }
+
+    #[test]
+    fn division_by_power_of_two_becomes_multiply() {
+        let e = optimize_expr(x() / Expr::constant(4.0));
+        assert_eq!(e, Expr::Binary(VBinOp::Fmul, Box::new(x()), Box::new(Expr::Const(0.25))));
+        // Non-power-of-two divisors keep the division.
+        let e = optimize_expr(x() / Expr::constant(3.0));
+        assert!(matches!(e, Expr::Binary(VBinOp::Fdiv, ..)));
+        // Denormal-reciprocal powers of two keep the division too.
+        let huge = f32::from_bits(0x7e80_0000); // 2^126: 1/c is normal
+        assert!(exact_reciprocal(huge).is_some());
+        let too_big = f32::from_bits(0x7f00_0000); // 2^127: 1/c denormal? (2^-127)
+        assert!(exact_reciprocal(too_big).is_none());
+    }
+
+    #[test]
+    fn select_with_constant_comparison_folds() {
+        let e = Expr::select(VCmpOp::Gt, Expr::constant(2.0), Expr::constant(1.0), x(), -x());
+        assert_eq!(optimize_expr(e), x());
+        let e = Expr::select(VCmpOp::Lt, Expr::constant(2.0), Expr::constant(1.0), x(), -x());
+        assert_eq!(optimize_expr(e), -x());
+    }
+
+    #[test]
+    fn select_with_identical_arms_folds() {
+        let e = Expr::select(VCmpOp::Gt, x(), Expr::load("y"), x() + x(), x() + x());
+        assert_eq!(optimize_expr(e), x() + x());
+    }
+
+    #[test]
+    fn rewrites_apply_through_kernels_and_preserve_reductions() {
+        let k = Kernel::new("k")
+            .assign("y", x() * (Expr::constant(0.5) + Expr::constant(0.5)))
+            .reduce_add("s", x() / Expr::constant(2.0));
+        let opt = optimize(&k);
+        assert_eq!(opt.name(), "k");
+        assert_eq!(opt.stmts().len(), 2);
+        // y = x*1 folds away entirely; s keeps one fmul plus the
+        // reduction's own accumulate.
+        assert_eq!(opt.flops_per_element(), 2);
+        assert!(matches!(&opt.stmts()[1], Stmt::ReduceAdd { .. }));
+    }
+
+    #[test]
+    fn folding_never_grows_the_constant_pool() {
+        // Folding -(2.0) would mint -2.0 while 2.0 stays live in the
+        // second statement: pool 2 → 3. `optimize` must refuse the mint
+        // (identities still apply — the +0.0 in stmt two still folds
+        // because 0.0 disappearing only shrinks the pool).
+        let k = Kernel::new("mint")
+            .assign("y", -Expr::constant(2.0) * x())
+            .assign("z", x() * Expr::constant(2.0) + Expr::constant(0.0));
+        let opt = optimize(&k);
+        assert!(opt.constants().len() <= k.constants().len(), "{:?}", opt.constants());
+        // The identity rewrite survived the fallback.
+        assert!(opt.flops_per_element() < k.flops_per_element());
+        // With no conflicting use, the same fold is accepted: pool stays
+        // at one value (-2.0 replaces 2.0).
+        let lone = Kernel::new("lone").assign("y", -Expr::constant(2.0) * x());
+        let opt = optimize(&lone);
+        assert_eq!(opt.constants(), vec![-2.0]);
+    }
+
+    #[test]
+    fn optimizer_is_idempotent() {
+        let e = ((x() + Expr::constant(0.0)) / Expr::constant(8.0)).max(x() * Expr::constant(1.0));
+        let once = optimize_expr(e);
+        assert_eq!(optimize_expr(once.clone()), once);
+    }
+}

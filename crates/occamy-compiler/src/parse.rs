@@ -1,0 +1,554 @@
+//! A small textual front end for the kernel IR.
+//!
+//! Grammar (one statement per line; `#` starts a comment):
+//!
+//! ```text
+//! kernel <name>            # optional header
+//! param <ident>            # declare a runtime scalar parameter
+//! <dst>[i] = <expr>        # element-wise assignment
+//! <out> += <expr>          # sum reduction into out[0]
+//! ```
+//!
+//! Expressions support `+ - * /`, unary `-`, parentheses, numeric
+//! literals, `name[i]` / `name[i-1]` / `name[i+2]` array accesses,
+//! bare `name` for declared parameters, the functions `sqrt(e)`,
+//! `abs(e)`, `min(a,b)`, `max(a,b)`, and the conditional
+//! `cond ? a : b` where `cond` is `expr OP expr` with
+//! `OP ∈ {<, <=, >, >=, ==, !=}`.
+//!
+//! # Examples
+//!
+//! ```
+//! use occamy_compiler::parse_kernel;
+//!
+//! let k = parse_kernel(
+//!     "kernel saxpy\n\
+//!      param alpha\n\
+//!      y[i] = alpha * x[i] + y[i]\n\
+//!      sum += x[i] * y[i]\n",
+//! )?;
+//! assert_eq!(k.name(), "saxpy");
+//! assert_eq!(k.params(), vec!["alpha".to_string()]);
+//! # Ok::<(), occamy_compiler::ParseError>(())
+//! ```
+
+use std::fmt;
+
+use em_simd::VCmpOp;
+
+use crate::ir::{Expr, Kernel};
+
+/// Error produced while parsing kernel text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the error.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses kernel text into a [`Kernel`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a line number on any syntax error.
+pub fn parse_kernel(text: &str) -> Result<Kernel, ParseError> {
+    let mut name = String::from("kernel");
+    let mut params: Vec<String> = Vec::new();
+    let mut kernel: Option<Kernel> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("kernel ") {
+            name = rest.trim().to_owned();
+            if kernel.is_some() {
+                return Err(ParseError {
+                    line: line_no,
+                    message: "`kernel` header must precede statements".into(),
+                });
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("param ") {
+            let p = rest.trim();
+            if !is_ident(p) {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("invalid parameter name `{p}`"),
+                });
+            }
+            params.push(p.to_owned());
+            continue;
+        }
+
+        let k = kernel.take().unwrap_or_else(|| Kernel::new(name.clone()));
+        let k = parse_statement(line, line_no, &params, k)?;
+        kernel = Some(k);
+    }
+    kernel.ok_or(ParseError { line: 0, message: "no statements".into() })
+}
+
+fn parse_statement(
+    line: &str,
+    line_no: usize,
+    params: &[String],
+    kernel: Kernel,
+) -> Result<Kernel, ParseError> {
+    // Reduction: `out += expr`.
+    if let Some((lhs, rhs)) = line.split_once("+=") {
+        let out = lhs.trim();
+        if !is_ident(out) {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("invalid reduction target `{out}`"),
+            });
+        }
+        let expr = Parser::new(rhs, line_no, params).parse_complete()?;
+        return Ok(kernel.reduce_add(out, expr));
+    }
+    // Assignment: `dst[i] = expr`.
+    if let Some((lhs, rhs)) = split_assign(line) {
+        let lhs = lhs.trim();
+        let dst = lhs
+            .strip_suffix("[i]")
+            .filter(|d| is_ident(d))
+            .ok_or_else(|| ParseError {
+                line: line_no,
+                message: format!("assignment target must be `name[i]`, got `{lhs}`"),
+            })?;
+        let expr = Parser::new(rhs, line_no, params).parse_complete()?;
+        return Ok(kernel.assign(dst, expr));
+    }
+    Err(ParseError { line: line_no, message: format!("unrecognised statement `{line}`") })
+}
+
+/// Splits on the first `=` that is not part of `==`, `!=`, `<=`, `>=`.
+fn split_assign(line: &str) -> Option<(&str, &str)> {
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'=' {
+            let prev = i.checked_sub(1).map(|j| bytes[j]);
+            let next = bytes.get(i + 1);
+            if next == Some(&b'=') || matches!(prev, Some(b'=') | Some(b'!') | Some(b'<') | Some(b'>')) {
+                continue;
+            }
+            return Some((&line[..i], &line[i + 1..]));
+        }
+    }
+    None
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Recursive-descent expression parser over a token list.
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    line: usize,
+    params: &'a [String],
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Num(f32),
+    Ident(String),
+    /// `name[i+k]` collapsed into one token at lexing.
+    Access(String, i64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    Question,
+    Colon,
+    Cmp(VCmpOp),
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &str, line: usize, params: &'a [String]) -> Self {
+        Parser { tokens: lex(src), pos: 0, line, params }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_complete(mut self) -> Result<Expr, ParseError> {
+        let e = self.ternary()?;
+        if self.pos != self.tokens.len() {
+            return Err(self.err("trailing input after expression"));
+        }
+        Ok(e)
+    }
+
+    /// `additive (CMP additive)? (? ternary : ternary)?`
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let first = self.additive()?;
+        let Some(Token::Cmp(op)) = self.peek().cloned() else {
+            return Ok(first);
+        };
+        self.pos += 1;
+        let rhs = self.additive()?;
+        if !self.eat(&Token::Question) {
+            return Err(self.err("comparison must be followed by `? then : else`"));
+        }
+        let on_true = self.ternary()?;
+        if !self.eat(&Token::Colon) {
+            return Err(self.err("expected `:` in conditional"));
+        }
+        let on_false = self.ternary()?;
+        Ok(Expr::select(op, first, rhs, on_true, on_false))
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                e = e + self.multiplicative()?;
+            } else if self.eat(&Token::Minus) {
+                e = e - self.multiplicative()?;
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            if self.eat(&Token::Star) {
+                e = e * self.unary()?;
+            } else if self.eat(&Token::Slash) {
+                e = e / self.unary()?;
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Minus) {
+            return Ok(-self.unary()?);
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Num(v)) => Ok(Expr::constant(v)),
+            Some(Token::Access(name, off)) => Ok(Expr::load_offset(name, off)),
+            Some(Token::Ident(id)) => match id.as_str() {
+                "sqrt" | "abs" => {
+                    if !self.eat(&Token::LParen) {
+                        return Err(self.err(format!("`{id}` needs parentheses")));
+                    }
+                    let e = self.ternary()?;
+                    if !self.eat(&Token::RParen) {
+                        return Err(self.err("missing `)`"));
+                    }
+                    Ok(if id == "sqrt" { e.sqrt() } else { e.abs() })
+                }
+                "min" | "max" => {
+                    if !self.eat(&Token::LParen) {
+                        return Err(self.err(format!("`{id}` needs parentheses")));
+                    }
+                    let a = self.ternary()?;
+                    if !self.eat(&Token::Comma) {
+                        return Err(self.err(format!("`{id}` needs two arguments")));
+                    }
+                    let b = self.ternary()?;
+                    if !self.eat(&Token::RParen) {
+                        return Err(self.err("missing `)`"));
+                    }
+                    Ok(if id == "min" { a.min(b) } else { a.max(b) })
+                }
+                _ if self.params.contains(&id) => Ok(Expr::param(id)),
+                _ => Err(self.err(format!(
+                    "`{id}` is neither an array access (`{id}[i]`), a declared \
+                     parameter nor a function"
+                ))),
+            },
+            Some(Token::LParen) => {
+                let e = self.ternary()?;
+                if !self.eat(&Token::RParen) {
+                    return Err(self.err("missing `)`"));
+                }
+                Ok(e)
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Lexes an expression; `name[i]`, `name[i-1]`, `name[i+2]` collapse
+/// into `Access` tokens. Unlexable characters become stray `Ident`s that
+/// the parser rejects with context.
+fn lex(src: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Question);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            '<' | '>' | '=' | '!' => {
+                let eq = chars.get(i + 1) == Some(&'=');
+                let op = match (c, eq) {
+                    ('<', true) => VCmpOp::Le,
+                    ('<', false) => VCmpOp::Lt,
+                    ('>', true) => VCmpOp::Ge,
+                    ('>', false) => VCmpOp::Gt,
+                    ('=', true) => VCmpOp::Eq,
+                    _ => VCmpOp::Ne,
+                };
+                out.push(Token::Cmp(op));
+                i += if eq { 2 } else { 1 };
+            }
+            _ if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(match text.parse() {
+                    Ok(v) => Token::Num(v),
+                    Err(_) => Token::Ident(text),
+                });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let name: String = chars[start..i].iter().collect();
+                // Array access?
+                if chars.get(i) == Some(&'[') {
+                    if let Some((off, consumed)) = lex_index(&chars[i..]) {
+                        out.push(Token::Access(name, off));
+                        i += consumed;
+                        continue;
+                    }
+                }
+                out.push(Token::Ident(name));
+            }
+            _ => {
+                out.push(Token::Ident(c.to_string()));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lexes `[i]`, `[i+k]` or `[i-k]` starting at `[`; returns the offset
+/// and characters consumed.
+fn lex_index(chars: &[char]) -> Option<(i64, usize)> {
+    let mut i = 0;
+    if chars.get(i) != Some(&'[') {
+        return None;
+    }
+    i += 1;
+    if chars.get(i) != Some(&'i') {
+        return None;
+    }
+    i += 1;
+    let sign = match chars.get(i) {
+        Some(&']') => return Some((0, i + 1)),
+        Some(&'+') => 1,
+        Some(&'-') => -1,
+        _ => return None,
+    };
+    i += 1;
+    let start = i;
+    while i < chars.len() && chars[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i == start || chars.get(i) != Some(&']') {
+        return None;
+    }
+    let digits: String = chars[start..i].iter().collect();
+    let value: i64 = digits.parse().ok()?;
+    Some((sign * value, i + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+
+    #[test]
+    fn parses_saxpy() {
+        let k = parse_kernel("y[i] = 2.5 * x[i] + y[i]").unwrap();
+        let info = analyze(&k);
+        assert_eq!(info.comp, 2);
+        assert_eq!(info.loads, 2);
+        assert_eq!(info.stores, 1);
+    }
+
+    #[test]
+    fn parses_header_params_and_reductions() {
+        let k = parse_kernel(
+            "kernel dotish\nparam scale\nsum += scale * a[i] * b[i]\n",
+        )
+        .unwrap();
+        assert_eq!(k.name(), "dotish");
+        assert_eq!(k.params(), vec!["scale".to_owned()]);
+        assert_eq!(k.reduction_outputs(), vec!["sum".to_owned()]);
+    }
+
+    #[test]
+    fn parses_stencils() {
+        let k = parse_kernel(
+            "wi[i] = (ww[i]*dz[i-1] + ww[i-1]*dz[i]) / (dz[i-1] + dz[i])",
+        )
+        .unwrap();
+        let info = analyze(&k);
+        assert_eq!(info.loads, 4);
+        assert_eq!(info.footprint_bytes, 12, "offsets share the base footprint");
+    }
+
+    #[test]
+    fn parses_conditionals_and_functions() {
+        let k = parse_kernel("o[i] = a[i] > 0.5 ? sqrt(a[i]) : min(b[i], 1.0)").unwrap();
+        let info = analyze(&k);
+        assert_eq!(info.comp, 2 + 1 + 1); // FCM+SEL, sqrt, min
+        // Semantics via eval:
+        let v = match &k.stmts()[0] {
+            crate::ir::Stmt::Assign { expr, .. } => {
+                expr.eval(&|n: &str| if n == "a" { 0.81 } else { 3.0 })
+            }
+            _ => unreachable!(),
+        };
+        assert!((v - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let k = parse_kernel("o[i] = a[i] + b[i] * c[i]").unwrap();
+        let v = match &k.stmts()[0] {
+            crate::ir::Stmt::Assign { expr, .. } => expr.eval(&|n: &str| match n {
+                "a" => 1.0,
+                "b" => 2.0,
+                _ => 3.0,
+            }),
+            _ => unreachable!(),
+        };
+        assert_eq!(v, 7.0);
+    }
+
+    #[test]
+    fn unary_minus_and_parentheses() {
+        let k = parse_kernel("o[i] = -(a[i] - 2.0) * 3.0").unwrap();
+        let v = match &k.stmts()[0] {
+            crate::ir::Stmt::Assign { expr, .. } => expr.eval(&|_: &str| 5.0),
+            _ => unreachable!(),
+        };
+        assert_eq!(v, -9.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let k = parse_kernel("# header\n\ny[i] = x[i] * 2.0  # scale\n").unwrap();
+        assert_eq!(k.stmts().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_kernel("y[i] = x[i]\nz[j] = 1.0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn undeclared_bare_identifier_is_an_error() {
+        let err = parse_kernel("y[i] = alpha * x[i]").unwrap_err();
+        assert!(err.message.contains("alpha"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse_kernel("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn multiple_statements_stay_ordered() {
+        let k = parse_kernel("b[i] = a[i] + 1.0\nc[i] = b[i] * 2.0\n").unwrap();
+        assert_eq!(k.stmts().len(), 2);
+        assert_eq!(k.stored_arrays(), vec!["b".to_owned(), "c".to_owned()]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property: `optimize_expr` preserves the reference semantics of every
+//! expression bit-for-bit (treating all NaNs as equal and `±0.0` as
+//! equal, per the optimizer's documented contract), while never
+//! increasing the instruction count.
+
+use em_simd::VCmpOp;
+use occamy_compiler::{optimize, optimize_expr, Expr, Kernel};
+use proptest::prelude::*;
+
+/// Constants weighted toward the optimizer's trigger values.
+fn arb_const() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        Just(0.0f32),
+        Just(1.0),
+        Just(-1.0),
+        Just(2.0),
+        Just(4.0),
+        Just(0.5),
+        Just(3.0),
+        -8.0f32..8.0,
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::load("a")),
+        Just(Expr::load("b")),
+        Just(Expr::param("p")),
+        arb_const().prop_map(Expr::constant),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0..6usize).prop_map(|(a, b, op)| match op {
+                0 => a + b,
+                1 => a - b,
+                2 => a * b,
+                3 => a / b,
+                4 => a.max(b),
+                _ => a.min(b),
+            }),
+            (inner.clone(), 0..3usize).prop_map(|(e, op)| match op {
+                0 => -e,
+                1 => e.abs(),
+                _ => e.abs().sqrt(), // keep sqrt arguments non-negative
+            }),
+            (inner.clone(), inner.clone(), inner.clone(), inner).prop_map(|(l, r, t, f)| {
+                Expr::select(VCmpOp::Gt, l, r, t, f)
+            }),
+        ]
+    })
+}
+
+/// Bit-equal up to NaN payloads and the sign of zero.
+fn same_value(a: f32, b: f32) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b || a.to_bits() == b.to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn optimized_expressions_evaluate_identically(
+        expr in arb_expr(),
+        a in -100.0f32..100.0,
+        b in -100.0f32..100.0,
+        p in -4.0f32..4.0,
+    ) {
+        let read = move |name: &str| match name {
+            "a" => a,
+            "b" => b,
+            "p" => p,
+            other => panic!("unknown leaf {other}"),
+        };
+        let opt = optimize_expr(expr.clone());
+        let before = expr.eval(&read);
+        let after = opt.eval(&read);
+        prop_assert!(
+            same_value(before, after),
+            "{before} != {after}\n  original {expr:?}\n  optimized {opt:?}"
+        );
+        prop_assert!(opt.flops() <= expr.flops(), "optimizer added instructions");
+    }
+
+    /// Optimization never turns a compilable kernel into an
+    /// uncompilable one (it can only shrink register pressure).
+    #[test]
+    fn optimization_never_breaks_compilable_kernels(expr in arb_expr()) {
+        let original = Kernel::new("opt").assign("y", expr);
+        let optimized = optimize(&original);
+        let layout_for = |k: &Kernel| {
+            let mut l = occamy_compiler::ArrayLayout::new();
+            for (i, name) in k.base_arrays().iter().enumerate() {
+                l.bind(name.clone(), 0x1000 + 0x10000 * i as u64);
+            }
+            l
+        };
+        let compiler = occamy_compiler::Compiler::new(Default::default());
+        let before = compiler.compile(&[(original.clone(), 4096)], &layout_for(&original));
+        if before.is_ok() {
+            let after = compiler.compile(&[(optimized.clone(), 4096)], &layout_for(&optimized));
+            prop_assert!(after.is_ok(), "optimizer broke compilation: {:?}", after.err());
+        }
+    }
+}

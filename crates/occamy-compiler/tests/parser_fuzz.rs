@@ -1,0 +1,62 @@
+//! Robustness of the kernel-text parser: arbitrary input must never
+//! panic — it either parses or returns a lined error — and valid
+//! pretty-printed statements round-trip.
+
+use occamy_compiler::{analyze, parse_kernel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes never panic the parser.
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC{0,200}") {
+        let _ = parse_kernel(&text);
+    }
+
+    /// Arbitrary *line-structured* soup of plausible tokens never panics.
+    #[test]
+    fn token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("a[i]".to_owned()),
+                Just("b[i-1]".to_owned()),
+                Just("+".to_owned()),
+                Just("*".to_owned()),
+                Just("?".to_owned()),
+                Just(":".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just("<".to_owned()),
+                Just("1.5".to_owned()),
+                Just("=".to_owned()),
+                Just("sqrt".to_owned()),
+                Just(",".to_owned()),
+            ],
+            0..24,
+        ),
+    ) {
+        let _ = parse_kernel(&tokens.join(" "));
+    }
+
+    /// Well-formed generated statements parse to kernels whose analysis
+    /// is self-consistent.
+    #[test]
+    fn generated_statements_parse(
+        terms in proptest::collection::vec((0usize..4, 0usize..3), 1..6),
+    ) {
+        let arrays = ["a", "b", "c", "d"];
+        let exprs: Vec<String> = terms
+            .iter()
+            .map(|&(arr, form)| match form {
+                0 => format!("{}[i]", arrays[arr]),
+                1 => format!("{}[i-1]", arrays[arr]),
+                _ => format!("({}[i] * 2.0)", arrays[arr]),
+            })
+            .collect();
+        let text = format!("o[i] = {}", exprs.join(" + "));
+        let kernel = parse_kernel(&text).expect("well-formed statement");
+        let info = analyze(&kernel);
+        prop_assert!(info.stores == 1);
+        prop_assert!(info.loads >= 1);
+        prop_assert!(info.footprint_bytes >= 4 * 2);
+    }
+}

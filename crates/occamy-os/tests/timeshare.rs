@@ -1,0 +1,261 @@
+//! End-to-end time-sharing: more tasks than cores, preemptive round-
+//! robin, functional results checked against the kernels' reference
+//! semantics.
+
+use occamy_compiler::{ArrayLayout, CodeGenOptions, Compiler, Expr, Kernel, VlMode};
+use em_simd::VectorLength;
+use mem_sim::Memory;
+use occamy_os::{Scheduler, Task};
+use occamy_sim::{Architecture, Machine, SimConfig};
+use proptest::prelude::*;
+
+const HALO: u64 = 16;
+
+struct Workbench {
+    machine: Machine,
+    tasks: Vec<Task>,
+    /// (output array base, expected values) per task.
+    expected: Vec<(u64, Vec<f32>)>,
+}
+
+/// `n_tasks` independent `y = a*x + b` tasks with distinct coefficients
+/// and disjoint arrays.
+fn bench_with(n_tasks: usize, n: usize) -> Workbench {
+    let mut mem = Memory::new(8 << 20);
+    let compiler = Compiler::new(CodeGenOptions {
+        mode: VlMode::Elastic { default: VectorLength::new(2) },
+        ..CodeGenOptions::default()
+    });
+    let mut tasks = Vec::new();
+    let mut expected = Vec::new();
+    for t in 0..n_tasks {
+        let coeff = 1.0 + t as f32 * 0.5;
+        let kernel = Kernel::new(format!("axpb{t}")).assign(
+            "y",
+            Expr::load("x") * Expr::constant(coeff) + Expr::constant(t as f32),
+        );
+        let x = mem.alloc_f32(n as u64 + 2 * HALO) + 4 * HALO;
+        let y = mem.alloc_f32(n as u64 + 2 * HALO) + 4 * HALO;
+        let mut want = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = ((i as u64 * 31 + t as u64 * 7 + 3) % 113) as f32 / 113.0;
+            mem.write_f32(x + 4 * i as u64, v);
+            want.push(v * coeff + t as f32);
+        }
+        let mut layout = ArrayLayout::new();
+        layout.bind("x", x);
+        layout.bind("y", y);
+        let program = compiler.compile(&[(kernel, n)], &layout).expect("compile");
+        tasks.push(Task::new(format!("axpb{t}"), program));
+        expected.push((y, want));
+    }
+    let machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    Workbench { machine, tasks, expected }
+}
+
+fn check_outputs(machine: &Machine, expected: &[(u64, Vec<f32>)]) {
+    for (t, (base, want)) in expected.iter().enumerate() {
+        for (i, w) in want.iter().enumerate() {
+            let got = machine.memory().read_f32(base + 4 * i as u64);
+            assert_eq!(got, *w, "task {t} element {i}");
+        }
+    }
+}
+
+#[test]
+fn five_tasks_two_cores_round_robin() {
+    let Workbench { mut machine, tasks, expected } = bench_with(5, 8192);
+    let report = Scheduler::new(1_500).run(&mut machine, tasks, 50_000_000);
+    assert!(report.completed, "all tasks finish");
+    assert!(report.context_switches > 0, "quantum forces time-slicing");
+    check_outputs(&machine, &expected);
+
+    // Round-robin fairness: with a 1.5k quantum every task gets a core
+    // long before the first ones finish.
+    let makespan = report.makespan;
+    for o in &report.outcomes {
+        assert!(o.started_at < makespan / 2, "{} started at {}", o.name, o.started_at);
+        assert!(o.finished_at.is_some());
+    }
+    // Accounting: total switches equals summed per-task preemptions.
+    let total: u32 = report.outcomes.iter().map(|o| o.preemptions).sum();
+    assert_eq!(total, report.context_switches);
+}
+
+#[test]
+fn huge_quantum_degenerates_to_fifo() {
+    let Workbench { mut machine, tasks, expected } = bench_with(4, 2048);
+    let report = Scheduler::new(100_000_000).run(&mut machine, tasks, 50_000_000);
+    assert!(report.completed);
+    assert_eq!(report.context_switches, 0, "nothing expires, nothing preempts");
+    check_outputs(&machine, &expected);
+    // FIFO: tasks 0 and 1 start immediately; 2 and 3 start strictly later.
+    assert_eq!(report.outcomes[0].started_at, 0);
+    assert_eq!(report.outcomes[1].started_at, 0);
+    assert!(report.outcomes[2].started_at > 0);
+    assert!(report.outcomes[3].started_at > 0);
+}
+
+#[test]
+fn fewer_tasks_than_cores_never_switches() {
+    let Workbench { mut machine, tasks, expected } = bench_with(1, 2048);
+    let report = Scheduler::new(500).run(&mut machine, tasks, 50_000_000);
+    assert!(report.completed);
+    assert_eq!(report.context_switches, 0, "an empty queue never preempts");
+    check_outputs(&machine, &expected);
+}
+
+#[test]
+fn report_table_names_every_task() {
+    let Workbench { mut machine, tasks, .. } = bench_with(3, 1024);
+    let report = Scheduler::new(1_500).run(&mut machine, tasks, 50_000_000);
+    let text = report.render();
+    for t in 0..3 {
+        assert!(text.contains(&format!("axpb{t}")), "{text}");
+    }
+    assert!(text.contains("makespan"), "{text}");
+}
+
+#[test]
+fn shorter_quanta_reduce_mean_turnaround_spread() {
+    // With run-to-completion, late-submitted tasks wait for full earlier
+    // tasks; with slicing everyone progresses. The mean turnaround of
+    // the LAST task should not exceed FIFO's.
+    let fifo = {
+        let Workbench { mut machine, tasks, .. } = bench_with(6, 8192);
+        Scheduler::new(100_000_000).run(&mut machine, tasks, 100_000_000)
+    };
+    let sliced = {
+        let Workbench { mut machine, tasks, .. } = bench_with(6, 8192);
+        Scheduler::new(2_000).run(&mut machine, tasks, 100_000_000)
+    };
+    assert!(fifo.completed && sliced.completed);
+    let last_start = |r: &occamy_os::SchedReport| {
+        r.outcomes.iter().map(|o| o.started_at).max().unwrap()
+    };
+    assert!(
+        last_start(&sliced) < last_start(&fifo),
+        "slicing services the last task sooner: {} vs {}",
+        last_start(&sliced),
+        last_start(&fifo)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any quantum and task count completes with exact results.
+    #[test]
+    fn scheduling_is_functionally_transparent(
+        quantum in 300u64..40_000,
+        n_tasks in 1usize..6,
+    ) {
+        let Workbench { mut machine, tasks, expected } = bench_with(n_tasks, 1536);
+        let report = Scheduler::new(quantum).run(&mut machine, tasks, 100_000_000);
+        prop_assert!(report.completed);
+        for (t, (base, want)) in expected.iter().enumerate() {
+            for (i, w) in want.iter().enumerate() {
+                let got = machine.memory().read_f32(base + 4 * i as u64);
+                prop_assert_eq!(got, *w, "task {} element {}", t, i);
+            }
+        }
+    }
+}
+
+/// Two memory-bound streams and two compute-bound polynomial kernels,
+/// submitted memory-first. FIFO runs the two streams side by side;
+/// the intensity-aware policy pairs each stream with a compute kernel —
+/// the §2 mix where elastic sharing wins. Batch *makespan* is nearly
+/// pairing-invariant here (bandwidth-limited work completes at the same
+/// aggregate rate either way), but mixed pairs hand the compute task
+/// the stream's surplus lanes, so *mean turnaround* improves.
+#[test]
+fn intensity_aware_pairing_beats_fifo_order() {
+    use em_simd::OperationalIntensity;
+    use occamy_os::Policy;
+
+    let n = 16_384;
+    let build = || {
+        let mut mem = Memory::new(32 << 20);
+        let compiler = Compiler::new(CodeGenOptions {
+            mode: VlMode::Elastic { default: VectorLength::new(2) },
+            ..CodeGenOptions::default()
+        });
+        let mut tasks = Vec::new();
+        for t in 0..4usize {
+            let memory_bound = t < 2;
+            let kernel = if memory_bound {
+                Kernel::new(format!("stream{t}"))
+                    .assign("y", Expr::load("x") + Expr::load("z"))
+            } else {
+                Kernel::new(format!("poly{t}")).assign(
+                    "y",
+                    (Expr::load("x") * Expr::constant(1.1) + Expr::constant(0.3))
+                        * (Expr::load("x") + Expr::constant(0.9))
+                        * (Expr::load("x") * Expr::load("x") + Expr::constant(1.7)),
+                )
+            };
+            let mut layout = ArrayLayout::new();
+            for name in kernel.base_arrays() {
+                let addr = mem.alloc_f32(n as u64 + 2 * HALO) + 4 * HALO;
+                for i in 0..n as u64 + 2 * HALO {
+                    mem.write_f32(addr - 4 * HALO + 4 * i, ((i * 7 + 3) % 61) as f32 / 61.0);
+                }
+                layout.bind(name, addr);
+            }
+            let program = compiler.compile(&[(kernel.clone(), n)], &layout).expect("compile");
+            let info = occamy_compiler::analyze(&kernel);
+            tasks.push(
+                Task::new(kernel.name().to_owned(), program)
+                    .with_oi(OperationalIntensity::new(info.oi.issue(), info.oi.mem())),
+            );
+        }
+        (Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap(), tasks)
+    };
+
+    let (mut m_fifo, tasks) = build();
+    let fifo = Scheduler::new(u64::MAX / 2).run(&mut m_fifo, tasks, 200_000_000);
+    let (mut m_ia, tasks) = build();
+    let ia = Scheduler::with_policy(u64::MAX / 2, Policy::IntensityAware)
+        .run(&mut m_ia, tasks, 200_000_000);
+    assert!(fifo.completed && ia.completed);
+
+    // The aware policy dispatched a compute task second, not the other
+    // stream.
+    let second = ia
+        .outcomes
+        .iter()
+        .filter(|o| o.started_at == 0)
+        .map(|o| o.name.clone())
+        .collect::<Vec<_>>();
+    assert!(
+        second.iter().any(|n| n.starts_with("poly")),
+        "expected a mixed initial pair, got {second:?}"
+    );
+    assert!(
+        ia.mean_turnaround() < fifo.mean_turnaround(),
+        "mixed pairs should finish tasks sooner on average: {} vs {}",
+        ia.mean_turnaround(),
+        fifo.mean_turnaround()
+    );
+    assert!(
+        ia.makespan <= fifo.makespan * 105 / 100,
+        "pairing must not cost real throughput: {} vs {}",
+        ia.makespan,
+        fifo.makespan
+    );
+}
+
+#[test]
+fn unknown_intensities_degrade_to_fifo() {
+    use occamy_os::Policy;
+    let Workbench { mut machine, tasks, expected } = bench_with(4, 2048);
+    // No task carries an OI: the aware policy must behave exactly FIFO.
+    let report = Scheduler::with_policy(100_000_000, Policy::IntensityAware)
+        .run(&mut machine, tasks, 50_000_000);
+    assert!(report.completed);
+    assert_eq!(report.outcomes[0].started_at, 0);
+    assert_eq!(report.outcomes[1].started_at, 0);
+    assert!(report.outcomes[2].started_at > 0);
+    check_outputs(&machine, &expected);
+}

@@ -1,0 +1,1018 @@
+//! The SIMD co-processor micro-architecture (Fig. 5).
+//!
+//! Pipeline stages, executed once per machine cycle in this order:
+//!
+//! 1. [`CoProcessor::complete`] — writebacks (compute results, load data,
+//!    store acknowledgements), ROB retirement (freeing previous physical
+//!    registers), scalar-result forwarding.
+//! 2. [`CoProcessor::issue`] — selects ready compute instructions from the
+//!    issue queues (out-of-order within a core) and vector memory
+//!    operations from the LSUs; under temporal sharing (FTS) the issue
+//!    slots are shared and arbitrated round-robin between the cores.
+//! 3. [`CoProcessor::rename`] — pops the per-core in-order instruction
+//!    pools, allocates physical registers from the per-RegBlk free lists,
+//!    and processes EM-SIMD instructions on the in-order EM-SIMD data
+//!    path, including the pipeline-drain rule for `MSR <VL>` (§4.2.2).
+
+use std::collections::VecDeque;
+
+use em_simd::{
+    DedicatedReg, EmSimdInst, OperationalIntensity, VReg, VectorInst, VectorLength, XReg,
+    NUM_PREGS, NUM_VREGS,
+};
+use lane_manager::{LaneManager, PhaseDemand, ResourceTable};
+use mem_sim::{Cycle, Memory, MemorySystem};
+use roofline::{MachineCeilings, MemLevel};
+
+use crate::config::{Architecture, SimConfig};
+use crate::exec;
+use crate::lsu::{Lsu, LsuEntry};
+use crate::regblocks::{PhysId, PhysRegFile, RegBlocks};
+use crate::stats::{CoreStats, PhaseStats};
+use crate::trace::{Trace, TraceEvent, TraceStage};
+
+/// An entry of a core's in-order instruction pool.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PoolEntry {
+    /// A vector instruction with its pre-resolved scalar payload: the
+    /// effective address for memory ops, the broadcast value's bits for
+    /// `Dup` (scalar operands are captured at transmit time, Table 2).
+    Vector { inst: VectorInst, aux: Option<u64> },
+    /// An EM-SIMD instruction with its pre-resolved write operand.
+    Em { inst: EmSimdInst, operand: u64 },
+}
+
+/// Response of the EM-SIMD data path to the issuing scalar core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct EmResponse {
+    pub core: usize,
+    /// Value to write into a scalar register (for `MRS`).
+    pub write_x: Option<(XReg, u64)>,
+}
+
+/// A scalar-register writeback from the co-processor (reductions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ScalarWriteback {
+    pub core: usize,
+    pub reg: XReg,
+    pub value: f32,
+}
+
+/// A saved EM-SIMD context: the five dedicated registers plus the
+/// architectural vector state (§5: the OS saves these across context
+/// switches).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct OsContext {
+    pub oi: u64,
+    pub decision: u64,
+    pub vl: usize,
+    pub status: u64,
+    pub vregs: Vec<Vec<f32>>,
+    pub pregs: Vec<Vec<f32>>,
+}
+
+/// Per-core issue counts for one cycle (consumed by the machine's
+/// statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct IssueCounts {
+    pub compute: u64,
+    pub mem: u64,
+}
+
+/// Which physical register file a name belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegClass {
+    Vector,
+    Pred,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct IqEntry {
+    seq: u64,
+    inst: VectorInst,
+    srcs: Vec<PhysId>,
+    dst: Option<PhysId>,
+    dst_class: RegClass,
+    /// Governing predicate (physical), if predicated.
+    pred: Option<PhysId>,
+    /// Predicate registers read as data (SEL's selector).
+    psrcs: Vec<PhysId>,
+    /// Old destination value for merging predication.
+    merge: Option<PhysId>,
+    /// Scalar payload (WHILELO bounds packed as two u32).
+    aux: Option<u64>,
+    lanes: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RobEntry {
+    seq: u64,
+    done: bool,
+    prev_phys: Option<(PhysId, RegClass)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct InflightCompute {
+    complete_at: Cycle,
+    core: usize,
+    dst: Option<PhysId>,
+    dst_class: RegClass,
+    value: Vec<f32>,
+    scalar_wb: Option<(XReg, f32)>,
+    rob_seq: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct CoreCtx {
+    pool: VecDeque<PoolEntry>,
+    iq: Vec<IqEntry>,
+    lsu: Lsu,
+    rob: VecDeque<RobEntry>,
+    rename_map: [PhysId; NUM_VREGS],
+    pred_rename: [PhysId; NUM_PREGS],
+    cur_vl: VectorLength,
+    status: u64,
+    /// Blocks the core's registers currently span.
+    spans: Vec<usize>,
+    /// Index of the open phase in the stats, if any.
+    open_phase: Option<usize>,
+    /// `vector_compute_issued` snapshot at phase start.
+    phase_start_issued: u64,
+}
+
+/// The shared SIMD co-processor: register blocks, per-core pipeline
+/// contexts, the resource table and (for Occamy) the lane manager.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CoProcessor {
+    cfg: SimConfig,
+    arch: Architecture,
+    blocks: RegBlocks,
+    prf: PhysRegFile,
+    /// Physical predicate registers (masks stored as 1.0/0.0 lanes).
+    ppf: PhysRegFile,
+    cores: Vec<CoreCtx>,
+    table: ResourceTable,
+    mgr: Option<LaneManager>,
+    inflight: Vec<InflightCompute>,
+    next_seq: u64,
+    /// Instruction-lifecycle trace (disabled by default).
+    pub(crate) trace: Trace,
+}
+
+impl CoProcessor {
+    pub(crate) fn new(cfg: SimConfig, arch: Architecture) -> Self {
+        let mut blocks =
+            RegBlocks::new(cfg.total_granules, cfg.vregs_per_block, cfg.pregs_per_block);
+        if arch == Architecture::TemporalSharing {
+            blocks.set_all_shared();
+        }
+        let mut prf = PhysRegFile::new();
+        let mut ppf = PhysRegFile::new();
+        let cores = (0..cfg.cores)
+            .map(|_| CoreCtx {
+                pool: VecDeque::new(),
+                iq: Vec::new(),
+                lsu: Lsu::new(cfg.lsu_entries),
+                rob: VecDeque::new(),
+                rename_map: std::array::from_fn(|_| {
+                    prf.alloc_ready(Vec::new(), PhysRegFile::zero_value(0))
+                }),
+                pred_rename: std::array::from_fn(|_| {
+                    ppf.alloc_ready(Vec::new(), PhysRegFile::zero_value(0))
+                }),
+                cur_vl: VectorLength::ZERO,
+                status: 0,
+                spans: Vec::new(),
+                open_phase: None,
+                phase_start_issued: 0,
+            })
+            .collect();
+        let mgr = if arch == Architecture::Occamy {
+            let ceilings = MachineCeilings {
+                veccache_bytes_cycle: cfg.mem.veccache_bytes_cycle as f64,
+                l2_bytes_cycle: cfg.mem.l2_bytes_cycle as f64,
+                dram_bytes_cycle: cfg.mem.dram_bytes_cycle as f64,
+                ..MachineCeilings::paper_default()
+            };
+            Some(
+                LaneManager::new(ceilings, cfg.total_granules, MemLevel::Dram)
+                    .with_contention_awareness(cfg.contention_aware_planning),
+            )
+        } else {
+            None
+        };
+        let table = ResourceTable::new(cfg.cores, cfg.total_granules);
+        CoProcessor {
+            cfg,
+            arch,
+            blocks,
+            prf,
+            ppf,
+            cores,
+            table,
+            mgr,
+            inflight: Vec::new(),
+            next_seq: 0,
+            trace: Trace::disabled(),
+        }
+    }
+
+    fn trace_event(&mut self, cycle: Cycle, core: usize, seq: u64, stage: TraceStage, disasm: String) {
+        if self.trace.is_enabled() {
+            self.trace.record(TraceEvent { cycle, core, seq, stage, disasm });
+        }
+    }
+
+    pub(crate) fn table(&self) -> &ResourceTable {
+        &self.table
+    }
+
+    pub(crate) fn cur_vl(&self, core: usize) -> VectorLength {
+        self.cores[core].cur_vl
+    }
+
+    pub(crate) fn pool_has_space(&self, core: usize) -> bool {
+        self.cores[core].pool.len() < self.cfg.pool_entries
+    }
+
+    pub(crate) fn push_vector(
+        &mut self,
+        core: usize,
+        inst: VectorInst,
+        aux: Option<u64>,
+    ) {
+        debug_assert!(self.pool_has_space(core));
+        self.cores[core].pool.push_back(PoolEntry::Vector { inst, aux });
+    }
+
+    pub(crate) fn push_em(&mut self, core: usize, inst: EmSimdInst, operand: u64) {
+        debug_assert!(self.pool_has_space(core));
+        self.cores[core].pool.push_back(PoolEntry::Em { inst, operand });
+    }
+
+    /// The speculative `MRS <decision>` fast path (§4.1.1).
+    pub(crate) fn read_decision(&self, core: usize) -> u64 {
+        self.table.read(core, DedicatedReg::Decision)
+    }
+
+    /// Whether the core has no instructions anywhere in the co-processor.
+    pub(crate) fn is_drained(&self, core: usize) -> bool {
+        self.cores[core].pool.is_empty() && self.cores[core].rob.is_empty()
+    }
+
+    /// MOB query: whether any in-flight vector memory operation of `core`
+    /// overlaps the byte range — covering both the LSU and vector memory
+    /// instructions still queued in the instruction pool (transmitted but
+    /// not yet renamed), using the maximum possible vector width for the
+    /// latter since their lanes are not fixed until rename.
+    pub(crate) fn any_mem_overlap(&self, core: usize, addr: u64, bytes: u64) -> bool {
+        if self.cores[core].lsu.any_overlap(addr, bytes) {
+            return true;
+        }
+        let max_width = (self.cfg.total_granules * 16) as u64;
+        self.cores[core].pool.iter().any(|e| match e {
+            PoolEntry::Vector { inst, aux: Some(a) } if inst.is_mem() => {
+                *a < addr + bytes && addr < *a + max_width
+            }
+            _ => false,
+        })
+    }
+
+    fn mark_rob_done(rob: &mut VecDeque<RobEntry>, seq: u64) {
+        let e = rob.iter_mut().find(|e| e.seq == seq).expect("ROB entry vanished");
+        debug_assert!(!e.done);
+        e.done = true;
+    }
+
+    /// Stage 1: writebacks, load/store completion, retirement.
+    pub(crate) fn complete(&mut self, now: Cycle) -> Vec<ScalarWriteback> {
+        let mut wbs = Vec::new();
+
+        // Compute writebacks.
+        let mut remaining = Vec::with_capacity(self.inflight.len());
+        for f in self.inflight.drain(..) {
+            if f.complete_at <= now {
+                if let Some(dst) = f.dst {
+                    match f.dst_class {
+                        RegClass::Vector => self.prf.write(dst, f.value),
+                        RegClass::Pred => self.ppf.write(dst, f.value),
+                    }
+                }
+                if let Some((reg, value)) = f.scalar_wb {
+                    wbs.push(ScalarWriteback { core: f.core, reg, value });
+                }
+                if self.trace.is_enabled() {
+                    self.trace.record(TraceEvent {
+                        cycle: now,
+                        core: f.core,
+                        seq: f.rob_seq,
+                        stage: TraceStage::Complete,
+                        disasm: String::new(),
+                    });
+                }
+                Self::mark_rob_done(&mut self.cores[f.core].rob, f.rob_seq);
+            } else {
+                remaining.push(f);
+            }
+        }
+        self.inflight = remaining;
+
+        // Memory completions.
+        for core in 0..self.cores.len() {
+            let done = self.cores[core].lsu.drain_completed(now);
+            for e in done {
+                if let Some(dst) = e.dst {
+                    self.prf.write(dst, e.data.expect("load data captured at issue"));
+                }
+                self.trace_event(now, core, e.seq, TraceStage::Complete, String::new());
+                Self::mark_rob_done(&mut self.cores[core].rob, e.seq);
+            }
+        }
+
+        // Retirement: free previous physical registers in order.
+        for core in 0..self.cores.len() {
+            let mut budget = self.cfg.retire_width;
+            while budget > 0 {
+                match self.cores[core].rob.front() {
+                    Some(head) if head.done => {
+                        let head = self.cores[core].rob.pop_front().expect("checked");
+                        self.trace_event(now, core, head.seq, TraceStage::Retire, String::new());
+                        match head.prev_phys {
+                            Some((prev, RegClass::Vector)) => {
+                                let blocks = self.prf.free(prev);
+                                self.blocks.release(&blocks);
+                            }
+                            Some((prev, RegClass::Pred)) => {
+                                let blocks = self.ppf.free(prev);
+                                self.blocks.release_pred(&blocks);
+                            }
+                            None => {}
+                        }
+                        budget -= 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        wbs
+    }
+
+    /// Stage 2: compute and memory issue. Returns per-core issue counts.
+    pub(crate) fn issue(
+        &mut self,
+        now: Cycle,
+        mem: &mut Memory,
+        memsys: &mut MemorySystem,
+    ) -> Vec<IssueCounts> {
+        let ncores = self.cores.len();
+        let mut counts = vec![IssueCounts::default(); ncores];
+        let shared = self.arch == Architecture::TemporalSharing;
+
+        // Compute issue. Under temporal sharing the whole datapath is
+        // owned by one core per cycle (rotating), and other cores only
+        // steal slots the owner leaves idle — which is what produces the
+        // paper's halved per-core issue rates when both cores are busy
+        // (Fig. 2(f)) while still letting a lone core run at full speed.
+        if shared {
+            let mut budget = self.cfg.compute_width;
+            let start = (now as usize) % ncores;
+            for k in 0..ncores {
+                let c = (start + k) % ncores;
+                while budget > 0 && self.try_issue_compute(c, now) {
+                    counts[c].compute += 1;
+                    budget -= 1;
+                }
+            }
+        } else {
+            for c in 0..ncores {
+                for _ in 0..self.cfg.compute_width {
+                    if self.try_issue_compute(c, now) {
+                        counts[c].compute += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Memory issue (same ownership rotation under temporal sharing).
+        if shared {
+            let mut budget = self.cfg.mem_width;
+            let start = (now as usize) % ncores;
+            for k in 0..ncores {
+                let c = (start + k) % ncores;
+                while budget > 0 && self.try_issue_mem(c, now, mem, memsys) {
+                    counts[c].mem += 1;
+                    budget -= 1;
+                }
+            }
+        } else {
+            for c in 0..ncores {
+                for _ in 0..self.cfg.mem_width {
+                    if self.try_issue_mem(c, now, mem, memsys) {
+                        counts[c].mem += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        counts
+    }
+
+    /// Issues the oldest ready compute instruction of `core`, if any.
+    fn try_issue_compute(&mut self, core: usize, now: Cycle) -> bool {
+        let pos = {
+            let ctx = &self.cores[core];
+            ctx.iq
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| {
+                    e.srcs.iter().all(|&s| self.prf.is_ready(s))
+                        && e.pred.is_none_or(|p| self.ppf.is_ready(p))
+                        && e.psrcs.iter().all(|&p| self.ppf.is_ready(p))
+                        && e.merge.is_none_or(|m| self.prf.is_ready(m))
+                })
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(i, _)| i)
+        };
+        let Some(pos) = pos else { return false };
+        let e = self.cores[core].iq.remove(pos);
+        if self.trace.is_enabled() {
+            self.trace_event(now, core, e.seq, TraceStage::Issue, String::new());
+        }
+        let latency = match e.inst.inner() {
+            VectorInst::Binary { op: em_simd::VBinOp::Fdiv, .. }
+            | VectorInst::Unary { op: em_simd::VUnOp::Fsqrt, .. } => self.cfg.exe_latency_long,
+            _ => self.cfg.exe_latency,
+        };
+        let srcs: Vec<&[f32]> = e.srcs.iter().map(|&s| self.prf.read(s)).collect();
+        let mask: Option<&[f32]> = e.pred.map(|p| self.ppf.read(p));
+        let (mut value, scalar_wb) = match e.inst.inner() {
+            VectorInst::Unary { op, .. } => (exec::exec_unary(*op, srcs[0]), None),
+            VectorInst::Binary { op, .. } => (exec::exec_binary(*op, srcs[0], srcs[1]), None),
+            VectorInst::Fma { .. } => (exec::exec_fma(srcs[0], srcs[1], srcs[2]), None),
+            VectorInst::DupImm { imm, .. } => (vec![*imm; e.lanes], None),
+            VectorInst::Dup { .. } => {
+                unreachable!("Dup carries its broadcast value via DupImm rewriting at rename")
+            }
+            VectorInst::ReduceAdd { dst, .. } => {
+                let sum = match mask {
+                    Some(m) => exec::reduce_add_masked(m, srcs[0]),
+                    None => exec::reduce_add(srcs[0]),
+                };
+                (Vec::new(), Some((*dst, sum)))
+            }
+            VectorInst::Whilelo { .. } => {
+                let bounds = e.aux.expect("whilelo bounds captured at transmit");
+                (exec::whilelo(bounds >> 32, bounds & 0xffff_ffff, e.lanes), None)
+            }
+            VectorInst::Fcm { op, .. } => (exec::compare(*op, srcs[0], srcs[1]), None),
+            VectorInst::Sel { .. } => {
+                let sel = self.ppf.read(e.psrcs[0]);
+                (exec::blend(sel, srcs[0], srcs[1]), None)
+            }
+            VectorInst::Load { .. } | VectorInst::Store { .. } => {
+                unreachable!("memory ops live in the LSU")
+            }
+            VectorInst::Predicated { .. } => unreachable!("inner() strips predication"),
+        };
+        // Merging predication: inactive lanes keep the old destination.
+        if let (Some(m), Some(old)) = (mask, e.merge) {
+            value = exec::blend(m, &value, self.prf.read(old));
+        }
+        self.inflight.push(InflightCompute {
+            complete_at: now + latency,
+            core,
+            dst: e.dst,
+            dst_class: e.dst_class,
+            value,
+            scalar_wb,
+            rob_seq: e.seq,
+        });
+        true
+    }
+
+    /// Issues one eligible memory operation of `core`, if any.
+    fn try_issue_mem(
+        &mut self,
+        core: usize,
+        now: Cycle,
+        mem: &mut Memory,
+        memsys: &mut MemorySystem,
+    ) -> bool {
+        let n = self.cores[core].lsu.len();
+        for idx in 0..n {
+            let (store, issued, addr, bytes, lanes, src, pred) = {
+                let e = &self.cores[core].lsu.entries()[idx];
+                (e.store, e.issued, e.addr, e.bytes, e.lanes, e.src, e.pred)
+            };
+            if issued {
+                continue;
+            }
+            if pred.is_some_and(|p| !self.ppf.is_ready(p)) {
+                continue;
+            }
+            let mask: Option<Vec<f32>> = pred.map(|p| self.ppf.read(p).to_vec());
+            if store {
+                if self.cores[core].lsu.store_blocked(idx) {
+                    continue;
+                }
+                let src = src.expect("store has a data source");
+                if !self.prf.is_ready(src) {
+                    continue;
+                }
+                let value = self.prf.read(src).to_vec();
+                match &mask {
+                    // Predicated store: only active lanes are written.
+                    Some(m) => {
+                        for (i, (&active, &v)) in m.iter().zip(&value).enumerate() {
+                            if active != 0.0 {
+                                mem.write_f32(addr + 4 * i as u64, v);
+                            }
+                        }
+                    }
+                    None => mem.write_f32_slice(addr, &value),
+                }
+                let done = memsys.vector_access(now, core, addr, bytes, true);
+                let e = &mut self.cores[core].lsu.entries_mut()[idx];
+                e.issued = true;
+                e.complete_at = Some(done);
+                let seq = self.cores[core].lsu.entries()[idx].seq;
+                self.trace_event(now, core, seq, TraceStage::Issue, String::new());
+                return true;
+            } else {
+                if self.cores[core].lsu.load_blocked(idx) {
+                    continue;
+                }
+                // Predicated loads are zeroing (SVE LD1) and suppress
+                // faults on inactive lanes: only active lanes touch
+                // memory.
+                let data = match &mask {
+                    Some(m) => m
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &active)| {
+                            if active != 0.0 {
+                                mem.read_f32(addr + 4 * i as u64)
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect(),
+                    None => mem.read_f32_slice(addr, lanes),
+                };
+                let done = memsys.vector_access(now, core, addr, bytes, false);
+                let e = &mut self.cores[core].lsu.entries_mut()[idx];
+                e.issued = true;
+                e.complete_at = Some(done);
+                e.data = Some(data);
+                let seq = self.cores[core].lsu.entries()[idx].seq;
+                self.trace_event(now, core, seq, TraceStage::Issue, String::new());
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Stage 3: rename + the EM-SIMD data path. Updates rename-stall and
+    /// phase statistics in `stats`; returns responses for waiting scalar
+    /// cores.
+    pub(crate) fn rename(&mut self, now: Cycle, stats: &mut [CoreStats]) -> Vec<EmResponse> {
+        let mut resps = Vec::new();
+        let mut em_budget = self.cfg.em_width;
+        // Rotate the service order so the shared EM-SIMD data path cannot
+        // be starved by other cores' vector-length retry loops (with a
+        // fixed order, two spinning cores would consume every EM slot and
+        // a third core's lane release would never execute — deadlock).
+        let ncores = self.cores.len();
+        let start = (now as usize) % ncores;
+        for k in 0..ncores {
+            let core = (start + k) % ncores;
+            let mut budget = self.cfg.transmit_width;
+            let mut stalled_on_regs = false;
+            while budget > 0 && !self.cores[core].pool.is_empty() {
+                let front = self.cores[core].pool.front().expect("checked").clone();
+                match front {
+                    PoolEntry::Vector { inst, aux } => {
+                        if !self.rename_vector(core, inst, aux, now, &mut stalled_on_regs) {
+                            break;
+                        }
+                        self.cores[core].pool.pop_front();
+                        budget -= 1;
+                    }
+                    PoolEntry::Em { inst, operand } => {
+                        if em_budget == 0 {
+                            break;
+                        }
+                        match self.exec_em(core, inst, operand, now, stats) {
+                            Some(resp) => {
+                                resps.push(resp);
+                                self.cores[core].pool.pop_front();
+                                em_budget -= 1;
+                                budget -= 1;
+                            }
+                            // Waiting for the pipeline to drain.
+                            None => break,
+                        }
+                    }
+                }
+            }
+            if stalled_on_regs {
+                stats[core].rename_stall_cycles += 1;
+            }
+        }
+        resps
+    }
+
+    /// Renames one vector instruction. Returns `false` when a structural
+    /// or register-file stall blocks the pool head.
+    fn rename_vector(
+        &mut self,
+        core: usize,
+        inst: VectorInst,
+        aux: Option<u64>,
+        now: Cycle,
+        stalled_on_regs: &mut bool,
+    ) -> bool {
+        let (rob_full, lsu_full, iq_full, lanes) = {
+            let ctx = &self.cores[core];
+            (
+                ctx.rob.len() >= self.cfg.rob_entries,
+                ctx.lsu.is_full(),
+                ctx.iq.len() >= self.cfg.iq_entries,
+                ctx.cur_vl.lanes(),
+            )
+        };
+        if rob_full || (inst.is_mem() && lsu_full) || (!inst.is_mem() && iq_full) {
+            return false;
+        }
+        assert!(
+            lanes > 0,
+            "core {core} executed a vector instruction with <VL> = 0 — compiler bug"
+        );
+
+        // Read source mappings before redefining the destination (FMLA
+        // reads its accumulator; merging predication reads the old
+        // destination).
+        let srcs: Vec<PhysId> =
+            inst.vector_srcs().iter().map(|v| self.cores[core].rename_map[v.index()]).collect();
+        let pred_phys =
+            inst.governing_pred().map(|p| self.cores[core].pred_rename[p.index()]);
+        let psrcs: Vec<PhysId> = inst
+            .pred_srcs()
+            .iter()
+            .map(|p| self.cores[core].pred_rename[p.index()])
+            .collect();
+        // Merging predication needs the prior destination value — but only
+        // for compute; predicated loads are zeroing.
+        let merge = match (&inst, inst.vector_dst()) {
+            (VectorInst::Predicated { .. }, Some(d)) if !inst.is_mem() => {
+                Some(self.cores[core].rename_map[d.index()])
+            }
+            _ => None,
+        };
+
+        let mut prev_phys = None;
+        let mut dst_phys = None;
+        let mut dst_class = RegClass::Vector;
+        if let Some(d) = inst.vector_dst() {
+            let spans = self.cores[core].spans.clone();
+            if !self.blocks.try_reserve(&spans) {
+                *stalled_on_regs = true;
+                return false;
+            }
+            let id = self.prf.alloc(spans);
+            prev_phys = Some((self.cores[core].rename_map[d.index()], RegClass::Vector));
+            self.cores[core].rename_map[d.index()] = id;
+            dst_phys = Some(id);
+        } else if let Some(p) = inst.pred_dst() {
+            let spans = self.cores[core].spans.clone();
+            if !self.blocks.try_reserve_pred(&spans) {
+                *stalled_on_regs = true;
+                return false;
+            }
+            let id = self.ppf.alloc(spans);
+            prev_phys = Some((self.cores[core].pred_rename[p.index()], RegClass::Pred));
+            self.cores[core].pred_rename[p.index()] = id;
+            dst_phys = Some(id);
+            dst_class = RegClass::Pred;
+        }
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.cores[core].rob.push_back(RobEntry { seq, done: false, prev_phys });
+        if self.trace.is_enabled() {
+            self.trace_event(now, core, seq, TraceStage::Rename, inst.to_string());
+        }
+
+        if inst.is_mem() {
+            let store = matches!(inst.inner(), VectorInst::Store { .. });
+            let src = match inst.inner() {
+                VectorInst::Store { src, .. } => Some(self.cores[core].rename_map[src.index()]),
+                _ => None,
+            };
+            self.cores[core].lsu.push(LsuEntry {
+                seq,
+                store,
+                addr: aux.expect("memory instruction carries its address"),
+                bytes: (lanes * 4) as u64,
+                lanes,
+                dst: dst_phys,
+                src,
+                issued: false,
+                complete_at: None,
+                data: None,
+                pred: pred_phys,
+            });
+        } else {
+            // Rewrite scalar broadcasts into immediate broadcasts: the
+            // scalar value was captured by the scalar core at transmit
+            // time (Table 2: scalar operands are ready by then).
+            let inst = match (inst, aux) {
+                (VectorInst::Dup { dst, .. }, Some(bits)) => {
+                    VectorInst::DupImm { dst, imm: f32::from_bits(bits as u32) }
+                }
+                (i, _) => i,
+            };
+            self.cores[core].iq.push(IqEntry {
+                seq,
+                inst,
+                srcs,
+                dst: dst_phys,
+                dst_class,
+                pred: pred_phys,
+                psrcs,
+                merge,
+                aux,
+                lanes,
+            });
+        }
+        true
+    }
+
+    /// Executes one EM-SIMD instruction on the in-order EM-SIMD data
+    /// path. Returns `None` when the instruction must wait (pipeline not
+    /// drained for `MSR <VL>`).
+    fn exec_em(
+        &mut self,
+        core: usize,
+        inst: EmSimdInst,
+        operand: u64,
+        now: Cycle,
+        stats: &mut [CoreStats],
+    ) -> Option<EmResponse> {
+        match inst {
+            EmSimdInst::Msr { reg, .. } => {
+                match reg {
+                    DedicatedReg::Oi => self.write_oi(core, operand, now, stats),
+                    DedicatedReg::Vl => {
+                        // §4.2.2: the vector length only changes once the
+                        // core's SIMD pipeline is drained.
+                        if !self.cores[core].rob.is_empty() {
+                            return None;
+                        }
+                        debug_assert!(self.cores[core].lsu.is_empty());
+                        let granules = (operand as usize).min(64);
+                        let ok = self.try_set_vl(core, granules);
+                        self.cores[core].status = u64::from(ok);
+                        if ok {
+                            if let Some(p) = self.cores[core].open_phase {
+                                stats[core].phases[p].configured_granules = granules;
+                            }
+                        }
+                    }
+                    DedicatedReg::Decision => self.table.write(core, DedicatedReg::Decision, operand),
+                    DedicatedReg::Status => self.cores[core].status = operand,
+                    DedicatedReg::Al => { /* read-only to software; ignore */ }
+                }
+                Some(EmResponse { core, write_x: None })
+            }
+            EmSimdInst::Mrs { dst, reg } => {
+                let value = self.read_dedicated(core, reg);
+                Some(EmResponse { core, write_x: Some((dst, value)) })
+            }
+        }
+    }
+
+    fn read_dedicated(&self, core: usize, reg: DedicatedReg) -> u64 {
+        match reg {
+            DedicatedReg::Oi | DedicatedReg::Decision => self.table.read(core, reg),
+            DedicatedReg::Vl => self.cores[core].cur_vl.granules() as u64,
+            DedicatedReg::Status => self.cores[core].status,
+            DedicatedReg::Al => {
+                if self.arch == Architecture::TemporalSharing {
+                    0
+                } else {
+                    self.table.free_granules() as u64
+                }
+            }
+        }
+    }
+
+    /// Handles a write to `<OI>`: records phase boundaries and (on
+    /// Occamy) triggers the lane manager to publish a new partition plan
+    /// in every core's `<decision>` (§5).
+    fn write_oi(&mut self, core: usize, operand: u64, now: Cycle, stats: &mut [CoreStats]) {
+        self.table.write(core, DedicatedReg::Oi, operand);
+        let oi = OperationalIntensity::from_bits(operand);
+        if oi.is_phase_end() {
+            if let Some(p) = self.cores[core].open_phase.take() {
+                let phase = &mut stats[core].phases[p];
+                phase.end_cycle = Some(now);
+                phase.compute_issued = stats[core].vector_compute_issued
+                    + stats[core].vector_mem_issued
+                    - self.cores[core].phase_start_issued;
+            }
+        } else {
+            self.cores[core].phase_start_issued =
+                stats[core].vector_compute_issued + stats[core].vector_mem_issued;
+            stats[core].phases.push(PhaseStats {
+                oi,
+                start_cycle: now,
+                end_cycle: None,
+                compute_issued: 0,
+                configured_granules: self.cores[core].cur_vl.granules(),
+            });
+            self.cores[core].open_phase = Some(stats[core].phases.len() - 1);
+        }
+
+        self.replan();
+    }
+
+    /// Re-runs the lane manager over the current `<OI>` registers and
+    /// publishes the plan in every core's `<decision>` (no-op on the
+    /// baseline architectures, which have no lane manager).
+    fn replan(&mut self) {
+        if let Some(mgr) = &self.mgr {
+            let demands: Vec<PhaseDemand> = (0..self.cores.len())
+                .map(|c| {
+                    let oi =
+                        OperationalIntensity::from_bits(self.table.read(c, DedicatedReg::Oi));
+                    if oi.is_phase_end() {
+                        PhaseDemand::Idle
+                    } else {
+                        PhaseDemand::Active(oi)
+                    }
+                })
+                .collect();
+            let plan = mgr.plan(&demands);
+            for c in 0..self.cores.len() {
+                self.table.write(c, DedicatedReg::Decision, plan.vl(c).granules() as u64);
+            }
+        }
+    }
+
+    /// OS context save (§5): with the core's pipelines drained, captures
+    /// the dedicated registers and the architectural vector state, then
+    /// releases the core's lanes and re-triggers partitioning so the
+    /// co-running workloads can absorb them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is not drained.
+    pub(crate) fn os_save(&mut self, core: usize) -> OsContext {
+        assert!(self.is_drained(core), "context save requires drained pipelines (§5)");
+        let ctx = OsContext {
+            oi: self.table.read(core, DedicatedReg::Oi),
+            decision: self.table.read(core, DedicatedReg::Decision),
+            vl: self.cores[core].cur_vl.granules(),
+            status: self.cores[core].status,
+            vregs: (0..NUM_VREGS)
+                .map(|v| self.prf.read(self.cores[core].rename_map[v]).to_vec())
+                .collect(),
+            pregs: (0..NUM_PREGS)
+                .map(|p| self.ppf.read(self.cores[core].pred_rename[p]).to_vec())
+                .collect(),
+        };
+        let released = self.try_set_vl(core, 0);
+        debug_assert!(released, "releasing lanes cannot fail");
+        self.table.write(core, DedicatedReg::Oi, 0);
+        self.replan();
+        ctx
+    }
+
+    /// OS context restore (§5): re-declares the saved `<OI>` (triggering
+    /// a new partition), then attempts to re-acquire the saved vector
+    /// length and vector state. Returns `false` while the lanes are not
+    /// yet available — the OS retries as co-runners shed lanes.
+    pub(crate) fn os_try_restore(&mut self, core: usize, ctx: &OsContext) -> bool {
+        assert!(self.is_drained(core), "context restore requires a quiesced core");
+        self.table.write(core, DedicatedReg::Oi, ctx.oi);
+        self.replan();
+        if !self.try_set_vl(core, ctx.vl) {
+            return false;
+        }
+        self.cores[core].status = ctx.status;
+        self.table.write(core, DedicatedReg::Decision, ctx.decision);
+        // Restore the architectural vector values at the re-acquired
+        // width (alloc_arch_regs left them zeroed).
+        for (v, value) in ctx.vregs.iter().enumerate() {
+            let id = self.cores[core].rename_map[v];
+            let blocks = self.prf.free(id);
+            self.cores[core].rename_map[v] = self.prf.alloc_ready(blocks, value.clone());
+        }
+        for (p, value) in ctx.pregs.iter().enumerate() {
+            let id = self.cores[core].pred_rename[p];
+            let blocks = self.ppf.free(id);
+            self.cores[core].pred_rename[p] = self.ppf.alloc_ready(blocks, value.clone());
+        }
+        true
+    }
+
+    /// Attempts the architecture-specific vector-length reconfiguration.
+    /// The caller has verified the core's pipeline is drained.
+    fn try_set_vl(&mut self, core: usize, granules: usize) -> bool {
+        match &self.arch {
+            Architecture::TemporalSharing => {
+                // Temporal sharing runs every core at full width.
+                if granules != 0 && granules != self.cfg.total_granules {
+                    return false;
+                }
+                let spans: Vec<usize> =
+                    if granules == 0 { Vec::new() } else { (0..self.cfg.total_granules).collect() };
+                // The free lists are shared: the other cores' in-flight
+                // registers may leave no room for this core's
+                // architectural state. Fail (status 0) and let the
+                // software retry — a real contention cost of temporal
+                // sharing.
+                let old = self.cores[core].spans.clone();
+                let fits = spans.iter().all(|b| {
+                    let released = if old.contains(b) { NUM_VREGS } else { 0 };
+                    let released_p = if old.contains(b) { NUM_PREGS } else { 0 };
+                    self.blocks.free_entries(*b) + released >= NUM_VREGS
+                        && self.blocks.free_pred_entries(*b) + released_p >= NUM_PREGS
+                });
+                if !fits {
+                    return false;
+                }
+                self.reset_core_regs(core, spans, granules);
+                true
+            }
+            _ => {
+                if self.table.try_reconfigure(core, VectorLength::new(granules)).is_err() {
+                    return false;
+                }
+                self.release_arch_regs(core);
+                let spans = self.blocks.reassign(core, granules);
+                self.alloc_arch_regs(core, spans, granules);
+                true
+            }
+        }
+    }
+
+    fn reset_core_regs(&mut self, core: usize, spans: Vec<usize>, granules: usize) {
+        self.release_arch_regs(core);
+        self.alloc_arch_regs(core, spans, granules);
+    }
+
+    fn release_arch_regs(&mut self, core: usize) {
+        for v in 0..NUM_VREGS {
+            let id = self.cores[core].rename_map[v];
+            let blocks = self.prf.free(id);
+            self.blocks.release(&blocks);
+        }
+        for p in 0..NUM_PREGS {
+            let id = self.cores[core].pred_rename[p];
+            let blocks = self.ppf.free(id);
+            self.blocks.release_pred(&blocks);
+        }
+    }
+
+    fn alloc_arch_regs(&mut self, core: usize, spans: Vec<usize>, granules: usize) {
+        debug_assert!(
+            spans.iter().all(|&b| {
+                matches!(self.blocks.owner(b), crate::regblocks::BlockOwner::Shared)
+                    || self.blocks.spans_for(core).contains(&b)
+            }),
+            "core {core} allocating registers in blocks it does not own"
+        );
+        for v in 0..NUM_VREGS {
+            let reserved = self.blocks.try_reserve(&spans);
+            assert!(reserved, "architectural registers must always fit (32 of {})",
+                self.cfg.vregs_per_block);
+            let id = self.prf.alloc_ready(spans.clone(), PhysRegFile::zero_value(granules));
+            self.cores[core].rename_map[v] = id;
+        }
+        for p in 0..NUM_PREGS {
+            let reserved = self.blocks.try_reserve_pred(&spans);
+            assert!(reserved, "architectural predicates must always fit (8 of {})",
+                self.cfg.pregs_per_block);
+            let id = self.ppf.alloc_ready(spans.clone(), PhysRegFile::zero_value(granules));
+            self.cores[core].pred_rename[p] = id;
+        }
+        self.cores[core].cur_vl = VectorLength::new(granules);
+        self.cores[core].spans = spans;
+    }
+
+    /// Debug/test hook: the number of free entries in each block.
+    pub(crate) fn block_free_entries(&self) -> Vec<usize> {
+        (0..self.blocks.num_blocks()).map(|b| self.blocks.free_entries(b)).collect()
+    }
+
+    /// Debug/test hook: the current architectural value of a vector
+    /// register.
+    pub(crate) fn read_vreg(&self, core: usize, v: VReg) -> Vec<f32> {
+        self.prf.read(self.cores[core].rename_map[v.index()]).to_vec()
+    }
+}

@@ -1,0 +1,155 @@
+//! Pure functional semantics of vector compute operations.
+
+use em_simd::{VBinOp, VCmpOp, VUnOp};
+
+/// Applies a unary lane-wise operation.
+pub fn exec_unary(op: VUnOp, src: &[f32]) -> Vec<f32> {
+    src.iter()
+        .map(|&x| match op {
+            VUnOp::Fneg => -x,
+            VUnOp::Fabs => x.abs(),
+            VUnOp::Fsqrt => x.sqrt(),
+        })
+        .collect()
+}
+
+/// Applies a binary lane-wise operation.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ (a renamer invariant violation).
+pub fn exec_binary(op: VBinOp, a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "vector width mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| match op {
+            VBinOp::Fadd => x + y,
+            VBinOp::Fsub => x - y,
+            VBinOp::Fmul => x * y,
+            VBinOp::Fdiv => x / y,
+            VBinOp::Fmax => x.max(y),
+            VBinOp::Fmin => x.min(y),
+        })
+        .collect()
+}
+
+/// Fused multiply-add: `acc[i] + a[i] * b[i]` per lane.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn exec_fma(acc: &[f32], a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert!(acc.len() == a.len() && a.len() == b.len(), "vector width mismatch");
+    acc.iter().zip(a).zip(b).map(|((&c, &x), &y)| x.mul_add(y, c)).collect()
+}
+
+/// Horizontal sum over all lanes (SVE `FADDV` semantics: strict
+/// left-to-right order, so results are deterministic for any lane count).
+pub fn reduce_add(src: &[f32]) -> f32 {
+    src.iter().fold(0.0, |acc, &x| acc + x)
+}
+
+/// Merging predication: `mask[i] ? new[i] : old[i]` per lane.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn blend(mask: &[f32], new: &[f32], old: &[f32]) -> Vec<f32> {
+    assert!(mask.len() == new.len() && new.len() == old.len(), "vector width mismatch");
+    mask.iter()
+        .zip(new.iter().zip(old))
+        .map(|(&m, (&n, &o))| if m != 0.0 { n } else { o })
+        .collect()
+}
+
+/// Predicated horizontal sum: only active lanes contribute.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn reduce_add_masked(mask: &[f32], src: &[f32]) -> f32 {
+    assert_eq!(mask.len(), src.len(), "vector width mismatch");
+    mask.iter().zip(src).fold(0.0, |acc, (&m, &x)| if m != 0.0 { acc + x } else { acc })
+}
+
+/// The WHILELO predicate: lane `i` is active iff `a + i < b`
+/// (represented as 1.0/0.0 per lane).
+pub fn whilelo(a: u64, b: u64, lanes: usize) -> Vec<f32> {
+    (0..lanes as u64).map(|i| if a + i < b { 1.0 } else { 0.0 }).collect()
+}
+
+/// Lane-wise comparison producing a predicate mask (SVE `FCMxx`).
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn compare(op: VCmpOp, a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "vector width mismatch");
+    a.iter().zip(b).map(|(&x, &y)| if op.eval(x, y) { 1.0 } else { 0.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(exec_unary(VUnOp::Fneg, &[1.0, -2.0]), vec![-1.0, 2.0]);
+        assert_eq!(exec_unary(VUnOp::Fabs, &[-3.0, 4.0]), vec![3.0, 4.0]);
+        assert_eq!(exec_unary(VUnOp::Fsqrt, &[9.0, 16.0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn binary_ops() {
+        assert_eq!(exec_binary(VBinOp::Fadd, &[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(exec_binary(VBinOp::Fsub, &[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(exec_binary(VBinOp::Fmul, &[2.0, 3.0], &[4.0, 5.0]), vec![8.0, 15.0]);
+        assert_eq!(exec_binary(VBinOp::Fdiv, &[8.0, 9.0], &[2.0, 3.0]), vec![4.0, 3.0]);
+        assert_eq!(exec_binary(VBinOp::Fmax, &[1.0, 5.0], &[2.0, 3.0]), vec![2.0, 5.0]);
+        assert_eq!(exec_binary(VBinOp::Fmin, &[1.0, 5.0], &[2.0, 3.0]), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn fma_is_fused() {
+        let r = exec_fma(&[1.0], &[2.0], &[3.0]);
+        assert_eq!(r, vec![7.0]);
+    }
+
+    #[test]
+    fn reduce_is_left_to_right() {
+        assert_eq!(reduce_add(&[1.0, 2.0, 3.0, 4.0]), 10.0);
+        assert_eq!(reduce_add(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = exec_binary(VBinOp::Fadd, &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn blend_merges_by_mask() {
+        let r = blend(&[1.0, 0.0, 1.0], &[9.0, 9.0, 9.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(r, vec![9.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn masked_reduce_skips_inactive() {
+        assert_eq!(reduce_add_masked(&[1.0, 0.0, 1.0], &[5.0, 100.0, 7.0]), 12.0);
+    }
+
+    #[test]
+    fn compare_produces_masks() {
+        let m = compare(VCmpOp::Gt, &[1.0, 5.0, 3.0], &[2.0, 2.0, 3.0]);
+        assert_eq!(m, vec![0.0, 1.0, 0.0]);
+        let m = compare(VCmpOp::Le, &[1.0, 5.0, 3.0], &[2.0, 2.0, 3.0]);
+        assert_eq!(m, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn whilelo_counts_remaining() {
+        assert_eq!(whilelo(6, 8, 4), vec![1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(whilelo(8, 8, 4), vec![0.0; 4]);
+        assert_eq!(whilelo(0, 100, 4), vec![1.0; 4]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # The Occamy cycle-level simulator
+//!
+//! A from-scratch cycle-level model of a multi-core processor with a
+//! shared SIMD co-processor, reproducing the simulation substrate of the
+//! Occamy paper (ASPLOS '23, §4 and §7). Four SIMD architectures are
+//! supported (Fig. 1):
+//!
+//! * [`Architecture::Private`] — fixed core-private lanes,
+//! * [`Architecture::TemporalSharing`] — FTS, full-width time-multiplexed
+//!   sharing with shared issue arbitration and shared physical registers,
+//! * [`Architecture::StaticSpatialSharing`] — VLS, a fixed lane partition,
+//! * [`Architecture::Occamy`] — elastic spatial sharing driven by the
+//!   lane manager and the EM-SIMD ISA.
+//!
+//! The simulator executes programs **functionally** (real `f32` values in
+//! a real memory image) *and* **temporally** (an out-of-order
+//! co-processor pipeline over a bandwidth-regulated cache hierarchy), so
+//! tests can check both that elastic vector-length reconfiguration is
+//! semantically transparent and that the performance phenomena of the
+//! paper emerge.
+//!
+//! # Examples
+//!
+//! See [`Machine`] for an end-to-end example; the `workloads` crate
+//! produces ready-made co-running workload pairs.
+
+mod area;
+mod config;
+mod coproc;
+mod exec;
+mod lsu;
+mod machine;
+mod regblocks;
+mod scalar;
+mod stats;
+mod trace;
+mod viz;
+
+pub use area::{AreaBreakdown, AreaComponent};
+pub use config::{Architecture, SimConfig};
+pub use machine::{ConfigError, Machine, SavedTask};
+pub use stats::{CoreStats, MachineStats, PhaseStats, Timeline, TimelineBucket};
+pub use trace::{render_pipeview, to_kanata, Trace, TraceEvent, TraceStage};
+pub use viz::render_lane_timeline;

@@ -1,0 +1,479 @@
+//! The top-level machine: scalar cores + co-processor + memory.
+
+use em_simd::{DedicatedReg, EmSimdInst, Inst, InstTag, Operand, Program, ScalarInst, VectorInst};
+use mem_sim::{Cycle, MemStats, Memory, MemorySystem};
+
+use crate::config::{Architecture, SimConfig};
+use crate::coproc::{CoProcessor, OsContext};
+use crate::scalar::{ScalarCore, Wait};
+use crate::stats::{CoreStats, MachineStats, Timeline};
+
+/// Width of the timeline buckets, matching the paper's plots
+/// ("each point represents a set of 1000 consecutive cycles", Fig. 2).
+const TIMELINE_BUCKET: Cycle = 1000;
+
+/// A complete simulated machine: `C` scalar cores sharing one SIMD
+/// co-processor (of the selected [`Architecture`]) and the Table 4 memory
+/// hierarchy.
+///
+/// # Examples
+///
+/// Run a one-instruction workload on core 0 of an Occamy machine:
+///
+/// ```
+/// use occamy_sim::{Machine, SimConfig, Architecture};
+/// use mem_sim::Memory;
+/// use em_simd::ProgramBuilder;
+///
+/// # fn main() -> Result<(), occamy_sim::ConfigError> {
+/// let mut b = ProgramBuilder::new();
+/// b.halt();
+/// let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, Memory::new(4096))?;
+/// m.load_program(0, b.build());
+/// let stats = m.run(1_000);
+/// assert!(stats.completed);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: SimConfig,
+    mem: Memory,
+    memsys: MemorySystem,
+    scalar: Vec<ScalarCore>,
+    coproc: CoProcessor,
+    cycle: Cycle,
+    core_stats: Vec<CoreStats>,
+    timeline: Timeline,
+}
+
+/// A task preempted by [`Machine::preempt`]: the scalar core state plus
+/// the EM-SIMD context (§5). Opaque; hand it back to
+/// [`Machine::resume`].
+#[derive(Debug, Clone)]
+pub struct SavedTask {
+    scalar: ScalarCore,
+    em: OsContext,
+}
+
+/// Error returned when a machine configuration and architecture are
+/// inconsistent (e.g. an over-subscribed static partition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid machine configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Machine {
+    /// Builds a machine over the given functional memory image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `arch` is inconsistent with `cfg`.
+    pub fn new(cfg: SimConfig, arch: Architecture, mem: Memory) -> Result<Self, ConfigError> {
+        cfg.validate_arch(&arch).map_err(ConfigError)?;
+        let memsys = MemorySystem::new(cfg.mem);
+        let scalar = (0..cfg.cores).map(|_| ScalarCore::idle()).collect();
+        let coproc = CoProcessor::new(cfg.clone(), arch);
+        let core_stats = vec![CoreStats::default(); cfg.cores];
+        let timeline = Timeline::new(cfg.cores, TIMELINE_BUCKET);
+        Ok(Machine { cfg, mem, memsys, scalar, coproc, cycle: 0, core_stats, timeline })
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Loads `program` onto `core` (resetting that core's registers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn load_program(&mut self, core: usize, program: Program) {
+        self.scalar[core].load(program);
+    }
+
+    /// The functional memory image (for reading back results).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to the functional memory (for initialising inputs
+    /// after construction).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Memory-hierarchy statistics.
+    pub fn mem_stats(&self) -> MemStats {
+        self.memsys.stats()
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// The co-processor's resource table (dedicated-register state).
+    pub fn resource_table(&self) -> &lane_manager::ResourceTable {
+        self.coproc.table()
+    }
+
+    /// The vector length currently configured for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn vl(&self, core: usize) -> em_simd::VectorLength {
+        self.coproc.cur_vl(core)
+    }
+
+    /// Diagnostic: the architectural value of a vector register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn vreg(&self, core: usize, v: em_simd::VReg) -> Vec<f32> {
+        self.coproc.read_vreg(core, v)
+    }
+
+    /// Diagnostic: free physical-register entries per RegBlk.
+    pub fn block_free_entries(&self) -> Vec<usize> {
+        self.coproc.block_free_entries()
+    }
+
+    /// Enables instruction-lifecycle tracing, retaining the most recent
+    /// `capacity` events (see [`render_pipeview`](crate::render_pipeview)).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.coproc.trace = crate::trace::Trace::with_capacity(capacity);
+    }
+
+    /// The recorded trace (empty unless [`enable_trace`](Self::enable_trace)
+    /// was called).
+    pub fn trace(&self) -> &crate::trace::Trace {
+        &self.coproc.trace
+    }
+
+    /// Whether every workload has halted and the co-processor is drained.
+    pub fn done(&self) -> bool {
+        (0..self.scalar.len()).all(|c| self.core_done(c))
+    }
+
+    /// Whether `core`'s current program has halted and its co-processor
+    /// context is drained (i.e. the core can take a new program or a
+    /// [`resume`](Machine::resume) without a drain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_done(&self, core: usize) -> bool {
+        self.scalar[core].halted && self.coproc.is_drained(core)
+    }
+
+    /// Runs until every workload completes or `max_cycles` elapse, then
+    /// returns the statistics. Check [`MachineStats::completed`] to see
+    /// whether the budget was hit.
+    pub fn run(&mut self, max_cycles: Cycle) -> MachineStats {
+        while self.cycle < max_cycles && !self.done() {
+            self.tick();
+        }
+        self.stats()
+    }
+
+    /// A snapshot of the statistics so far.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            cycles: self.cycle,
+            cores: self.core_stats.clone(),
+            timeline: self.timeline.snapshot(self.cycle),
+            total_lanes: self.cfg.total_lanes(),
+            completed: self.done(),
+        }
+    }
+
+    /// OS context switch, part 1 (§5): freezes `core`'s front end, runs
+    /// the machine until the core's pipelines drain (the co-runners keep
+    /// executing), saves the EM-SIMD context and the scalar state, and
+    /// releases the core's lanes — triggering a repartition that lets the
+    /// co-running workloads absorb them.
+    ///
+    /// The core is left idle; load a new program or [`resume`] a saved
+    /// task onto it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core fails to drain within `max_drain_cycles` (a
+    /// wedged workload).
+    ///
+    /// [`resume`]: Machine::resume
+    pub fn preempt(&mut self, core: usize, max_drain_cycles: Cycle) -> SavedTask {
+        self.scalar[core].frozen = true;
+        let deadline = self.cycle + max_drain_cycles;
+        while !(self.coproc.is_drained(core) && self.scalar[core].wait == Wait::Ready) {
+            assert!(self.cycle < deadline, "core {core} failed to drain for preemption");
+            self.tick();
+        }
+        let em = self.coproc.os_save(core);
+        let scalar = std::mem::replace(&mut self.scalar[core], ScalarCore::idle());
+        SavedTask { scalar, em }
+    }
+
+    /// OS context switch, part 2 (§5): restores a preempted task onto
+    /// `core`. Re-declares the task's `<OI>` (triggering a repartition)
+    /// and retries acquiring its saved vector length while the machine
+    /// runs, exactly as an OS restore loop would; the task then continues
+    /// from where it was preempted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lanes cannot be re-acquired within
+    /// `max_wait_cycles`, or if `core` is not idle.
+    pub fn resume(&mut self, core: usize, task: SavedTask, max_wait_cycles: Cycle) {
+        assert!(
+            (self.scalar[core].program.is_none() || self.scalar[core].halted)
+                && self.coproc.is_drained(core),
+            "resume target core {core} is busy"
+        );
+        let deadline = self.cycle + max_wait_cycles;
+        while !self.coproc.os_try_restore(core, &task.em) {
+            assert!(self.cycle < deadline, "core {core} could not re-acquire its lanes");
+            self.tick();
+        }
+        let mut scalar = task.scalar;
+        scalar.frozen = false;
+        self.scalar[core] = scalar;
+        // The workload was mid-run before; clear its finish marker in
+        // case the drain recorded one.
+        self.core_stats[core].finish_cycle = None;
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn tick(&mut self) {
+        let now = self.cycle;
+
+        // Stage 1: completions and scalar writebacks.
+        for core in &mut self.scalar {
+            core.complete_scalar_loads(now);
+        }
+        for wb in self.coproc.complete(now) {
+            self.scalar[wb.core].write_f32(wb.reg, wb.value);
+            self.scalar[wb.core].pending_x[wb.reg.index()] = false;
+        }
+
+        // Stage 2: issue; accumulate occupancy statistics.
+        let issued = self.coproc.issue(now, &mut self.mem, &mut self.memsys);
+        let mut busy = vec![0.0; self.cfg.cores];
+        let mut alloc = vec![0usize; self.cfg.cores];
+        for c in 0..self.cfg.cores {
+            let lanes = self.coproc.cur_vl(c).lanes();
+            self.core_stats[c].vector_compute_issued += issued[c].compute;
+            self.core_stats[c].vector_mem_issued += issued[c].mem;
+            // Average occupancy over the compute and ld/st data paths.
+            busy[c] = lanes as f64
+                * (issued[c].compute as f64 / self.cfg.compute_width as f64
+                    + issued[c].mem as f64 / self.cfg.mem_width as f64)
+                / 2.0;
+            self.core_stats[c].busy_lane_cycles += busy[c];
+            alloc[c] = lanes;
+            self.core_stats[c].alloc_lane_cycles += lanes as u64;
+        }
+
+        // Stage 3: rename + EM-SIMD data path.
+        for resp in self.coproc.rename(now, &mut self.core_stats) {
+            if let Some((reg, value)) = resp.write_x {
+                self.scalar[resp.core].x[reg.index()] = value;
+            }
+            self.scalar[resp.core].wait = Wait::Ready;
+        }
+
+        // Stage 4: scalar cores execute and transmit.
+        for c in 0..self.cfg.cores {
+            self.step_scalar(c, now);
+        }
+
+        // A workload is finished once its core halted *and* its last
+        // vector instructions drained from the co-processor.
+        for c in 0..self.cfg.cores {
+            if self.scalar[c].halted
+                && self.core_stats[c].finish_cycle.is_none()
+                && self.coproc.is_drained(c)
+                && self.scalar[c].program.is_some()
+            {
+                self.core_stats[c].finish_cycle = Some(now);
+            }
+        }
+
+        self.timeline.record(now, &busy, &alloc);
+        self.cycle += 1;
+    }
+
+    fn attribute_overhead(&mut self, core: usize, tag: InstTag, amount: f64) {
+        match tag {
+            InstTag::Monitor => self.core_stats[core].monitor_cycles += amount,
+            InstTag::Reconfigure | InstTag::PhasePrologue | InstTag::PhaseEpilogue => {
+                self.core_stats[core].reconfig_cycles += amount;
+            }
+            InstTag::Body => {}
+        }
+    }
+
+    /// Executes up to `scalar_width` instructions on core `c`.
+    fn step_scalar(&mut self, c: usize, now: Cycle) {
+        if self.scalar[c].frozen {
+            return;
+        }
+        match self.scalar[c].wait {
+            Wait::EmAck => {
+                // Still blocked on the EM-SIMD data path (e.g. a pipeline
+                // drain for MSR <VL>): attribute the stall cycle.
+                let tag = self.scalar[c].wait_tag;
+                self.attribute_overhead(c, tag, 1.0);
+                return;
+            }
+            Wait::Ready => {}
+        }
+        if self.scalar[c].halted {
+            return;
+        }
+        let weight = 1.0 / self.cfg.scalar_width as f64;
+        let mut budget = self.cfg.scalar_width;
+        // Overhead instructions (partition monitor, prologue/epilogue)
+        // are only charged when the front end is saturated this cycle —
+        // on an 8-issue core they usually ride in slack slots, which is
+        // why the paper measures monitoring at ~0.3%.
+        let mut deferred: Vec<(InstTag, f64)> = Vec::new();
+        while budget > 0 && !self.scalar[c].halted {
+            let (inst, tag) = {
+                let p = self.scalar[c].program.as_ref().expect("running core has a program");
+                (p.fetch(self.scalar[c].pc).clone(), p.tag(self.scalar[c].pc))
+            };
+            match inst {
+                Inst::Halt => {
+                    self.scalar[c].halted = true;
+                }
+                Inst::Scalar(s) if s.is_mem() => {
+                    if self.scalar[c].blocked_on_pending(&s) {
+                        break;
+                    }
+                    // Bound scalar memory-level parallelism.
+                    if self.scalar[c].pending_loads.len() >= 8 {
+                        break;
+                    }
+                    let (base, index, store) = match s {
+                        ScalarInst::Ldr { base, index, .. } => (base, index, false),
+                        ScalarInst::Str { base, index, .. } => (base, index, true),
+                        _ => unreachable!(),
+                    };
+                    let addr = self.scalar[c].x[base.index()]
+                        .wrapping_add(self.scalar[c].x[index.index()].wrapping_mul(4));
+                    // Table 2 address-overlap ordering: wait for in-flight
+                    // vector memory ops covering this address.
+                    if self.coproc.any_mem_overlap(c, addr, 4) {
+                        break;
+                    }
+                    let done = self.memsys.scalar_access(now, c, addr, store);
+                    match s {
+                        ScalarInst::Ldr { dst, .. } => {
+                            // Non-blocking: dependents interlock on the
+                            // pending flag until the data arrives.
+                            let v = self.mem.read_u32(addr);
+                            self.scalar[c].x[dst.index()] = u64::from(v);
+                            self.scalar[c].pending_x[dst.index()] = true;
+                            self.scalar[c].pending_loads.push((done, dst));
+                        }
+                        ScalarInst::Str { src, .. } => {
+                            let v = self.scalar[c].x[src.index()] as u32;
+                            self.mem.write_u32(addr, v);
+                        }
+                        _ => unreachable!(),
+                    }
+                    self.scalar[c].pc += 1;
+                    self.core_stats[c].scalar_executed += 1;
+                    self.attribute_overhead(c, tag, weight);
+                    budget -= 1;
+                }
+                Inst::Scalar(s) => {
+                    if self.scalar[c].blocked_on_pending(&s) {
+                        break;
+                    }
+                    self.scalar[c].exec_pure(&s);
+                    self.core_stats[c].scalar_executed += 1;
+                    deferred.push((tag, weight));
+                    budget -= 1;
+                }
+                Inst::Vector(v) => {
+                    let pending = v
+                        .scalar_srcs()
+                        .iter()
+                        .any(|r| self.scalar[c].pending_x[r.index()]);
+                    if pending || !self.coproc.pool_has_space(c) {
+                        break;
+                    }
+                    // Capture the scalar payload at transmit time
+                    // (Table 2: scalar operands are ready here).
+                    let aux = match v.inner() {
+                        VectorInst::Load { base, index, .. }
+                        | VectorInst::Store { base, index, .. } => Some(
+                            self.scalar[c].x[base.index()]
+                                .wrapping_add(self.scalar[c].x[index.index()].wrapping_mul(4)),
+                        ),
+                        VectorInst::Dup { src, .. } => Some(self.scalar[c].x[src.index()]),
+                        VectorInst::Whilelo { a, b, .. } => {
+                            let lo = self.scalar[c].x[a.index()] as u32;
+                            let hi = self.scalar[c].x[b.index()] as u32;
+                            Some((u64::from(lo) << 32) | u64::from(hi))
+                        }
+                        _ => None,
+                    };
+                    if let Some(d) = v.scalar_dst() {
+                        self.scalar[c].pending_x[d.index()] = true;
+                    }
+                    self.coproc.push_vector(c, v, aux);
+                    self.scalar[c].pc += 1;
+                    deferred.push((tag, weight));
+                    budget -= 1;
+                }
+                Inst::EmSimd(e) => {
+                    // MRS <decision> is satisfied speculatively (§4.1.1).
+                    if let EmSimdInst::Mrs { dst, reg: DedicatedReg::Decision } = e {
+                        self.scalar[c].x[dst.index()] = self.coproc.read_decision(c);
+                        self.scalar[c].pc += 1;
+                        deferred.push((tag, weight));
+                        budget -= 1;
+                        continue;
+                    }
+                    let operand = match e {
+                        EmSimdInst::Msr { src: Operand::Reg(r), .. } => {
+                            if self.scalar[c].pending_x[r.index()] {
+                                break;
+                            }
+                            self.scalar[c].x[r.index()]
+                        }
+                        EmSimdInst::Msr { src: Operand::Imm(i), .. } => i as u64,
+                        EmSimdInst::Mrs { .. } => 0,
+                    };
+                    if !self.coproc.pool_has_space(c) {
+                        break;
+                    }
+                    self.coproc.push_em(c, e, operand);
+                    self.scalar[c].pc += 1;
+                    self.scalar[c].wait = Wait::EmAck;
+                    self.scalar[c].wait_tag = tag;
+                    deferred.push((tag, weight));
+                    break;
+                }
+            }
+        }
+        if budget == 0 {
+            for (tag, w) in deferred {
+                self.attribute_overhead(c, tag, w);
+            }
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! RegBlk ownership (`RegFile.Cfg`/`Dispatch.Cfg`) and physical-register
+//! accounting.
+//!
+//! The paper keeps two configuration tables with identical contents — one
+//! in the Dispatcher for ExeBUs and one in the Register File for RegBlks
+//! (each ExeBU is hard-wired to its RegBlk, §4.2.1). We model the pair as
+//! a single [`RegBlocks`] ownership table.
+//!
+//! The crucial modeling decision for reproducing Fig. 13: physical
+//! registers live in **per-block free lists**. A rename allocates one
+//! entry in *every block the destination register spans*:
+//!
+//! * spatial sharing (Private/VLS/Occamy): a core's registers span only
+//!   its own blocks, so cores never contend;
+//! * temporal sharing (FTS): every register spans **all** blocks and the
+//!   free lists are shared by both cores, so co-running workloads exhaust
+//!   them and the renamer stalls.
+
+use std::fmt;
+
+use em_simd::LANES_PER_GRANULE;
+
+/// Ownership state of one RegBlk/ExeBU pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockOwner {
+    /// Unassigned (available to the lane manager).
+    #[default]
+    Free,
+    /// Exclusively owned by a core (spatial sharing).
+    Core(usize),
+    /// Shared by every core (temporal sharing / FTS).
+    Shared,
+}
+
+impl fmt::Display for BlockOwner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockOwner::Free => f.write_str("free"),
+            BlockOwner::Core(c) => write!(f, "core{c}"),
+            BlockOwner::Shared => f.write_str("shared"),
+        }
+    }
+}
+
+/// A physical register name. Identifies a value slot in [`PhysRegFile`];
+/// the per-block storage it occupies is tracked by [`RegBlocks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysId(pub(crate) u32);
+
+/// The RegBlk ownership table plus per-block free-entry counters for
+/// both register classes (Fig. 5: each RegBlk holds 160 x 128-bit
+/// vector registers and 64 x 16-bit predicate registers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegBlocks {
+    owner: Vec<BlockOwner>,
+    free: Vec<usize>,
+    capacity: usize,
+    pred_free: Vec<usize>,
+    pred_capacity: usize,
+}
+
+impl RegBlocks {
+    /// Creates `blocks` RegBlks of `capacity` physical vector registers
+    /// and `pred_capacity` physical predicate registers each, all
+    /// initially [`BlockOwner::Free`].
+    pub fn new(blocks: usize, capacity: usize, pred_capacity: usize) -> Self {
+        RegBlocks {
+            owner: vec![BlockOwner::Free; blocks],
+            free: vec![capacity; blocks],
+            capacity,
+            pred_free: vec![pred_capacity; blocks],
+            pred_capacity,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The owner of `block`.
+    pub fn owner(&self, block: usize) -> BlockOwner {
+        self.owner[block]
+    }
+
+    /// Free physical-register entries remaining in `block`.
+    pub fn free_entries(&self, block: usize) -> usize {
+        self.free[block]
+    }
+
+    /// Marks every block [`BlockOwner::Shared`] (the FTS configuration).
+    pub fn set_all_shared(&mut self) {
+        self.owner.iter_mut().for_each(|o| *o = BlockOwner::Shared);
+    }
+
+    /// Reassigns ownership so that `core` owns exactly `granules` blocks:
+    /// its current blocks are freed, then the lowest-indexed free blocks
+    /// are claimed. Returns the indices now owned, in order.
+    ///
+    /// This mirrors the `MSR <VL>` table update of §4.2.2 and must only
+    /// be called once the core's pipeline is drained (the caller's
+    /// responsibility); any register entries the core still held in the
+    /// old blocks must have been released first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `granules` blocks are free after releasing
+    /// the core's current blocks — callers check availability through the
+    /// resource table first.
+    pub fn reassign(&mut self, core: usize, granules: usize) -> Vec<usize> {
+        for o in self.owner.iter_mut() {
+            if *o == BlockOwner::Core(core) {
+                *o = BlockOwner::Free;
+            }
+        }
+        let mut claimed = Vec::with_capacity(granules);
+        for (i, o) in self.owner.iter_mut().enumerate() {
+            if claimed.len() == granules {
+                break;
+            }
+            if *o == BlockOwner::Free {
+                *o = BlockOwner::Core(core);
+                claimed.push(i);
+            }
+        }
+        assert!(
+            claimed.len() == granules,
+            "lane manager over-committed: core {core} wanted {granules} blocks"
+        );
+        claimed
+    }
+
+    /// The blocks a register written by `core` spans, given the core's
+    /// current spanning set (owned blocks, or all blocks under FTS).
+    pub fn spans_for(&self, core: usize) -> Vec<usize> {
+        let mut spans: Vec<usize> = (0..self.owner.len())
+            .filter(|&i| match self.owner[i] {
+                BlockOwner::Core(c) => c == core,
+                BlockOwner::Shared => true,
+                BlockOwner::Free => false,
+            })
+            .collect();
+        spans.sort_unstable();
+        spans
+    }
+
+    /// Tries to reserve one physical-register entry in each of `blocks`.
+    /// Returns `false` (reserving nothing) if any block is exhausted —
+    /// the renamer stalls in that case.
+    pub fn try_reserve(&mut self, blocks: &[usize]) -> bool {
+        if blocks.iter().any(|&b| self.free[b] == 0) {
+            return false;
+        }
+        for &b in blocks {
+            self.free[b] -= 1;
+        }
+        true
+    }
+
+    /// Releases one entry in each of `blocks` (on retire-time free or
+    /// pipeline reset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if releasing would exceed a block's capacity (double free).
+    pub fn release(&mut self, blocks: &[usize]) {
+        for &b in blocks {
+            assert!(self.free[b] < self.capacity, "double free in block {b}");
+            self.free[b] += 1;
+        }
+    }
+
+    /// Free predicate-register entries remaining in `block`.
+    pub fn free_pred_entries(&self, block: usize) -> usize {
+        self.pred_free[block]
+    }
+
+    /// Tries to reserve one predicate-register entry in each of `blocks`;
+    /// reserves nothing on failure.
+    pub fn try_reserve_pred(&mut self, blocks: &[usize]) -> bool {
+        if blocks.iter().any(|&b| self.pred_free[b] == 0) {
+            return false;
+        }
+        for &b in blocks {
+            self.pred_free[b] -= 1;
+        }
+        true
+    }
+
+    /// Releases one predicate entry in each of `blocks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free.
+    pub fn release_pred(&mut self, blocks: &[usize]) {
+        for &b in blocks {
+            assert!(self.pred_free[b] < self.pred_capacity, "predicate double free in block {b}");
+            self.pred_free[b] += 1;
+        }
+    }
+}
+
+/// One value slot of the physical register file.
+#[derive(Debug, Clone, PartialEq)]
+struct Slot {
+    /// Whether the value has been produced.
+    ready: bool,
+    /// The vector value (one f32 per lane), empty until written.
+    value: Vec<f32>,
+    /// The blocks whose free-lists this register occupies.
+    blocks: Vec<usize>,
+    /// Slot-recycling generation guard.
+    live: bool,
+}
+
+/// The physical vector register file: value storage plus readiness
+/// scoreboard, keyed by [`PhysId`].
+///
+/// Block-level *capacity* is enforced by [`RegBlocks`]; this type only
+/// stores values, so it can hand out as many slot ids as renames succeed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhysRegFile {
+    slots: Vec<Slot>,
+    recycled: Vec<u32>,
+}
+
+impl PhysRegFile {
+    /// Creates an empty register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a slot spanning `blocks` (whose free-list entries the
+    /// caller has already reserved). The value is not ready.
+    pub fn alloc(&mut self, blocks: Vec<usize>) -> PhysId {
+        if let Some(id) = self.recycled.pop() {
+            self.slots[id as usize] = Slot { ready: false, value: Vec::new(), blocks, live: true };
+            PhysId(id)
+        } else {
+            self.slots.push(Slot { ready: false, value: Vec::new(), blocks, live: true });
+            PhysId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// Allocates a slot that is immediately ready with `value` (used for
+    /// the architectural zero-state after reset/reconfiguration).
+    pub fn alloc_ready(&mut self, blocks: Vec<usize>, value: Vec<f32>) -> PhysId {
+        let id = self.alloc(blocks);
+        self.write(id, value);
+        id
+    }
+
+    /// Whether `id`'s value has been produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was freed.
+    pub fn is_ready(&self, id: PhysId) -> bool {
+        let s = &self.slots[id.0 as usize];
+        assert!(s.live, "use of freed physical register {id:?}");
+        s.ready
+    }
+
+    /// Reads a ready value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not ready or the slot was freed.
+    pub fn read(&self, id: PhysId) -> &[f32] {
+        let s = &self.slots[id.0 as usize];
+        assert!(s.live && s.ready, "read of not-ready physical register {id:?}");
+        &s.value
+    }
+
+    /// Produces `id`'s value and marks it ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was freed or already written.
+    pub fn write(&mut self, id: PhysId, value: Vec<f32>) {
+        let s = &mut self.slots[id.0 as usize];
+        assert!(s.live, "write to freed physical register {id:?}");
+        assert!(!s.ready, "double write to physical register {id:?}");
+        s.value = value;
+        s.ready = true;
+    }
+
+    /// Frees a slot, returning the blocks whose entries the caller must
+    /// release back to [`RegBlocks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free.
+    pub fn free(&mut self, id: PhysId) -> Vec<usize> {
+        let s = &mut self.slots[id.0 as usize];
+        assert!(s.live, "double free of physical register {id:?}");
+        s.live = false;
+        s.ready = false;
+        self.recycled.push(id.0);
+        std::mem::take(&mut s.blocks)
+    }
+
+    /// A ready all-zero value of `granules` width.
+    pub fn zero_value(granules: usize) -> Vec<f32> {
+        vec![0.0; granules * LANES_PER_GRANULE]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reassign_claims_lowest_free_blocks() {
+        let mut rb = RegBlocks::new(8, 160, 64);
+        let a = rb.reassign(0, 3);
+        assert_eq!(a, vec![0, 1, 2]);
+        let b = rb.reassign(1, 2);
+        assert_eq!(b, vec![3, 4]);
+        // Core 0 shrinks to 1: frees 0..3, claims block 0.
+        let c = rb.reassign(0, 1);
+        assert_eq!(c, vec![0]);
+        assert_eq!(rb.owner(1), BlockOwner::Free);
+        assert_eq!(rb.spans_for(1), vec![3, 4]);
+    }
+
+    #[test]
+    fn shared_blocks_span_everything() {
+        let mut rb = RegBlocks::new(4, 160, 64);
+        rb.set_all_shared();
+        assert_eq!(rb.spans_for(0), vec![0, 1, 2, 3]);
+        assert_eq!(rb.spans_for(1), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reserve_fails_atomically_when_any_block_is_full() {
+        let mut rb = RegBlocks::new(2, 1, 64);
+        assert!(rb.try_reserve(&[0]));
+        // Block 0 now empty; a span covering both blocks must not touch
+        // block 1 when it fails.
+        assert!(!rb.try_reserve(&[0, 1]));
+        assert_eq!(rb.free_entries(1), 1);
+        rb.release(&[0]);
+        assert!(rb.try_reserve(&[0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn release_past_capacity_panics() {
+        let mut rb = RegBlocks::new(1, 2, 64);
+        rb.release(&[0]);
+    }
+
+    #[test]
+    fn phys_file_value_lifecycle() {
+        let mut prf = PhysRegFile::new();
+        let id = prf.alloc(vec![0, 1]);
+        assert!(!prf.is_ready(id));
+        prf.write(id, vec![1.0; 8]);
+        assert!(prf.is_ready(id));
+        assert_eq!(prf.read(id)[3], 1.0);
+        let blocks = prf.free(id);
+        assert_eq!(blocks, vec![0, 1]);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut prf = PhysRegFile::new();
+        let a = prf.alloc(vec![0]);
+        prf.free(a);
+        let b = prf.alloc(vec![1]);
+        assert_eq!(a.0, b.0, "slot recycled");
+        assert!(!prf.is_ready(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "double write")]
+    fn double_write_panics() {
+        let mut prf = PhysRegFile::new();
+        let id = prf.alloc_ready(vec![0], vec![0.0; 4]);
+        prf.write(id, vec![1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "freed physical register")]
+    fn use_after_free_panics() {
+        let mut prf = PhysRegFile::new();
+        let id = prf.alloc(vec![0]);
+        prf.free(id);
+        let _ = prf.is_ready(id);
+    }
+
+    #[test]
+    fn zero_value_width() {
+        assert_eq!(PhysRegFile::zero_value(3).len(), 12);
+    }
+}

@@ -1,0 +1,336 @@
+//! Instruction-lifecycle tracing (a gem5-`O3PipeView`-style facility).
+//!
+//! When enabled on a [`Machine`](crate::Machine), the co-processor
+//! records one [`TraceEvent`] per pipeline stage per instruction into a
+//! bounded ring buffer: transmit (into the instruction pool), rename,
+//! issue, completion and retirement. [`render_pipeview`] formats the
+//! trace as one line per instruction with stage-relative timing — the
+//! fastest way to see *why* an instruction waited (operands, structural
+//! stalls, memory).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use mem_sim::Cycle;
+
+/// A pipeline stage an instruction passes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceStage {
+    /// Entered the core's instruction pool (transmitted non-speculatively
+    /// from the scalar core, §4.1.1).
+    Transmit,
+    /// Renamed: physical registers allocated, ROB/IQ/LSU entry taken.
+    Rename,
+    /// Issued to an ExeBU or the LSU.
+    Issue,
+    /// Result produced (writeback / memory completion).
+    Complete,
+    /// Retired from the ROB.
+    Retire,
+}
+
+impl fmt::Display for TraceStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceStage::Transmit => "transmit",
+            TraceStage::Rename => "rename",
+            TraceStage::Issue => "issue",
+            TraceStage::Complete => "complete",
+            TraceStage::Retire => "retire",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The cycle the event happened.
+    pub cycle: Cycle,
+    /// The issuing core.
+    pub core: usize,
+    /// The instruction's rename-order sequence number (0 before rename:
+    /// transmit events use the disassembly to correlate).
+    pub seq: u64,
+    /// The stage reached.
+    pub stage: TraceStage,
+    /// Disassembly of the instruction.
+    pub disasm: String,
+}
+
+/// A bounded ring buffer of trace events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled trace retaining the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace { events: VecDeque::with_capacity(capacity.min(1 << 16)), capacity, enabled: true }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Formats a trace as one line per instruction:
+///
+/// ```text
+/// seq    core  disasm                        T....R..I.....C...X
+/// ```
+///
+/// where `T`/`R`/`I`/`C`/`X` mark transmit/rename/issue/complete/retire
+/// and dots are waiting cycles. Instructions without a rename event
+/// (still in the pool at the end of the trace window) are skipped.
+pub fn render_pipeview(trace: &Trace) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    // Group events by (core, seq); transmit events have seq unknown, so
+    // correlate the earliest unmatched transmit per core with the next
+    // rename of the same disassembly.
+    #[derive(Default, Clone)]
+    struct Life {
+        disasm: String,
+        core: usize,
+        stamps: BTreeMap<u8, Cycle>,
+    }
+    let stage_idx = |s: TraceStage| match s {
+        TraceStage::Transmit => 0u8,
+        TraceStage::Rename => 1,
+        TraceStage::Issue => 2,
+        TraceStage::Complete => 3,
+        TraceStage::Retire => 4,
+    };
+
+    let mut lives: BTreeMap<(usize, u64), Life> = BTreeMap::new();
+    for e in trace.events() {
+        if e.stage == TraceStage::Transmit {
+            continue; // transmit is pool-side; seq not yet assigned
+        }
+        let life = lives.entry((e.core, e.seq)).or_default();
+        if !e.disasm.is_empty() {
+            life.disasm = e.disasm.clone();
+        }
+        life.core = e.core;
+        life.stamps.insert(stage_idx(e.stage), e.cycle);
+    }
+    if lives.is_empty() {
+        return String::from("(no renamed instructions in trace window)\n");
+    }
+
+    let t0 = lives.values().filter_map(|l| l.stamps.values().min()).min().copied().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>6} {:>4}  {:<34} pipeline (from cycle {t0})", "seq", "core", "instruction");
+    for ((_, seq), life) in &lives {
+        let mut timeline = String::new();
+        let marks = ['R', 'I', 'C', 'X'];
+        let mut cursor = None::<Cycle>;
+        for (idx, &mark) in marks.iter().enumerate() {
+            if let Some(&cycle) = life.stamps.get(&((idx + 1) as u8)) {
+                let rel = cycle - t0;
+                if let Some(prev) = cursor {
+                    for _ in prev + 1..rel + t0 {
+                        timeline.push('.');
+                    }
+                }
+                timeline.push(mark);
+                cursor = Some(rel + t0 - 1 + 1);
+            }
+        }
+        let mut disasm = life.disasm.clone();
+        if disasm.chars().count() > 34 {
+            disasm = disasm.chars().take(31).collect::<String>() + "...";
+        }
+        let _ = writeln!(out, "{:>6} {:>4}  {:<34} {timeline}", seq, life.core, disasm);
+    }
+    out
+}
+
+/// Exports a trace in the [Kanata] log format, viewable in the Konata
+/// pipeline visualizer (the de-facto viewer for gem5 `O3PipeView`
+/// logs). Each renamed instruction becomes one row with `R`/`I`/`C`
+/// stage segments; the retire event closes the row.
+///
+/// Instructions that never renamed inside the trace window are skipped,
+/// exactly as in [`render_pipeview`].
+///
+/// [Kanata]: https://github.com/shioyadan/Konata
+pub fn to_kanata(trace: &Trace) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    #[derive(Default)]
+    struct Life {
+        disasm: String,
+        stamps: BTreeMap<u8, Cycle>,
+    }
+    let stage_idx = |s: TraceStage| match s {
+        TraceStage::Transmit => 0u8,
+        TraceStage::Rename => 1,
+        TraceStage::Issue => 2,
+        TraceStage::Complete => 3,
+        TraceStage::Retire => 4,
+    };
+    let mut lives: BTreeMap<(usize, u64), Life> = BTreeMap::new();
+    for e in trace.events() {
+        if e.stage == TraceStage::Transmit {
+            continue;
+        }
+        let life = lives.entry((e.core, e.seq)).or_default();
+        if !e.disasm.is_empty() {
+            life.disasm = e.disasm.clone();
+        }
+        life.stamps.insert(stage_idx(e.stage), e.cycle);
+    }
+
+    let mut out = String::from("Kanata\t0004\n");
+    let t0 = lives.values().filter_map(|l| l.stamps.values().min()).min().copied().unwrap_or(0);
+    let _ = writeln!(out, "C=\t{t0}");
+
+    // Events must be emitted in cycle order with relative C ticks.
+    let mut commands: Vec<(Cycle, String)> = Vec::new();
+    for (row, ((core, seq), life)) in lives.iter().enumerate() {
+        let Some(&renamed) = life.stamps.get(&1) else { continue };
+        let id = row as u64;
+        commands.push((renamed, format!("I\t{id}\t{seq}\t{core}")));
+        commands.push((renamed, format!("L\t{id}\t0\t{}", life.disasm)));
+        commands.push((renamed, format!("S\t{id}\t0\tRn")));
+        if let Some(&issued) = life.stamps.get(&2) {
+            commands.push((issued, format!("S\t{id}\t0\tEx")));
+        }
+        if let Some(&done) = life.stamps.get(&3) {
+            commands.push((done, format!("S\t{id}\t0\tWb")));
+        }
+        let end = life.stamps.get(&4).or(life.stamps.get(&3)).copied();
+        if let Some(end) = end {
+            commands.push((end, format!("R\t{id}\t{seq}\t0")));
+        }
+    }
+    commands.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let mut now = t0;
+    for (cycle, cmd) in commands {
+        if cycle > now {
+            let _ = writeln!(out, "C\t{}", cycle - now);
+            now = cycle;
+        }
+        let _ = writeln!(out, "{cmd}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: Cycle, seq: u64, stage: TraceStage) -> TraceEvent {
+        TraceEvent { cycle, core: 0, seq, stage, disasm: format!("inst{seq}") }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(ev(1, 1, TraceStage::Rename));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::with_capacity(2);
+        t.record(ev(1, 1, TraceStage::Rename));
+        t.record(ev(2, 2, TraceStage::Rename));
+        t.record(ev(3, 3, TraceStage::Rename));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events().next().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn pipeview_orders_stages() {
+        let mut t = Trace::with_capacity(64);
+        t.record(ev(10, 7, TraceStage::Rename));
+        t.record(ev(12, 7, TraceStage::Issue));
+        t.record(ev(16, 7, TraceStage::Complete));
+        t.record(ev(17, 7, TraceStage::Retire));
+        let view = render_pipeview(&t);
+        assert!(view.contains("inst7"), "{view}");
+        let line = view.lines().nth(1).unwrap();
+        let r = line.find('R').unwrap();
+        let i = line.find('I').unwrap();
+        let c = line.find('C').unwrap();
+        let x = line.find('X').unwrap();
+        assert!(r < i && i < c && c < x, "{line}");
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert!(render_pipeview(&Trace::with_capacity(8)).contains("no renamed"));
+    }
+
+    #[test]
+    fn kanata_export_has_header_rows_and_relative_ticks() {
+        let mut t = Trace::with_capacity(64);
+        t.record(ev(10, 7, TraceStage::Rename));
+        t.record(ev(12, 7, TraceStage::Issue));
+        t.record(ev(16, 7, TraceStage::Complete));
+        t.record(ev(17, 7, TraceStage::Retire));
+        t.record(ev(11, 8, TraceStage::Rename));
+        t.record(ev(13, 8, TraceStage::Issue));
+        t.record(ev(14, 8, TraceStage::Complete));
+        let text = to_kanata(&t);
+        assert!(text.starts_with("Kanata\t0004\n"), "{text}");
+        assert!(text.contains("C=\t10"), "base cycle: {text}");
+        assert!(text.contains("L\t0\t0\tinst7"), "{text}");
+        assert!(text.contains("S\t0\t0\tEx"), "{text}");
+        // Retire closes each row; the unretired row 1 closes at complete.
+        assert_eq!(text.matches("R\t").count(), 2, "{text}");
+        // Relative ticks only ever advance.
+        let mut sum = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("C\t")) {
+            sum += line[2..].parse::<u64>().unwrap();
+        }
+        assert_eq!(sum, 17 - 10, "ticks cover the window: {text}");
+    }
+
+    #[test]
+    fn kanata_export_of_empty_trace_is_just_the_header() {
+        let text = to_kanata(&Trace::with_capacity(8));
+        assert!(text.starts_with("Kanata\t0004\n"));
+        assert_eq!(text.lines().count(), 2, "{text}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Text rendering of execution timelines (the Fig. 2 / Fig. 14 plots).
+
+use crate::stats::TimelineBucket;
+
+const BARS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn bar(value: f64, max: f64) -> char {
+    if max <= 0.0 {
+        return BARS[0];
+    }
+    let idx = ((value / max) * 8.0).round().clamp(0.0, 8.0) as usize;
+    BARS[idx]
+}
+
+/// Renders a per-core lane timeline as rows of block characters — one
+/// row of *allocated* lanes and one of *busy* lanes per core, the
+/// textual analogue of Fig. 2(b)–(e).
+///
+/// `max_width` caps the number of columns; longer series are downsampled
+/// by averaging adjacent buckets.
+///
+/// # Examples
+///
+/// ```
+/// use occamy_sim::{render_lane_timeline, TimelineBucket};
+///
+/// let buckets = vec![
+///     TimelineBucket { start_cycle: 0, busy_lanes: vec![4.0], alloc_lanes: vec![8.0] },
+///     TimelineBucket { start_cycle: 1000, busy_lanes: vec![16.0], alloc_lanes: vec![32.0] },
+/// ];
+/// let text = render_lane_timeline(&buckets, 32, 80);
+/// assert!(text.contains("core0"));
+/// ```
+pub fn render_lane_timeline(
+    buckets: &[TimelineBucket],
+    total_lanes: usize,
+    max_width: usize,
+) -> String {
+    use std::fmt::Write as _;
+    if buckets.is_empty() {
+        return String::from("(empty timeline)\n");
+    }
+    let cores = buckets[0].busy_lanes.len();
+    let max_width = max_width.max(8);
+
+    // Downsample to at most `max_width` columns.
+    let stride = buckets.len().div_ceil(max_width);
+    let columns: Vec<(f64, Vec<f64>, Vec<f64>)> = buckets
+        .chunks(stride)
+        .map(|chunk| {
+            let n = chunk.len() as f64;
+            let mut alloc = vec![0.0; cores];
+            let mut busy = vec![0.0; cores];
+            for b in chunk {
+                for c in 0..cores {
+                    alloc[c] += b.alloc_lanes[c] / n;
+                    busy[c] += b.busy_lanes[c] / n;
+                }
+            }
+            (chunk[0].start_cycle as f64, alloc, busy)
+        })
+        .collect();
+
+    let mut out = String::new();
+    let max = total_lanes as f64;
+    for c in 0..cores {
+        let _ = write!(out, "core{c} alloc ");
+        for (_, alloc, _) in &columns {
+            out.push(bar(alloc[c], max));
+        }
+        out.push('\n');
+        let _ = write!(out, "core{c} busy  ");
+        for (_, _, busy) in &columns {
+            out.push(bar(busy[c], max));
+        }
+        out.push('\n');
+    }
+    let last = buckets.last().expect("non-empty");
+    let _ = writeln!(
+        out,
+        "             0 .. {} cycles ({} per column; full block = {} lanes)",
+        last.start_cycle + 1000,
+        1000 * stride,
+        total_lanes
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket(start: u64, alloc: f64, busy: f64) -> TimelineBucket {
+        TimelineBucket {
+            start_cycle: start,
+            busy_lanes: vec![busy],
+            alloc_lanes: vec![alloc],
+        }
+    }
+
+    #[test]
+    fn renders_rows_per_core() {
+        let buckets: Vec<_> = (0..10).map(|i| bucket(i * 1000, 16.0, 8.0)).collect();
+        let text = render_lane_timeline(&buckets, 32, 80);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("core0 alloc"));
+        assert!(text.contains("core0 busy"));
+    }
+
+    #[test]
+    fn zero_is_blank_and_full_is_solid() {
+        let buckets = vec![bucket(0, 0.0, 0.0), bucket(1000, 32.0, 32.0)];
+        let text = render_lane_timeline(&buckets, 32, 80);
+        let alloc_row = text.lines().next().unwrap();
+        assert!(alloc_row.ends_with(" █"), "{alloc_row:?}");
+    }
+
+    #[test]
+    fn long_series_are_downsampled() {
+        let buckets: Vec<_> = (0..1000).map(|i| bucket(i * 1000, 16.0, 8.0)).collect();
+        let text = render_lane_timeline(&buckets, 32, 60);
+        let row_len = text.lines().next().unwrap().chars().count();
+        assert!(row_len <= 12 + 60, "row too wide: {row_len}");
+    }
+
+    #[test]
+    fn empty_timeline_is_handled() {
+        assert!(render_lane_timeline(&[], 32, 80).contains("empty"));
+    }
+}

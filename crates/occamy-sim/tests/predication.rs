@@ -1,0 +1,195 @@
+//! Predicated execution: WHILELO tails, merging compute, zeroing loads,
+//! masked stores and predicated reductions.
+
+use em_simd::{
+    DedicatedReg, EmSimdInst, Operand, OperationalIntensity, PReg, ProgramBuilder, ScalarInst,
+    VBinOp, VReg, VectorInst, XReg,
+};
+use mem_sim::Memory;
+use occamy_sim::{Architecture, Machine, SimConfig};
+
+fn configure_vl(b: &mut ProgramBuilder, granules: i64) {
+    b.em_simd(EmSimdInst::Msr {
+        reg: DedicatedReg::Oi,
+        src: Operand::Imm(OperationalIntensity::uniform(0.5).to_bits() as i64),
+    });
+    let retry = b.fresh_label("cfg");
+    b.bind(retry);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(granules) });
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X15, reg: DedicatedReg::Status });
+    b.scalar(ScalarInst::Bne { a: XReg::X15, b: Operand::Imm(1), target: retry });
+}
+
+fn release_vl(b: &mut ProgramBuilder) {
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Oi, src: Operand::Imm(0) });
+    let rel = b.fresh_label("rel");
+    b.bind(rel);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(0) });
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X15, reg: DedicatedReg::Status });
+    b.scalar(ScalarInst::Bne { a: XReg::X15, b: Operand::Imm(1), target: rel });
+}
+
+#[test]
+fn whilelo_tail_writes_only_active_lanes() {
+    // 10 remaining elements at VL = 16 lanes: a predicated scale-by-2
+    // must write exactly elements 0..10 and leave 10..16 untouched.
+    let mut mem = Memory::new(1 << 16);
+    let a = mem.alloc_f32(64);
+    let c = mem.alloc_f32(64);
+    for i in 0..16 {
+        mem.write_f32(a + 4 * i, 1.0 + i as f32);
+        mem.write_f32(c + 4 * i, -7.0);
+    }
+    let mut b = ProgramBuilder::new();
+    configure_vl(&mut b, 4);
+    b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: a as i64 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X2, imm: c as i64 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X3, imm: 0 }); // i
+    b.scalar(ScalarInst::MovImm { dst: XReg::X4, imm: 10 }); // n
+    b.vector(VectorInst::Whilelo { dst: PReg::P1, a: XReg::X3, b: XReg::X4 });
+    b.vector(VectorInst::DupImm { dst: VReg::Z9, imm: 2.0 });
+    b.vector(
+        VectorInst::Load { dst: VReg::Z1, base: XReg::X0, index: XReg::X3 }.predicated(PReg::P1),
+    );
+    b.vector(
+        VectorInst::Binary { op: VBinOp::Fmul, dst: VReg::Z2, a: VReg::Z1, b: VReg::Z9 }
+            .predicated(PReg::P1),
+    );
+    b.vector(
+        VectorInst::Store { src: VReg::Z2, base: XReg::X2, index: XReg::X3 }.predicated(PReg::P1),
+    );
+    release_vl(&mut b);
+    b.halt();
+
+    let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    m.load_program(0, b.build());
+    assert!(m.run(100_000).completed);
+    for i in 0..10 {
+        assert_eq!(m.memory().read_f32(c + 4 * i), 2.0 * (1.0 + i as f32), "active lane {i}");
+    }
+    for i in 10..16 {
+        assert_eq!(m.memory().read_f32(c + 4 * i), -7.0, "inactive lane {i} must be untouched");
+    }
+}
+
+#[test]
+fn merging_compute_keeps_inactive_destination_lanes() {
+    let mut mem = Memory::new(1 << 16);
+    let out = mem.alloc_f32(64);
+    let mut b = ProgramBuilder::new();
+    configure_vl(&mut b, 2); // 8 lanes
+    b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: out as i64 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X3, imm: 0 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X4, imm: 3 });
+    b.vector(VectorInst::Whilelo { dst: PReg::P0, a: XReg::X3, b: XReg::X4 });
+    b.vector(VectorInst::DupImm { dst: VReg::Z1, imm: 5.0 });
+    b.vector(VectorInst::DupImm { dst: VReg::Z2, imm: 100.0 });
+    // z1 = z1 + z2 under p0 (first 3 lanes): lanes 3..8 keep 5.0.
+    b.vector(
+        VectorInst::Binary { op: VBinOp::Fadd, dst: VReg::Z1, a: VReg::Z1, b: VReg::Z2 }
+            .predicated(PReg::P0),
+    );
+    b.vector(VectorInst::Store { src: VReg::Z1, base: XReg::X0, index: XReg::X3 });
+    release_vl(&mut b);
+    b.halt();
+    let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    m.load_program(0, b.build());
+    assert!(m.run(100_000).completed);
+    for i in 0..3 {
+        assert_eq!(m.memory().read_f32(out + 4 * i), 105.0);
+    }
+    for i in 3..8 {
+        assert_eq!(m.memory().read_f32(out + 4 * i), 5.0, "merging kept lane {i}");
+    }
+}
+
+#[test]
+fn predicated_reduction_sums_active_lanes_only() {
+    let mut mem = Memory::new(1 << 16);
+    let a = mem.alloc_f32(64);
+    let out = mem.alloc_f32(4);
+    for i in 0..16 {
+        mem.write_f32(a + 4 * i, 10.0);
+    }
+    let mut b = ProgramBuilder::new();
+    configure_vl(&mut b, 4); // 16 lanes
+    b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: a as i64 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X2, imm: out as i64 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X3, imm: 0 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X4, imm: 5 });
+    b.vector(VectorInst::Whilelo { dst: PReg::P2, a: XReg::X3, b: XReg::X4 });
+    b.vector(VectorInst::Load { dst: VReg::Z1, base: XReg::X0, index: XReg::X3 });
+    b.vector(VectorInst::ReduceAdd { dst: XReg::X20, src: VReg::Z1 }.predicated(PReg::P2));
+    b.scalar(ScalarInst::Str { src: XReg::X20, base: XReg::X2, index: XReg::X3 });
+    release_vl(&mut b);
+    b.halt();
+    let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    m.load_program(0, b.build());
+    assert!(m.run(100_000).completed);
+    assert_eq!(m.memory().read_f32(out), 50.0, "5 active lanes x 10.0");
+}
+
+#[test]
+fn zeroing_load_does_not_touch_inactive_memory() {
+    // The array is at the end of a small window; a full-width load would
+    // read past it, but the predicated load only touches active lanes.
+    let mut mem = Memory::new(1 << 16);
+    let a = mem.alloc_f32(4); // only 4 elements exist
+    for i in 0..4 {
+        mem.write_f32(a + 4 * i, 2.5);
+    }
+    let out = mem.alloc_f32(64);
+    let mut b = ProgramBuilder::new();
+    configure_vl(&mut b, 4); // 16 lanes >> 4 elements
+    b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: a as i64 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X2, imm: out as i64 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X3, imm: 0 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X4, imm: 4 });
+    b.vector(VectorInst::Whilelo { dst: PReg::P1, a: XReg::X3, b: XReg::X4 });
+    b.vector(
+        VectorInst::Load { dst: VReg::Z1, base: XReg::X0, index: XReg::X3 }.predicated(PReg::P1),
+    );
+    b.vector(VectorInst::Store { src: VReg::Z1, base: XReg::X2, index: XReg::X3 });
+    release_vl(&mut b);
+    b.halt();
+    let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    m.load_program(0, b.build());
+    assert!(m.run(100_000).completed);
+    for i in 0..4 {
+        assert_eq!(m.memory().read_f32(out + 4 * i), 2.5);
+    }
+    for i in 4..16 {
+        assert_eq!(m.memory().read_f32(out + 4 * i), 0.0, "zeroing load lane {i}");
+    }
+}
+
+#[test]
+fn whilelo_tracks_vl_changes() {
+    // The same WHILELO instruction produces different-width masks as the
+    // vector length changes between phases.
+    let mut mem = Memory::new(1 << 16);
+    let out = mem.alloc_f32(64);
+    let mut b = ProgramBuilder::new();
+    for (granules, value) in [(2i64, 1.0f32), (4, 2.0)] {
+        configure_vl(&mut b, granules);
+        b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: out as i64 });
+        b.scalar(ScalarInst::MovImm { dst: XReg::X3, imm: 0 });
+        b.scalar(ScalarInst::MovImm { dst: XReg::X4, imm: 64 });
+        b.vector(VectorInst::Whilelo { dst: PReg::P0, a: XReg::X3, b: XReg::X4 });
+        b.vector(VectorInst::DupImm { dst: VReg::Z1, imm: value });
+        b.vector(
+            VectorInst::Store { src: VReg::Z1, base: XReg::X0, index: XReg::X3 }
+                .predicated(PReg::P0),
+        );
+        release_vl(&mut b);
+    }
+    b.halt();
+    let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    m.load_program(0, b.build());
+    assert!(m.run(200_000).completed);
+    // Second phase (16 lanes, value 2.0) overwrote the first 16 lanes.
+    for i in 0..16 {
+        assert_eq!(m.memory().read_f32(out + 4 * i), 2.0);
+    }
+    assert_eq!(m.memory().read_f32(out + 4 * 16), 0.0);
+}

@@ -1,0 +1,141 @@
+//! The EM-SIMD protocol under misuse: over-large `<VL>` requests,
+//! writes to read-only registers, redundant releases, and reads before
+//! any declaration. Table 2 defines the *ordering* the hardware
+//! enforces; these tests pin the *defined behaviour* at the edges of
+//! that contract so software (and the compiler) can rely on it.
+
+use em_simd::{
+    DedicatedReg, EmSimdInst, Operand, OperationalIntensity, ProgramBuilder, ScalarInst, VBinOp,
+    VReg, VectorInst, XReg,
+};
+use mem_sim::Memory;
+use occamy_sim::{Architecture, Machine, SimConfig};
+
+fn machine() -> Machine {
+    Machine::new(SimConfig::paper_2core(), Architecture::Occamy, Memory::new(1 << 20)).unwrap()
+}
+
+/// Requesting more granules than the machine has fails with `<status>`
+/// = 0 and leaves the current VL unchanged — software retries, nothing
+/// wedges.
+#[test]
+fn oversized_vl_request_sets_status_zero() {
+    let mut b = ProgramBuilder::new();
+    b.em_simd(EmSimdInst::Msr {
+        reg: DedicatedReg::Oi,
+        src: Operand::Imm(OperationalIntensity::uniform(1.0).to_bits() as i64),
+    });
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(1000) });
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X1, reg: DedicatedReg::Status });
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X2, reg: DedicatedReg::Vl });
+    b.halt();
+    let mut m = machine();
+    m.load_program(0, b.build());
+    assert!(m.run(100_000).completed);
+    assert!(m.vl(0).is_zero(), "failed request must not allocate");
+}
+
+/// `<AL>` is read-only to software: an `MSR <AL>` is ignored, and the
+/// register keeps reporting the lane manager's ground truth.
+#[test]
+fn al_register_ignores_software_writes() {
+    let mut b = ProgramBuilder::new();
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Al, src: Operand::Imm(999) });
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X1, reg: DedicatedReg::Al });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: 0x100 });
+    b.scalar(ScalarInst::Str { src: XReg::X1, base: XReg::X0, index: XReg::X0 });
+    b.halt();
+    let mut m = machine();
+    m.load_program(0, b.build());
+    assert!(m.run(100_000).completed);
+    // Nothing was allocated, so <AL> reads 0 lanes in use — not 999.
+    let stored = m.memory().read_f32(0x100 + 4 * 0x100);
+    assert_ne!(stored.to_bits(), 999, "software wrote a read-only register");
+}
+
+/// Releasing an already-released VL (the double-epilogue case) succeeds
+/// idempotently with `<status>` = 1.
+#[test]
+fn releasing_twice_is_idempotent() {
+    let mut b = ProgramBuilder::new();
+    b.em_simd(EmSimdInst::Msr {
+        reg: DedicatedReg::Oi,
+        src: Operand::Imm(OperationalIntensity::uniform(1.0).to_bits() as i64),
+    });
+    let acq = b.fresh_label("acq");
+    b.bind(acq);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(2) });
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X1, reg: DedicatedReg::Status });
+    b.scalar(ScalarInst::Bne { a: XReg::X1, b: Operand::Imm(1), target: acq });
+    // Release twice.
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(0) });
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(0) });
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X1, reg: DedicatedReg::Status });
+    b.halt();
+    let mut m = machine();
+    m.load_program(0, b.build());
+    assert!(m.run(100_000).completed);
+    assert!(m.vl(0).is_zero());
+    assert_eq!(m.resource_table().free_granules(), 8, "all granules returned once");
+}
+
+/// `MRS <decision>` before any `<OI>` declaration reads 0 — the Fig. 9
+/// prologue's "no plan yet, use the compiler default" path.
+#[test]
+fn decision_reads_zero_before_any_declaration() {
+    let mut b = ProgramBuilder::new();
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X1, reg: DedicatedReg::Decision });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: 0x200 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X2, imm: 0 });
+    // Store x1 so the test can observe it (as raw bits via f32).
+    b.scalar(ScalarInst::Str { src: XReg::X1, base: XReg::X0, index: XReg::X2 });
+    b.halt();
+    let mut m = machine();
+    m.load_program(0, b.build());
+    assert!(m.run(100_000).completed);
+    assert_eq!(m.memory().read_f32(0x200).to_bits(), 0);
+}
+
+/// Table 2 row: an `MSR <VL>` transmitted while vector work is in
+/// flight waits for the drain instead of tearing the pipeline down —
+/// results are unaffected by the mid-loop release that follows them.
+#[test]
+fn vl_release_waits_for_inflight_vector_work() {
+    let n = 64u64;
+    let mut mem = Memory::new(1 << 20);
+    let a = mem.alloc_f32(n);
+    let c = mem.alloc_f32(n);
+    for i in 0..n {
+        mem.write_f32(a + 4 * i, i as f32);
+    }
+    let mut b = ProgramBuilder::new();
+    b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: a as i64 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X2, imm: c as i64 });
+    b.em_simd(EmSimdInst::Msr {
+        reg: DedicatedReg::Oi,
+        src: Operand::Imm(OperationalIntensity::uniform(0.5).to_bits() as i64),
+    });
+    let acq = b.fresh_label("acq");
+    b.bind(acq);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(4) });
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X1, reg: DedicatedReg::Status });
+    b.scalar(ScalarInst::Bne { a: XReg::X1, b: Operand::Imm(1), target: acq });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X3, imm: 0 });
+    // A burst of vector work immediately followed by a release: the
+    // release must observe every store below as retired.
+    for _ in 0..4 {
+        b.vector(VectorInst::Load { dst: VReg::Z1, base: XReg::X0, index: XReg::X3 });
+        b.vector(VectorInst::Binary { op: VBinOp::Fadd, dst: VReg::Z2, a: VReg::Z1, b: VReg::Z1 });
+        b.vector(VectorInst::Store { src: VReg::Z2, base: XReg::X2, index: XReg::X3 });
+        b.scalar(ScalarInst::Add { dst: XReg::X3, a: XReg::X3, b: Operand::Imm(16) });
+    }
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(0) });
+    b.halt();
+    let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    m.load_program(0, b.build());
+    assert!(m.run(1_000_000).completed);
+    for i in 0..64u64 {
+        assert_eq!(m.memory().read_f32(c + 4 * i), 2.0 * i as f32, "c[{i}]");
+    }
+    assert!(m.vl(0).is_zero());
+}

@@ -1,0 +1,332 @@
+//! # Vector-length-aware roofline model
+//!
+//! The performance model used by the Occamy lane manager (§5.1 of the
+//! paper) to predict how much performance a workload can attain when given
+//! a particular number of SIMD lanes.
+//!
+//! The classic roofline model bounds attainable performance by the minimum
+//! of a computation ceiling and a memory-bandwidth ceiling. Occamy's
+//! variant adds a third, *vector-length dependent* ceiling: the SIMD-issue
+//! bandwidth (Eq. 2). With few lanes, each vector load/store moves few
+//! bytes, so the instruction-issue rate — not DRAM — becomes the memory
+//! bottleneck. The attainable performance for `vl` granules at operational
+//! intensity `<OI>` is (Eq. 4):
+//!
+//! ```text
+//! AP_vl(<OI>) = min( FP_peak(vl),
+//!                    SIMD_issue_BW(vl) * <OI>.issue,
+//!                    mem_BW * <OI>.mem )
+//! ```
+//!
+//! # Calibration note
+//!
+//! Fig. 7(b) of the paper quotes the issue bandwidth as `2 * VL * 16`
+//! bytes/cycle, but every row of Table 5 is only consistent with an
+//! effective width of **one** vector-memory µop per cycle
+//! (e.g. 5.3 GFLOP/s at 4 lanes = 16 B/cycle × 2 GHz × 1/6 FLOPs/byte).
+//! [`MachineCeilings::paper_default`] therefore uses `simd_issue_width = 1`
+//! and the field is public for experimentation.
+//!
+//! # Examples
+//!
+//! Reproduce the `VL = 12 lanes` row of Table 5:
+//!
+//! ```
+//! use roofline::{MachineCeilings, MemLevel};
+//! use em_simd::{OperationalIntensity, VectorLength};
+//!
+//! let m = MachineCeilings::paper_default();
+//! let oi = OperationalIntensity::new(1.0 / 6.0, 0.25);
+//! let ap = m.attainable(VectorLength::from_lanes(12), oi, MemLevel::Dram);
+//! assert!((ap - 16.0).abs() < 0.1, "got {ap} GFLOP/s");
+//! ```
+
+use std::fmt;
+
+use em_simd::{OperationalIntensity, VectorLength};
+
+/// A level of the memory hierarchy whose bandwidth ceiling bounds a
+/// workload (the "chosen level" of Eq. 4, following the hierarchical
+/// roofline model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemLevel {
+    /// The shared 128 KB vector cache (Fig. 4), 128 B/cycle.
+    VecCache,
+    /// The shared unified L2, 64 B/cycle.
+    L2,
+    /// Main memory, 64 GB/s (32 B/cycle at 2 GHz). The conservative
+    /// default the lane manager uses when it knows nothing about a
+    /// workload's footprint.
+    #[default]
+    Dram,
+}
+
+impl MemLevel {
+    /// All levels, nearest first.
+    pub const ALL: [MemLevel; 3] = [MemLevel::VecCache, MemLevel::L2, MemLevel::Dram];
+}
+
+impl fmt::Display for MemLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemLevel::VecCache => "VecCache",
+            MemLevel::L2 => "L2",
+            MemLevel::Dram => "DRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The architecture-specific performance ceilings of the
+/// vector-length-aware roofline model (§5.1).
+///
+/// All bandwidths are in bytes/cycle; all rates are converted to GFLOP/s
+/// and GB/s using `freq_ghz`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineCeilings {
+    /// Core clock frequency in GHz (paper: 2 GHz).
+    pub freq_ghz: f64,
+    /// Peak FLOPs per 128-bit granule per cycle (paper: 4 × f32 lanes at
+    /// one FLOP each, giving "FP peak (vl=1)" = 8 GFLOP/s).
+    pub flops_per_granule_cycle: f64,
+    /// Vector-memory µops dispatched per cycle in Eq. 2 (see the crate
+    /// docs for why the default is 1, not Fig. 7(b)'s 2).
+    pub simd_issue_width: f64,
+    /// Vector-cache bandwidth in bytes/cycle (paper: 128).
+    pub veccache_bytes_cycle: f64,
+    /// Unified L2 bandwidth in bytes/cycle (paper: 64).
+    pub l2_bytes_cycle: f64,
+    /// DRAM bandwidth in bytes/cycle (paper: 64 GB/s at 2 GHz = 32).
+    pub dram_bytes_cycle: f64,
+}
+
+impl MachineCeilings {
+    /// The ceilings of the paper's evaluated configuration (Table 4 and
+    /// Fig. 7).
+    pub fn paper_default() -> Self {
+        MachineCeilings {
+            freq_ghz: 2.0,
+            flops_per_granule_cycle: 4.0,
+            simd_issue_width: 1.0,
+            veccache_bytes_cycle: 128.0,
+            l2_bytes_cycle: 64.0,
+            dram_bytes_cycle: 32.0,
+        }
+    }
+
+    /// The computation ceiling `FP_peak(vl)` in GFLOP/s.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use roofline::MachineCeilings;
+    /// use em_simd::VectorLength;
+    ///
+    /// let m = MachineCeilings::paper_default();
+    /// // 32 lanes = 8 granules: the paper's 64 GFLOP/s peak (Table 5).
+    /// assert_eq!(m.fp_peak(VectorLength::new(8)), 64.0);
+    /// ```
+    pub fn fp_peak(&self, vl: VectorLength) -> f64 {
+        vl.granules() as f64 * self.flops_per_granule_cycle * self.freq_ghz
+    }
+
+    /// The SIMD-issue bandwidth ceiling (Eq. 2) in GB/s:
+    /// `simd_issue_width × vl × 16 bytes/cycle`, scaled by frequency.
+    pub fn simd_issue_bw(&self, vl: VectorLength) -> f64 {
+        self.simd_issue_width * vl.granules() as f64 * 16.0 * self.freq_ghz
+    }
+
+    /// The bandwidth ceiling of a memory level in GB/s.
+    pub fn mem_bw(&self, level: MemLevel) -> f64 {
+        let bytes_cycle = match level {
+            MemLevel::VecCache => self.veccache_bytes_cycle,
+            MemLevel::L2 => self.l2_bytes_cycle,
+            MemLevel::Dram => self.dram_bytes_cycle,
+        };
+        bytes_cycle * self.freq_ghz
+    }
+
+    /// The attainable performance `AP_vl(<OI>)` (Eq. 4) in GFLOP/s.
+    ///
+    /// A zero vector length attains nothing; a phase-end `<OI>` marker
+    /// (all-zero intensity) also attains nothing, since the workload is
+    /// not executing a vectorized phase.
+    pub fn attainable(&self, vl: VectorLength, oi: OperationalIntensity, level: MemLevel) -> f64 {
+        if vl.is_zero() || oi.is_phase_end() {
+            return 0.0;
+        }
+        let comp = self.fp_peak(vl);
+        let issue = self.simd_issue_bw(vl) * oi.issue();
+        let mem = self.mem_bw(level) * oi.mem();
+        comp.min(issue).min(mem)
+    }
+
+    /// The net performance gain of moving a workload from `vl` to `vl + 1`
+    /// granules (Eq. 3), in GFLOP/s.
+    pub fn net_gain(&self, vl: VectorLength, oi: OperationalIntensity, level: MemLevel) -> f64 {
+        let next = VectorLength::new(vl.granules() + 1);
+        self.attainable(next, oi, level) - self.attainable(vl, oi, level)
+    }
+
+    /// The smallest vector length at which the workload saturates (no
+    /// positive gain from one more granule), capped at `max` granules.
+    ///
+    /// Useful for plotting Fig. 14(a)-style saturation curves.
+    pub fn saturation_vl(
+        &self,
+        oi: OperationalIntensity,
+        level: MemLevel,
+        max: VectorLength,
+    ) -> VectorLength {
+        let mut vl = VectorLength::new(1);
+        while vl < max && self.net_gain(vl, oi, level) > f64::EPSILON {
+            vl = VectorLength::new(vl.granules() + 1);
+        }
+        vl
+    }
+
+    /// All three ceilings for one vector length, for plotting Fig. 7(a).
+    pub fn ceilings(&self, vl: VectorLength, oi: OperationalIntensity) -> Ceilings {
+        Ceilings {
+            fp_peak: self.fp_peak(vl),
+            simd_issue_bound: self.simd_issue_bw(vl) * oi.issue(),
+            mem_bounds: MemLevel::ALL.map(|l| (l, self.mem_bw(l) * oi.mem())),
+        }
+    }
+}
+
+impl Default for MachineCeilings {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The evaluated ceilings of the roofline model at a particular vector
+/// length and operational intensity (one column of Table 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ceilings {
+    /// Computation ceiling in GFLOP/s.
+    pub fp_peak: f64,
+    /// SIMD-issue-bandwidth-bound performance in GFLOP/s.
+    pub simd_issue_bound: f64,
+    /// Memory-bandwidth-bound performance per level, in GFLOP/s.
+    pub mem_bounds: [(MemLevel, f64); 3],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl8_p1() -> OperationalIntensity {
+        // Case 4 of §7.4: oi_issue = 0.17 (exactly 1/6), oi_mem = 0.25.
+        OperationalIntensity::new(1.0 / 6.0, 0.25)
+    }
+
+    /// Reproduces every row of Table 5 of the paper.
+    #[test]
+    fn table5_attainable_performance() {
+        let m = MachineCeilings::paper_default();
+        let oi = wl8_p1();
+        // (lanes, issue_bound, comp_bound, performance)
+        let rows = [
+            (4, 5.33, 8.0, 5.33),
+            (8, 10.67, 16.0, 10.67),
+            (12, 16.0, 24.0, 16.0),
+            (16, 21.33, 32.0, 16.0),
+            (20, 26.67, 40.0, 16.0),
+            (24, 32.0, 48.0, 16.0),
+            (28, 37.33, 56.0, 16.0),
+            (32, 42.67, 64.0, 16.0),
+        ];
+        for (lanes, issue, comp, perf) in rows {
+            let vl = VectorLength::from_lanes(lanes);
+            assert!(
+                (m.simd_issue_bw(vl) * oi.issue() - issue).abs() < 0.01,
+                "issue bound at {lanes} lanes"
+            );
+            assert!((m.fp_peak(vl) - comp).abs() < 0.01, "comp bound at {lanes} lanes");
+            assert!(
+                (m.mem_bw(MemLevel::Dram) * oi.mem() - 16.0).abs() < 0.01,
+                "mem bound at {lanes} lanes"
+            );
+            assert!(
+                (m.attainable(vl, oi, MemLevel::Dram) - perf).abs() < 0.01,
+                "AP at {lanes} lanes: {} vs {perf}",
+                m.attainable(vl, oi, MemLevel::Dram)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_vl_and_phase_end_attain_nothing() {
+        let m = MachineCeilings::paper_default();
+        assert_eq!(m.attainable(VectorLength::ZERO, wl8_p1(), MemLevel::Dram), 0.0);
+        assert_eq!(
+            m.attainable(VectorLength::new(4), OperationalIntensity::PHASE_END, MemLevel::Dram),
+            0.0
+        );
+    }
+
+    #[test]
+    fn compute_bound_workloads_always_gain() {
+        let m = MachineCeilings::paper_default();
+        // wsm5-like: oi = 1.0 — memory bound at 64 GFLOP/s, above FP peak
+        // until the full 8 granules.
+        let oi = OperationalIntensity::uniform(1.0);
+        for g in 1..8 {
+            assert!(
+                m.net_gain(VectorLength::new(g), oi, MemLevel::Dram) > 0.0,
+                "gain at {g} granules"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_workloads_saturate_early() {
+        let m = MachineCeilings::paper_default();
+        // oi = 0.09 (WL#0.p1 of the motivating example): saturates at
+        // 2 granules = 8 lanes, matching Fig. 2(e)'s choice of 8 lanes.
+        let oi = OperationalIntensity::uniform(0.09);
+        let sat = m.saturation_vl(oi, MemLevel::Dram, VectorLength::new(8));
+        assert_eq!(sat, VectorLength::new(2), "saturation at {} lanes", sat.lanes());
+    }
+
+    #[test]
+    fn saturation_is_capped() {
+        let m = MachineCeilings::paper_default();
+        let oi = OperationalIntensity::uniform(100.0);
+        assert_eq!(
+            m.saturation_vl(oi, MemLevel::Dram, VectorLength::new(8)),
+            VectorLength::new(8)
+        );
+    }
+
+    #[test]
+    fn nearer_levels_have_more_bandwidth() {
+        let m = MachineCeilings::paper_default();
+        assert!(m.mem_bw(MemLevel::VecCache) > m.mem_bw(MemLevel::L2));
+        assert!(m.mem_bw(MemLevel::L2) > m.mem_bw(MemLevel::Dram));
+        assert_eq!(m.mem_bw(MemLevel::Dram), 64.0); // 64 GB/s, Table 4.
+    }
+
+    #[test]
+    fn attainable_is_monotone_in_vl() {
+        let m = MachineCeilings::paper_default();
+        let oi = wl8_p1();
+        let mut prev = 0.0;
+        for g in 1..=8 {
+            let ap = m.attainable(VectorLength::new(g), oi, MemLevel::Dram);
+            assert!(ap >= prev);
+            prev = ap;
+        }
+    }
+
+    #[test]
+    fn ceilings_struct_matches_components() {
+        let m = MachineCeilings::paper_default();
+        let vl = VectorLength::new(2);
+        let c = m.ceilings(vl, wl8_p1());
+        assert_eq!(c.fp_peak, m.fp_peak(vl));
+        assert_eq!(c.mem_bounds[2].0, MemLevel::Dram);
+    }
+}

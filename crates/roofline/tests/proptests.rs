@@ -1,0 +1,82 @@
+//! Property-based tests for the roofline model.
+
+use em_simd::{OperationalIntensity, VectorLength};
+use proptest::prelude::*;
+use roofline::{MachineCeilings, MemLevel};
+
+fn oi_strategy() -> impl Strategy<Value = OperationalIntensity> {
+    (0.001f64..16.0, 0.001f64..16.0).prop_map(|(i, m)| OperationalIntensity::new(i, m))
+}
+
+fn level_strategy() -> impl Strategy<Value = MemLevel> {
+    prop_oneof![Just(MemLevel::VecCache), Just(MemLevel::L2), Just(MemLevel::Dram)]
+}
+
+proptest! {
+    /// Attainable performance is monotonically non-decreasing in the
+    /// vector length, for any intensity and memory level.
+    #[test]
+    fn attainable_is_monotone_in_vl(oi in oi_strategy(), level in level_strategy()) {
+        let m = MachineCeilings::paper_default();
+        let mut prev = 0.0;
+        for g in 0..=16 {
+            let ap = m.attainable(VectorLength::new(g), oi, level);
+            prop_assert!(ap >= prev - 1e-12, "AP regressed at {} granules", g);
+            prev = ap;
+        }
+    }
+
+    /// Attainable performance never exceeds any individual ceiling.
+    #[test]
+    fn attainable_respects_every_ceiling(
+        oi in oi_strategy(),
+        g in 1usize..=16,
+        level in level_strategy(),
+    ) {
+        let m = MachineCeilings::paper_default();
+        let vl = VectorLength::new(g);
+        let ap = m.attainable(vl, oi, level);
+        prop_assert!(ap <= m.fp_peak(vl) + 1e-12);
+        prop_assert!(ap <= m.simd_issue_bw(vl) * oi.issue() + 1e-12);
+        prop_assert!(ap <= m.mem_bw(level) * oi.mem() + 1e-12);
+        prop_assert!(ap >= 0.0);
+    }
+
+    /// Nearer memory levels never lower attainable performance.
+    #[test]
+    fn nearer_levels_never_hurt(oi in oi_strategy(), g in 1usize..=8) {
+        let m = MachineCeilings::paper_default();
+        let vl = VectorLength::new(g);
+        let dram = m.attainable(vl, oi, MemLevel::Dram);
+        let l2 = m.attainable(vl, oi, MemLevel::L2);
+        let vc = m.attainable(vl, oi, MemLevel::VecCache);
+        prop_assert!(l2 >= dram - 1e-12);
+        prop_assert!(vc >= l2 - 1e-12);
+    }
+
+    /// The saturation point is consistent with the gain function: no
+    /// positive gain at the saturation VL, positive gain just below it.
+    #[test]
+    fn saturation_is_the_first_zero_gain(oi in oi_strategy(), level in level_strategy()) {
+        let m = MachineCeilings::paper_default();
+        let max = VectorLength::new(16);
+        let sat = m.saturation_vl(oi, level, max);
+        if sat < max {
+            prop_assert!(m.net_gain(sat, oi, level) <= f64::EPSILON);
+        }
+        if sat.granules() > 1 {
+            let below = VectorLength::new(sat.granules() - 1);
+            prop_assert!(m.net_gain(below, oi, level) > 0.0);
+        }
+    }
+
+    /// Scaling both intensities scales nothing past the compute peak:
+    /// for huge intensities, AP equals FP_peak exactly.
+    #[test]
+    fn compute_bound_limit(g in 1usize..=16) {
+        let m = MachineCeilings::paper_default();
+        let vl = VectorLength::new(g);
+        let oi = OperationalIntensity::uniform(1e6);
+        prop_assert_eq!(m.attainable(vl, oi, MemLevel::Dram), m.fp_peak(vl));
+    }
+}

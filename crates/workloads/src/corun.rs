@@ -1,0 +1,239 @@
+//! Materialising co-running workloads into a ready-to-run [`Machine`].
+
+use std::fmt;
+
+use lane_manager::{LaneManager, PhaseDemand};
+use mem_sim::Memory;
+use occamy_compiler::{
+    analyze, ArrayLayout, CodeGenOptions, CompileError, Compiler, Kernel, VlMode,
+};
+use occamy_sim::{Architecture, ConfigError, Machine, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::WorkloadSpec;
+
+/// Error building a co-run experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// A kernel failed to compile.
+    Compile(CompileError),
+    /// The machine configuration was inconsistent.
+    Config(ConfigError),
+    /// More workloads than cores.
+    TooManyWorkloads {
+        /// Requested workloads.
+        workloads: usize,
+        /// Available cores.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Compile(e) => write!(f, "compiling workload: {e}"),
+            BuildError::Config(e) => write!(f, "configuring machine: {e}"),
+            BuildError::TooManyWorkloads { workloads, cores } => {
+                write!(f, "{workloads} workloads for {cores} cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Compile(e) => Some(e),
+            BuildError::Config(e) => Some(e),
+            BuildError::TooManyWorkloads { .. } => None,
+        }
+    }
+}
+
+impl From<CompileError> for BuildError {
+    fn from(e: CompileError) -> Self {
+        BuildError::Compile(e)
+    }
+}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Config(e)
+    }
+}
+
+/// Builds a machine with `specs[c]` loaded on core `c`, arrays allocated
+/// and deterministically initialised, and each workload compiled for
+/// `arch` (elastic code on Occamy, fixed-length code on the baselines).
+///
+/// `scale` multiplies every phase's trip count (values below 1.0 give
+/// fast smoke runs; 1.0 is the paper-sized experiment).
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if compilation or machine construction fails.
+pub fn build_machine(
+    specs: &[WorkloadSpec],
+    cfg: &SimConfig,
+    arch: &Architecture,
+    scale: f64,
+) -> Result<Machine, BuildError> {
+    if specs.len() > cfg.cores {
+        return Err(BuildError::TooManyWorkloads { workloads: specs.len(), cores: cfg.cores });
+    }
+    let scaled_trip = |t: usize| ((t as f64 * scale) as usize).max(64);
+
+    // Size the arena: every (namespaced) array of every phase.
+    let mut arena = 1u64 << 20;
+    for spec in specs {
+        for phase in &spec.phases {
+            let n = phase.kernel.arrays().len() as u64;
+            arena += n * (scaled_trip(phase.trip) as u64 * 4 + 64);
+        }
+    }
+    let mut mem = Memory::new(arena as usize);
+    let mut rng = StdRng::seed_from_u64(0x0cca_a17e);
+
+    // Allocate and initialise per-core namespaced arrays; build layouts.
+    let mut layouts: Vec<ArrayLayout> = Vec::new();
+    let mut namespaced: Vec<Vec<(Kernel, usize, usize)>> = Vec::new();
+    for (core, spec) in specs.iter().enumerate() {
+        let prefix = format!("c{core}_");
+        let mut layout = ArrayLayout::new();
+        let mut phases = Vec::new();
+        for phase in &spec.phases {
+            let kernel = phase.kernel.with_array_prefix(&prefix);
+            let trip = scaled_trip(phase.trip);
+            // Allocate base arrays with a 16-lane halo on each side so
+            // stencil (offset) references stay in bounds; offset
+            // pseudo-references resolve against these bindings.
+            for array in kernel.base_arrays() {
+                if layout.addr(&array).is_none() {
+                    let halo = 16u64;
+                    let addr = mem.alloc_f32(trip as u64 + 2 * halo) + 4 * halo;
+                    for i in 0..trip + 2 * halo as usize {
+                        let v: f32 = rng.gen_range(0.5..1.5);
+                        mem.write_f32(addr - 4 * halo + 4 * i as u64, v);
+                    }
+                    layout.bind(array, addr);
+                }
+            }
+            phases.push((kernel, trip, phase.repeat.max(1)));
+        }
+        layouts.push(layout);
+        namespaced.push(phases);
+    }
+
+    let mut machine = Machine::new(cfg.clone(), arch.clone(), mem)?;
+    for (core, phases) in namespaced.iter().enumerate() {
+        let mode = match arch.fixed_vl(core, cfg) {
+            Some(vl) => VlMode::Fixed(vl),
+            None => VlMode::Elastic { default: em_simd::VectorLength::new(2) },
+        };
+        let compiler = Compiler::new(CodeGenOptions { mode, ..CodeGenOptions::default() });
+        let program = compiler.compile_repeated(phases, &layouts[core])?;
+        machine.load_program(core, program);
+    }
+    Ok(machine)
+}
+
+/// Chooses the static (VLS) lane partition for a set of co-running
+/// workloads: the lane manager plans once over each workload's
+/// highest-intensity phase, then leftover granules go to the workloads
+/// in decreasing intensity order (VLS assigns every lane, Fig. 1(c)).
+///
+/// For the motivating example this yields the paper's 12/20-lane split.
+pub fn vls_partition(specs: &[WorkloadSpec], cfg: &SimConfig) -> Vec<usize> {
+    let mgr = LaneManager::paper_default(cfg.cores, cfg.total_granules);
+    let demands: Vec<PhaseDemand> = (0..cfg.cores)
+        .map(|c| match specs.get(c) {
+            Some(spec) => {
+                let oi = spec
+                    .phases
+                    .iter()
+                    .map(|p| analyze(&p.kernel).oi)
+                    .max_by(|a, b| a.mem().total_cmp(&b.mem()))
+                    .expect("workloads have phases");
+                PhaseDemand::Active(oi)
+            }
+            None => PhaseDemand::Idle,
+        })
+        .collect();
+    let plan = mgr.plan(&demands);
+    let mut partition: Vec<usize> = (0..cfg.cores).map(|c| plan.granules(c)).collect();
+
+    // Hand out the remaining granules (static sharing allocates all
+    // lanes), most-intense workloads first; idle cores still need one.
+    let mut free = plan.free_granules();
+    for p in partition.iter_mut() {
+        if *p == 0 && free > 0 {
+            *p = 1;
+            free -= 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by(|&a, &b| specs[b].peak_oi_mem().total_cmp(&specs[a].peak_oi_mem()));
+    let mut i = 0;
+    while free > 0 && !order.is_empty() {
+        partition[order[i % order.len()]] += 1;
+        free -= 1;
+        i += 1;
+    }
+    partition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motivating;
+    use crate::table3;
+
+    #[test]
+    fn vls_partition_matches_paper_motivating_split() {
+        let cfg = SimConfig::paper_2core();
+        let specs = [motivating::wl0(), motivating::wl1()];
+        assert_eq!(vls_partition(&specs, &cfg), vec![3, 5]); // 12 + 20 lanes
+    }
+
+    #[test]
+    fn too_many_workloads_is_an_error() {
+        let cfg = SimConfig::paper_2core();
+        let specs = vec![motivating::wl0(), motivating::wl1(), motivating::wl1()];
+        assert!(matches!(
+            build_machine(&specs, &cfg, &Architecture::Private, 0.1),
+            Err(BuildError::TooManyWorkloads { .. })
+        ));
+    }
+
+    #[test]
+    fn small_pair_runs_to_completion_on_all_architectures() {
+        let cfg = SimConfig::paper_2core();
+        let pair = &table3::all_pairs(0.05)[0];
+        let archs = [
+            Architecture::Private,
+            Architecture::TemporalSharing,
+            Architecture::StaticSpatialSharing {
+                partition: vls_partition(&pair.workloads, &cfg),
+            },
+            Architecture::Occamy,
+        ];
+        for arch in archs {
+            let mut m = build_machine(&pair.workloads, &cfg, &arch, 0.05).expect("build");
+            let stats = m.run(10_000_000);
+            assert!(stats.completed, "{arch} did not complete");
+            assert!(stats.cores[0].vector_compute_issued > 0);
+            assert!(stats.cores[1].vector_compute_issued > 0);
+        }
+    }
+
+    #[test]
+    fn single_workload_on_two_core_machine() {
+        let cfg = SimConfig::paper_2core();
+        let specs = [table3::spec_workload(16, 0.05)];
+        let mut m = build_machine(&specs, &cfg, &Architecture::Occamy, 1.0).expect("build");
+        let stats = m.run(10_000_000);
+        assert!(stats.completed);
+        assert_eq!(stats.cores[1].vector_compute_issued, 0);
+    }
+}

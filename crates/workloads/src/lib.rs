@@ -1,0 +1,43 @@
+//! # Occamy evaluation workloads
+//!
+//! The 34 workloads of the paper's evaluation (Table 3: 22 built from
+//! SPECCPU2017 loops, 12 from OpenCV kernels), the Fig. 2(a) motivating
+//! example, the 25 co-running pairs of Fig. 10/11 and the four-core
+//! groups of Fig. 16.
+//!
+//! ## Substitution note (see DESIGN.md)
+//!
+//! We do not have SPEC sources or REF inputs, so each named phase is a
+//! *synthetic kernel* constructed (via [`SyntheticSpec`]) to match the
+//! paper's published per-phase operational intensity — the only property
+//! of a phase that the Occamy hardware, lane manager and roofline model
+//! observe. Unit tests assert that every kernel's *computed* `oi_mem`
+//! (Eq. 5, via [`occamy_compiler::analyze`]) equals Table 3's value to
+//! the paper's printed precision.
+//!
+//! # Examples
+//!
+//! Materialise and run the motivating example on the Occamy architecture:
+//!
+//! ```no_run
+//! use workloads::{corun, motivating};
+//! use occamy_sim::{Architecture, SimConfig};
+//!
+//! let cfg = SimConfig::paper_2core();
+//! let specs = [motivating::wl0(), motivating::wl1()];
+//! let mut machine = corun::build_machine(&specs, &cfg, &Architecture::Occamy, 1.0)?;
+//! let stats = machine.run(50_000_000);
+//! println!("SIMD utilisation: {:.1}%", 100.0 * stats.simd_utilization());
+//! # Ok::<(), workloads::BuildError>(())
+//! ```
+
+pub mod corun;
+pub mod extra;
+pub mod motivating;
+mod spec;
+mod synth;
+pub mod table3;
+
+pub use corun::BuildError;
+pub use spec::{PhaseSpec, WorkloadClass, WorkloadSpec};
+pub use synth::SyntheticSpec;

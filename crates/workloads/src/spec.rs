@@ -1,0 +1,112 @@
+//! Workload descriptions: named phases with trip counts.
+
+use occamy_compiler::{analyze, Kernel};
+
+/// Whether a workload is memory- or compute-intensive, classified from
+/// its peak phase intensity (the paper's informal distinction: compute
+/// workloads keep the SIMD pipeline busy; memory workloads stall on the
+/// hierarchy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Dominated by memory bandwidth (`oi_mem < 0.4`).
+    Memory,
+    /// Dominated by computation.
+    Compute,
+}
+
+/// One phase: a kernel executed `repeat` times over `trip` elements.
+///
+/// Repeats model the outer time-step loops of the SPEC programs: the
+/// first pass streams cold through the hierarchy, subsequent passes run
+/// cache-warm — exactly why the paper's compute-intensive loops do not
+/// stall on memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// The phase's kernel.
+    pub kernel: Kernel,
+    /// Elements per pass.
+    pub trip: usize,
+    /// Number of passes.
+    pub repeat: usize,
+    /// The paper's published `oi_mem` for this phase (Table 3), for
+    /// reporting alongside the computed value.
+    pub paper_oi: f64,
+}
+
+impl PhaseSpec {
+    /// The computed `oi_mem` of the kernel (Eq. 5).
+    pub fn computed_oi_mem(&self) -> f64 {
+        analyze(&self.kernel).oi.mem()
+    }
+}
+
+/// A workload: a named sequence of phases run on one core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Display label (e.g. `"WL8"` or `"cv1"`).
+    pub label: String,
+    /// Phases in execution order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl WorkloadSpec {
+    /// Creates a workload from its phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(label: impl Into<String>, phases: Vec<PhaseSpec>) -> Self {
+        assert!(!phases.is_empty(), "a workload needs at least one phase");
+        WorkloadSpec { label: label.into(), phases }
+    }
+
+    /// The workload's peak phase `oi_mem`.
+    pub fn peak_oi_mem(&self) -> f64 {
+        self.phases.iter().map(|p| p.computed_oi_mem()).fold(0.0, f64::max)
+    }
+
+    /// Memory- vs compute-intensive classification.
+    pub fn class(&self) -> WorkloadClass {
+        if self.peak_oi_mem() < 0.4 {
+            WorkloadClass::Memory
+        } else {
+            WorkloadClass::Compute
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticSpec;
+
+    fn phase(loads: usize, stores: usize, flops: usize) -> PhaseSpec {
+        PhaseSpec {
+            kernel: SyntheticSpec::new("k", loads, stores, flops).build(),
+            trip: 128,
+            repeat: 1,
+            paper_oi: 0.0,
+        }
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        let mem = WorkloadSpec::new("m", vec![phase(3, 1, 2)]); // oi = 0.125
+        assert_eq!(mem.class(), WorkloadClass::Memory);
+        let comp = WorkloadSpec::new("c", vec![phase(2, 1, 12)]); // oi = 1.0
+        assert_eq!(comp.class(), WorkloadClass::Compute);
+    }
+
+    #[test]
+    fn peak_takes_the_max_phase() {
+        let wl = WorkloadSpec::new("w", vec![phase(3, 1, 2), phase(2, 1, 12)]);
+        assert!((wl.peak_oi_mem() - 1.0).abs() < 1e-9);
+        assert_eq!(wl.class(), WorkloadClass::Compute);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_workload_panics() {
+        let _ = WorkloadSpec::new("w", vec![]);
+    }
+}

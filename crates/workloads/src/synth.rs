@@ -1,0 +1,233 @@
+//! Synthetic kernel construction with exact instruction-mix targets.
+
+use occamy_compiler::{analyze, Expr, Kernel};
+
+/// A recipe for a kernel with an exact per-iteration instruction mix —
+/// the quantities that determine a phase's operational intensity (Eq. 5).
+///
+/// The generated kernel loads `loads` distinct arrays, stores to
+/// `stores` arrays (of which the first `rmw_stores` target loaded arrays
+/// — that is what produces data *reuse*, making `oi.issue < oi.mem`),
+/// executes exactly `flops` floating-point operations per element, and
+/// optionally folds a sum reduction.
+///
+/// # Examples
+///
+/// Reproduce the paper's `rho_eos2` phase (Table 5 / §7.4 case 4:
+/// `oi_issue = 0.17`, `oi_mem = 0.25`):
+///
+/// ```
+/// use workloads::SyntheticSpec;
+/// use occamy_compiler::analyze;
+///
+/// let k = SyntheticSpec::new("rho_eos2", 4, 2, 4).with_rmw(2).build();
+/// let info = analyze(&k);
+/// assert!((info.oi.mem() - 0.25).abs() < 1e-6);
+/// assert!((info.oi.issue() - 1.0 / 6.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    name: String,
+    loads: usize,
+    stores: usize,
+    rmw_stores: usize,
+    flops: usize,
+    reduce: bool,
+}
+
+impl SyntheticSpec {
+    /// A kernel with `loads` input arrays, `stores` output arrays and
+    /// `flops` operations per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is zero or no work is specified.
+    pub fn new(name: impl Into<String>, loads: usize, stores: usize, flops: usize) -> Self {
+        assert!(loads > 0, "a kernel needs at least one input");
+        assert!(stores > 0 || flops > 0, "a kernel needs some work");
+        SyntheticSpec { name: name.into(), loads, stores, rmw_stores: 0, flops, reduce: false }
+    }
+
+    /// Makes the first `rmw` stores target loaded arrays
+    /// (read-modify-write), introducing data reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rmw` exceeds the number of stores or loads.
+    #[must_use]
+    pub fn with_rmw(mut self, rmw: usize) -> Self {
+        assert!(rmw <= self.stores && rmw <= self.loads);
+        self.rmw_stores = rmw;
+        self
+    }
+
+    /// Adds a sum-reduction statement (output array `{name}_sum`); one of
+    /// the `flops` pays for the per-element accumulate.
+    #[must_use]
+    pub fn with_reduction(mut self) -> Self {
+        self.reduce = true;
+        self
+    }
+
+    /// Number of statements the kernel will have.
+    fn num_stmts(&self) -> usize {
+        self.stores + usize::from(self.reduce)
+    }
+
+    /// Builds the kernel and verifies the instruction mix against the
+    /// analysis (so a spec can never silently drift from its target OI).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is infeasible (too few expression leaves to
+    /// reference every input array) or the built kernel's analysis does
+    /// not match the spec.
+    pub fn build(&self) -> Kernel {
+        let stmts = self.num_stmts();
+        assert!(stmts > 0, "kernel `{}` has no statements", self.name);
+        // Leaf counting: an assign with k ops has k+1 leaves; a reduce
+        // with k ops charged (one being the accumulate) has k leaves.
+        // Either way the total is `flops + stores`, and every load array
+        // must appear at least once.
+        assert!(
+            self.flops + self.stores >= self.loads,
+            "kernel `{}`: {} flops over {} stores cannot reference {} inputs",
+            self.name,
+            self.flops,
+            self.stores,
+            self.loads
+        );
+
+        let mut leaf_cursor = 0usize;
+        let mut next_leaf = || {
+            let e = Expr::load(format!("{}_in{}", self.name, leaf_cursor % self.loads));
+            leaf_cursor += 1;
+            e
+        };
+
+        // Distribute flops: the reduction statement (if any) needs at
+        // least 1 (its accumulate); assigns may have zero (plain copies).
+        let mut shares = vec![0usize; stmts];
+        if self.reduce {
+            shares[stmts - 1] = 1;
+        }
+        let mut remaining = self.flops - if self.reduce { 1 } else { 0 };
+        let mut i = 0;
+        while remaining > 0 {
+            shares[i % stmts] += 1;
+            remaining -= 1;
+            i += 1;
+        }
+
+        // Build each statement as a *balanced* tree over `ops + 1` leaves:
+        // real vectorized loop bodies expose instruction-level parallelism
+        // (multiple independent sub-expressions), and a serial chain would
+        // artificially cap the SIMD issue rate at 1/latency.
+        let mut balanced = |ops: usize| -> Expr {
+            let mut level: Vec<Expr> = (0..ops + 1).map(|_| next_leaf()).collect();
+            let mut alt = 0usize;
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                let mut it = level.into_iter();
+                while let Some(a) = it.next() {
+                    match it.next() {
+                        Some(b) => {
+                            next.push(if alt.is_multiple_of(2) { a * b } else { a + b });
+                            alt += 1;
+                        }
+                        None => next.push(a),
+                    }
+                }
+                level = next;
+            }
+            level.pop().expect("at least one leaf")
+        };
+
+        let mut kernel = Kernel::new(self.name.clone());
+        for (s, &share) in shares.iter().enumerate().take(self.stores) {
+            let expr = balanced(share);
+            let dst = if s < self.rmw_stores {
+                format!("{}_in{}", self.name, s)
+            } else {
+                format!("{}_out{}", self.name, s - self.rmw_stores)
+            };
+            kernel = kernel.assign(dst, expr);
+        }
+        if self.reduce {
+            // `share - 1` expression ops; the accumulate is the +1.
+            let expr = balanced(shares[stmts - 1] - 1);
+            kernel = kernel.reduce_add(format!("{}_sum", self.name), expr);
+        }
+
+        let info = analyze(&kernel);
+        assert_eq!(info.comp, self.flops, "kernel `{}`: flop mix drifted", self.name);
+        assert_eq!(info.loads, self.loads, "kernel `{}`: load mix drifted", self.name);
+        assert_eq!(info.stores, self.stores, "kernel `{}`: store mix drifted", self.name);
+        let distinct = self.loads + self.stores - self.rmw_stores;
+        assert_eq!(info.footprint_bytes, 4 * distinct, "kernel `{}`: reuse drifted", self.name);
+        kernel
+    }
+
+    /// The `oi_mem` this spec will produce.
+    pub fn target_oi_mem(&self) -> f64 {
+        self.flops as f64 / (4.0 * (self.loads + self.stores - self.rmw_stores) as f64)
+    }
+
+    /// The `oi_issue` this spec will produce.
+    pub fn target_oi_issue(&self) -> f64 {
+        self.flops as f64 / (4.0 * (self.loads + self.stores) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_hits_exact_targets() {
+        let spec = SyntheticSpec::new("k", 5, 3, 3);
+        let k = spec.build();
+        let info = analyze(&k);
+        assert!((info.oi.mem() - spec.target_oi_mem()).abs() < 1e-9);
+        assert!((info.oi.issue() - spec.target_oi_issue()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmw_creates_reuse() {
+        let spec = SyntheticSpec::new("k", 4, 2, 4).with_rmw(2);
+        let k = spec.build();
+        let info = analyze(&k);
+        assert!(info.oi.issue() < info.oi.mem());
+    }
+
+    #[test]
+    fn reduction_only_kernel() {
+        let spec = SyntheticSpec::new("dot", 2, 0, 2).with_reduction();
+        let k = spec.build();
+        let info = analyze(&k);
+        assert_eq!(info.stores, 0);
+        assert_eq!(info.comp, 2);
+        assert!((info.oi.mem() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_flop_copy_statements_are_allowed() {
+        // rho_eos6-style: 2 loads, 2 stores, 1 flop.
+        let k = SyntheticSpec::new("k", 2, 2, 1).build();
+        let info = analyze(&k);
+        assert_eq!(info.comp, 1);
+        assert_eq!(info.mem(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reference")]
+    fn infeasible_mix_panics() {
+        let _ = SyntheticSpec::new("bad", 6, 2, 3).build();
+    }
+
+    #[test]
+    fn all_loads_are_referenced() {
+        let k = SyntheticSpec::new("k", 7, 3, 4).build();
+        assert_eq!(k.loaded_arrays().len(), 7);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests for the synthetic-kernel builder and the
+//! workload tables.
+
+use occamy_compiler::analyze;
+use proptest::prelude::*;
+use workloads::SyntheticSpec;
+
+proptest! {
+    /// Any feasible instruction mix builds a kernel whose analysis hits
+    /// the spec's targets exactly.
+    #[test]
+    fn feasible_specs_hit_exact_targets(
+        loads in 1usize..=8,
+        stores in 0usize..=3,
+        flops in 1usize..=24,
+        rmw in 0usize..=3,
+        reduce in any::<bool>(),
+    ) {
+        let stmts = stores + usize::from(reduce);
+        prop_assume!(stmts > 0);
+        let _ = stmts;
+        prop_assume!(flops + stores >= loads);
+        let rmw = rmw.min(stores).min(loads);
+
+        let mut spec = SyntheticSpec::new("prop", loads, stores, flops).with_rmw(rmw);
+        if reduce {
+            spec = spec.with_reduction();
+        }
+        let kernel = spec.build(); // build() itself asserts the mix
+        let info = analyze(&kernel);
+        prop_assert!((info.oi.mem() - spec.target_oi_mem()).abs() < 1e-6);
+        prop_assert!((info.oi.issue() - spec.target_oi_issue()).abs() < 1e-6);
+        // Structural sanity for the code generator's limits.
+        prop_assert!(kernel.base_arrays().len() <= 12);
+        for stmt_depth in kernel.stmts().iter().map(|s| match s {
+            occamy_compiler::Stmt::Assign { expr, .. }
+            | occamy_compiler::Stmt::ReduceAdd { expr, .. } => expr.eval_depth(),
+        }) {
+            prop_assert!(stmt_depth <= 8, "depth {} exceeds scalar temps", stmt_depth);
+        }
+    }
+
+    /// Every generated kernel compiles under both fixed and elastic
+    /// modes with a generic layout.
+    #[test]
+    fn feasible_specs_compile(
+        loads in 1usize..=6,
+        stores in 1usize..=3,
+        flops in 1usize..=16,
+    ) {
+        prop_assume!(flops + stores >= loads);
+        let kernel = SyntheticSpec::new("prop", loads, stores, flops).build();
+        let mut layout = occamy_compiler::ArrayLayout::new();
+        for (i, a) in kernel.base_arrays().iter().enumerate() {
+            layout.bind(a.clone(), 0x10_000 + 0x10_000 * i as u64);
+        }
+        for mode in [
+            occamy_compiler::VlMode::Fixed(em_simd::VectorLength::new(4)),
+            occamy_compiler::VlMode::Elastic { default: em_simd::VectorLength::new(2) },
+        ] {
+            let compiler = occamy_compiler::Compiler::new(occamy_compiler::CodeGenOptions {
+                mode,
+                ..Default::default()
+            });
+            prop_assert!(compiler.compile(&[(kernel.clone(), 500)], &layout).is_ok());
+        }
+    }
+}

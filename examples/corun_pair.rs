@@ -1,0 +1,62 @@
+//! Co-run a Table 3 workload pair on all four SIMD architectures of
+//! Fig. 1 and compare.
+//!
+//! ```text
+//! cargo run --release --example corun_pair            # default pair 8+17
+//! cargo run --release --example corun_pair -- 20+9    # any Fig. 10 label
+//! ```
+
+use occamy::bench_workloads::{corun, table3};
+use occamy::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "8+17".to_owned());
+    let pairs = table3::all_pairs(0.5);
+    let pair = pairs
+        .iter()
+        .find(|p| p.label == label)
+        .unwrap_or_else(|| panic!("unknown pair `{label}`; try one of Fig. 10's labels like 8+17"));
+
+    let cfg = SimConfig::paper_2core();
+    println!(
+        "pair {}: {} ({:?}) on core 0, {} ({:?}) on core 1\n",
+        pair.label,
+        pair.workloads[0].label,
+        pair.workloads[0].class(),
+        pair.workloads[1].label,
+        pair.workloads[1].class()
+    );
+
+    let archs = [
+        Architecture::Private,
+        Architecture::TemporalSharing,
+        Architecture::StaticSpatialSharing {
+            partition: corun::vls_partition(&pair.workloads, &cfg),
+        },
+        Architecture::Occamy,
+    ];
+    println!(
+        "{:<9} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "arch", "t(core0)", "t(core1)", "issue0", "issue1", "SIMD util"
+    );
+    let mut base = None;
+    for arch in archs {
+        let mut machine = corun::build_machine(&pair.workloads, &cfg, &arch, 1.0)?;
+        let stats = machine.run(100_000_000);
+        assert!(stats.completed);
+        let t1 = stats.core_time(1);
+        let speedup = base.map(|b: u64| b as f64 / t1 as f64);
+        base = base.or(Some(t1));
+        println!(
+            "{:<9} {:>10} {:>10} {:>10.2} {:>10.2} {:>11.1}%{}",
+            arch.short_name(),
+            stats.core_time(0),
+            t1,
+            stats.cores[0].issue_rate(stats.core_time(0)),
+            stats.cores[1].issue_rate(t1),
+            100.0 * stats.simd_utilization(),
+            speedup.map_or(String::new(), |s| format!("   ({s:.2}x on core 1)")),
+        );
+    }
+    Ok(())
+}

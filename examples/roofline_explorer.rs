@@ -1,0 +1,49 @@
+//! Explore the vector-length-aware roofline model and the lane
+//! manager's partitioning decisions.
+//!
+//! ```text
+//! cargo run --release --example roofline_explorer            # defaults
+//! cargo run --release --example roofline_explorer -- 0.09 1.0
+//! ```
+//!
+//! Arguments are the operational intensities (FLOPs/byte) of the two
+//! co-running workloads.
+
+use occamy::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let oi0: f64 = args.next().map_or(0.09, |s| s.parse().expect("oi must be a number"));
+    let oi1: f64 = args.next().map_or(1.0, |s| s.parse().expect("oi must be a number"));
+
+    let ceilings = MachineCeilings::paper_default();
+    println!("vector-length-aware roofline (paper Table 4 machine):\n");
+    println!("{:<8} {:>12} {:>14} {:>14} {:>14}", "lanes", "FP peak", "issue-bound", "DRAM-bound", "attainable");
+    let oi = OperationalIntensity::uniform(oi0);
+    for granules in 1..=8usize {
+        let vl = VectorLength::new(granules);
+        println!(
+            "{:<8} {:>12.1} {:>14.1} {:>14.1} {:>14.1}",
+            vl.lanes(),
+            ceilings.fp_peak(vl),
+            ceilings.simd_issue_bw(vl) * oi.issue(),
+            ceilings.mem_bw(MemLevel::Dram) * oi.mem(),
+            ceilings.attainable(vl, oi, MemLevel::Dram),
+        );
+    }
+    println!("(GFLOP/s, for a workload with OI {oi0})\n");
+
+    let mgr = LaneManager::paper_default(2, 8);
+    let plan = mgr.plan(&[
+        PhaseDemand::Active(OperationalIntensity::uniform(oi0)),
+        PhaseDemand::Active(OperationalIntensity::uniform(oi1)),
+    ]);
+    println!(
+        "lane manager plan for co-running (oi={oi0}) and (oi={oi1}): {} + {} lanes",
+        plan.vl(0).lanes(),
+        plan.vl(1).lanes()
+    );
+
+    let solo = mgr.plan(&[PhaseDemand::Idle, PhaseDemand::Active(OperationalIntensity::uniform(oi1))]);
+    println!("after workload 0 exits: {} lanes to workload 1", solo.vl(1).lanes());
+}

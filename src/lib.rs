@@ -1,0 +1,78 @@
+//! # Occamy
+//!
+//! A full reproduction of **"Occamy: Elastically Sharing a SIMD
+//! Co-processor across Multiple CPU Cores"** (ASPLOS 2023): the elastic
+//! EM-SIMD execution model, the SIMD co-processor and its three baseline
+//! architectures on a cycle-level simulator, the lane manager with its
+//! vector-length-aware roofline model, the elastic vectorizing compiler,
+//! and the paper's evaluation workloads.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`isa`] — the EM-SIMD ISA ([`em_simd`]),
+//! * [`model`] — the roofline model ([`roofline`]),
+//! * [`lanes`] — resource table + lane manager ([`lane_manager`]),
+//! * [`mem`] — memory hierarchy ([`mem_sim`]),
+//! * [`sim`] — the cycle-level machine ([`occamy_sim`]),
+//! * [`compiler`] — the elastic vectorizer ([`occamy_compiler`]),
+//! * [`os`] — preemptive time-sharing scheduler ([`occamy_os`]),
+//! * [`bench_workloads`] — Table 3 workloads ([`workloads`]).
+//!
+//! # Quickstart
+//!
+//! Compile a kernel elastically and co-run it on a 2-core Occamy machine
+//! (see `examples/quickstart.rs` for the narrated version):
+//!
+//! ```
+//! use occamy::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mem = Memory::new(1 << 20);
+//! let n = 512;
+//! let (a, b, c) = (mem.alloc_f32(n), mem.alloc_f32(n), mem.alloc_f32(n));
+//! for i in 0..n {
+//!     mem.write_f32(a + 4 * i, i as f32);
+//!     mem.write_f32(b + 4 * i, 1.0);
+//! }
+//!
+//! let kernel = Kernel::new("vadd").assign("c", Expr::load("a") + Expr::load("b"));
+//! let mut layout = ArrayLayout::new();
+//! layout.bind("a", a).bind("b", b).bind("c", c);
+//! let program = Compiler::new(CodeGenOptions::default())
+//!     .compile(&[(kernel, n as usize)], &layout)?;
+//!
+//! let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem)?;
+//! machine.load_program(0, program);
+//! let stats = machine.run(1_000_000);
+//! assert!(stats.completed);
+//! assert_eq!(machine.memory().read_f32(c + 4 * 100), 101.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use em_simd as isa;
+pub use lane_manager as lanes;
+pub use mem_sim as mem;
+pub use occamy_compiler as compiler;
+pub use occamy_os as os;
+pub use occamy_sim as sim;
+pub use roofline as model;
+pub use workloads as bench_workloads;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use em_simd::{
+        DedicatedReg, EmSimdInst, Inst, InstTag, OperationalIntensity, Program, ProgramBuilder,
+        VectorLength,
+    };
+    pub use lane_manager::{LaneManager, PartitionPlan, PhaseDemand, ResourceTable};
+    pub use mem_sim::{MemConfig, Memory, MemorySystem};
+    pub use occamy_compiler::{
+        analyze, ArrayLayout, CodeGenOptions, CompileError, Compiler, Expr, Kernel, VlMode,
+    };
+    pub use occamy_os::{Policy, SchedReport, Scheduler, Task};
+    pub use occamy_sim::{
+        Architecture, ConfigError, Machine, MachineStats, SimConfig,
+    };
+    pub use roofline::{MachineCeilings, MemLevel};
+}

@@ -1,0 +1,315 @@
+//! Cross-crate integration: compile kernels with the Occamy compiler and
+//! execute them on the cycle-level simulator, on every architecture.
+//!
+//! The paper's §6.4 correctness property — elastic vector-length
+//! reconfiguration never changes program semantics — is checked by
+//! comparing simulated memory against a pure-Rust reference execution.
+
+use occamy::prelude::*;
+
+/// Reference execution of a kernel over plain Rust slices.
+fn reference(kernel: &Kernel, arrays: &mut std::collections::HashMap<String, Vec<f32>>, n: usize) {
+    use occamy::compiler::Stmt;
+    // ReduceAdd *overwrites* out[0] with the final sum.
+    for out in kernel.reduction_outputs() {
+        arrays.get_mut(&out).unwrap()[0] = 0.0;
+    }
+    for i in 0..n {
+        for stmt in kernel.stmts() {
+            match stmt {
+                Stmt::Assign { dst, expr } => {
+                    let v = expr.eval(&|name: &str| arrays[name][i]);
+                    arrays.get_mut(dst).unwrap()[i] = v;
+                }
+                Stmt::ReduceAdd { out, expr } => {
+                    let v = expr.eval(&|name: &str| arrays[name][i]);
+                    arrays.get_mut(out).unwrap()[0] += v;
+                }
+            }
+        }
+    }
+}
+
+struct TestBed {
+    mem: Memory,
+    layout: ArrayLayout,
+    reference_arrays: std::collections::HashMap<String, Vec<f32>>,
+    addrs: std::collections::HashMap<String, u64>,
+    n: usize,
+}
+
+impl TestBed {
+    /// Allocates and initialises every array the kernel touches with a
+    /// deterministic pseudo-random pattern.
+    fn for_kernel(kernel: &Kernel, n: usize) -> Self {
+        let mut mem = Memory::new(8 << 20);
+        let mut layout = ArrayLayout::new();
+        let mut reference_arrays = std::collections::HashMap::new();
+        let mut addrs = std::collections::HashMap::new();
+        let mut seed = 0x2545_F491u32;
+        for name in kernel.arrays() {
+            let addr = mem.alloc_f32(n as u64);
+            let mut host = Vec::with_capacity(n);
+            for i in 0..n {
+                seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                // Keep values in a small positive range: every kernel
+                // stays finite (divisions, square roots).
+                let v = 0.5 + (seed >> 20) as f32 / 4096.0;
+                mem.write_f32(addr + 4 * i as u64, v);
+                host.push(v);
+            }
+            layout.bind(name.clone(), addr);
+            addrs.insert(name.clone(), addr);
+            reference_arrays.insert(name, host);
+        }
+        TestBed { mem, layout, reference_arrays, addrs, n }
+    }
+
+    fn check_against_reference(&self, machine: &Machine, kernel: &Kernel) {
+        for name in kernel.arrays() {
+            let addr = self.addrs[&name];
+            let host = &self.reference_arrays[&name];
+            for i in 0..self.n {
+                let got = machine.memory().read_f32(addr + 4 * i as u64);
+                let want = host[i];
+                let tol = want.abs().max(1.0) * 1e-4;
+                assert!(
+                    (got - want).abs() <= tol,
+                    "{name}[{i}] = {got}, reference {want} (kernel {})",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
+
+fn kernels_under_test() -> Vec<Kernel> {
+    vec![
+        Kernel::new("vadd").assign("c", Expr::load("a") + Expr::load("b")),
+        Kernel::new("saxpy").assign("y", Expr::constant(2.5) * Expr::load("x") + Expr::load("y")),
+        Kernel::new("triad")
+            .assign("d", Expr::load("a") + Expr::load("b") * Expr::load("c")),
+        Kernel::new("norm")
+            .assign("o", (Expr::load("a") * Expr::load("a") + Expr::load("b") * Expr::load("b")).sqrt()),
+        Kernel::new("dot").reduce_add("sum", Expr::load("a") * Expr::load("b")),
+        Kernel::new("mixed")
+            .assign("w", Expr::load("u") * Expr::load("v") - Expr::constant(1.5))
+            .reduce_add("acc", Expr::load("u").abs()),
+        Kernel::new("clamp")
+            .assign("o", Expr::load("a").max(Expr::constant(0.75)).min(Expr::load("b"))),
+        // OpenCV-compare-style thresholding via FCM + SEL.
+        Kernel::new("threshold").assign(
+            "o",
+            Expr::select(
+                em_simd::VCmpOp::Gt,
+                Expr::load("a"),
+                Expr::load("b"),
+                Expr::load("a") * Expr::constant(2.0),
+                Expr::constant(0.0),
+            ),
+        ),
+        // Nested conditionals.
+        Kernel::new("banded").assign(
+            "o",
+            Expr::select(
+                em_simd::VCmpOp::Le,
+                Expr::load("a"),
+                Expr::constant(0.9),
+                Expr::select(
+                    em_simd::VCmpOp::Ge,
+                    Expr::load("b"),
+                    Expr::constant(1.0),
+                    Expr::constant(1.0),
+                    Expr::load("b"),
+                ),
+                Expr::load("a"),
+            ),
+        ),
+    ]
+}
+
+fn archs_under_test() -> Vec<(Architecture, VlMode)> {
+    vec![
+        (Architecture::Private, VlMode::Fixed(VectorLength::new(4))),
+        (Architecture::TemporalSharing, VlMode::Fixed(VectorLength::new(8))),
+        (
+            Architecture::StaticSpatialSharing { partition: vec![3, 5] },
+            VlMode::Fixed(VectorLength::new(3)),
+        ),
+        (Architecture::Occamy, VlMode::Elastic { default: VectorLength::new(2) }),
+    ]
+}
+
+#[test]
+fn every_kernel_matches_reference_on_every_architecture() {
+    for kernel in kernels_under_test() {
+        // 611 is odd: exercises the remainder loop at every VL.
+        let n = 611;
+        for (arch, mode) in archs_under_test() {
+            let mut bed = TestBed::for_kernel(&kernel, n);
+            reference(&kernel, &mut bed.reference_arrays, n);
+            let compiler = Compiler::new(CodeGenOptions { mode, min_vec_trip: 32, ..CodeGenOptions::default() });
+            let program = compiler.compile(&[(kernel.clone(), n)], &bed.layout).unwrap();
+            let mut machine =
+                Machine::new(SimConfig::paper_2core(), arch.clone(), bed.mem.clone()).unwrap();
+            machine.load_program(0, program);
+            let stats = machine.run(10_000_000);
+            assert!(stats.completed, "{} on {} timed out", kernel.name(), arch);
+            bed.check_against_reference(&machine, &kernel);
+        }
+    }
+}
+
+#[test]
+fn co_running_elastic_workloads_stay_correct_while_repartitioning() {
+    // A memory-ish kernel on core 0, a compute kernel on core 1, both
+    // elastic: lanes move between the cores mid-loop; results must still
+    // match the reference.
+    let mem_kernel = Kernel::new("stream")
+        .assign("c", Expr::load("a") + Expr::load("b"));
+    let mut poly = Expr::load("x");
+    for _ in 0..6 {
+        poly = poly * Expr::constant(1.0625) + Expr::constant(0.25);
+    }
+    let compute_kernel = Kernel::new("poly").assign("y", poly);
+
+    let n0 = 2000;
+    let n1 = 3000;
+    let mut mem = Memory::new(8 << 20);
+    let mut layout = ArrayLayout::new();
+    let mut host: std::collections::HashMap<String, Vec<f32>> = Default::default();
+    let mut addrs: std::collections::HashMap<String, u64> = Default::default();
+    for (name, n) in
+        [("a", n0), ("b", n0), ("c", n0), ("x", n1), ("y", n1)]
+    {
+        let addr = mem.alloc_f32(n as u64);
+        let mut h = Vec::new();
+        for i in 0..n {
+            let v = ((i * 37 + 11) % 97) as f32 / 97.0 + 0.25;
+            mem.write_f32(addr + 4 * i as u64, v);
+            h.push(v);
+        }
+        layout.bind(name, addr);
+        addrs.insert(name.to_owned(), addr);
+        host.insert(name.to_owned(), h);
+    }
+    reference(&mem_kernel, &mut host, n0);
+    reference(&compute_kernel, &mut host, n1);
+
+    let compiler = Compiler::new(CodeGenOptions::default());
+    let p0 = compiler.compile(&[(mem_kernel, n0)], &layout).unwrap();
+    let p1 = compiler.compile(&[(compute_kernel, n1)], &layout).unwrap();
+
+    let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    machine.load_program(0, p0);
+    machine.load_program(1, p1);
+    let stats = machine.run(20_000_000);
+    assert!(stats.completed, "co-run timed out");
+
+    for (name, n) in [("c", n0), ("y", n1)] {
+        for i in 0..n {
+            let got = machine.memory().read_f32(addrs[name] + 4 * i as u64);
+            let want = host[name][i];
+            assert!(
+                (got - want).abs() <= want.abs().max(1.0) * 1e-4,
+                "{name}[{i}] = {got}, want {want}"
+            );
+        }
+    }
+
+    // Elasticity actually happened: once core 0's stream finished, core 1
+    // must have grown beyond an even split at some point.
+    let grew = stats
+        .timeline
+        .iter()
+        .any(|bkt| bkt.alloc_lanes[1] > 17.0);
+    assert!(grew, "core 1 never received extra lanes: {:?}", stats.timeline.len());
+}
+
+#[test]
+fn elastic_reduction_survives_reconfiguration() {
+    // A long dot-product on core 1 while core 0 starts and stops a
+    // memory phase, forcing at least one repartition mid-reduction.
+    let dot = Kernel::new("dot").reduce_add("sum", Expr::load("p") * Expr::load("q"));
+    let stream = Kernel::new("stream").assign("c", Expr::load("a") + Expr::load("b"));
+
+    let n_dot = 4000;
+    let n_stream = 1500;
+    let mut mem = Memory::new(8 << 20);
+    let mut layout = ArrayLayout::new();
+    let mut expected = 0.0f32;
+    let p = mem.alloc_f32(n_dot as u64);
+    let q = mem.alloc_f32(n_dot as u64);
+    let sum = mem.alloc_f32(1);
+    for i in 0..n_dot {
+        let (x, y) = ((i % 13) as f32 * 0.25, ((i + 5) % 7) as f32 * 0.5);
+        mem.write_f32(p + 4 * i as u64, x);
+        mem.write_f32(q + 4 * i as u64, y);
+        expected += x * y;
+    }
+    layout.bind("p", p).bind("q", q).bind("sum", sum);
+    for name in ["a", "b", "c"] {
+        let addr = mem.alloc_f32(n_stream as u64);
+        for i in 0..n_stream {
+            mem.write_f32(addr + 4 * i as u64, 1.0);
+        }
+        layout.bind(name, addr);
+    }
+
+    let compiler = Compiler::new(CodeGenOptions::default());
+    let p1 = compiler.compile(&[(dot, n_dot)], &layout).unwrap();
+    let p0 = compiler.compile(&[(stream, n_stream)], &layout).unwrap();
+
+    let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    machine.load_program(0, p0);
+    machine.load_program(1, p1);
+    let stats = machine.run(20_000_000);
+    assert!(stats.completed);
+    let got = machine.memory().read_f32(sum);
+    let tol = expected.abs() * 1e-3;
+    assert!((got - expected).abs() <= tol, "dot = {got}, want {expected}");
+}
+
+#[test]
+fn phases_report_their_operational_intensity() {
+    let k = Kernel::new("saxpy")
+        .assign("y", Expr::constant(2.0) * Expr::load("x") + Expr::load("y"));
+    let info = analyze(&k);
+    let n = 1000;
+    let mut bed = TestBed::for_kernel(&k, n);
+    reference(&k, &mut bed.reference_arrays, n);
+    let program = Compiler::new(CodeGenOptions::default()).compile(&[(k.clone(), n)], &bed.layout).unwrap();
+    let mut machine =
+        Machine::new(SimConfig::paper_2core(), Architecture::Occamy, bed.mem.clone()).unwrap();
+    machine.load_program(0, program);
+    let stats = machine.run(10_000_000);
+    assert_eq!(stats.cores[0].phases.len(), 1);
+    let phase = &stats.cores[0].phases[0];
+    assert!((phase.oi.mem() - info.oi.mem()).abs() < 1e-6);
+    assert!((phase.oi.issue() - info.oi.issue()).abs() < 1e-6);
+    assert!(phase.issue_rate() > 0.0);
+}
+
+/// FMA contraction (`fuse_fma`) keeps program semantics: one fused
+/// rounding per mul+add instead of two, so results agree with the
+/// reference to the usual tolerance, on every kernel and architecture.
+#[test]
+fn fma_contraction_preserves_semantics() {
+    let n = 611;
+    for kernel in kernels_under_test() {
+        let mut bed = TestBed::for_kernel(&kernel, n);
+        reference(&kernel, &mut bed.reference_arrays, n);
+        let compiler = Compiler::new(CodeGenOptions {
+            mode: VlMode::Elastic { default: VectorLength::new(2) },
+            fuse_fma: true,
+            ..CodeGenOptions::default()
+        });
+        let program = compiler.compile(&[(kernel.clone(), n)], &bed.layout).unwrap();
+        let mut machine =
+            Machine::new(SimConfig::paper_2core(), Architecture::Occamy, bed.mem.clone()).unwrap();
+        machine.load_program(0, program);
+        let stats = machine.run(50_000_000);
+        assert!(stats.completed, "{} timed out", kernel.name());
+        bed.check_against_reference(&machine, &kernel);
+    }
+}

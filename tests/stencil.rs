@@ -1,0 +1,152 @@
+//! Stencil (offset-load) kernels end to end: the literal wsm5 k-loop of
+//! Fig. 2(a), with halo elements, on fixed and elastic configurations.
+
+use occamy::prelude::*;
+
+/// The Fig. 2(a) WL#1 loop, verbatim:
+/// `wi[k] = (ww[k]*dz[k-1] + ww[k-1]*dz[k]) / (dz[k-1] + dz[k])`.
+fn wsm5_literal() -> Kernel {
+    let num = Expr::load("ww") * Expr::load_offset("dz", -1)
+        + Expr::load_offset("ww", -1) * Expr::load("dz");
+    let den = Expr::load_offset("dz", -1) + Expr::load("dz");
+    Kernel::new("wsm5_literal").assign("wi", num / den)
+}
+
+#[test]
+fn stencil_reuse_shows_in_the_analysis() {
+    let info = analyze(&wsm5_literal());
+    // 4 distinct vector loads (two offsets per array), but only 3 arrays
+    // of footprint: oi_issue < oi_mem — Eq. 5's data reuse.
+    assert_eq!(info.loads, 4);
+    assert_eq!(info.footprint_bytes, 12);
+    assert!(info.oi.issue() < info.oi.mem());
+    assert_eq!(info.comp, 5);
+}
+
+fn run_stencil(arch: Architecture, mode: VlMode) {
+    let n = 500usize;
+    let halo = 4u64;
+    let mut mem = Memory::new(1 << 20);
+    let mut layout = ArrayLayout::new();
+    let mut host: std::collections::HashMap<&str, Vec<f32>> = Default::default();
+    let mut addrs = std::collections::HashMap::new();
+    for name in ["ww", "dz", "wi"] {
+        // Halo in front: index -1 is a real, initialised element.
+        let raw = mem.alloc_f32(n as u64 + 2 * halo);
+        let addr = raw + 4 * halo;
+        let mut h = vec![0.0f32; n + 2 * halo as usize];
+        for (i, v) in h.iter_mut().enumerate() {
+            *v = 0.5 + ((i * 13 + 7) % 29) as f32 / 29.0;
+            mem.write_f32(raw + 4 * i as u64, *v);
+        }
+        layout.bind(name, addr);
+        addrs.insert(name, addr);
+        host.insert(name, h);
+    }
+    let at = |arr: &Vec<f32>, k: i64| arr[(k + halo as i64) as usize];
+
+    let program = Compiler::new(CodeGenOptions { mode, min_vec_trip: 16, ..CodeGenOptions::default() })
+        .compile(&[(wsm5_literal(), n)], &layout)
+        .unwrap();
+    let mut machine = Machine::new(SimConfig::paper_2core(), arch, mem).unwrap();
+    machine.load_program(0, program);
+    let stats = machine.run(10_000_000);
+    assert!(stats.completed);
+
+    let (ww, dz) = (&host["ww"], &host["dz"]);
+    for k in 0..n as i64 {
+        let want = (at(ww, k) * at(dz, k - 1) + at(ww, k - 1) * at(dz, k))
+            / (at(dz, k - 1) + at(dz, k));
+        let got = machine.memory().read_f32(addrs["wi"] + 4 * k as u64);
+        assert!((got - want).abs() <= want.abs() * 1e-5, "wi[{k}] = {got}, want {want}");
+    }
+}
+
+#[test]
+fn wsm5_literal_matches_reference_fixed() {
+    run_stencil(Architecture::Private, VlMode::Fixed(VectorLength::new(4)));
+}
+
+#[test]
+fn wsm5_literal_matches_reference_elastic() {
+    run_stencil(Architecture::Occamy, VlMode::Elastic { default: VectorLength::new(2) });
+}
+
+#[test]
+fn stencil_workload_runs_through_the_materializer() {
+    use occamy::bench_workloads::{corun, PhaseSpec, WorkloadSpec};
+    let spec = WorkloadSpec::new(
+        "stencil",
+        vec![PhaseSpec {
+            kernel: wsm5_literal(),
+            trip: 2048,
+            repeat: 2,
+            paper_oi: 0.42,
+        }],
+    );
+    let cfg = SimConfig::paper_2core();
+    let mut m = corun::build_machine(&[spec], &cfg, &Architecture::Occamy, 1.0).unwrap();
+    assert!(m.run(20_000_000).completed);
+}
+
+/// Runtime parameters: a scaled-saxpy whose coefficient lives in memory,
+/// loaded once per phase and broadcast with `DUP`.
+#[test]
+fn runtime_parameters_broadcast_once_per_phase() {
+    let n = 200usize;
+    let mut mem = Memory::new(1 << 20);
+    let mut layout = ArrayLayout::new();
+    let x = mem.alloc_f32(n as u64);
+    let y = mem.alloc_f32(n as u64);
+    let alpha = mem.alloc_f32(1);
+    for i in 0..n {
+        mem.write_f32(x + 4 * i as u64, i as f32 * 0.5);
+        mem.write_f32(y + 4 * i as u64, 1.0);
+    }
+    mem.write_f32(alpha, -3.25);
+    layout.bind("x", x).bind("y", y).bind("alpha", alpha);
+
+    let kernel = Kernel::new("saxpy_param")
+        .assign("y", Expr::param("alpha") * Expr::load("x") + Expr::load("y"));
+    assert_eq!(kernel.params(), vec!["alpha".to_owned()]);
+
+    for (arch, mode) in [
+        (Architecture::Private, VlMode::Fixed(VectorLength::new(4))),
+        (Architecture::Occamy, VlMode::Elastic { default: VectorLength::new(2) }),
+    ] {
+        let program = Compiler::new(CodeGenOptions { mode, min_vec_trip: 16, ..CodeGenOptions::default() })
+            .compile(&[(kernel.clone(), n)], &layout)
+            .unwrap();
+        let mut machine = Machine::new(SimConfig::paper_2core(), arch, mem.clone()).unwrap();
+        machine.load_program(0, program);
+        assert!(machine.run(10_000_000).completed);
+        for i in 0..n {
+            let want = -3.25 * (i as f32 * 0.5) + 1.0;
+            let got = machine.memory().read_f32(y + 4 * i as u64);
+            assert!((got - want).abs() <= want.abs().max(1.0) * 1e-5, "y[{i}] {got} vs {want}");
+        }
+    }
+}
+
+/// The scalar multi-version variant also sees the parameter.
+#[test]
+fn runtime_parameters_reach_the_scalar_variant() {
+    let n = 8usize; // below min_vec_trip: scalar variant executes
+    let mut mem = Memory::new(1 << 16);
+    let mut layout = ArrayLayout::new();
+    let x = mem.alloc_f32(n as u64);
+    let k = mem.alloc_f32(1);
+    for i in 0..n {
+        mem.write_f32(x + 4 * i as u64, 1.0 + i as f32);
+    }
+    mem.write_f32(k, 10.0);
+    layout.bind("x", x).bind("k", k);
+    let kernel = Kernel::new("scale").assign("x", Expr::param("k") * Expr::load("x"));
+    let program = Compiler::new(CodeGenOptions::default()).compile(&[(kernel, n)], &layout).unwrap();
+    let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    machine.load_program(0, program);
+    assert!(machine.run(1_000_000).completed);
+    for i in 0..n {
+        assert_eq!(machine.memory().read_f32(x + 4 * i as u64), 10.0 * (1.0 + i as f32));
+    }
+}
