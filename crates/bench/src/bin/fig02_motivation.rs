@@ -6,15 +6,17 @@
 //! and (f): the performance-statistics table, next to the paper's
 //! reference values.
 
-use bench::{rule, sweep, Args};
+use bench::{rule, sweep_groups, Args, SweepGroup};
 use occamy_sim::SimConfig;
 use workloads::motivating;
 
 fn main() {
     let args = Args::parse();
     let cfg = SimConfig::paper_2core();
-    let specs = [motivating::wl0_scaled(args.scale), motivating::wl1_scaled(args.scale)];
-    let sw = sweep("motivating", &specs, &cfg, 1.0);
+    let specs = vec![motivating::wl0_scaled(args.scale), motivating::wl1_scaled(args.scale)];
+    let group = SweepGroup { label: "motivating".to_owned(), specs, config: cfg };
+    let sweeps = sweep_groups(&[group], 1.0, args.workers());
+    let sw = &sweeps[0];
 
     println!("Fig. 2(f): performance statistics (paper reference in brackets)");
     rule(100);
@@ -78,4 +80,5 @@ fn main() {
             occamy_sim::render_lane_timeline(&stats.timeline, stats.total_lanes, 100)
         );
     }
+    args.write_json("fig02_motivation", &sweeps);
 }

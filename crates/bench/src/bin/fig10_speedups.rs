@@ -2,7 +2,7 @@
 //! pairs, on Core0 (memory side) and Core1 (compute side), with
 //! geometric means.
 
-use bench::{geomean, rule, sweep_pair, Args};
+use bench::{geomean, rule, sweep_pairs, Args};
 use occamy_sim::SimConfig;
 use workloads::table3;
 
@@ -10,6 +10,7 @@ fn main() {
     let args = Args::parse();
     let cfg = SimConfig::paper_2core();
     let pairs = table3::all_pairs(args.scale);
+    let sweeps = sweep_pairs(&pairs, &cfg, 1.0, args.workers());
 
     println!("Fig. 10: speedups over Private (Core0 / Core1)");
     rule(86);
@@ -18,21 +19,20 @@ fn main() {
         "pair", "FTS c0", "VLS c0", "Occamy c0", "FTS c1", "VLS c1", "Occamy c1"
     );
     rule(86);
-    let mut per_arch: Vec<(usize, Vec<f64>)> = Vec::new(); // (core, speedups)
     let mut collect: std::collections::HashMap<(&str, usize), Vec<f64>> = Default::default();
-    for pair in &pairs {
-        let sw = sweep_pair(pair, &cfg, 1.0);
-        let row: Vec<f64> = [("FTS", 0), ("VLS", 0), ("Occamy", 0), ("FTS", 1), ("VLS", 1), ("Occamy", 1)]
-            .iter()
-            .map(|&(arch, core)| {
-                let s = sw.speedup(arch, core);
-                collect.entry((arch, core)).or_default().push(s);
-                s
-            })
-            .collect();
+    for sw in &sweeps {
+        let row: Vec<f64> =
+            [("FTS", 0), ("VLS", 0), ("Occamy", 0), ("FTS", 1), ("VLS", 1), ("Occamy", 1)]
+                .iter()
+                .map(|&(arch, core)| {
+                    let s = sw.speedup(arch, core);
+                    collect.entry((arch, core)).or_default().push(s);
+                    s
+                })
+                .collect();
         println!(
             "{:<7} {:>12.2} {:>12.2} {:>12.2}   {:>12.2} {:>12.2} {:>12.2}",
-            pair.label, row[0], row[1], row[2], row[3], row[4], row[5]
+            sw.label, row[0], row[1], row[2], row[3], row[4], row[5]
         );
     }
     rule(86);
@@ -51,5 +51,5 @@ fn main() {
         "{:<7} {:>12} {:>12} {:>12}   {:>12} {:>12} {:>12}",
         "paper", "~1.00", "~1.00", "~1.00", "1.20", "1.11", "1.39"
     );
-    let _ = &mut per_arch;
+    args.write_json("fig10_speedups", &sweeps);
 }

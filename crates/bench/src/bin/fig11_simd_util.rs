@@ -4,7 +4,7 @@
 //! Paper reference (GM): Private 63.2 %, FTS 72.5 %, VLS 70.8 %,
 //! Occamy 84.2 %.
 
-use bench::{geomean, rule, sweep_pair, Args};
+use bench::{geomean, rule, sweep_pairs, Args};
 use occamy_sim::SimConfig;
 use workloads::table3;
 
@@ -14,14 +14,14 @@ fn main() {
     let args = Args::parse();
     let cfg = SimConfig::paper_2core();
     let pairs = table3::all_pairs(args.scale);
+    let sweeps = sweep_pairs(&pairs, &cfg, 1.0, args.workers());
 
     println!("Fig. 11: SIMD utilisation (%)");
     rule(56);
     println!("{:<7} {:>10} {:>10} {:>10} {:>10}", "pair", "Private", "FTS", "VLS", "Occamy");
     rule(56);
     let mut utils: std::collections::HashMap<&str, Vec<f64>> = Default::default();
-    for pair in &pairs {
-        let sw = sweep_pair(pair, &cfg, 1.0);
+    for sw in &sweeps {
         let row: Vec<f64> = ARCHS
             .iter()
             .map(|arch| {
@@ -32,11 +32,12 @@ fn main() {
             .collect();
         println!(
             "{:<7} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
-            pair.label, row[0], row[1], row[2], row[3]
+            sw.label, row[0], row[1], row[2], row[3]
         );
     }
     rule(56);
     let gms: Vec<f64> = ARCHS.iter().map(|a| geomean(utils[a].iter().copied())).collect();
     println!("{:<7} {:>10.1} {:>10.1} {:>10.1} {:>10.1}", "GM", gms[0], gms[1], gms[2], gms[3]);
     println!("{:<7} {:>10} {:>10} {:>10} {:>10}", "paper", "63.2", "72.5", "70.8", "84.2");
+    args.write_json("fig11_simd_util", &sweeps);
 }

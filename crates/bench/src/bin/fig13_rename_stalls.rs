@@ -5,7 +5,7 @@
 //! "hardly any" on the other three architectures — the register-pressure
 //! cost of keeping full-width per-core contexts in a shared VRF.
 
-use bench::{geomean, rule, sweep_pair, Args};
+use bench::{geomean, rule, sweep_pairs, Args};
 use occamy_sim::SimConfig;
 use workloads::table3;
 
@@ -13,6 +13,7 @@ fn main() {
     let args = Args::parse();
     let cfg = SimConfig::paper_2core();
     let pairs = table3::all_pairs(args.scale);
+    let sweeps = sweep_pairs(&pairs, &cfg, 1.0, args.workers());
 
     println!("Fig. 13: cycles stalled waiting for free registers (%)");
     rule(66);
@@ -23,8 +24,7 @@ fn main() {
     rule(66);
     let mut fts0 = Vec::new();
     let mut fts1 = Vec::new();
-    for pair in &pairs {
-        let sw = sweep_pair(pair, &cfg, 1.0);
+    for sw in &sweeps {
         let fts = sw.stats("FTS");
         let s0 = 100.0 * fts.rename_stall_fraction(0);
         let s1 = 100.0 * fts.rename_stall_fraction(1);
@@ -38,7 +38,7 @@ fn main() {
         };
         println!(
             "{:<7} {:>10.1} {:>10.1} {:>16.2} {:>16.2}",
-            pair.label,
+            sw.label,
             s0,
             s1,
             other_max(0),
@@ -52,4 +52,5 @@ fn main() {
         geomean(fts0),
         geomean(fts1)
     );
+    args.write_json("fig13_rename_stalls", &sweeps);
 }

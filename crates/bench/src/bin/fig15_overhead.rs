@@ -5,14 +5,32 @@
 //! Paper reference: 0.5 % of execution time on average (0.3 %
 //! monitoring + 0.2 % reconfiguration).
 
-use bench::{geomean, rule, Args};
+use bench::runner::{report_wall_time, run_points, SweepPoint};
+use bench::{geomean, rule, ArchSweep, Args};
 use occamy_sim::{Architecture, SimConfig};
-use workloads::{corun, table3};
+use workloads::table3;
 
 fn main() {
     let args = Args::parse();
     let cfg = SimConfig::paper_2core();
     let pairs = table3::all_pairs(args.scale);
+
+    // Only Occamy is measured here — one point per pair.
+    let points: Vec<SweepPoint> = pairs
+        .iter()
+        .map(|pair| {
+            SweepPoint::new(
+                &pair.label,
+                pair.workloads.to_vec(),
+                Architecture::Occamy,
+                cfg.clone(),
+            )
+        })
+        .collect();
+    let workers = args.workers();
+    let started = std::time::Instant::now();
+    let results = run_points(&points, workers);
+    report_wall_time(&results, workers, started.elapsed());
 
     println!("Fig. 15: Occamy elastic-sharing overhead (% of each core's runtime)");
     rule(60);
@@ -22,23 +40,24 @@ fn main() {
     );
     rule(60);
     let mut totals = Vec::new();
-    for pair in &pairs {
-        let mut machine =
-            corun::build_machine(&pair.workloads, &cfg, &Architecture::Occamy, 1.0)
-                .expect("build");
-        let stats = machine.run(bench::MAX_CYCLES);
-        assert!(stats.completed);
+    for point in &results {
         // Average the two cores' overhead fractions, like the figure.
         let (mut mon, mut rec) = (0.0, 0.0);
         for core in 0..cfg.cores {
-            let (m, r) = stats.overhead_fractions(core);
+            let (m, r) = point.stats.overhead_fractions(core);
             mon += 100.0 * m / cfg.cores as f64;
             rec += 100.0 * r / cfg.cores as f64;
         }
         totals.push((mon + rec).max(0.001));
-        println!("{:<7} {:>12.2} {:>12.2} {:>12.2}", pair.label, mon, rec, mon + rec);
+        println!("{:<7} {:>12.2} {:>12.2} {:>12.2}", point.label, mon, rec, mon + rec);
     }
     rule(60);
     println!("{:<7} {:>38.2}", "GM", geomean(totals.iter().copied()));
     println!("(paper: 0.5% total on average — 0.3% monitoring + 0.2% reconfiguration)");
+
+    let sweeps: Vec<ArchSweep> = results
+        .iter()
+        .map(|p| ArchSweep { label: p.label.clone(), results: vec![(p.arch, p.stats.clone())] })
+        .collect();
+    args.write_json("fig15_overhead", &sweeps);
 }

@@ -2,14 +2,18 @@
 //! intensive on the low cores, compute-intensive on the high cores) on
 //! FTS/VLS/Occamy, with speedups over Private per core.
 
-use bench::{geomean, rule, sweep, Args};
+use bench::{geomean, rule, sweep_groups, Args, SweepGroup};
 use occamy_sim::SimConfig;
 use workloads::table3;
 
 fn main() {
     let args = Args::parse();
     let cfg = SimConfig::paper(4);
-    let groups = table3::four_core_groups(args.scale);
+    let groups: Vec<SweepGroup> = table3::four_core_groups(args.scale)
+        .into_iter()
+        .map(|(label, specs)| SweepGroup { label, specs, config: cfg.clone() })
+        .collect();
+    let sweeps = sweep_groups(&groups, 1.0, args.workers());
 
     println!("Fig. 16: 4-core speedups over Private");
     rule(76);
@@ -19,8 +23,8 @@ fn main() {
     );
     rule(76);
     let mut by_arch: std::collections::HashMap<&str, Vec<f64>> = Default::default();
-    for (label, specs) in &groups {
-        let sw = sweep(label, specs, &cfg, 1.0);
+    for sw in &sweeps {
+        let label = &sw.label;
         for arch in ["FTS", "VLS", "Occamy"] {
             let s: Vec<f64> = (0..4).map(|c| sw.speedup(arch, c)).collect();
             by_arch.entry(arch).or_default().extend(s.iter().copied());
@@ -38,4 +42,5 @@ fn main() {
         "(paper: Occamy keeps core0/core1 at Private speed and wins on the \
          compute cores; FTS needs 33.5% more area to keep up at 4 cores)"
     );
+    args.write_json("fig16_scalability", &sweeps);
 }

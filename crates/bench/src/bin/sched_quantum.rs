@@ -5,20 +5,22 @@
 //! schedule. Eight tasks time-share the paper's two-core machine under
 //! round-robin quanta from 1k cycles to run-to-completion, reporting
 //! the throughput/response-time trade-off and the measured per-switch
-//! cost.
+//! cost. Every schedule is independent, so the quantum sweep and the
+//! policy comparison each fan out over the worker pool.
 
-use bench::rule;
+use bench::{rule, runner, ArchSweep, Args};
 use em_simd::VectorLength;
 use mem_sim::Memory;
 use occamy_compiler::{ArrayLayout, CodeGenOptions, Compiler, Expr, Kernel, VlMode};
 use occamy_os::{Policy, SchedReport, Scheduler, Task};
-use occamy_sim::{Architecture, Machine, SimConfig};
+use occamy_sim::{Architecture, Machine, MachineStats, SimConfig};
 
 const N: usize = 8192;
 const HALO: u64 = 16;
 const TASKS: usize = 8;
+const QUANTA: [u64; 7] = [u64::MAX / 2, 50_000, 20_000, 10_000, 5_000, 2_000, 1_000];
 
-fn build() -> (Machine, Vec<Task>) {
+fn build(n: usize) -> (Machine, Vec<Task>) {
     let mut mem = Memory::new(32 << 20);
     let compiler = Compiler::new(CodeGenOptions {
         mode: VlMode::Elastic { default: VectorLength::new(2) },
@@ -41,13 +43,13 @@ fn build() -> (Machine, Vec<Task>) {
         };
         let mut layout = ArrayLayout::new();
         for name in kernel.base_arrays() {
-            let addr = mem.alloc_f32(N as u64 + 2 * HALO) + 4 * HALO;
-            for i in 0..N as u64 + 2 * HALO {
+            let addr = mem.alloc_f32(n as u64 + 2 * HALO) + 4 * HALO;
+            for i in 0..n as u64 + 2 * HALO {
                 mem.write_f32(addr - 4 * HALO + 4 * i, ((i * 13 + t as u64) % 89) as f32 / 89.0);
             }
             layout.bind(name, addr);
         }
-        let program = compiler.compile(&[(kernel.clone(), N)], &layout).expect("compile");
+        let program = compiler.compile(&[(kernel.clone(), n)], &layout).expect("compile");
         let info = occamy_compiler::analyze(&kernel);
         tasks.push(
             Task::new(kernel.name().to_owned(), program)
@@ -62,6 +64,10 @@ fn last_start(r: &SchedReport) -> u64 {
 }
 
 fn main() {
+    let args = Args::parse();
+    let n = ((N as f64 * args.scale) as usize).max(1024);
+    let workers = args.workers();
+
     println!(
         "Scheduling-policy sweep: {TASKS} tasks, 2 cores, round-robin\n\
          (makespan = throughput cost; last-start = response-time win)"
@@ -72,28 +78,33 @@ fn main() {
         "quantum", "makespan", "switches", "mean-turnd", "last-start", "ovh/switch"
     );
     rule(76);
-    let mut fifo_makespan = 0u64;
-    for quantum in [u64::MAX / 2, 50_000, 20_000, 10_000, 5_000, 2_000, 1_000] {
-        let (mut machine, tasks) = build();
-        let report = Scheduler::new(quantum).run(&mut machine, tasks, 500_000_000);
-        assert!(report.completed, "schedule must finish");
-        if quantum == u64::MAX / 2 {
-            fifo_makespan = report.makespan;
-        }
+    let started = std::time::Instant::now();
+    let quantum_runs: Vec<(SchedReport, MachineStats)> =
+        runner::run_jobs(QUANTA.len(), workers, |i| {
+            let (mut machine, tasks) = build(n);
+            let report = Scheduler::new(QUANTA[i]).run(&mut machine, tasks, 500_000_000);
+            assert!(report.completed, "schedule must finish");
+            let stats = machine.stats();
+            (report, stats)
+        });
+    // QUANTA[0] is run-to-completion: the baseline the per-switch
+    // overhead is measured against.
+    let fifo_makespan = quantum_runs[0].0.makespan;
+    for (quantum, (report, _)) in QUANTA.iter().zip(&quantum_runs) {
         let per_switch = if report.context_switches > 0 {
             (report.makespan.saturating_sub(fifo_makespan)) as f64
                 / f64::from(report.context_switches)
         } else {
             0.0
         };
-        let label = if quantum > 100_000_000 { "fifo".into() } else { quantum.to_string() };
+        let label = if *quantum > 100_000_000 { "fifo".into() } else { quantum.to_string() };
         println!(
             "{:<12} {:>10} {:>9} {:>13.0} {:>12} {:>12.0}",
             label,
             report.makespan,
             report.context_switches,
             report.mean_turnaround(),
-            last_start(&report),
+            last_start(report),
             per_switch,
         );
     }
@@ -102,19 +113,23 @@ fn main() {
     rule(76);
     println!("{:<18} {:>10} {:>14} {:>14}", "policy", "makespan", "mean-turnd", "SIMD util");
     rule(76);
-    for (label, policy) in
-        [("fifo", Policy::RoundRobin), ("intensity-aware", Policy::IntensityAware)]
-    {
-        let (mut machine, tasks) = build();
-        let report =
-            Scheduler::with_policy(u64::MAX / 2, policy).run(&mut machine, tasks, 500_000_000);
-        assert!(report.completed);
+    let policies = [("fifo", Policy::RoundRobin), ("intensity-aware", Policy::IntensityAware)];
+    let policy_runs: Vec<(SchedReport, MachineStats)> =
+        runner::run_jobs(policies.len(), workers, |i| {
+            let (mut machine, tasks) = build(n);
+            let report = Scheduler::with_policy(u64::MAX / 2, policies[i].1)
+                .run(&mut machine, tasks, 500_000_000);
+            assert!(report.completed);
+            let stats = machine.stats();
+            (report, stats)
+        });
+    for ((label, _), (report, stats)) in policies.iter().zip(&policy_runs) {
         println!(
             "{:<18} {:>10} {:>14.0} {:>13.1}%",
             label,
             report.makespan,
             report.mean_turnaround(),
-            100.0 * machine.stats().simd_utilization(),
+            100.0 * stats.simd_utilization(),
         );
     }
     rule(76);
@@ -136,4 +151,27 @@ fn main() {
          remains on-core absorbs the switched-out task's lanes while it\n\
          waits."
     );
+
+    // One ArchSweep row per schedule for the --json sink; the machine is
+    // always Occamy here, so each row holds a single result.
+    let sweeps: Vec<ArchSweep> = QUANTA
+        .iter()
+        .zip(&quantum_runs)
+        .map(|(q, (_, stats))| {
+            let label =
+                if *q > 100_000_000 { "quantum-fifo".to_owned() } else { format!("quantum-{q}") };
+            ArchSweep { label, results: vec![("Occamy", stats.clone())] }
+        })
+        .chain(policies.iter().zip(&policy_runs).map(|((label, _), (_, stats))| ArchSweep {
+            label: format!("policy-{label}"),
+            results: vec![("Occamy", stats.clone())],
+        }))
+        .collect();
+    eprintln!(
+        "[runner] {} schedules on {} workers in {:.2}s wall",
+        sweeps.len(),
+        workers,
+        started.elapsed().as_secs_f64()
+    );
+    args.write_json("sched_quantum", &sweeps);
 }

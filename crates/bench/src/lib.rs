@@ -5,44 +5,117 @@
 //! reference numbers next to the measured ones; `EXPERIMENTS.md` records
 //! a snapshot.
 //!
-//! All binaries accept `--fast` (quarter-size workloads) and
-//! `--scale <f>` for custom sizing.
+//! All binaries accept `--fast` (quarter-size workloads), `--scale <f>`
+//! for custom sizing, `--workers <n>` to pin the simulation worker pool
+//! (default: `OCCAMY_WORKERS` or the available parallelism; see
+//! [`runner`]), and `--json <path>` to dump the full machine statistics
+//! of every simulated point as JSON (see [`json`]). Output on stdout
+//! and in the JSON file is byte-identical regardless of worker count.
+
+use std::path::PathBuf;
 
 use occamy_sim::{Architecture, MachineStats, SimConfig};
 use workloads::table3::CorunPair;
 use workloads::{corun, WorkloadSpec};
 
+pub mod json;
+pub mod runner;
+
+use json::Value;
+use runner::SweepPoint;
+
 /// Cycle budget per simulation (generous; runs normally finish well
 /// under it).
 pub const MAX_CYCLES: u64 = 200_000_000;
 
+const USAGE: &str = "--fast, --scale <f>, --workers <n>, --json <path>";
+
 /// Command-line options shared by every experiment binary.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Args {
     /// Workload size multiplier (1.0 = paper-sized).
     pub scale: f64,
+    /// Worker threads for the simulation pool (0 = auto-detect).
+    pub workers: usize,
+    /// Where to dump per-point machine statistics as JSON, if anywhere.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args { scale: 1.0, workers: 0, json: None }
+    }
 }
 
 impl Args {
-    /// Parses `--fast` / `--scale <f>` from the process arguments.
+    /// Parses the shared flags from the process arguments.
     ///
     /// # Panics
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse() -> Args {
-        let mut scale = 1.0;
-        let mut args = std::env::args().skip(1);
+        Args::parse_from(std::env::args().skip(1)).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Parses the shared flags from an explicit argument list (exposed
+    /// so tests can drive the parser without a process boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the offending argument.
+    pub fn parse_from<I>(args: I) -> Result<Args, String>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut parsed = Args::default();
+        let mut args = args.into_iter().map(Into::into);
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--fast" => scale = 0.25,
+                "--fast" => parsed.scale = 0.25,
                 "--scale" => {
-                    let v = args.next().expect("--scale needs a value");
-                    scale = v.parse().expect("--scale needs a number");
+                    let v = args.next().ok_or("--scale needs a value")?;
+                    parsed.scale =
+                        v.parse().map_err(|_| format!("--scale needs a number, got `{v}`"))?;
                 }
-                other => panic!("unknown argument `{other}` (supported: --fast, --scale <f>)"),
+                "--workers" => {
+                    let v = args.next().ok_or("--workers needs a value")?;
+                    parsed.workers =
+                        v.parse().map_err(|_| format!("--workers needs a count, got `{v}`"))?;
+                }
+                "--json" => {
+                    let v = args.next().ok_or("--json needs a path")?;
+                    parsed.json = Some(PathBuf::from(v));
+                }
+                other => return Err(format!("unknown argument `{other}` (supported: {USAGE})")),
             }
         }
-        Args { scale }
+        Ok(parsed)
+    }
+
+    /// The resolved worker count: the explicit `--workers` value, else
+    /// [`runner::default_workers`].
+    pub fn workers(&self) -> usize {
+        if self.workers == 0 {
+            runner::default_workers()
+        } else {
+            self.workers
+        }
+    }
+
+    /// Writes `sweeps` as a JSON document to the `--json` path, if one
+    /// was given. The document is deterministic: independent of worker
+    /// count and free of timestamps or wall-clock readings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (the user asked for it).
+    pub fn write_json(&self, experiment: &str, sweeps: &[ArchSweep]) {
+        let Some(path) = &self.json else { return };
+        let doc = sweeps_to_json(experiment, self.scale, sweeps);
+        std::fs::write(path, doc.render())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("[runner] wrote {}", path.display());
     }
 }
 
@@ -115,6 +188,168 @@ pub fn sweep_pair(pair: &CorunPair, cfg: &SimConfig, scale: f64) -> ArchSweep {
     sweep(&pair.label, &pair.workloads, cfg, scale)
 }
 
+/// One `(label, workloads, config)` row of a multi-point experiment;
+/// [`sweep_groups`] expands each into its four architecture points.
+#[derive(Debug, Clone)]
+pub struct SweepGroup {
+    /// Row label for tables and JSON.
+    pub label: String,
+    /// The co-running workloads, one per core.
+    pub specs: Vec<WorkloadSpec>,
+    /// The machine configuration for this row.
+    pub config: SimConfig,
+}
+
+impl SweepGroup {
+    /// A group from a Fig. 10/11-style co-run pair.
+    pub fn from_pair(pair: &CorunPair, cfg: &SimConfig) -> Self {
+        SweepGroup {
+            label: pair.label.clone(),
+            specs: pair.workloads.to_vec(),
+            config: cfg.clone(),
+        }
+    }
+}
+
+/// Runs every group on all four architectures concurrently and returns
+/// one [`ArchSweep`] per group, in input order with Fig. 1 architecture
+/// order inside each — exactly what serial [`sweep`] calls in a loop
+/// would produce, only faster. Prints a wall-time summary to stderr.
+///
+/// # Panics
+///
+/// Panics like [`sweep`] if any point fails to build or complete.
+pub fn sweep_groups(groups: &[SweepGroup], scale: f64, workers: usize) -> Vec<ArchSweep> {
+    let points: Vec<SweepPoint> = groups
+        .iter()
+        .flat_map(|g| {
+            architectures(&g.specs, &g.config).into_iter().map(|arch| SweepPoint {
+                label: g.label.clone(),
+                specs: g.specs.clone(),
+                architecture: arch,
+                config: g.config.clone(),
+                build_scale: scale,
+            })
+        })
+        .collect();
+    let workers = workers.max(1).min(points.len().max(1));
+    let started = std::time::Instant::now();
+    let results = runner::run_points(&points, workers);
+    runner::report_wall_time(&results, workers, started.elapsed());
+
+    let per_group = if groups.is_empty() { 0 } else { results.len() / groups.len() };
+    results
+        .chunks(per_group.max(1))
+        .zip(groups)
+        .map(|(chunk, group)| ArchSweep {
+            label: group.label.clone(),
+            results: chunk.iter().map(|p| (p.arch, p.stats.clone())).collect(),
+        })
+        .collect()
+}
+
+/// Parallel counterpart of calling [`sweep_pair`] over `pairs`: all
+/// `pairs × architectures` points share one worker pool.
+pub fn sweep_pairs(
+    pairs: &[CorunPair],
+    cfg: &SimConfig,
+    scale: f64,
+    workers: usize,
+) -> Vec<ArchSweep> {
+    let groups: Vec<SweepGroup> = pairs.iter().map(|p| SweepGroup::from_pair(p, cfg)).collect();
+    sweep_groups(&groups, scale, workers)
+}
+
+/// Serializes one [`MachineStats`] to a JSON object. The lane-occupancy
+/// timeline is summarised (bucket count only) rather than dumped — it
+/// is deterministic but dwarfs everything else; Fig. 2/14 consumers
+/// read it from the binaries directly.
+pub fn stats_to_json(stats: &MachineStats) -> Value {
+    let mut obj = Value::obj();
+    obj.push("cycles", Value::UInt(stats.cycles))
+        .push("completed", Value::Bool(stats.completed))
+        .push("total_lanes", Value::UInt(stats.total_lanes as u64))
+        .push("simd_utilization", Value::Num(stats.simd_utilization()))
+        .push("busy_lane_cycles", Value::Num(stats.total_busy_lane_cycles()))
+        .push("timeline_buckets", Value::UInt(stats.timeline.len() as u64));
+    let cores = stats
+        .cores
+        .iter()
+        .enumerate()
+        .map(|(c, cs)| {
+            let t = stats.core_time(c);
+            let mut core = Value::obj();
+            core.push("runtime_cycles", Value::UInt(t))
+                .push("finish_cycle", cs.finish_cycle.map_or(Value::Null, Value::UInt))
+                .push("vector_compute_issued", Value::UInt(cs.vector_compute_issued))
+                .push("vector_mem_issued", Value::UInt(cs.vector_mem_issued))
+                .push("total_vector_issued", Value::UInt(cs.total_vector_issued()))
+                .push("scalar_executed", Value::UInt(cs.scalar_executed))
+                .push("issue_rate", Value::Num(cs.issue_rate(t)))
+                .push("busy_lane_cycles", Value::Num(cs.busy_lane_cycles))
+                .push("alloc_lane_cycles", Value::UInt(cs.alloc_lane_cycles))
+                .push("avg_lanes_held", Value::Num(cs.avg_lanes_held(t)))
+                .push("rename_stall_cycles", Value::UInt(cs.rename_stall_cycles))
+                .push("rename_stall_fraction", Value::Num(stats.rename_stall_fraction(c)))
+                .push("monitor_cycles", Value::Num(cs.monitor_cycles))
+                .push("reconfig_cycles", Value::Num(cs.reconfig_cycles));
+            let phases = cs
+                .phases
+                .iter()
+                .map(|p| {
+                    let mut phase = Value::obj();
+                    phase
+                        .push("oi", Value::Num(p.oi.mem()))
+                        .push("start_cycle", Value::UInt(p.start_cycle))
+                        .push("end_cycle", p.end_cycle.map_or(Value::Null, Value::UInt))
+                        .push("duration", Value::UInt(p.duration()))
+                        .push("compute_issued", Value::UInt(p.compute_issued))
+                        .push("issue_rate", Value::Num(p.issue_rate()))
+                        .push(
+                            "configured_granules",
+                            Value::UInt(p.configured_granules as u64),
+                        );
+                    phase
+                })
+                .collect();
+            core.push("phases", Value::Arr(phases));
+            core
+        })
+        .collect();
+    obj.push("cores", Value::Arr(cores));
+    obj
+}
+
+/// Serializes a whole experiment: every sweep, every architecture, with
+/// the experiment name and scale at the top for provenance.
+pub fn sweeps_to_json(experiment: &str, scale: f64, sweeps: &[ArchSweep]) -> Value {
+    let mut doc = Value::obj();
+    doc.push("experiment", Value::Str(experiment.to_owned()))
+        .push("scale", Value::Num(scale));
+    let rows = sweeps
+        .iter()
+        .map(|sw| {
+            let mut row = Value::obj();
+            row.push("label", Value::Str(sw.label.clone()));
+            let results = sw
+                .results
+                .iter()
+                .map(|(arch, stats)| {
+                    let mut point = Value::obj();
+                    point
+                        .push("architecture", Value::Str((*arch).to_owned()))
+                        .push("stats", stats_to_json(stats));
+                    point
+                })
+                .collect();
+            row.push("results", Value::Arr(results));
+            row
+        })
+        .collect();
+    doc.push("sweeps", Value::Arr(rows));
+    doc
+}
+
 /// Geometric mean (the paper's average, §7.1). Empty input yields 1.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let (mut log_sum, mut n) = (0.0, 0u32);
@@ -137,6 +372,28 @@ pub fn rule(width: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn args_parse_from_flags() {
+        assert_eq!(Args::parse_from(Vec::<String>::new()).unwrap(), Args::default());
+        let args = Args::parse_from(["--fast", "--workers", "3", "--json", "/tmp/x.json"])
+            .unwrap();
+        assert_eq!(args.scale, 0.25);
+        assert_eq!(args.workers, 3);
+        assert_eq!(args.json.as_deref(), Some(std::path::Path::new("/tmp/x.json")));
+        let args = Args::parse_from(["--scale", "0.5"]).unwrap();
+        assert_eq!(args.scale, 0.5);
+        assert_eq!(args.workers(), runner::default_workers());
+    }
+
+    #[test]
+    fn args_rejects_malformed_input() {
+        assert!(Args::parse_from(["--bogus"]).is_err());
+        assert!(Args::parse_from(["--scale"]).is_err());
+        assert!(Args::parse_from(["--scale", "fast"]).is_err());
+        assert!(Args::parse_from(["--workers", "-1"]).is_err());
+        assert!(Args::parse_from(["--json"]).is_err());
+    }
 
     #[test]
     fn geomean_basics() {

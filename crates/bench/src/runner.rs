@@ -1,0 +1,220 @@
+//! Parallel sweep runner.
+//!
+//! Every evaluation binary replays an embarrassingly-parallel sweep:
+//! (workload set × architecture × machine configuration) points whose
+//! simulations are independent and deterministic. This module fans the
+//! points out over a `std::thread::scope` worker pool and hands the
+//! results back **in submission order**, so a binary's printed tables
+//! and `--json` trajectories are byte-identical to a serial run — only
+//! the wall-clock changes.
+//!
+//! Layering:
+//!
+//! - [`run_jobs`] — the generic pool: `jobs` indexed closures, `workers`
+//!   threads, results returned as `Vec<T>` in index order. Panics in a
+//!   job propagate after the scope joins (an experiment with a failing
+//!   point is meaningless, matching the serial `sweep` behaviour).
+//! - [`SweepPoint`] / [`run_points`] — the `Machine`-simulation layer:
+//!   each point builds its machine via [`corun::build_machine`] and runs
+//!   it to completion, recording per-point wall time and cycle count.
+//!
+//! Worker count resolution: an explicit `--workers N` wins, otherwise
+//! `OCCAMY_WORKERS`, otherwise [`std::thread::available_parallelism`].
+//! One worker degenerates to the serial loop (no thread is spawned).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use occamy_sim::{Architecture, MachineStats, SimConfig};
+use workloads::{corun, WorkloadSpec};
+
+use crate::MAX_CYCLES;
+
+/// The worker count used when the caller does not pin one: the
+/// `OCCAMY_WORKERS` environment variable if set, else the machine's
+/// available parallelism.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("OCCAMY_WORKERS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `jobs` independent closures on `workers` threads, returning
+/// results in job-index order.
+///
+/// Jobs are claimed from a shared counter, so long and short points mix
+/// freely across workers; the output order is fixed by the index, not
+/// by completion time. With `workers <= 1` (or a single job) the pool
+/// is bypassed entirely and the jobs run inline, in order.
+///
+/// # Panics
+///
+/// A panicking job aborts the whole run once the scope joins.
+pub fn run_jobs<T, F>(jobs: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(jobs);
+    if workers == 1 {
+        return (0..jobs).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= jobs {
+                    break;
+                }
+                let result = job(index);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner().expect("result slot poisoned").unwrap_or_else(|| {
+                panic!("job {i} produced no result")
+            })
+        })
+        .collect()
+}
+
+/// One (workload set × architecture × configuration) simulation job.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Row label (pair/group name) for tables and JSON.
+    pub label: String,
+    /// The co-running workloads, one per core.
+    pub specs: Vec<WorkloadSpec>,
+    /// The SIMD-sharing architecture to simulate.
+    pub architecture: Architecture,
+    /// The machine configuration.
+    pub config: SimConfig,
+    /// Trip-count multiplier forwarded to [`corun::build_machine`]
+    /// (most sweeps bake scaling into `specs` and pass 1.0).
+    pub build_scale: f64,
+}
+
+impl SweepPoint {
+    /// A point with the common defaults (`build_scale` 1.0).
+    pub fn new(
+        label: impl Into<String>,
+        specs: Vec<WorkloadSpec>,
+        architecture: Architecture,
+        config: SimConfig,
+    ) -> Self {
+        SweepPoint { label: label.into(), specs, architecture, config, build_scale: 1.0 }
+    }
+}
+
+/// The outcome of one [`SweepPoint`].
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The submitting point's label.
+    pub label: String,
+    /// Architecture short name (`"Private"`, `"FTS"`, `"VLS"`, `"Occamy"`).
+    pub arch: &'static str,
+    /// Full simulation statistics.
+    pub stats: MachineStats,
+    /// Host wall-clock spent building and simulating this point. Not
+    /// part of any deterministic output — reported to stderr only.
+    pub wall: Duration,
+}
+
+/// Executes every point on the pool; results come back in submission
+/// order.
+///
+/// # Panics
+///
+/// Panics if a machine fails to build or a run exceeds [`MAX_CYCLES`]
+/// (the experiment would be meaningless otherwise), exactly like the
+/// serial [`crate::sweep`].
+pub fn run_points(points: &[SweepPoint], workers: usize) -> Vec<PointResult> {
+    run_jobs(points.len(), workers, |i| {
+        let point = &points[i];
+        let name = point.architecture.short_name();
+        let started = Instant::now();
+        let mut machine = corun::build_machine(
+            &point.specs,
+            &point.config,
+            &point.architecture,
+            point.build_scale,
+        )
+        .unwrap_or_else(|e| panic!("{}/{name}: {e}", point.label));
+        let stats = machine.run(MAX_CYCLES);
+        assert!(stats.completed, "{}/{name}: exceeded {MAX_CYCLES} cycles", point.label);
+        PointResult { label: point.label.clone(), arch: name, stats, wall: started.elapsed() }
+    })
+}
+
+/// Prints a one-line harness summary to **stderr** (stdout carries only
+/// deterministic experiment output): point count, worker count, summed
+/// simulation time vs. wall time, and the resulting speedup.
+pub fn report_wall_time(points: &[PointResult], workers: usize, wall: Duration) {
+    let serial: Duration = points.iter().map(|p| p.wall).sum();
+    let speedup = if wall.as_secs_f64() > 0.0 {
+        serial.as_secs_f64() / wall.as_secs_f64()
+    } else {
+        1.0
+    };
+    eprintln!(
+        "[runner] {} points on {} workers: {:.2}s simulation in {:.2}s wall ({speedup:.2}x)",
+        points.len(),
+        workers,
+        serial.as_secs_f64(),
+        wall.as_secs_f64(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for workers in [1, 2, 7] {
+            let out = run_jobs(23, workers, |i| {
+                // Stagger completion so later jobs finish earlier.
+                std::thread::sleep(Duration::from_micros(((23 - i) * 37) as u64));
+                i * 10
+            });
+            assert_eq!(out, (0..23).map(|i| i * 10).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_yield_nothing() {
+        let out: Vec<u32> = run_jobs(0, 8, |_| unreachable!("no jobs to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_matches_serial_for_a_real_sweep_point() {
+        let cfg = SimConfig::paper_2core();
+        let pair = &workloads::table3::all_pairs(0.05)[0];
+        let points: Vec<SweepPoint> = [Architecture::Private, Architecture::Occamy]
+            .into_iter()
+            .map(|a| SweepPoint::new(&pair.label, pair.workloads.to_vec(), a, cfg.clone()))
+            .collect();
+        let serial = run_points(&points, 1);
+        let parallel = run_points(&points, 2);
+        assert_eq!(serial.len(), 2);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.arch, p.arch);
+            assert_eq!(s.stats, p.stats, "{}/{} diverged across worker counts", s.label, s.arch);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! CI smoke test: the flagship experiment binary must run end-to-end
+//! with `--fast --json` — the exact invocation the docs advertise — and
+//! produce a parseable, self-consistent JSON dump.
+
+use std::process::Command;
+
+use bench::json::{parse, Value};
+
+#[test]
+fn fig10_fast_json_smoke() {
+    let out_path = std::env::temp_dir().join(format!("fig10_smoke_{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_fig10_speedups"))
+        .args(["--fast", "--json"])
+        .arg(&out_path)
+        .output()
+        .expect("spawn fig10_speedups");
+    assert!(
+        output.status.success(),
+        "fig10_speedups --fast failed:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+    assert!(stdout.contains("Fig. 10: speedups over Private"), "table header missing");
+    assert!(stdout.contains("GM"), "geometric-mean row missing");
+    // Wall-time reporting must stay off stdout (it would break the
+    // byte-identical-output guarantee).
+    assert!(!stdout.contains("[runner]"), "runner harness output leaked onto stdout");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("[runner]"), "runner wall-time summary missing from stderr");
+
+    let text = std::fs::read_to_string(&out_path).expect("JSON file written");
+    let _ = std::fs::remove_file(&out_path);
+    let doc = parse(&text).expect("JSON output parses");
+    assert_eq!(doc.get("experiment").and_then(Value::as_str), Some("fig10_speedups"));
+    assert_eq!(doc.get("scale").and_then(Value::as_f64), Some(0.25));
+    let sweeps = doc.get("sweeps").expect("sweeps").items();
+    assert_eq!(sweeps.len(), 25, "one sweep per co-run pair");
+    for sw in sweeps {
+        assert_eq!(sw.get("results").expect("results").items().len(), 4);
+    }
+}
+
+#[test]
+fn unknown_flag_fails_with_usage() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fig10_speedups"))
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn fig10_speedups");
+    assert!(!output.status.success(), "unknown flag must be rejected");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--frobnicate"), "error should name the bad flag: {stderr}");
+    assert!(stderr.contains("--json"), "error should list supported flags: {stderr}");
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use. The build environment has no crates.io
+//! access, so this crate provides the same surface — `Criterion`,
+//! `benchmark_group`, `Bencher::{iter, iter_batched}`, the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! median-of-samples timer instead of criterion's full statistics
+//! pipeline.
+//!
+//! Output format (one line per benchmark):
+//! `name                    time: [median per iteration]`
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped between measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values: batch many per measurement.
+    SmallInput,
+    /// Large setup values: one per measurement.
+    LargeInput,
+    /// Explicit batch size.
+    NumBatches(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter (named by the enclosing group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    samples: u32,
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: u32) -> Self {
+        Bencher { samples, per_iter: None }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes
+        // at least ~1ms so short routines are measurable.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters.max(1) as u32);
+        }
+        samples.sort();
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+
+    /// Times `routine` on fresh values from `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 11 }
+    }
+}
+
+fn run_one<F>(samples: u32, id: &BenchmarkId, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    match b.per_iter {
+        Some(t) => println!("{:<48} time: [{}]", id.id, fmt_duration(t)),
+        None => println!("{:<48} (no measurement recorded)", id.id),
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its median time.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.samples, &id.into(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), samples: None }
+    }
+}
+
+/// A named group of benchmarks (ids are printed as `group/param`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<u32>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for benchmarks in this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(u32::try_from(n.max(1)).unwrap_or(u32::MAX));
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = BenchmarkId { id: format!("{}/{}", self.name, id.id) };
+        run_one(self.samples.unwrap_or(self.criterion.samples), &full, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion { samples: 3 };
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn batched_measures_once_per_sample() {
+        let mut c = Criterion { samples: 5 };
+        let mut setups = 0u64;
+        c.benchmark_group("g").bench_function(BenchmarkId::from_parameter(1), |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 5);
+    }
+}

@@ -34,13 +34,29 @@ pub struct CoreStats {
 }
 
 impl CoreStats {
+    /// Total vector instructions issued (compute + memory) — the
+    /// numerator of the issue-rate metric, exposed for serializers.
+    pub fn total_vector_issued(&self) -> u64 {
+        self.vector_compute_issued + self.vector_mem_issued
+    }
+
     /// SIMD issue rate over the core's whole run — vector instructions
     /// (compute + memory) per cycle, the Fig. 2(f) metric.
     pub fn issue_rate(&self, cycles: Cycle) -> f64 {
         if cycles == 0 {
             0.0
         } else {
-            (self.vector_compute_issued + self.vector_mem_issued) as f64 / cycles as f64
+            self.total_vector_issued() as f64 / cycles as f64
+        }
+    }
+
+    /// Average lanes held over a runtime of `cycles` (the `<VL>`
+    /// integral divided by time), the "avg lanes held" report line.
+    pub fn avg_lanes_held(&self, cycles: Cycle) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.alloc_lane_cycles as f64 / cycles as f64
         }
     }
 }
@@ -190,8 +206,7 @@ impl MachineStats {
         if self.cycles == 0 {
             return 0.0;
         }
-        let busy: f64 = self.cores.iter().map(|c| c.busy_lane_cycles).sum();
-        busy / (self.total_lanes as f64 * self.cycles as f64)
+        self.total_busy_lane_cycles() / (self.total_lanes as f64 * self.cycles as f64)
     }
 
     /// Per-core runtime in cycles (finish cycle, or the full run when the
@@ -216,6 +231,13 @@ impl MachineStats {
     pub fn overhead_fractions(&self, core: usize) -> (f64, f64) {
         let t = self.core_time(core).max(1) as f64;
         (self.cores[core].monitor_cycles / t, self.cores[core].reconfig_cycles / t)
+    }
+
+    /// Busy lane-cycles summed across cores — the numerator of
+    /// [`simd_utilization`](Self::simd_utilization), exposed for
+    /// serializers.
+    pub fn total_busy_lane_cycles(&self) -> f64 {
+        self.cores.iter().map(|c| c.busy_lane_cycles).sum()
     }
 
     /// A complete, human-readable statistics report (the gem5-style
@@ -244,11 +266,7 @@ impl MachineStats {
                 cs.issue_rate(t)
             );
             let _ = writeln!(out, "  scalar executed     : {}", cs.scalar_executed);
-            let _ = writeln!(
-                out,
-                "  avg lanes held      : {:.1}",
-                if t == 0 { 0.0 } else { cs.alloc_lane_cycles as f64 / t as f64 }
-            );
+            let _ = writeln!(out, "  avg lanes held      : {:.1}", cs.avg_lanes_held(t));
             let _ = writeln!(
                 out,
                 "  rename stalls       : {} cycles ({:.1}%)",

@@ -1,0 +1,108 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range.
+        let unit = rng.next_f64() * 2.0 - 1.0;
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        (unit * f64::powi(2.0, exp)) as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let unit = rng.next_f64() * 2.0 - 1.0;
+        let exp = (rng.next_u64() % 121) as i32 - 60;
+        unit * f64::powi(2.0, exp)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32((rng.next_u64() % 0xd800) as u32).unwrap_or('\u{fffd}')
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut rng = TestRng::from_seed(3);
+        let s = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(s.generate(&mut rng))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn u64s_are_well_spread() {
+        let mut rng = TestRng::from_seed(4);
+        let s = any::<u64>();
+        let mut high = 0;
+        for _ in 0..64 {
+            if s.generate(&mut rng) > u64::MAX / 2 {
+                high += 1;
+            }
+        }
+        assert!((16..=48).contains(&high), "biased stream: {high}/64 high");
+    }
+}

@@ -1,0 +1,100 @@
+//! String generation from (a small subset of) regex patterns.
+//!
+//! Upstream proptest interprets `&str` strategies as full regexes. This
+//! stand-in supports the shapes the workspace actually uses — an atom
+//! (`\PC`, `.`, a character class, or a literal) with an optional
+//! trailing `{lo,hi}` / `*` / `+` quantifier — which is exactly what
+//! fuzz-style "arbitrary text" strategies need. Unrecognised patterns
+//! fall back to emitting the pattern literally.
+
+use crate::test_runner::TestRng;
+
+/// Parses a trailing quantifier, returning (rest, lo, hi-inclusive).
+fn split_quantifier(pattern: &str) -> (&str, usize, usize) {
+    if let Some(body) = pattern.strip_suffix('}') {
+        if let Some((atom, bounds)) = body.rsplit_once('{') {
+            let parse = |s: &str| s.trim().parse::<usize>().ok();
+            if let Some((lo, hi)) = bounds.split_once(',') {
+                if let (Some(lo), Some(hi)) = (parse(lo), parse(hi)) {
+                    return (atom, lo, hi);
+                }
+            } else if let Some(n) = parse(bounds) {
+                return (atom, n, n);
+            }
+        }
+    }
+    if let Some(atom) = pattern.strip_suffix('*') {
+        return (atom, 0, 64);
+    }
+    if let Some(atom) = pattern.strip_suffix('+') {
+        return (atom, 1, 64);
+    }
+    (pattern, 1, 1)
+}
+
+/// A printable-ish random char: mostly ASCII, some multibyte, never a
+/// control character (the `\PC` class: "not a control character").
+fn non_control_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        // Plain printable ASCII dominates: it exercises tokenisers best.
+        0..=6 => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or(' '),
+        7 => ['é', 'ß', '£', '¿', 'µ', '±'][rng.below(6) as usize],
+        8 => ['Δ', 'λ', '中', '文', '🦀', '∑'][rng.below(6) as usize],
+        _ => ['\u{a0}', '\u{2028}', '\u{202e}', '\u{fe0f}'][rng.below(4) as usize],
+    }
+}
+
+/// Generates a string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let (atom, lo, hi) = split_quantifier(pattern);
+    let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+    let mut out = String::new();
+    for _ in 0..count {
+        match atom {
+            "\\PC" | "\\pL" | "." => out.push(non_control_char(rng)),
+            _ if atom.starts_with('[') && atom.ends_with(']') => {
+                let choices: Vec<char> = atom[1..atom.len() - 1].chars().collect();
+                if choices.is_empty() {
+                    out.push(non_control_char(rng));
+                } else {
+                    out.push(choices[rng.below(choices.len() as u64) as usize]);
+                }
+            }
+            literal => out.push_str(literal),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantified_non_control_class() {
+        let mut rng = TestRng::from_seed(8);
+        for _ in 0..100 {
+            let s = generate_from_pattern("\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_patterns_emit_literally() {
+        let mut rng = TestRng::from_seed(9);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+        let rep = generate_from_pattern("ab{2,2}", &mut rng);
+        assert_eq!(rep, "abab");
+    }
+
+    #[test]
+    fn char_class_picks_members() {
+        let mut rng = TestRng::from_seed(10);
+        for _ in 0..50 {
+            let s = generate_from_pattern("[xyz]{1,8}", &mut rng);
+            assert!(!s.is_empty() && s.chars().all(|c| "xyz".contains(c)));
+        }
+    }
+}

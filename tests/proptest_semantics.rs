@@ -193,6 +193,97 @@ proptest! {
     }
 }
 
+/// A random experiment point for the sweep-runner properties: workload
+/// index, granule count, and architecture pick, with a label derived
+/// from all three (the runner must hand results back under the label
+/// they were submitted with).
+fn point_strategy() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=22, 1usize..=8, 0usize..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The worker pool returns results in submission order with the
+    /// submitted labels, for arbitrary (kernel, VL, architecture) point
+    /// lists and worker counts — the invariant that makes parallel
+    /// sweeps byte-compatible with serial ones.
+    #[test]
+    fn pool_preserves_submission_order_and_labels(
+        points in proptest::collection::vec(point_strategy(), 1..12),
+        workers in 1usize..9,
+    ) {
+        let archs = ["Private", "FTS", "VLS", "Occamy"];
+        let labels: Vec<String> = points
+            .iter()
+            .map(|&(wl, g, a)| format!("WL{wl}-vl{g}-{}", archs[a]))
+            .collect();
+        let results = bench::runner::run_jobs(points.len(), workers, |i| {
+            let (wl, granules, arch) = points[i];
+            // Real per-point work (workload construction + the VLS
+            // partition oracle), so jobs have uneven durations.
+            let spec = workloads::table3::spec_workload(wl, 0.02);
+            let cfg = occamy_sim::SimConfig::paper_2core();
+            let partition =
+                workloads::corun::vls_partition(&[spec.clone(), spec], &cfg);
+            (labels[i].clone(), granules + partition.len(), arch)
+        });
+        prop_assert_eq!(results.len(), points.len());
+        for (i, (label, _, arch)) in results.iter().enumerate() {
+            prop_assert_eq!(label, &labels[i], "order broken at index {}", i);
+            prop_assert_eq!(*arch, points[i].2);
+        }
+    }
+
+    /// `Args::parse_from` honours last-wins flag semantics for arbitrary
+    /// flag sequences (any mix of --fast/--scale/--workers/--json in any
+    /// order) and never panics on them.
+    #[test]
+    fn args_parse_from_is_last_wins(
+        flags in proptest::collection::vec(
+            prop_oneof![
+                Just((0usize, 0.25f64, 0usize, String::new())),
+                (0.01f64..8.0).prop_map(|s| (1, s, 0, String::new())),
+                (0usize..64).prop_map(|w| (2, 0.0, w, String::new())),
+                "[a-z]{1,8}".prop_map(|p| (3usize, 0.0f64, 0usize, p)),
+            ],
+            0..6,
+        ),
+    ) {
+        let mut argv: Vec<String> = Vec::new();
+        let mut expected = bench::Args::default();
+        for (kind, scale, workers, path) in &flags {
+            match kind {
+                0 => {
+                    argv.push("--fast".into());
+                    expected.scale = 0.25;
+                }
+                1 => {
+                    argv.push("--scale".into());
+                    argv.push(format!("{scale}"));
+                    // format!("{}", f64) is shortest-round-trip, so the
+                    // parsed value is bit-identical.
+                    expected.scale = *scale;
+                }
+                2 => {
+                    argv.push("--workers".into());
+                    argv.push(workers.to_string());
+                    expected.workers = *workers;
+                }
+                _ => {
+                    argv.push("--json".into());
+                    argv.push(path.clone());
+                    expected.json = Some(std::path::PathBuf::from(path));
+                }
+            }
+        }
+        let parsed = bench::Args::parse_from(argv).map_err(
+            proptest::test_runner::TestCaseError::fail,
+        )?;
+        prop_assert_eq!(parsed, expected);
+    }
+}
+
 /// Elastic co-running with live repartitioning: a random compute kernel
 /// next to a phase-churning memory stream; lanes provably move mid-loop
 /// and results still match. (One deterministic heavy case rather than a
