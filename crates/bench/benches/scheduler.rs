@@ -43,7 +43,9 @@ fn bench_schedules(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(format!("{n_tasks}tasks")), |b| {
             b.iter(|| {
                 let (mut machine, tasks) = build(n_tasks);
-                let report = Scheduler::new(1_000).run(&mut machine, tasks, 100_000_000);
+                let report = Scheduler::new(1_000)
+                    .run(&mut machine, tasks, 100_000_000)
+                    .expect("simulation fault");
                 assert!(report.completed);
                 report.makespan
             });
@@ -60,8 +62,8 @@ fn bench_context_switch(c: &mut Criterion) {
             for _ in 0..400 {
                 machine.tick();
             }
-            let task = machine.preempt(0, 100_000);
-            machine.resume(0, task, 100_000);
+            let task = machine.preempt(0, 100_000).expect("preempt drains in budget");
+            machine.resume(0, task, 100_000).expect("resume re-acquires lanes");
             machine.cycle()
         });
     });

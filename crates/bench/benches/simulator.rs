@@ -21,7 +21,7 @@ fn bench_architectures(c: &mut Criterion) {
             b.iter(|| {
                 let mut machine =
                     corun::build_machine(&specs, &cfg, &arch, 1.0).expect("build");
-                let stats = machine.run(50_000_000);
+                let stats = machine.run(50_000_000).expect("simulation fault");
                 assert!(stats.completed);
                 stats.cycles
             });

@@ -36,7 +36,7 @@ fn main() {
             cfg.contention_aware_planning = aware;
             let mut m = corun::build_machine(specs, &cfg, &Architecture::Occamy, 1.0)
                 .expect("build");
-            let stats = m.run(500_000_000);
+            let stats = m.run(500_000_000).expect("simulation fault");
             assert!(stats.completed, "{label} timed out");
             times.push((0..4).map(|c| stats.core_time(c)).collect::<Vec<_>>());
             utils.push(stats.simd_utilization());

@@ -43,7 +43,7 @@ fn run(kernel: &Kernel, fuse: bool) -> (u64, u64) {
         compiler.compile_repeated(&[(kernel.clone(), TRIP, PASSES)], &layout).expect("compile");
     let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Private, mem).unwrap();
     m.load_program(0, program);
-    let stats = m.run(200_000_000);
+    let stats = m.run(200_000_000).expect("simulation fault");
     assert!(stats.completed);
     (stats.core_time(0), stats.cores[0].vector_compute_issued)
 }

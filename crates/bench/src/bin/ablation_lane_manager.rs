@@ -19,7 +19,7 @@ use workloads::{corun, motivating, table3, WorkloadSpec};
 
 fn run(specs: &[WorkloadSpec], cfg: &SimConfig, arch: &Architecture) -> (u64, u64, f64) {
     let mut m = corun::build_machine(specs, cfg, arch, 1.0).expect("build");
-    let stats = m.run(MAX_CYCLES);
+    let stats = m.run(MAX_CYCLES).expect("simulation fault");
     assert!(stats.completed);
     (stats.core_time(0), stats.core_time(1), stats.simd_utilization())
 }

@@ -18,7 +18,7 @@ fn main() {
 
     // Elastic: full Fig. 9 machinery.
     let mut elastic = corun::build_machine(&specs, &cfg, &Architecture::Occamy, 1.0).unwrap();
-    let e = elastic.run(MAX_CYCLES);
+    let e = elastic.run(MAX_CYCLES).expect("simulation fault");
     assert!(e.completed);
 
     // Frozen plan: the initial partition, never revisited (VLS at the
@@ -27,7 +27,7 @@ fn main() {
         partition: corun::vls_partition(&specs, &cfg),
     };
     let mut frozen = corun::build_machine(&specs, &cfg, &frozen_arch, 1.0).unwrap();
-    let f = frozen.run(MAX_CYCLES);
+    let f = frozen.run(MAX_CYCLES).expect("simulation fault");
     assert!(f.completed);
 
     println!("Ablation: per-iteration partition monitoring (motivating example)");

@@ -29,7 +29,7 @@ fn main() {
                 partition: vec![granules, cfg.total_granules - granules],
             };
             let mut m = corun::build_machine(&specs, &cfg, &arch, 1.0).expect("build");
-            let stats = m.run(MAX_CYCLES);
+            let stats = m.run(MAX_CYCLES).expect("simulation fault");
             assert!(stats.completed);
             stats.core_time(0)
         };

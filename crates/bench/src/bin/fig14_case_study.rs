@@ -18,7 +18,7 @@ fn solo_phase_times(spec: &WorkloadSpec, cfg: &SimConfig, granules: usize) -> Ve
     };
     let mut machine =
         corun::build_machine(std::slice::from_ref(spec), cfg, &arch, 1.0).expect("build");
-    let stats = machine.run(bench::MAX_CYCLES);
+    let stats = machine.run(bench::MAX_CYCLES).expect("simulation fault");
     assert!(stats.completed);
     // Aggregate repeats of the same kernel phase: take total duration per
     // distinct phase OI.

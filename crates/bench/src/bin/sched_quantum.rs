@@ -82,7 +82,9 @@ fn main() {
     let quantum_runs: Vec<(SchedReport, MachineStats)> =
         runner::run_jobs(QUANTA.len(), workers, |i| {
             let (mut machine, tasks) = build(n);
-            let report = Scheduler::new(QUANTA[i]).run(&mut machine, tasks, 500_000_000);
+            let report = Scheduler::new(QUANTA[i])
+                .run(&mut machine, tasks, 500_000_000)
+                .expect("simulation fault");
             assert!(report.completed, "schedule must finish");
             let stats = machine.stats();
             (report, stats)
@@ -118,7 +120,8 @@ fn main() {
         runner::run_jobs(policies.len(), workers, |i| {
             let (mut machine, tasks) = build(n);
             let report = Scheduler::with_policy(u64::MAX / 2, policies[i].1)
-                .run(&mut machine, tasks, 500_000_000);
+                .run(&mut machine, tasks, 500_000_000)
+                .expect("simulation fault");
             assert!(report.completed);
             let stats = machine.stats();
             (report, stats)

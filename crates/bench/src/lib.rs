@@ -175,7 +175,9 @@ pub fn sweep(label: &str, specs: &[WorkloadSpec], cfg: &SimConfig, scale: f64) -
             let name = arch.short_name();
             let mut machine = corun::build_machine(specs, cfg, &arch, scale)
                 .unwrap_or_else(|e| panic!("{label}/{name}: {e}"));
-            let stats = machine.run(MAX_CYCLES);
+            let stats = machine
+                .run(MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{label}/{name}: simulation fault: {e}"));
             assert!(stats.completed, "{label}/{name}: exceeded {MAX_CYCLES} cycles");
             (name, stats)
         })
@@ -268,6 +270,7 @@ pub fn stats_to_json(stats: &MachineStats) -> Value {
     let mut obj = Value::obj();
     obj.push("cycles", Value::UInt(stats.cycles))
         .push("completed", Value::Bool(stats.completed))
+        .push("timed_out", Value::Bool(stats.timed_out))
         .push("total_lanes", Value::UInt(stats.total_lanes as u64))
         .push("simd_utilization", Value::Num(stats.simd_utilization()))
         .push("busy_lane_cycles", Value::Num(stats.total_busy_lane_cycles()))

@@ -154,7 +154,9 @@ pub fn run_points(points: &[SweepPoint], workers: usize) -> Vec<PointResult> {
             point.build_scale,
         )
         .unwrap_or_else(|e| panic!("{}/{name}: {e}", point.label));
-        let stats = machine.run(MAX_CYCLES);
+        let stats = machine
+            .run(MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("{}/{name}: simulation fault: {e}", point.label));
         assert!(stats.completed, "{}/{name}: exceeded {MAX_CYCLES} cycles", point.label);
         PointResult { label: point.label.clone(), arch: name, stats, wall: started.elapsed() }
     })

@@ -65,6 +65,7 @@ fn golden_document_has_the_expected_shape() {
     for result in results {
         let stats = result.get("stats").expect("stats object");
         assert_eq!(stats.get("completed").and_then(Value::as_bool), Some(true));
+        assert_eq!(stats.get("timed_out").and_then(Value::as_bool), Some(false));
         assert!(stats.get("cycles").and_then(Value::as_u64).expect("cycles") > 0);
         let util = stats.get("simd_utilization").and_then(Value::as_f64).expect("util");
         assert!((0.0..=1.0).contains(&util), "utilisation {util} out of range");

@@ -220,18 +220,35 @@ impl VectorInst {
     #[must_use]
     pub fn predicated(self, pred: PReg) -> VectorInst {
         assert!(
-            !matches!(
-                self,
-                VectorInst::Predicated { .. }
-                    | VectorInst::Whilelo { .. }
-                    | VectorInst::Fcm { .. }
-                    | VectorInst::Sel { .. }
-                    | VectorInst::Dup { .. }
-                    | VectorInst::DupImm { .. }
-            ),
+            self.can_be_predicated(),
             "instruction cannot be predicated: {self}"
         );
         VectorInst::Predicated { pred, inst: Box::new(self) }
+    }
+
+    /// Whether [`predicated`](Self::predicated) accepts this instruction.
+    pub fn can_be_predicated(&self) -> bool {
+        !matches!(
+            self,
+            VectorInst::Predicated { .. }
+                | VectorInst::Whilelo { .. }
+                | VectorInst::Fcm { .. }
+                | VectorInst::Sel { .. }
+                | VectorInst::Dup { .. }
+                | VectorInst::DupImm { .. }
+        )
+    }
+
+    /// Fallible predication for untrusted instruction streams: `None`
+    /// instead of a panic when the instruction cannot carry a governing
+    /// predicate.
+    #[must_use]
+    pub fn try_predicated(self, pred: PReg) -> Option<VectorInst> {
+        if self.can_be_predicated() {
+            Some(VectorInst::Predicated { pred, inst: Box::new(self) })
+        } else {
+            None
+        }
     }
 
     /// The governing predicate, if the instruction is predicated.

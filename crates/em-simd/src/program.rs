@@ -102,6 +102,21 @@ impl Program {
         self.label_targets[label.0 as usize]
     }
 
+    /// The bound target of every label, indexed by label id (for tooling
+    /// that rebuilds or transforms programs).
+    pub fn label_targets(&self) -> &[usize] {
+        &self.label_targets
+    }
+
+    /// The debug name of label `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn label_name(&self, id: usize) -> &str {
+        &self.label_names[id]
+    }
+
     /// A human-readable disassembly listing with label annotations.
     pub fn disassemble(&self) -> String {
         use std::fmt::Write as _;

@@ -88,11 +88,12 @@ impl ResourceTable {
     /// Writes a dedicated register's raw value. Writes to `<VL>` and
     /// `<AL>` are *not* allowed through this method — vector-length
     /// changes must go through [`try_reconfigure`](Self::try_reconfigure)
-    /// so the free-lane accounting stays consistent.
+    /// so the free-lane accounting stays consistent; such writes are
+    /// ignored (and trip a `debug_assert!` in debug builds).
     ///
     /// # Panics
     ///
-    /// Panics if `core` is out of range, or if `reg` is `<VL>` or `<AL>`.
+    /// Panics if `core` is out of range.
     pub fn write(&mut self, core: usize, reg: DedicatedReg, value: u64) {
         let c = &mut self.cores[core];
         match reg {
@@ -100,7 +101,9 @@ impl ResourceTable {
             DedicatedReg::Decision => c.decision = value,
             DedicatedReg::Status => c.status = value,
             DedicatedReg::Vl | DedicatedReg::Al => {
-                panic!("{reg} must be updated through try_reconfigure")
+                // Lane accounting must stay conservative: ignore the
+                // write in release builds instead of corrupting <AL>.
+                debug_assert!(false, "{reg} must be updated through try_reconfigure");
             }
         }
     }

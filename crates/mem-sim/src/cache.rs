@@ -19,12 +19,36 @@ impl CacheConfig {
     /// # Panics
     ///
     /// Panics if the geometry is degenerate (zero ways/line, capacity not
-    /// divisible into whole power-of-two sets).
+    /// divisible into whole power-of-two sets). Untrusted geometries
+    /// should be checked with [`validate`](CacheConfig::validate) first.
     pub fn num_sets(&self) -> usize {
         assert!(self.ways > 0 && self.line_bytes > 0, "degenerate cache geometry");
         let sets = self.size_bytes / (self.ways * self.line_bytes);
         assert!(sets > 0 && sets.is_power_of_two(), "sets ({sets}) must be a power of two");
         sets
+    }
+
+    /// Checks the geometry without panicking, for untrusted
+    /// configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the geometry is degenerate (zero
+    /// ways/line bytes, or a set count that is zero or not a power of
+    /// two).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways == 0 || self.line_bytes == 0 {
+            return Err("degenerate cache geometry: zero ways or line bytes".to_owned());
+        }
+        let sets = self.size_bytes / (self.ways * self.line_bytes);
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(format!(
+                "cache sets ({sets}) must be a non-zero power of two \
+                 ({} bytes / {} ways / {}-byte lines)",
+                self.size_bytes, self.ways, self.line_bytes
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -156,10 +180,12 @@ impl Cache {
         self.clock += 1;
         let (set, tag) = self.index_tag(addr);
         let clock = self.clock;
-        let victim = self.sets[set]
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("sets are never empty");
+        let Some(victim) =
+            self.sets[set].iter_mut().min_by_key(|l| if l.valid { l.lru } else { 0 })
+        else {
+            debug_assert!(false, "sets are never empty");
+            return false;
+        };
         let evicted_dirty = victim.valid && victim.dirty;
         if evicted_dirty {
             self.stats.writebacks += 1;

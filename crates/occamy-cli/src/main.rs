@@ -25,8 +25,40 @@ use mem_sim::Memory;
 use occamy_compiler::{
     analyze, parse_kernel, ArrayLayout, CodeGenOptions, Compiler, Kernel, VlMode,
 };
-use occamy_sim::{render_lane_timeline, render_pipeview, to_kanata, Architecture, Machine, SimConfig};
+use occamy_sim::{
+    render_lane_timeline, render_pipeview, to_kanata, Architecture, FaultPlan, Machine, SimConfig,
+};
 use roofline::{MachineCeilings, MemLevel};
+
+/// CLI failure classes, each with a distinct exit code so scripts can
+/// tell a typo from a broken kernel from a simulator fault:
+///
+/// * `Usage` (exit 2) — malformed command line,
+/// * `Load` (exit 3) — kernel parse/compile or program-load failure,
+/// * `Sim` (exit 4) — simulation fault (typed `SimError`, including the
+///   forward-progress watchdog) or an exceeded cycle budget.
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Load(String),
+    Sim(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Load(_) => ExitCode::from(3),
+            CliError::Sim(_) => ExitCode::from(4),
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Load(m) | CliError::Sim(m) => m,
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,13 +73,13 @@ fn main() -> ExitCode {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+        Some(other) => Err(CliError::Usage(format!("unknown command `{other}` (try --help)"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            e.exit_code()
         }
     }
 }
@@ -70,7 +102,10 @@ fn print_usage() {
          --stats           print the full statistics report\n  \
          --opt, -O         run the optimizer before compiling\n  \
          --quantum <c>     sched: round-robin time slice in cycles (default 5000)\n  \
-         --trace-out <f>   run: write a Kanata trace file (Konata viewer)"
+         --trace-out <f>   run: write a Kanata trace file (Konata viewer)\n  \
+         --inject <spec>   deterministic fault injection, e.g.\n                    \
+         seed=42,oi=0.01,decision=0.01,mem=0.05,spike=300,truncate=0.1,bitflip=0.02\n\n\
+         exit codes: 0 ok, 2 usage, 3 kernel load/compile, 4 simulation fault"
     );
 }
 
@@ -87,6 +122,7 @@ struct RunOpts {
     optimize: bool,
     quantum: u64,
     trace_out: Option<String>,
+    inject: Option<FaultPlan>,
 }
 
 fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
@@ -103,6 +139,7 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
         optimize: false,
         quantum: 5_000,
         trace_out: None,
+        inject: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -138,6 +175,11 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
                     value("--quantum")?.parse().map_err(|e| format!("--quantum: {e}"))?
             }
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--inject" => {
+                let spec = value("--inject")?;
+                opts.inject =
+                    Some(FaultPlan::parse(&spec).map_err(|e| format!("--inject: {e}"))?);
+            }
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             file => {
                 if !opts.file.is_empty() {
@@ -149,6 +191,12 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
     }
     if opts.file.is_empty() {
         return Err("no kernel file given".into());
+    }
+    if !matches!(opts.arch.as_str(), "occamy" | "private" | "fts" | "vls") {
+        return Err(format!(
+            "unknown architecture `{}` (expected occamy|private|fts|vls)",
+            opts.arch
+        ));
     }
     Ok(opts)
 }
@@ -163,9 +211,9 @@ fn load_kernel_opts(path: &str, opts: &RunOpts) -> Result<Kernel, String> {
     Ok(if opts.optimize { occamy_compiler::optimize(&kernel) } else { kernel })
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let file = args.first().ok_or("no kernel file given")?;
-    let kernel = load_kernel(file)?;
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
+    let file = args.first().ok_or_else(|| CliError::Usage("no kernel file given".into()))?;
+    let kernel = load_kernel(file).map_err(CliError::Load)?;
     let info = analyze(&kernel);
     println!("kernel `{}`", kernel.name());
     println!("  per-element vector instructions:");
@@ -244,28 +292,36 @@ fn build_program(kernel: &Kernel, opts: &RunOpts) -> Result<BuiltProgram, String
     Ok((mem, layout, addrs, program, arch))
 }
 
-fn cmd_disasm(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args)?;
-    let kernel = load_kernel_opts(&opts.file, &opts)?;
-    let (_, _, _, program, _) = build_program(&kernel, &opts)?;
+fn cmd_disasm(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_opts(args).map_err(CliError::Usage)?;
+    let kernel = load_kernel_opts(&opts.file, &opts).map_err(CliError::Load)?;
+    let (_, _, _, program, _) = build_program(&kernel, &opts).map_err(CliError::Load)?;
     print!("{}", program.disassemble());
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args)?;
-    let kernel = load_kernel_opts(&opts.file, &opts)?;
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_opts(args).map_err(CliError::Usage)?;
+    let kernel = load_kernel_opts(&opts.file, &opts).map_err(CliError::Load)?;
     let info = analyze(&kernel);
-    let (mem, _, addrs, program, arch) = build_program(&kernel, &opts)?;
+    let (mem, _, addrs, mut program, arch) = build_program(&kernel, &opts).map_err(CliError::Load)?;
     let cfg = SimConfig::paper_2core();
-    let mut machine = Machine::new(cfg, arch, mem).map_err(|e| e.to_string())?;
+    let mut machine =
+        Machine::new(cfg, arch, mem).map_err(|e| CliError::Sim(e.to_string()))?;
     if opts.trace || opts.trace_out.is_some() {
         machine.enable_trace(4096);
     }
+    let mut program_faults = 0;
+    if let Some(plan) = &opts.inject {
+        (program, program_faults) = plan.corrupt_program(&program);
+        machine.set_fault_plan(plan);
+    }
     machine.load_program(0, program);
-    let stats = machine.run(500_000_000);
+    let stats = machine
+        .run(500_000_000)
+        .map_err(|e| CliError::Sim(format!("simulation fault: {e}")))?;
     if !stats.completed {
-        return Err("run exceeded the cycle budget".into());
+        return Err(CliError::Sim("run exceeded the cycle budget".into()));
     }
 
     println!(
@@ -299,6 +355,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             println!("  {name}[0..4] = [{}]", values.join(", "));
         }
     }
+    if opts.inject.is_some() {
+        let (oi, dec, spikes) = machine
+            .fault_stats()
+            .map_or((0, 0, 0), |f| (f.oi_corruptions, f.decision_perturbations, f.mem_spikes));
+        println!(
+            "  injected: {program_faults} program corruption(s), {oi} <OI> corruption(s), \
+             {dec} decision perturbation(s), {spikes} memory spike(s)"
+        );
+    }
     if opts.stats {
         println!();
         print!("{}", stats.report());
@@ -315,7 +380,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         print!("{}", render_pipeview(machine.trace()));
     }
     if let Some(path) = &opts.trace_out {
-        std::fs::write(path, to_kanata(machine.trace())).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, to_kanata(machine.trace()))
+            .map_err(|e| CliError::Sim(format!("{path}: {e}")))?;
         println!("wrote Kanata trace to {path} (open with the Konata viewer)");
     }
     Ok(())
@@ -323,20 +389,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 /// Co-run two kernels on a two-core Occamy machine and show how the
 /// lane manager moves lanes between them.
-fn cmd_corun(args: &[String]) -> Result<(), String> {
+fn cmd_corun(args: &[String]) -> Result<(), CliError> {
     let files: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
     if files.len() != 2 {
-        return Err("corun needs exactly two kernel files".into());
+        return Err(CliError::Usage("corun needs exactly two kernel files".into()));
     }
     let rest: Vec<String> = args[2..].to_vec();
-    let opts = parse_opts(&[vec![files[0].clone()], rest].concat())?;
+    let opts = parse_opts(&[vec![files[0].clone()], rest].concat()).map_err(CliError::Usage)?;
 
     let cfg = SimConfig::paper_2core();
     let halo = 16u64;
     let mut mem = Memory::new(64 << 20);
     let mut machines: Vec<(Kernel, ArrayLayout)> = Vec::new();
     for (idx, file) in files.iter().enumerate() {
-        let kernel = load_kernel_opts(file, &opts)?.with_array_prefix(&format!("c{idx}_"));
+        let kernel = load_kernel_opts(file, &opts)
+            .map_err(CliError::Load)?
+            .with_array_prefix(&format!("c{idx}_"));
         let mut layout = ArrayLayout::new();
         for name in kernel.base_arrays() {
             let addr = mem.alloc_f32(opts.trip as u64 + 2 * halo) + 4 * halo;
@@ -348,20 +416,41 @@ fn cmd_corun(args: &[String]) -> Result<(), String> {
         }
         machines.push((kernel, layout));
     }
-    let mut machine = Machine::new(cfg, Architecture::Occamy, mem).map_err(|e| e.to_string())?;
+    let mut machine = Machine::new(cfg, Architecture::Occamy, mem)
+        .map_err(|e| CliError::Sim(e.to_string()))?;
     let compiler = Compiler::new(CodeGenOptions {
         mode: VlMode::Elastic { default: VectorLength::new(2) },
         ..CodeGenOptions::default()
     });
+    let mut program_faults = 0;
+    if let Some(plan) = &opts.inject {
+        machine.set_fault_plan(plan);
+    }
     for (core, (kernel, layout)) in machines.iter().enumerate() {
-        let program = compiler
+        let mut program = compiler
             .compile_repeated(&[(kernel.clone(), opts.trip, opts.passes)], layout)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::Load(e.to_string()))?;
+        if let Some(plan) = &opts.inject {
+            let (corrupted, n) = plan.corrupt_program(&program);
+            program = corrupted;
+            program_faults += n;
+        }
         machine.load_program(core, program);
     }
-    let stats = machine.run(500_000_000);
+    let stats = machine
+        .run(500_000_000)
+        .map_err(|e| CliError::Sim(format!("simulation fault: {e}")))?;
     if !stats.completed {
-        return Err("run exceeded the cycle budget".into());
+        return Err(CliError::Sim("run exceeded the cycle budget".into()));
+    }
+    if opts.inject.is_some() {
+        let (oi, dec, spikes) = machine
+            .fault_stats()
+            .map_or((0, 0, 0), |f| (f.oi_corruptions, f.decision_perturbations, f.mem_spikes));
+        println!(
+            "injected: {program_faults} program corruption(s), {oi} <OI> corruption(s), \
+             {dec} decision perturbation(s), {spikes} memory spike(s)"
+        );
     }
     for (core, (kernel, _)) in machines.iter().enumerate() {
         println!(
@@ -382,14 +471,14 @@ fn cmd_corun(args: &[String]) -> Result<(), String> {
 
 /// Time-share any number of kernels over the two-core machine with the
 /// `occamy-os` round-robin scheduler (the §5 OS interaction).
-fn cmd_sched(args: &[String]) -> Result<(), String> {
+fn cmd_sched(args: &[String]) -> Result<(), CliError> {
     let files: Vec<String> =
         args.iter().take_while(|a| !a.starts_with("--")).cloned().collect();
     if files.is_empty() {
-        return Err("sched needs at least one kernel file".into());
+        return Err(CliError::Usage("sched needs at least one kernel file".into()));
     }
     let rest: Vec<String> = args[files.len()..].to_vec();
-    let opts = parse_opts(&[vec![files[0].clone()], rest].concat())?;
+    let opts = parse_opts(&[vec![files[0].clone()], rest].concat()).map_err(CliError::Usage)?;
 
     let halo = 16u64;
     let mut mem = Memory::new(64 << 20);
@@ -399,7 +488,9 @@ fn cmd_sched(args: &[String]) -> Result<(), String> {
     });
     let mut tasks = Vec::new();
     for (idx, file) in files.iter().enumerate() {
-        let kernel = load_kernel_opts(file, &opts)?.with_array_prefix(&format!("t{idx}_"));
+        let kernel = load_kernel_opts(file, &opts)
+            .map_err(CliError::Load)?
+            .with_array_prefix(&format!("t{idx}_"));
         let mut layout = ArrayLayout::new();
         for name in kernel.base_arrays() {
             let addr = mem.alloc_f32(opts.trip as u64 + 2 * halo) + 4 * halo;
@@ -409,16 +500,24 @@ fn cmd_sched(args: &[String]) -> Result<(), String> {
             }
             layout.bind(name, addr);
         }
-        let program = compiler
+        let mut program = compiler
             .compile_repeated(&[(kernel.clone(), opts.trip, opts.passes)], &layout)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::Load(e.to_string()))?;
+        if let Some(plan) = &opts.inject {
+            (program, _) = plan.corrupt_program(&program);
+        }
         tasks.push(occamy_os::Task::new(format!("{}#{idx}", kernel.name()), program));
     }
     let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem)
-        .map_err(|e| e.to_string())?;
-    let report = occamy_os::Scheduler::new(opts.quantum).run(&mut machine, tasks, 500_000_000);
+        .map_err(|e| CliError::Sim(e.to_string()))?;
+    if let Some(plan) = &opts.inject {
+        machine.set_fault_plan(plan);
+    }
+    let report = occamy_os::Scheduler::new(opts.quantum)
+        .run(&mut machine, tasks, 500_000_000)
+        .map_err(|e| CliError::Sim(format!("simulation fault: {e}")))?;
     if !report.completed {
-        return Err("schedule exceeded the cycle budget".into());
+        return Err(CliError::Sim("schedule exceeded the cycle budget".into()));
     }
     println!(
         "{} task(s), 2 cores, round-robin quantum {} cycles",
@@ -434,14 +533,17 @@ fn cmd_sched(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_roofline(args: &[String]) -> Result<(), String> {
+fn cmd_roofline(args: &[String]) -> Result<(), CliError> {
     if args.is_empty() {
-        return Err("give one operational intensity per co-running workload".into());
+        return Err(CliError::Usage(
+            "give one operational intensity per co-running workload".into(),
+        ));
     }
     let ois: Vec<f64> = args
         .iter()
         .map(|a| a.parse().map_err(|e| format!("`{a}`: {e}")))
-        .collect::<Result<_, String>>()?;
+        .collect::<Result<_, String>>()
+        .map_err(CliError::Usage)?;
     let ceilings = MachineCeilings::paper_default();
     println!("{:<8} {:>12} {:>14} {:>14}", "lanes", "FP peak", "issue-bound", "attainable");
     let oi = OperationalIntensity::uniform(ois[0]);

@@ -27,16 +27,16 @@
 //! )?;
 //! let tasks: Vec<Task> =
 //!     programs().into_iter().enumerate().map(|(i, p)| Task::new(format!("t{i}"), p)).collect();
-//! let report = Scheduler::new(10_000).run(&mut machine, tasks, 100_000_000);
+//! let report = Scheduler::new(10_000).run(&mut machine, tasks, 100_000_000)?;
 //! println!("{}", report.render());
-//! # Ok::<(), occamy_sim::ConfigError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 use std::collections::VecDeque;
 
 use em_simd::{OperationalIntensity, Program};
 use mem_sim::Cycle;
-use occamy_sim::{Machine, SavedTask};
+use occamy_sim::{Machine, SavedTask, SimError};
 
 /// A schedulable unit of work: a compiled EM-SIMD program plus a label
 /// for reporting.
@@ -237,11 +237,17 @@ impl Scheduler {
     /// task programs address disjoint memory the caller has already
     /// initialised via [`Machine::memory_mut`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a preempted task fails to drain or re-acquire lanes
-    /// within the internal budgets (a wedged program).
-    pub fn run(&self, machine: &mut Machine, tasks: Vec<Task>, max_cycles: Cycle) -> SchedReport {
+    /// Returns any [`SimError`] the machine trips — including
+    /// [`SimError::Watchdog`] when a preempted task fails to drain or
+    /// re-acquire lanes within the internal budgets (a wedged program).
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        tasks: Vec<Task>,
+        max_cycles: Cycle,
+    ) -> Result<SchedReport, SimError> {
         let cores = machine.config().cores;
         let mut outcomes: Vec<TaskOutcome> = tasks
             .iter()
@@ -282,7 +288,7 @@ impl Scheduler {
                                 machine.load_program(core, program);
                             }
                             Runnable::Saved(_, task) => {
-                                machine.resume(core, *task, self.acquire_budget);
+                                machine.resume(core, *task, self.acquire_budget)?;
                             }
                         }
                         running[core] = Some((idx, machine.cycle()));
@@ -290,7 +296,7 @@ impl Scheduler {
                 }
             }
 
-            machine.tick();
+            machine.step()?;
 
             // Retire finished tasks; preempt expired quanta.
             for core in 0..cores {
@@ -302,7 +308,7 @@ impl Scheduler {
                 } else if machine.cycle().saturating_sub(since) >= self.quantum
                     && !queue.is_empty()
                 {
-                    let saved = machine.preempt(core, self.drain_budget);
+                    let saved = machine.preempt(core, self.drain_budget)?;
                     outcomes[idx].preemptions += 1;
                     switches += 1;
                     queue.push_back(Runnable::Saved(idx, Box::new(saved)));
@@ -311,12 +317,12 @@ impl Scheduler {
             }
         }
 
-        SchedReport {
+        Ok(SchedReport {
             makespan: machine.cycle(),
             context_switches: switches,
             completed: remaining == 0,
             outcomes,
-        }
+        })
     }
 }
 

@@ -65,7 +65,7 @@ fn check_outputs(machine: &Machine, expected: &[(u64, Vec<f32>)]) {
 #[test]
 fn five_tasks_two_cores_round_robin() {
     let Workbench { mut machine, tasks, expected } = bench_with(5, 8192);
-    let report = Scheduler::new(1_500).run(&mut machine, tasks, 50_000_000);
+    let report = Scheduler::new(1_500).run(&mut machine, tasks, 50_000_000).expect("simulation fault");
     assert!(report.completed, "all tasks finish");
     assert!(report.context_switches > 0, "quantum forces time-slicing");
     check_outputs(&machine, &expected);
@@ -85,7 +85,7 @@ fn five_tasks_two_cores_round_robin() {
 #[test]
 fn huge_quantum_degenerates_to_fifo() {
     let Workbench { mut machine, tasks, expected } = bench_with(4, 2048);
-    let report = Scheduler::new(100_000_000).run(&mut machine, tasks, 50_000_000);
+    let report = Scheduler::new(100_000_000).run(&mut machine, tasks, 50_000_000).expect("simulation fault");
     assert!(report.completed);
     assert_eq!(report.context_switches, 0, "nothing expires, nothing preempts");
     check_outputs(&machine, &expected);
@@ -99,7 +99,7 @@ fn huge_quantum_degenerates_to_fifo() {
 #[test]
 fn fewer_tasks_than_cores_never_switches() {
     let Workbench { mut machine, tasks, expected } = bench_with(1, 2048);
-    let report = Scheduler::new(500).run(&mut machine, tasks, 50_000_000);
+    let report = Scheduler::new(500).run(&mut machine, tasks, 50_000_000).expect("simulation fault");
     assert!(report.completed);
     assert_eq!(report.context_switches, 0, "an empty queue never preempts");
     check_outputs(&machine, &expected);
@@ -108,7 +108,7 @@ fn fewer_tasks_than_cores_never_switches() {
 #[test]
 fn report_table_names_every_task() {
     let Workbench { mut machine, tasks, .. } = bench_with(3, 1024);
-    let report = Scheduler::new(1_500).run(&mut machine, tasks, 50_000_000);
+    let report = Scheduler::new(1_500).run(&mut machine, tasks, 50_000_000).expect("simulation fault");
     let text = report.render();
     for t in 0..3 {
         assert!(text.contains(&format!("axpb{t}")), "{text}");
@@ -123,11 +123,11 @@ fn shorter_quanta_reduce_mean_turnaround_spread() {
     // the LAST task should not exceed FIFO's.
     let fifo = {
         let Workbench { mut machine, tasks, .. } = bench_with(6, 8192);
-        Scheduler::new(100_000_000).run(&mut machine, tasks, 100_000_000)
+        Scheduler::new(100_000_000).run(&mut machine, tasks, 100_000_000).expect("simulation fault")
     };
     let sliced = {
         let Workbench { mut machine, tasks, .. } = bench_with(6, 8192);
-        Scheduler::new(2_000).run(&mut machine, tasks, 100_000_000)
+        Scheduler::new(2_000).run(&mut machine, tasks, 100_000_000).expect("simulation fault")
     };
     assert!(fifo.completed && sliced.completed);
     let last_start = |r: &occamy_os::SchedReport| {
@@ -151,7 +151,7 @@ proptest! {
         n_tasks in 1usize..6,
     ) {
         let Workbench { mut machine, tasks, expected } = bench_with(n_tasks, 1536);
-        let report = Scheduler::new(quantum).run(&mut machine, tasks, 100_000_000);
+        let report = Scheduler::new(quantum).run(&mut machine, tasks, 100_000_000).expect("simulation fault");
         prop_assert!(report.completed);
         for (t, (base, want)) in expected.iter().enumerate() {
             for (i, w) in want.iter().enumerate() {
@@ -214,10 +214,10 @@ fn intensity_aware_pairing_beats_fifo_order() {
     };
 
     let (mut m_fifo, tasks) = build();
-    let fifo = Scheduler::new(u64::MAX / 2).run(&mut m_fifo, tasks, 200_000_000);
+    let fifo = Scheduler::new(u64::MAX / 2).run(&mut m_fifo, tasks, 200_000_000).expect("simulation fault");
     let (mut m_ia, tasks) = build();
     let ia = Scheduler::with_policy(u64::MAX / 2, Policy::IntensityAware)
-        .run(&mut m_ia, tasks, 200_000_000);
+        .run(&mut m_ia, tasks, 200_000_000).expect("simulation fault");
     assert!(fifo.completed && ia.completed);
 
     // The aware policy dispatched a compute task second, not the other
@@ -252,7 +252,7 @@ fn unknown_intensities_degrade_to_fifo() {
     let Workbench { mut machine, tasks, expected } = bench_with(4, 2048);
     // No task carries an OI: the aware policy must behave exactly FIFO.
     let report = Scheduler::with_policy(100_000_000, Policy::IntensityAware)
-        .run(&mut machine, tasks, 50_000_000);
+        .run(&mut machine, tasks, 50_000_000).expect("simulation fault");
     assert!(report.completed);
     assert_eq!(report.outcomes[0].started_at, 0);
     assert_eq!(report.outcomes[1].started_at, 0);

@@ -161,6 +161,77 @@ impl SimConfig {
         self.total_granules / self.cores
     }
 
+    /// Validates the configuration itself, independent of the selected
+    /// architecture, so untrusted (e.g. fuzzed or user-supplied)
+    /// configurations surface a typed error instead of panicking deep in
+    /// the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first inconsistent parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 || self.cores > 64 {
+            return Err(format!("cores must be in 1..=64 (configured: {})", self.cores));
+        }
+        if self.total_granules == 0 || self.total_granules > 1024 {
+            return Err(format!(
+                "total_granules must be in 1..=1024 (configured: {})",
+                self.total_granules
+            ));
+        }
+        if self.vregs_per_block < em_simd::NUM_VREGS {
+            return Err(format!(
+                "vregs_per_block ({}) cannot hold the {} architectural vector registers",
+                self.vregs_per_block,
+                em_simd::NUM_VREGS
+            ));
+        }
+        if self.pregs_per_block < em_simd::NUM_PREGS {
+            return Err(format!(
+                "pregs_per_block ({}) cannot hold the {} architectural predicate registers",
+                self.pregs_per_block,
+                em_simd::NUM_PREGS
+            ));
+        }
+        for (name, v) in [
+            ("pool_entries", self.pool_entries),
+            ("iq_entries", self.iq_entries),
+            ("rob_entries", self.rob_entries),
+            ("lsu_entries", self.lsu_entries),
+            ("compute_width", self.compute_width),
+            ("mem_width", self.mem_width),
+            ("transmit_width", self.transmit_width),
+            ("scalar_width", self.scalar_width),
+            ("retire_width", self.retire_width),
+            ("em_width", self.em_width),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be at least 1"));
+            }
+        }
+        if self.exe_latency == 0 || self.exe_latency_long == 0 {
+            return Err("execution latencies must be at least 1 cycle".to_owned());
+        }
+        if self.mem.cores != self.cores {
+            return Err(format!(
+                "memory system is sized for {} cores but the machine has {}",
+                self.mem.cores, self.cores
+            ));
+        }
+        for (name, cache) in
+            [("l1", &self.mem.l1), ("veccache", &self.mem.veccache), ("l2", &self.mem.l2)]
+        {
+            cache.validate().map_err(|e| format!("{name}: {e}"))?;
+        }
+        if self.mem.veccache_bytes_cycle == 0
+            || self.mem.l2_bytes_cycle == 0
+            || self.mem.dram_bytes_cycle == 0
+        {
+            return Err("memory bandwidths must be at least 1 byte/cycle".to_owned());
+        }
+        Ok(())
+    }
+
     /// Validates an architecture against this configuration.
     ///
     /// # Errors
@@ -264,6 +335,26 @@ mod tests {
         assert!(cfg
             .validate_arch(&Architecture::StaticSpatialSharing { partition: vec![0, 8] })
             .is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(SimConfig::paper_2core().validate().is_ok());
+        let mut cfg = SimConfig::paper_2core();
+        cfg.total_granules = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::paper_2core();
+        cfg.vregs_per_block = 8;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::paper_2core();
+        cfg.rob_entries = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::paper_2core();
+        cfg.mem.cores = 7;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SimConfig::paper_2core();
+        cfg.mem.l1.ways = 0;
+        assert!(cfg.validate().unwrap_err().contains("l1"));
     }
 
     #[test]

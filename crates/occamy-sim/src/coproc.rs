@@ -25,7 +25,9 @@ use mem_sim::{Cycle, Memory, MemorySystem};
 use roofline::{MachineCeilings, MemLevel};
 
 use crate::config::{Architecture, SimConfig};
+use crate::error::SimError;
 use crate::exec;
+use crate::fault::FaultState;
 use crate::lsu::{Lsu, LsuEntry};
 use crate::regblocks::{PhysId, PhysRegFile, RegBlocks};
 use crate::stats::{CoreStats, PhaseStats};
@@ -155,6 +157,12 @@ pub(crate) struct CoProcessor {
     mgr: Option<LaneManager>,
     inflight: Vec<InflightCompute>,
     next_seq: u64,
+    /// Total instructions retired from the ROBs (forward-progress
+    /// signal for the machine's watchdog).
+    pub(crate) retired: u64,
+    /// First fault latched by the co-processor pipeline; surfaced by
+    /// `Machine::step` at the end of the cycle.
+    pub(crate) fault: Option<SimError>,
     /// Instruction-lifecycle trace (disabled by default).
     pub(crate) trace: Trace,
 }
@@ -213,8 +221,33 @@ impl CoProcessor {
             mgr,
             inflight: Vec::new(),
             next_seq: 0,
+            retired: 0,
+            fault: None,
             trace: Trace::disabled(),
         }
+    }
+
+    /// Latches the first pipeline fault; later faults are dropped (the
+    /// machine is already poisoned by the first).
+    fn trip(&mut self, e: SimError) {
+        if self.fault.is_none() {
+            self.fault = Some(e);
+        }
+    }
+
+    /// Instruction-pool occupancy (watchdog diagnostics).
+    pub(crate) fn pool_len(&self, core: usize) -> usize {
+        self.cores[core].pool.len()
+    }
+
+    /// Reorder-buffer occupancy (watchdog diagnostics).
+    pub(crate) fn rob_len(&self, core: usize) -> usize {
+        self.cores[core].rob.len()
+    }
+
+    /// Outstanding LSU requests (watchdog diagnostics).
+    pub(crate) fn lsu_outstanding(&self, core: usize) -> usize {
+        self.cores[core].lsu.len()
     }
 
     fn trace_event(&mut self, cycle: Cycle, core: usize, seq: u64, stage: TraceStage, disasm: String) {
@@ -272,14 +305,19 @@ impl CoProcessor {
         let max_width = (self.cfg.total_granules * 16) as u64;
         self.cores[core].pool.iter().any(|e| match e {
             PoolEntry::Vector { inst, aux: Some(a) } if inst.is_mem() => {
-                *a < addr + bytes && addr < *a + max_width
+                // Saturating: wild (near-u64::MAX) addresses from untrusted
+                // programs must not overflow the span arithmetic.
+                *a < addr.saturating_add(bytes) && addr < a.saturating_add(max_width)
             }
             _ => false,
         })
     }
 
     fn mark_rob_done(rob: &mut VecDeque<RobEntry>, seq: u64) {
-        let e = rob.iter_mut().find(|e| e.seq == seq).expect("ROB entry vanished");
+        let Some(e) = rob.iter_mut().find(|e| e.seq == seq) else {
+            debug_assert!(false, "ROB entry {seq} vanished");
+            return;
+        };
         debug_assert!(!e.done);
         e.done = true;
     }
@@ -322,7 +360,8 @@ impl CoProcessor {
             let done = self.cores[core].lsu.drain_completed(now);
             for e in done {
                 if let Some(dst) = e.dst {
-                    self.prf.write(dst, e.data.expect("load data captured at issue"));
+                    debug_assert!(e.data.is_some(), "load data captured at issue");
+                    self.prf.write(dst, e.data.unwrap_or_default());
                 }
                 self.trace_event(now, core, e.seq, TraceStage::Complete, String::new());
                 Self::mark_rob_done(&mut self.cores[core].rob, e.seq);
@@ -335,7 +374,8 @@ impl CoProcessor {
             while budget > 0 {
                 match self.cores[core].rob.front() {
                     Some(head) if head.done => {
-                        let head = self.cores[core].rob.pop_front().expect("checked");
+                        let Some(head) = self.cores[core].rob.pop_front() else { break };
+                        self.retired += 1;
                         self.trace_event(now, core, head.seq, TraceStage::Retire, String::new());
                         match head.prev_phys {
                             Some((prev, RegClass::Vector)) => {
@@ -363,6 +403,7 @@ impl CoProcessor {
         now: Cycle,
         mem: &mut Memory,
         memsys: &mut MemorySystem,
+        faults: &mut Option<FaultState>,
     ) -> Vec<IssueCounts> {
         let ncores = self.cores.len();
         let mut counts = vec![IssueCounts::default(); ncores];
@@ -401,7 +442,7 @@ impl CoProcessor {
             let start = (now as usize) % ncores;
             for k in 0..ncores {
                 let c = (start + k) % ncores;
-                while budget > 0 && self.try_issue_mem(c, now, mem, memsys) {
+                while budget > 0 && self.try_issue_mem(c, now, mem, memsys, faults) {
                     counts[c].mem += 1;
                     budget -= 1;
                 }
@@ -409,7 +450,7 @@ impl CoProcessor {
         } else {
             for c in 0..ncores {
                 for _ in 0..self.cfg.mem_width {
-                    if self.try_issue_mem(c, now, mem, memsys) {
+                    if self.try_issue_mem(c, now, mem, memsys, faults) {
                         counts[c].mem += 1;
                     } else {
                         break;
@@ -454,7 +495,10 @@ impl CoProcessor {
             VectorInst::Fma { .. } => (exec::exec_fma(srcs[0], srcs[1], srcs[2]), None),
             VectorInst::DupImm { imm, .. } => (vec![*imm; e.lanes], None),
             VectorInst::Dup { .. } => {
-                unreachable!("Dup carries its broadcast value via DupImm rewriting at rename")
+                // Rename rewrites Dup into DupImm when the broadcast value
+                // was captured; fall back to the raw payload bits.
+                debug_assert!(false, "Dup should have been rewritten to DupImm at rename");
+                (vec![f32::from_bits(e.aux.unwrap_or(0) as u32); e.lanes], None)
             }
             VectorInst::ReduceAdd { dst, .. } => {
                 let sum = match mask {
@@ -464,7 +508,8 @@ impl CoProcessor {
                 (Vec::new(), Some((*dst, sum)))
             }
             VectorInst::Whilelo { .. } => {
-                let bounds = e.aux.expect("whilelo bounds captured at transmit");
+                debug_assert!(e.aux.is_some(), "whilelo bounds captured at transmit");
+                let bounds = e.aux.unwrap_or(0);
                 (exec::whilelo(bounds >> 32, bounds & 0xffff_ffff, e.lanes), None)
             }
             VectorInst::Fcm { op, .. } => (exec::compare(*op, srcs[0], srcs[1]), None),
@@ -472,10 +517,12 @@ impl CoProcessor {
                 let sel = self.ppf.read(e.psrcs[0]);
                 (exec::blend(sel, srcs[0], srcs[1]), None)
             }
-            VectorInst::Load { .. } | VectorInst::Store { .. } => {
-                unreachable!("memory ops live in the LSU")
+            VectorInst::Load { .. } | VectorInst::Store { .. } | VectorInst::Predicated { .. } => {
+                // Memory ops live in the LSU and inner() strips
+                // predication; neither can reach the issue queue.
+                debug_assert!(false, "non-compute instruction in the issue queue");
+                (vec![0.0; e.lanes], None)
             }
-            VectorInst::Predicated { .. } => unreachable!("inner() strips predication"),
         };
         // Merging predication: inactive lanes keep the old destination.
         if let (Some(m), Some(old)) = (mask, e.merge) {
@@ -500,6 +547,7 @@ impl CoProcessor {
         now: Cycle,
         mem: &mut Memory,
         memsys: &mut MemorySystem,
+        faults: &mut Option<FaultState>,
     ) -> bool {
         let n = self.cores[core].lsu.len();
         for idx in 0..n {
@@ -514,11 +562,36 @@ impl CoProcessor {
                 continue;
             }
             let mask: Option<Vec<f32>> = pred.map(|p| self.ppf.read(p).to_vec());
+            // Bounds check against the functional arena before touching
+            // it: an out-of-range vector access is a typed fault, not a
+            // crash. Predicated accesses only touch active lanes (SVE
+            // fault suppression), so the checked span ends at the last
+            // active lane.
+            let span = match &mask {
+                Some(m) => {
+                    m.iter().rposition(|&a| a != 0.0).map_or(0, |i| (i as u64 + 1) * 4)
+                }
+                None => bytes,
+            };
+            if span > 0
+                && addr.checked_add(span).is_none_or(|end| end > mem.capacity() as u64)
+            {
+                self.trip(SimError::MemoryFault {
+                    core,
+                    addr,
+                    bytes: span,
+                    capacity: mem.capacity() as u64,
+                });
+                return false;
+            }
             if store {
                 if self.cores[core].lsu.store_blocked(idx) {
                     continue;
                 }
-                let src = src.expect("store has a data source");
+                let Some(src) = src else {
+                    debug_assert!(false, "store has a data source");
+                    continue;
+                };
                 if !self.prf.is_ready(src) {
                     continue;
                 }
@@ -534,7 +607,8 @@ impl CoProcessor {
                     }
                     None => mem.write_f32_slice(addr, &value),
                 }
-                let done = memsys.vector_access(now, core, addr, bytes, true);
+                let done = memsys.vector_access(now, core, addr, bytes, true)
+                    + faults.as_mut().map_or(0, FaultState::spike_mem);
                 let e = &mut self.cores[core].lsu.entries_mut()[idx];
                 e.issued = true;
                 e.complete_at = Some(done);
@@ -562,7 +636,8 @@ impl CoProcessor {
                         .collect(),
                     None => mem.read_f32_slice(addr, lanes),
                 };
-                let done = memsys.vector_access(now, core, addr, bytes, false);
+                let done = memsys.vector_access(now, core, addr, bytes, false)
+                    + faults.as_mut().map_or(0, FaultState::spike_mem);
                 let e = &mut self.cores[core].lsu.entries_mut()[idx];
                 e.issued = true;
                 e.complete_at = Some(done);
@@ -578,7 +653,12 @@ impl CoProcessor {
     /// Stage 3: rename + the EM-SIMD data path. Updates rename-stall and
     /// phase statistics in `stats`; returns responses for waiting scalar
     /// cores.
-    pub(crate) fn rename(&mut self, now: Cycle, stats: &mut [CoreStats]) -> Vec<EmResponse> {
+    pub(crate) fn rename(
+        &mut self,
+        now: Cycle,
+        stats: &mut [CoreStats],
+        faults: &mut Option<FaultState>,
+    ) -> Vec<EmResponse> {
         let mut resps = Vec::new();
         let mut em_budget = self.cfg.em_width;
         // Rotate the service order so the shared EM-SIMD data path cannot
@@ -592,7 +672,7 @@ impl CoProcessor {
             let mut budget = self.cfg.transmit_width;
             let mut stalled_on_regs = false;
             while budget > 0 && !self.cores[core].pool.is_empty() {
-                let front = self.cores[core].pool.front().expect("checked").clone();
+                let Some(front) = self.cores[core].pool.front().cloned() else { break };
                 match front {
                     PoolEntry::Vector { inst, aux } => {
                         if !self.rename_vector(core, inst, aux, now, &mut stalled_on_regs) {
@@ -605,7 +685,7 @@ impl CoProcessor {
                         if em_budget == 0 {
                             break;
                         }
-                        match self.exec_em(core, inst, operand, now, stats) {
+                        match self.exec_em(core, inst, operand, now, stats, faults) {
                             Some(resp) => {
                                 resps.push(resp);
                                 self.cores[core].pool.pop_front();
@@ -647,10 +727,14 @@ impl CoProcessor {
         if rob_full || (inst.is_mem() && lsu_full) || (!inst.is_mem() && iq_full) {
             return false;
         }
-        assert!(
-            lanes > 0,
-            "core {core} executed a vector instruction with <VL> = 0 — compiler bug"
-        );
+        if lanes == 0 {
+            self.trip(SimError::InvalidVl {
+                core,
+                granules: 0,
+                detail: "vector instruction executed with <VL> = 0".into(),
+            });
+            return false;
+        }
 
         // Read source mappings before redefining the destination (FMLA
         // reads its accumulator; merging predication reads the old
@@ -715,7 +799,10 @@ impl CoProcessor {
             self.cores[core].lsu.push(LsuEntry {
                 seq,
                 store,
-                addr: aux.expect("memory instruction carries its address"),
+                addr: {
+                    debug_assert!(aux.is_some(), "memory instruction carries its address");
+                    aux.unwrap_or(0)
+                },
                 bytes: (lanes * 4) as u64,
                 lanes,
                 dst: dst_phys,
@@ -761,11 +848,12 @@ impl CoProcessor {
         operand: u64,
         now: Cycle,
         stats: &mut [CoreStats],
+        faults: &mut Option<FaultState>,
     ) -> Option<EmResponse> {
         match inst {
             EmSimdInst::Msr { reg, .. } => {
                 match reg {
-                    DedicatedReg::Oi => self.write_oi(core, operand, now, stats),
+                    DedicatedReg::Oi => self.write_oi(core, operand, now, stats, faults),
                     DedicatedReg::Vl => {
                         // §4.2.2: the vector length only changes once the
                         // core's SIMD pipeline is drained.
@@ -813,7 +901,18 @@ impl CoProcessor {
     /// Handles a write to `<OI>`: records phase boundaries and (on
     /// Occamy) triggers the lane manager to publish a new partition plan
     /// in every core's `<decision>` (§5).
-    fn write_oi(&mut self, core: usize, operand: u64, now: Cycle, stats: &mut [CoreStats]) {
+    fn write_oi(
+        &mut self,
+        core: usize,
+        operand: u64,
+        now: Cycle,
+        stats: &mut [CoreStats],
+        faults: &mut Option<FaultState>,
+    ) {
+        let operand = match faults {
+            Some(f) => f.corrupt_oi(operand),
+            None => operand,
+        };
         self.table.write(core, DedicatedReg::Oi, operand);
         let oi = OperationalIntensity::from_bits(operand);
         if oi.is_phase_end() {
@@ -837,13 +936,13 @@ impl CoProcessor {
             self.cores[core].open_phase = Some(stats[core].phases.len() - 1);
         }
 
-        self.replan();
+        self.replan(faults);
     }
 
     /// Re-runs the lane manager over the current `<OI>` registers and
     /// publishes the plan in every core's `<decision>` (no-op on the
     /// baseline architectures, which have no lane manager).
-    fn replan(&mut self) {
+    fn replan(&mut self, faults: &mut Option<FaultState>) {
         if let Some(mgr) = &self.mgr {
             let demands: Vec<PhaseDemand> = (0..self.cores.len())
                 .map(|c| {
@@ -858,7 +957,11 @@ impl CoProcessor {
                 .collect();
             let plan = mgr.plan(&demands);
             for c in 0..self.cores.len() {
-                self.table.write(c, DedicatedReg::Decision, plan.vl(c).granules() as u64);
+                let mut granules = plan.vl(c).granules() as u64;
+                if let Some(f) = faults {
+                    granules = f.perturb_decision(granules, self.cfg.total_granules as u64);
+                }
+                self.table.write(c, DedicatedReg::Decision, granules);
             }
         }
     }
@@ -888,7 +991,7 @@ impl CoProcessor {
         let released = self.try_set_vl(core, 0);
         debug_assert!(released, "releasing lanes cannot fail");
         self.table.write(core, DedicatedReg::Oi, 0);
-        self.replan();
+        self.replan(&mut None);
         ctx
     }
 
@@ -899,7 +1002,7 @@ impl CoProcessor {
     pub(crate) fn os_try_restore(&mut self, core: usize, ctx: &OsContext) -> bool {
         assert!(self.is_drained(core), "context restore requires a quiesced core");
         self.table.write(core, DedicatedReg::Oi, ctx.oi);
-        self.replan();
+        self.replan(&mut None);
         if !self.try_set_vl(core, ctx.vl) {
             return false;
         }
@@ -989,15 +1092,35 @@ impl CoProcessor {
         );
         for v in 0..NUM_VREGS {
             let reserved = self.blocks.try_reserve(&spans);
-            assert!(reserved, "architectural registers must always fit (32 of {})",
+            debug_assert!(reserved, "architectural registers must always fit (32 of {})",
                 self.cfg.vregs_per_block);
+            if !reserved {
+                self.trip(SimError::RegBlockExhausted {
+                    core,
+                    requested: NUM_VREGS,
+                    detail: format!(
+                        "architectural vector registers do not fit ({NUM_VREGS} of {})",
+                        self.cfg.vregs_per_block
+                    ),
+                });
+            }
             let id = self.prf.alloc_ready(spans.clone(), PhysRegFile::zero_value(granules));
             self.cores[core].rename_map[v] = id;
         }
         for p in 0..NUM_PREGS {
             let reserved = self.blocks.try_reserve_pred(&spans);
-            assert!(reserved, "architectural predicates must always fit (8 of {})",
+            debug_assert!(reserved, "architectural predicates must always fit (8 of {})",
                 self.cfg.pregs_per_block);
+            if !reserved {
+                self.trip(SimError::RegBlockExhausted {
+                    core,
+                    requested: NUM_PREGS,
+                    detail: format!(
+                        "architectural predicate registers do not fit ({NUM_PREGS} of {})",
+                        self.cfg.pregs_per_block
+                    ),
+                });
+            }
             let id = self.ppf.alloc_ready(spans.clone(), PhysRegFile::zero_value(granules));
             self.cores[core].pred_rename[p] = id;
         }

@@ -1,0 +1,237 @@
+//! Typed error taxonomy for the simulator core.
+//!
+//! Untrusted inputs — programs, configurations, fault plans — must never
+//! bring the process down: every failure on those paths surfaces as a
+//! [`SimError`] out of [`Machine::step`](crate::Machine::step) /
+//! [`Machine::run`](crate::Machine::run). Internal invariants (states a
+//! well-formed machine cannot reach) remain `debug_assert!`s.
+
+use std::fmt;
+
+use crate::machine::ConfigError;
+
+/// A structured simulation error.
+///
+/// Returned by [`Machine::step`](crate::Machine::step),
+/// [`Machine::run`](crate::Machine::run) and the preemption entry points;
+/// once a machine has reported an error it is poisoned and every further
+/// step returns the same error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The scalar front end fetched something it cannot execute (e.g. the
+    /// program counter ran off the end of a program with no `HALT`).
+    Decode {
+        /// The faulting core.
+        core: usize,
+        /// The program counter at the fault.
+        pc: usize,
+        /// Human-readable description of the decode failure.
+        detail: String,
+    },
+    /// A vector instruction executed with an unusable vector length
+    /// (e.g. `<VL>` = 0 because the program skipped the acquire loop).
+    InvalidVl {
+        /// The faulting core.
+        core: usize,
+        /// The granule count in effect at the fault.
+        granules: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The register blocks could not satisfy an allocation that the
+    /// architecture contract says must always fit.
+    RegBlockExhausted {
+        /// The faulting core.
+        core: usize,
+        /// Entries the allocation needed.
+        requested: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A scalar or vector memory access fell outside the functional
+    /// memory arena.
+    MemoryFault {
+        /// The faulting core.
+        core: usize,
+        /// First byte of the faulting access.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u64,
+        /// The arena capacity in bytes.
+        capacity: u64,
+    },
+    /// The machine configuration is internally inconsistent (also raised
+    /// for architecture mismatches via [`ConfigError`]).
+    Config(String),
+    /// The forward-progress watchdog tripped: no core retired an
+    /// instruction and no lane-manager decision changed for the
+    /// configured number of cycles.
+    Watchdog {
+        /// The cycle at which the watchdog tripped.
+        cycle: u64,
+        /// Structured machine state at the trip.
+        dump: WatchdogDump,
+    },
+}
+
+impl SimError {
+    /// A short, stable kind name (`decode`, `invalid-vl`, ...) for
+    /// machine-readable reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Decode { .. } => "decode",
+            SimError::InvalidVl { .. } => "invalid-vl",
+            SimError::RegBlockExhausted { .. } => "regblock-exhausted",
+            SimError::MemoryFault { .. } => "memory-fault",
+            SimError::Config(_) => "config",
+            SimError::Watchdog { .. } => "watchdog",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Decode { core, pc, detail } => {
+                write!(f, "decode fault on core {core} at pc {pc}: {detail}")
+            }
+            SimError::InvalidVl { core, granules, detail } => {
+                write!(f, "invalid vector length on core {core} ({granules} granules): {detail}")
+            }
+            SimError::RegBlockExhausted { core, requested, detail } => {
+                write!(
+                    f,
+                    "register blocks exhausted on core {core} ({requested} entries requested): \
+                     {detail}"
+                )
+            }
+            SimError::MemoryFault { core, addr, bytes, capacity } => {
+                write!(
+                    f,
+                    "memory fault on core {core}: {bytes}-byte access at {addr:#x} exceeds the \
+                     {capacity}-byte arena"
+                )
+            }
+            SimError::Config(msg) => write!(f, "invalid machine configuration: {msg}"),
+            SimError::Watchdog { cycle, dump } => {
+                write!(f, "watchdog tripped at cycle {cycle}: {dump}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e.0)
+    }
+}
+
+/// Diagnostic snapshot attached to [`SimError::Watchdog`]: why the
+/// machine was declared wedged and what every core was doing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogDump {
+    /// What tripped the watchdog.
+    pub reason: String,
+    /// Cycles without any retirement or decision change.
+    pub stagnant_for: u64,
+    /// Per-core pipeline state at the trip.
+    pub cores: Vec<CoreDump>,
+}
+
+impl fmt::Display for WatchdogDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (stagnant for {} cycles)", self.reason, self.stagnant_for)?;
+        for c in &self.cores {
+            write!(f, "; {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One core's state inside a [`WatchdogDump`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreDump {
+    /// The core index.
+    pub core: usize,
+    /// The scalar program counter.
+    pub pc: usize,
+    /// Whether the scalar core has halted.
+    pub halted: bool,
+    /// Whether the scalar core is blocked on the EM-SIMD data path.
+    pub waiting: bool,
+    /// Lanes currently allocated to the core.
+    pub lanes: usize,
+    /// The core's published `<decision>` register.
+    pub decision: u64,
+    /// Instruction-pool occupancy (transmitted, not yet renamed).
+    pub pool: usize,
+    /// Reorder-buffer occupancy.
+    pub rob: usize,
+    /// Outstanding LSU requests.
+    pub lsu_outstanding: usize,
+}
+
+impl fmt::Display for CoreDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core {}: pc={} halted={} waiting={} lanes={} decision={} pool={} rob={} lsu={}",
+            self.core,
+            self.pc,
+            self.halted,
+            self.waiting,
+            self.lanes,
+            self.decision,
+            self.pool,
+            self.rob,
+            self.lsu_outstanding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::MemoryFault { core: 1, addr: 0x1000, bytes: 64, capacity: 4096 };
+        let s = e.to_string();
+        assert!(s.contains("core 1"), "{s}");
+        assert!(s.contains("0x1000"), "{s}");
+        assert_eq!(e.kind(), "memory-fault");
+    }
+
+    #[test]
+    fn config_error_converts() {
+        let e: SimError = ConfigError("bad".to_owned()).into();
+        assert_eq!(e, SimError::Config("bad".to_owned()));
+        assert_eq!(e.kind(), "config");
+    }
+
+    #[test]
+    fn watchdog_dump_renders_every_core() {
+        let dump = WatchdogDump {
+            reason: "no forward progress".to_owned(),
+            stagnant_for: 1000,
+            cores: vec![CoreDump {
+                core: 0,
+                pc: 7,
+                halted: false,
+                waiting: true,
+                lanes: 16,
+                decision: 4,
+                pool: 2,
+                rob: 5,
+                lsu_outstanding: 1,
+            }],
+        };
+        let e = SimError::Watchdog { cycle: 12345, dump };
+        let s = e.to_string();
+        assert!(s.contains("cycle 12345"), "{s}");
+        assert!(s.contains("pc=7"), "{s}");
+        assert!(s.contains("lsu=1"), "{s}");
+    }
+}

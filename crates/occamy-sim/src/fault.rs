@@ -1,0 +1,393 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes *what* to corrupt and *how often*; a
+//! [`FaultState`] (a plan plus a seeded RNG) is installed on a
+//! [`Machine`](crate::Machine) with
+//! [`set_fault_plan`](crate::Machine::set_fault_plan) and consulted at
+//! three injection points inside the co-processor:
+//!
+//! * `<OI>` writes — the hint the lane manager plans from is bit-flipped,
+//! * partition decisions — the published `<decision>` is perturbed by
+//!   ±1 granule,
+//! * memory accesses — completion is delayed by a latency spike.
+//!
+//! Program corruption (truncation, immediate bit-flips) happens *before*
+//! the run via [`FaultPlan::corrupt_program`], modelling a faulty
+//! instruction fetch path. Everything is driven by the vendored
+//! deterministic `rand` shim, so a `(plan, program, config)` triple
+//! always reproduces the same faulty execution.
+
+use em_simd::{EmSimdInst, Inst, Operand, Program, ProgramBuilder, ScalarInst, VectorInst};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A deterministic fault-injection plan: per-event probabilities plus the
+/// RNG seed that makes the campaign reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the deterministic RNG stream.
+    pub seed: u64,
+    /// Probability that an `<OI>` write has a bit flipped.
+    pub oi_corrupt_rate: f64,
+    /// Probability that a published partition decision is perturbed.
+    pub decision_perturb_rate: f64,
+    /// Probability that a memory access suffers a latency spike.
+    pub mem_spike_rate: f64,
+    /// Extra cycles added by one latency spike.
+    pub mem_spike_cycles: u64,
+    /// Probability that [`corrupt_program`](Self::corrupt_program)
+    /// truncates the program.
+    pub program_truncate_rate: f64,
+    /// Per-instruction probability of an immediate bit-flip in
+    /// [`corrupt_program`](Self::corrupt_program).
+    pub program_bitflip_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            oi_corrupt_rate: 0.0,
+            decision_perturb_rate: 0.0,
+            mem_spike_rate: 0.0,
+            mem_spike_cycles: 200,
+            program_truncate_rate: 0.0,
+            program_bitflip_rate: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing (the fault-free path).
+    pub fn is_noop(&self) -> bool {
+        self.oi_corrupt_rate == 0.0
+            && self.decision_perturb_rate == 0.0
+            && self.mem_spike_rate == 0.0
+            && self.program_truncate_rate == 0.0
+            && self.program_bitflip_rate == 0.0
+    }
+
+    /// Parses a CLI spec like
+    /// `seed=42,oi=0.01,decision=0.01,mem=0.05,spike=300,truncate=0.1,bitflip=0.02`.
+    /// Unmentioned knobs keep their defaults (no injection).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending key or value.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry '{part}' is not key=value"))?;
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 =
+                    v.parse().map_err(|_| format!("fault rate '{v}' is not a number"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("fault rate '{v}' must be within [0, 1]"));
+                }
+                Ok(r)
+            };
+            match key.trim() {
+                "seed" => {
+                    plan.seed =
+                        value.parse().map_err(|_| format!("seed '{value}' is not a u64"))?;
+                }
+                "oi" => plan.oi_corrupt_rate = rate(value)?,
+                "decision" => plan.decision_perturb_rate = rate(value)?,
+                "mem" => plan.mem_spike_rate = rate(value)?,
+                "spike" => {
+                    plan.mem_spike_cycles = value
+                        .parse()
+                        .map_err(|_| format!("spike cycles '{value}' is not a u64"))?;
+                }
+                "truncate" => plan.program_truncate_rate = rate(value)?,
+                "bitflip" => plan.program_bitflip_rate = rate(value)?,
+                other => {
+                    return Err(format!(
+                        "unknown fault spec key '{other}' \
+                         (expected seed/oi/decision/mem/spike/truncate/bitflip)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Applies the program-corruption faults (truncation, immediate
+    /// bit-flips) to `program`, returning the corrupted program and the
+    /// number of faults applied. Labels and branch structure are
+    /// preserved; labels whose target falls beyond a truncation point are
+    /// re-bound to the new program end (a valid branch target).
+    ///
+    /// Uses an RNG stream derived from the plan seed but independent of
+    /// the runtime injection stream, so runtime faults do not depend on
+    /// whether the program was corrupted first.
+    pub fn corrupt_program(&self, program: &Program) -> (Program, u64) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x70c0_6a3f_5eed_c0de);
+        let mut applied = 0u64;
+
+        let len = program.len();
+        let new_len = if len > 1 && rng.gen_bool(self.program_truncate_rate) {
+            applied += 1;
+            rng.gen_range(1..len)
+        } else {
+            len
+        };
+
+        let mut b = ProgramBuilder::new();
+        let targets = program.label_targets().to_vec();
+        let labels: Vec<em_simd::Label> = (0..targets.len())
+            .map(|id| b.fresh_label(program.label_name(id)))
+            .collect();
+        for pc in 0..new_len {
+            for (id, &t) in targets.iter().enumerate() {
+                if t == pc {
+                    b.bind(labels[id]);
+                }
+            }
+            b.set_tag(program.tag(pc));
+            let mut inst = program.insts()[pc].clone();
+            if rng.gen_bool(self.program_bitflip_rate) {
+                if let Some(flipped) = flip_immediate(&mut rng, &inst) {
+                    inst = flipped;
+                    applied += 1;
+                }
+            }
+            b.push(inst);
+        }
+        // Orphaned labels (their instruction was truncated away, or they
+        // marked the original program end) land on the new end — still a
+        // valid branch target.
+        for (id, &t) in targets.iter().enumerate() {
+            if t >= new_len {
+                b.bind(labels[id]);
+            }
+        }
+        (b.build(), applied)
+    }
+}
+
+/// Flips one bit in an instruction's immediate operand, if it has one.
+/// Register fields and branch labels are left intact — the corrupted
+/// program stays *decodable*, the way a flipped data bit in an
+/// instruction word usually does.
+fn flip_immediate(rng: &mut StdRng, inst: &Inst) -> Option<Inst> {
+    match inst {
+        Inst::Scalar(ScalarInst::MovImm { dst, imm }) => {
+            let bit = rng.gen_range(0..16u32);
+            Some(Inst::Scalar(ScalarInst::MovImm { dst: *dst, imm: imm ^ (1i64 << bit) }))
+        }
+        Inst::Scalar(ScalarInst::ShlImm { dst, a, shift }) => {
+            let bit = rng.gen_range(0..3u32);
+            Some(Inst::Scalar(ScalarInst::ShlImm { dst: *dst, a: *a, shift: shift ^ (1 << bit) }))
+        }
+        Inst::Scalar(ScalarInst::FmovImm { dst, imm }) => {
+            let bit = rng.gen_range(0..23u32);
+            Some(Inst::Scalar(ScalarInst::FmovImm {
+                dst: *dst,
+                imm: f32::from_bits(imm.to_bits() ^ (1 << bit)),
+            }))
+        }
+        Inst::Vector(VectorInst::DupImm { dst, imm }) => {
+            let bit = rng.gen_range(0..23u32);
+            Some(Inst::Vector(VectorInst::DupImm {
+                dst: *dst,
+                imm: f32::from_bits(imm.to_bits() ^ (1 << bit)),
+            }))
+        }
+        Inst::EmSimd(EmSimdInst::Msr { reg, src: Operand::Imm(i) }) => {
+            let bit = rng.gen_range(0..4u32);
+            Some(Inst::EmSimd(EmSimdInst::Msr { reg: *reg, src: Operand::Imm(i ^ (1i64 << bit)) }))
+        }
+        _ => None,
+    }
+}
+
+/// Counters for the faults actually injected during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// `<OI>` writes corrupted.
+    pub oi_corruptions: u64,
+    /// Partition decisions perturbed.
+    pub decision_perturbations: u64,
+    /// Memory accesses delayed.
+    pub mem_spikes: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected at runtime.
+    pub fn total(&self) -> u64 {
+        self.oi_corruptions + self.decision_perturbations + self.mem_spikes
+    }
+}
+
+/// Runtime injection state: the plan, the deterministic RNG stream and
+/// the injection counters.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    /// The plan being executed.
+    pub plan: FaultPlan,
+    /// Faults injected so far.
+    pub stats: FaultStats,
+    rng: StdRng,
+}
+
+impl PartialEq for FaultState {
+    fn eq(&self, other: &Self) -> bool {
+        // The xoshiro state is private to the shim; plan + counters
+        // identify the stream position for any fixed plan.
+        self.plan == other.plan && self.stats == other.stats
+    }
+}
+
+impl FaultState {
+    /// Builds runtime state for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultState { plan, rng, stats: FaultStats::default() }
+    }
+
+    /// Maybe corrupts an `<OI>` write operand.
+    pub(crate) fn corrupt_oi(&mut self, operand: u64) -> u64 {
+        if self.plan.oi_corrupt_rate > 0.0 && self.rng.gen_bool(self.plan.oi_corrupt_rate) {
+            self.stats.oi_corruptions += 1;
+            operand ^ (1u64 << self.rng.gen_range(0..8u32))
+        } else {
+            operand
+        }
+    }
+
+    /// Maybe perturbs a published partition decision (±1 granule,
+    /// clamped to the machine's total).
+    pub(crate) fn perturb_decision(&mut self, granules: u64, total: u64) -> u64 {
+        if self.plan.decision_perturb_rate > 0.0
+            && self.rng.gen_bool(self.plan.decision_perturb_rate)
+        {
+            self.stats.decision_perturbations += 1;
+            if self.rng.gen_bool(0.5) {
+                (granules + 1).min(total)
+            } else {
+                granules.saturating_sub(1)
+            }
+        } else {
+            granules
+        }
+    }
+
+    /// Extra completion latency for one memory access (0 when no spike
+    /// fires).
+    pub(crate) fn spike_mem(&mut self) -> u64 {
+        if self.plan.mem_spike_rate > 0.0 && self.rng.gen_bool(self.plan.mem_spike_rate) {
+            self.stats.mem_spikes += 1;
+            self.plan.mem_spike_cycles
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_simd::XReg;
+
+    #[test]
+    fn parse_round_trips_every_knob() {
+        let plan =
+            FaultPlan::parse("seed=42, oi=0.25, decision=0.5, mem=1, spike=300, truncate=0.1, bitflip=0.02")
+                .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.oi_corrupt_rate, 0.25);
+        assert_eq!(plan.decision_perturb_rate, 0.5);
+        assert_eq!(plan.mem_spike_rate, 1.0);
+        assert_eq!(plan.mem_spike_cycles, 300);
+        assert_eq!(plan.program_truncate_rate, 0.1);
+        assert_eq!(plan.program_bitflip_rate, 0.02);
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("oi").is_err());
+        assert!(FaultPlan::parse("oi=2.0").is_err());
+        assert!(FaultPlan::parse("seed=x").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_noop());
+    }
+
+    #[test]
+    fn injections_are_deterministic_per_seed() {
+        let plan = FaultPlan { seed: 7, mem_spike_rate: 0.5, ..FaultPlan::default() };
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        let sa: Vec<u64> = (0..64).map(|_| a.spike_mem()).collect();
+        let sb: Vec<u64> = (0..64).map(|_| b.spike_mem()).collect();
+        assert_eq!(sa, sb);
+        assert!(a.stats.mem_spikes > 0, "a 50% spike rate should fire in 64 draws");
+    }
+
+    #[test]
+    fn noop_plan_injects_nothing() {
+        let mut fs = FaultState::new(FaultPlan::default());
+        assert_eq!(fs.corrupt_oi(17), 17);
+        assert_eq!(fs.perturb_decision(4, 8), 4);
+        assert_eq!(fs.spike_mem(), 0);
+        assert_eq!(fs.stats.total(), 0);
+    }
+
+    #[test]
+    fn decision_perturbation_stays_in_range() {
+        let plan = FaultPlan { seed: 3, decision_perturb_rate: 1.0, ..FaultPlan::default() };
+        let mut fs = FaultState::new(plan);
+        for g in 0..=8u64 {
+            let p = fs.perturb_decision(g, 8);
+            assert!(p <= 8, "perturbed {g} -> {p}");
+        }
+        assert_eq!(fs.stats.decision_perturbations, 9);
+    }
+
+    fn looping_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label("top");
+        b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: 0 });
+        b.bind(top);
+        b.scalar(ScalarInst::Add { dst: XReg::X0, a: XReg::X0, b: Operand::Imm(1) });
+        b.scalar(ScalarInst::Blt { a: XReg::X0, b: Operand::Imm(10), target: top });
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn noop_corruption_is_identity() {
+        let p = looping_program();
+        let (q, applied) = FaultPlan::default().corrupt_program(&p);
+        assert_eq!(applied, 0);
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn truncation_preserves_label_validity() {
+        let p = looping_program();
+        let plan =
+            FaultPlan { seed: 11, program_truncate_rate: 1.0, ..FaultPlan::default() };
+        let (q, applied) = plan.corrupt_program(&p);
+        assert!(applied >= 1);
+        assert!(q.len() < p.len());
+        // Every label still resolves inside (or at the end of) the
+        // truncated program.
+        for &t in q.label_targets() {
+            assert!(t <= q.len());
+        }
+    }
+
+    #[test]
+    fn bitflips_only_touch_immediates() {
+        let p = looping_program();
+        let plan = FaultPlan { seed: 5, program_bitflip_rate: 1.0, ..FaultPlan::default() };
+        let (q, applied) = plan.corrupt_program(&p);
+        assert_eq!(q.len(), p.len());
+        assert!(applied >= 1, "MovImm and Blt should offer flippable immediates");
+        // The branch structure is untouched.
+        assert_eq!(q.label_targets(), p.label_targets());
+    }
+}

@@ -27,7 +27,9 @@
 mod area;
 mod config;
 mod coproc;
+mod error;
 mod exec;
+mod fault;
 mod lsu;
 mod machine;
 mod regblocks;
@@ -38,6 +40,8 @@ mod viz;
 
 pub use area::{AreaBreakdown, AreaComponent};
 pub use config::{Architecture, SimConfig};
+pub use error::{CoreDump, SimError, WatchdogDump};
+pub use fault::{FaultPlan, FaultState, FaultStats};
 pub use machine::{ConfigError, Machine, SavedTask};
 pub use stats::{CoreStats, MachineStats, PhaseStats, Timeline, TimelineBucket};
 pub use trace::{render_pipeview, to_kanata, Trace, TraceEvent, TraceStage};

@@ -34,8 +34,10 @@ pub struct LsuEntry {
 
 impl LsuEntry {
     /// Whether the entry's byte range overlaps `[addr, addr + bytes)`.
+    /// Saturating: spans from untrusted programs may sit at the top of
+    /// the address space.
     pub fn overlaps(&self, addr: u64, bytes: u64) -> bool {
-        self.addr < addr + bytes && addr < self.addr + self.bytes
+        self.addr < addr.saturating_add(bytes) && addr < self.addr.saturating_add(self.bytes)
     }
 }
 
@@ -78,15 +80,19 @@ impl Lsu {
     }
 
     /// Enqueues an operation (entries must arrive in `seq` order).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue is full or `seq` is not monotonically
-    /// increasing.
+    /// Misuse — a full queue or a non-monotonic `seq` — drops the entry
+    /// (and trips a `debug_assert!` in debug builds) rather than
+    /// corrupting the age order.
     pub fn push(&mut self, entry: LsuEntry) {
-        assert!(!self.is_full(), "LSU overflow — rename must check is_full()");
+        debug_assert!(!self.is_full(), "LSU overflow — rename must check is_full()");
+        if self.is_full() {
+            return;
+        }
         if let Some(last) = self.entries.last() {
-            assert!(entry.seq > last.seq, "out-of-order LSU enqueue");
+            debug_assert!(entry.seq > last.seq, "out-of-order LSU enqueue");
+            if entry.seq <= last.seq {
+                return;
+            }
         }
         self.entries.push(entry);
     }

@@ -5,12 +5,20 @@ use mem_sim::{Cycle, MemStats, Memory, MemorySystem};
 
 use crate::config::{Architecture, SimConfig};
 use crate::coproc::{CoProcessor, OsContext};
+use crate::error::{CoreDump, SimError, WatchdogDump};
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::scalar::{ScalarCore, Wait};
 use crate::stats::{CoreStats, MachineStats, Timeline};
 
 /// Width of the timeline buckets, matching the paper's plots
 /// ("each point represents a set of 1000 consecutive cycles", Fig. 2).
 const TIMELINE_BUCKET: Cycle = 1000;
+
+/// Default forward-progress watchdog bound: if no core retires an
+/// instruction and no lane-manager decision changes for this many
+/// consecutive cycles, [`Machine::step`] trips [`SimError::Watchdog`]
+/// instead of spinning to the cycle budget.
+const DEFAULT_WATCHDOG: Cycle = 1_000_000;
 
 /// A complete simulated machine: `C` scalar cores sharing one SIMD
 /// co-processor (of the selected [`Architecture`]) and the Table 4 memory
@@ -25,12 +33,12 @@ const TIMELINE_BUCKET: Cycle = 1000;
 /// use mem_sim::Memory;
 /// use em_simd::ProgramBuilder;
 ///
-/// # fn main() -> Result<(), occamy_sim::ConfigError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut b = ProgramBuilder::new();
 /// b.halt();
 /// let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, Memory::new(4096))?;
 /// m.load_program(0, b.build());
-/// let stats = m.run(1_000);
+/// let stats = m.run(1_000)?;
 /// assert!(stats.completed);
 /// # Ok(())
 /// # }
@@ -45,6 +53,20 @@ pub struct Machine {
     cycle: Cycle,
     core_stats: Vec<CoreStats>,
     timeline: Timeline,
+    /// First scalar-side fault, if any; once latched the machine is
+    /// poisoned and [`step`](Machine::step) keeps returning the error.
+    fault: Option<SimError>,
+    /// Deterministic fault-injection state (`None` on the fault-free
+    /// path, which therefore stays byte-identical to a build without
+    /// the injection layer).
+    faults: Option<FaultState>,
+    /// Forward-progress bound (see [`set_watchdog`](Machine::set_watchdog)).
+    watchdog: Cycle,
+    /// Consecutive cycles without observable progress.
+    stagnant: Cycle,
+    /// Last observed progress signature: (co-processor retirements,
+    /// total scalar retirements, hash of the `<decision>` registers).
+    last_sig: (u64, u64, u64),
 }
 
 /// A task preempted by [`Machine::preempt`]: the scalar core state plus
@@ -76,13 +98,57 @@ impl Machine {
     ///
     /// Returns [`ConfigError`] when `arch` is inconsistent with `cfg`.
     pub fn new(cfg: SimConfig, arch: Architecture, mem: Memory) -> Result<Self, ConfigError> {
+        cfg.validate().map_err(ConfigError)?;
         cfg.validate_arch(&arch).map_err(ConfigError)?;
         let memsys = MemorySystem::new(cfg.mem);
         let scalar = (0..cfg.cores).map(|_| ScalarCore::idle()).collect();
         let coproc = CoProcessor::new(cfg.clone(), arch);
         let core_stats = vec![CoreStats::default(); cfg.cores];
         let timeline = Timeline::new(cfg.cores, TIMELINE_BUCKET);
-        Ok(Machine { cfg, mem, memsys, scalar, coproc, cycle: 0, core_stats, timeline })
+        Ok(Machine {
+            cfg,
+            mem,
+            memsys,
+            scalar,
+            coproc,
+            cycle: 0,
+            core_stats,
+            timeline,
+            fault: None,
+            faults: None,
+            watchdog: DEFAULT_WATCHDOG,
+            stagnant: 0,
+            last_sig: (0, 0, 0),
+        })
+    }
+
+    /// Installs a deterministic fault-injection plan (replacing any
+    /// previous one). A no-op plan removes the injection layer entirely,
+    /// restoring the byte-identical fault-free path.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.faults = (!plan.is_noop()).then(|| FaultState::new(plan.clone()));
+    }
+
+    /// Counters of the injections performed so far (`None` when no fault
+    /// plan is installed).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| &f.stats)
+    }
+
+    /// Sets the forward-progress watchdog bound: [`step`](Machine::step)
+    /// returns [`SimError::Watchdog`] after `cycles` consecutive cycles
+    /// in which no core (scalar or vector) retires an instruction and no
+    /// lane-manager `<decision>` changes. Values below 1 clamp to 1.
+    pub fn set_watchdog(&mut self, cycles: Cycle) {
+        self.watchdog = cycles.max(1);
+        self.stagnant = 0;
+    }
+
+    /// The fault latched by a previous [`step`](Machine::step) /
+    /// [`run`](Machine::run), if any. A faulted machine is poisoned:
+    /// `step` keeps returning the same error.
+    pub fn fault(&self) -> Option<&SimError> {
+        self.fault.as_ref().or(self.coproc.fault.as_ref())
     }
 
     /// The machine configuration.
@@ -95,6 +161,13 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if `core` is out of range.
+    /// The program currently loaded on `core`, if any. Fault-injection
+    /// harnesses use this to corrupt and reload a built machine's code
+    /// before the first cycle.
+    pub fn program(&self, core: usize) -> Option<&Program> {
+        self.scalar.get(core).and_then(|s| s.program.as_ref())
+    }
+
     pub fn load_program(&mut self, core: usize, program: Program) {
         self.scalar[core].load(program);
     }
@@ -177,13 +250,39 @@ impl Machine {
     }
 
     /// Runs until every workload completes or `max_cycles` elapse, then
-    /// returns the statistics. Check [`MachineStats::completed`] to see
-    /// whether the budget was hit.
-    pub fn run(&mut self, max_cycles: Cycle) -> MachineStats {
+    /// returns the statistics. [`MachineStats::completed`] /
+    /// [`MachineStats::timed_out`] distinguish the two outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] the machine trips: a decode or
+    /// memory fault on an untrusted program, a register-block or
+    /// vector-length inconsistency, or the forward-progress watchdog.
+    pub fn run(&mut self, max_cycles: Cycle) -> Result<MachineStats, SimError> {
         while self.cycle < max_cycles && !self.done() {
-            self.tick();
+            self.step()?;
         }
-        self.stats()
+        let mut stats = self.stats();
+        stats.timed_out = !stats.completed;
+        Ok(stats)
+    }
+
+    /// Advances the machine by one cycle, surfacing any fault tripped by
+    /// this (or an earlier) cycle. A faulted machine is poisoned: `step`
+    /// returns the same error again without advancing.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Machine::run).
+    pub fn step(&mut self) -> Result<(), SimError> {
+        if let Some(e) = self.fault() {
+            return Err(e.clone());
+        }
+        self.tick();
+        if let Some(e) = self.fault() {
+            return Err(e.clone());
+        }
+        self.check_watchdog()
     }
 
     /// A snapshot of the statistics so far.
@@ -194,6 +293,71 @@ impl Machine {
             timeline: self.timeline.snapshot(self.cycle),
             total_lanes: self.cfg.total_lanes(),
             completed: self.done(),
+            timed_out: false,
+        }
+    }
+
+    /// A progress signature that changes whenever any core retires a
+    /// scalar or vector instruction or any `<decision>` register moves.
+    /// Retry loops (e.g. an `MSR <VL>` acquire spin) retire scalar
+    /// branches every iteration, so they never look stagnant; only a
+    /// machine in which *every* core is wedged does.
+    fn progress_signature(&self) -> (u64, u64, u64) {
+        let scalar: u64 = self.core_stats.iter().map(|s| s.scalar_executed).sum();
+        let decisions = (0..self.cfg.cores).fold(0u64, |h, c| {
+            h ^ self
+                .coproc
+                .read_decision(c)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left(c as u32)
+        });
+        (self.coproc.retired, scalar, decisions)
+    }
+
+    fn check_watchdog(&mut self) -> Result<(), SimError> {
+        let sig = self.progress_signature();
+        if sig != self.last_sig || self.done() {
+            self.last_sig = sig;
+            self.stagnant = 0;
+            return Ok(());
+        }
+        self.stagnant += 1;
+        if self.stagnant < self.watchdog {
+            return Ok(());
+        }
+        let e = SimError::Watchdog {
+            cycle: self.cycle,
+            dump: self.dump(
+                "no core retired an instruction and no lane-manager decision changed".into(),
+            ),
+        };
+        self.fault = Some(e.clone());
+        Err(e)
+    }
+
+    /// A structured diagnostic snapshot: per-core PC, wait state, lane
+    /// occupancy, `<decision>`, and queue depths.
+    fn dump(&self, reason: String) -> WatchdogDump {
+        let cores = (0..self.cfg.cores)
+            .map(|c| CoreDump {
+                core: c,
+                pc: self.scalar[c].pc,
+                halted: self.scalar[c].halted,
+                waiting: self.scalar[c].wait != Wait::Ready,
+                lanes: self.coproc.cur_vl(c).lanes(),
+                decision: self.coproc.read_decision(c),
+                pool: self.coproc.pool_len(c),
+                rob: self.coproc.rob_len(c),
+                lsu_outstanding: self.coproc.lsu_outstanding(c),
+            })
+            .collect();
+        WatchdogDump { reason, stagnant_for: self.stagnant, cores }
+    }
+
+    /// Latches a scalar-side fault (first fault wins).
+    fn trip(&mut self, e: SimError) {
+        if self.fault.is_none() {
+            self.fault = Some(e);
         }
     }
 
@@ -206,22 +370,32 @@ impl Machine {
     /// The core is left idle; load a new program or [`resume`] a saved
     /// task onto it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the core fails to drain within `max_drain_cycles` (a
-    /// wedged workload).
+    /// Returns [`SimError::Watchdog`] (with a diagnostic dump) if the
+    /// core fails to drain within `max_drain_cycles` (a wedged
+    /// workload), or any fault tripped while draining.
     ///
     /// [`resume`]: Machine::resume
-    pub fn preempt(&mut self, core: usize, max_drain_cycles: Cycle) -> SavedTask {
+    pub fn preempt(&mut self, core: usize, max_drain_cycles: Cycle) -> Result<SavedTask, SimError> {
         self.scalar[core].frozen = true;
         let deadline = self.cycle + max_drain_cycles;
         while !(self.coproc.is_drained(core) && self.scalar[core].wait == Wait::Ready) {
-            assert!(self.cycle < deadline, "core {core} failed to drain for preemption");
-            self.tick();
+            if self.cycle >= deadline {
+                let e = SimError::Watchdog {
+                    cycle: self.cycle,
+                    dump: self.dump(format!(
+                        "core {core} failed to drain for preemption within {max_drain_cycles} cycles"
+                    )),
+                };
+                self.fault = Some(e.clone());
+                return Err(e);
+            }
+            self.step()?;
         }
         let em = self.coproc.os_save(core);
         let scalar = std::mem::replace(&mut self.scalar[core], ScalarCore::idle());
-        SavedTask { scalar, em }
+        Ok(SavedTask { scalar, em })
     }
 
     /// OS context switch, part 2 (§5): restores a preempted task onto
@@ -230,20 +404,35 @@ impl Machine {
     /// runs, exactly as an OS restore loop would; the task then continues
     /// from where it was preempted.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the lanes cannot be re-acquired within
-    /// `max_wait_cycles`, or if `core` is not idle.
-    pub fn resume(&mut self, core: usize, task: SavedTask, max_wait_cycles: Cycle) {
-        assert!(
-            (self.scalar[core].program.is_none() || self.scalar[core].halted)
-                && self.coproc.is_drained(core),
-            "resume target core {core} is busy"
-        );
+    /// Returns [`SimError::Config`] if `core` is not idle, or
+    /// [`SimError::Watchdog`] if the lanes cannot be re-acquired within
+    /// `max_wait_cycles`.
+    pub fn resume(
+        &mut self,
+        core: usize,
+        task: SavedTask,
+        max_wait_cycles: Cycle,
+    ) -> Result<(), SimError> {
+        if !((self.scalar[core].program.is_none() || self.scalar[core].halted)
+            && self.coproc.is_drained(core))
+        {
+            return Err(SimError::Config(format!("resume target core {core} is busy")));
+        }
         let deadline = self.cycle + max_wait_cycles;
         while !self.coproc.os_try_restore(core, &task.em) {
-            assert!(self.cycle < deadline, "core {core} could not re-acquire its lanes");
-            self.tick();
+            if self.cycle >= deadline {
+                let e = SimError::Watchdog {
+                    cycle: self.cycle,
+                    dump: self.dump(format!(
+                        "core {core} could not re-acquire its lanes within {max_wait_cycles} cycles"
+                    )),
+                };
+                self.fault = Some(e.clone());
+                return Err(e);
+            }
+            self.step()?;
         }
         let mut scalar = task.scalar;
         scalar.frozen = false;
@@ -251,10 +440,16 @@ impl Machine {
         // The workload was mid-run before; clear its finish marker in
         // case the drain recorded one.
         self.core_stats[core].finish_cycle = None;
+        Ok(())
     }
 
-    /// Advances the machine by one cycle.
+    /// Advances the machine by one cycle without fault reporting (a
+    /// faulted machine does not advance; prefer [`step`](Machine::step),
+    /// which surfaces the error).
     pub fn tick(&mut self) {
+        if self.fault.is_some() || self.coproc.fault.is_some() {
+            return;
+        }
         let now = self.cycle;
 
         // Stage 1: completions and scalar writebacks.
@@ -267,7 +462,7 @@ impl Machine {
         }
 
         // Stage 2: issue; accumulate occupancy statistics.
-        let issued = self.coproc.issue(now, &mut self.mem, &mut self.memsys);
+        let issued = self.coproc.issue(now, &mut self.mem, &mut self.memsys, &mut self.faults);
         let mut busy = vec![0.0; self.cfg.cores];
         let mut alloc = vec![0usize; self.cfg.cores];
         for c in 0..self.cfg.cores {
@@ -285,7 +480,7 @@ impl Machine {
         }
 
         // Stage 3: rename + EM-SIMD data path.
-        for resp in self.coproc.rename(now, &mut self.core_stats) {
+        for resp in self.coproc.rename(now, &mut self.core_stats, &mut self.faults) {
             if let Some((reg, value)) = resp.write_x {
                 self.scalar[resp.core].x[reg.index()] = value;
             }
@@ -349,9 +544,21 @@ impl Machine {
         // why the paper measures monitoring at ~0.3%.
         let mut deferred: Vec<(InstTag, f64)> = Vec::new();
         while budget > 0 && !self.scalar[c].halted {
-            let (inst, tag) = {
-                let p = self.scalar[c].program.as_ref().expect("running core has a program");
-                (p.fetch(self.scalar[c].pc).clone(), p.tag(self.scalar[c].pc))
+            let pc = self.scalar[c].pc;
+            let fetched = self
+                .scalar[c]
+                .program
+                .as_ref()
+                .and_then(|p| (pc < p.len()).then(|| (p.fetch(pc).clone(), p.tag(pc))));
+            let Some((inst, tag)) = fetched else {
+                debug_assert!(self.scalar[c].program.is_some(), "running core has a program");
+                self.trip(SimError::Decode {
+                    core: c,
+                    pc,
+                    detail: "program counter ran off the end of the program (missing HALT?)"
+                        .into(),
+                });
+                return;
             };
             match inst {
                 Inst::Halt => {
@@ -377,7 +584,17 @@ impl Machine {
                     if self.coproc.any_mem_overlap(c, addr, 4) {
                         break;
                     }
-                    let done = self.memsys.scalar_access(now, c, addr, store);
+                    if addr.checked_add(4).is_none_or(|end| end > self.mem.capacity() as u64) {
+                        self.trip(SimError::MemoryFault {
+                            core: c,
+                            addr,
+                            bytes: 4,
+                            capacity: self.mem.capacity() as u64,
+                        });
+                        return;
+                    }
+                    let done = self.memsys.scalar_access(now, c, addr, store)
+                        + self.faults.as_mut().map_or(0, FaultState::spike_mem);
                     match s {
                         ScalarInst::Ldr { dst, .. } => {
                             // Non-blocking: dependents interlock on the
@@ -475,5 +692,65 @@ impl Machine {
                 self.attribute_overhead(c, tag, w);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_simd::{Operand, ProgramBuilder, ScalarInst, XReg};
+    use mem_sim::Memory;
+
+    fn two_core_machine() -> Machine {
+        Machine::new(SimConfig::paper_2core(), Architecture::Occamy, Memory::new(1 << 20))
+            .expect("valid config")
+    }
+
+    #[test]
+    fn watchdog_trips_on_a_wedged_core() {
+        let mut m = two_core_machine();
+        let mut b = ProgramBuilder::new();
+        b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: 1 });
+        b.halt();
+        m.load_program(0, b.build());
+        // Wedge core 0 on an EM acknowledgement that will never arrive.
+        m.scalar[0].wait = Wait::EmAck;
+        m.set_watchdog(500);
+        let err = m.run(1_000_000).expect_err("wedged machine must trip the watchdog");
+        let SimError::Watchdog { dump, .. } = &err else {
+            panic!("expected a watchdog trip, got {err}");
+        };
+        assert!(dump.cores[0].waiting, "dump records the wedged core: {dump}");
+        assert!(m.cycle() < 1_000_000, "tripped well before the cycle budget");
+        // The fault latches: further steps re-return it instead of running on.
+        assert_eq!(m.step().expect_err("fault is latched").kind(), "watchdog");
+    }
+
+    #[test]
+    fn spin_loops_that_retire_do_not_trip_the_watchdog() {
+        // A scalar busy-loop retires an instruction every cycle; stagnation
+        // means *nothing* in the machine progresses, not "no vector work".
+        let mut b = ProgramBuilder::new();
+        b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: 0 });
+        let spin = b.fresh_label("spin");
+        b.bind(spin);
+        b.scalar(ScalarInst::Bne { a: XReg::X0, b: Operand::Imm(1), target: spin });
+        b.halt();
+        let mut m = two_core_machine();
+        m.load_program(0, b.build());
+        m.set_watchdog(100);
+        let stats = m.run(10_000).expect("a retiring loop must not trip the watchdog");
+        assert!(stats.timed_out && !stats.completed, "the spin loop runs out the budget");
+    }
+
+    #[test]
+    fn running_off_the_program_end_is_a_decode_fault() {
+        let mut b = ProgramBuilder::new();
+        b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: 1 });
+        // No halt: the PC walks off the end.
+        let mut m = two_core_machine();
+        m.load_program(0, b.build());
+        let err = m.run(1_000).expect_err("missing HALT must fault");
+        assert_eq!(err.kind(), "decode");
     }
 }

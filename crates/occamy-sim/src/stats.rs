@@ -197,6 +197,12 @@ pub struct MachineStats {
     /// Whether every workload ran to completion (false = the run hit its
     /// cycle budget first).
     pub completed: bool,
+    /// Whether a [`Machine::run`](crate::Machine::run) hit its cycle
+    /// budget before every workload completed. Always the negation of
+    /// [`completed`](Self::completed) for stats returned by `run`;
+    /// `false` for mid-run snapshots from
+    /// [`Machine::stats`](crate::Machine::stats).
+    pub timed_out: bool,
 }
 
 impl MachineStats {
@@ -248,6 +254,7 @@ impl MachineStats {
         let _ = writeln!(out, "==== simulation statistics ====");
         let _ = writeln!(out, "cycles simulated      : {}", self.cycles);
         let _ = writeln!(out, "completed             : {}", self.completed);
+        let _ = writeln!(out, "timed out             : {}", self.timed_out);
         let _ = writeln!(
             out,
             "SIMD utilisation      : {:.2}% of {} lanes",
@@ -334,6 +341,7 @@ mod tests {
             timeline: vec![],
             total_lanes: 32,
             completed: true,
+            timed_out: false,
         };
         stats.cores[0].busy_lane_cycles = 800.0;
         stats.cores[1].busy_lane_cycles = 1600.0;
@@ -373,6 +381,7 @@ mod tests {
             timeline: vec![],
             total_lanes: 32,
             completed: true,
+            timed_out: false,
         };
         assert_eq!(stats.core_time(0), 1000);
         stats.cores[0].finish_cycle = Some(700);

@@ -89,7 +89,7 @@ fn preempt_releases_lanes_and_resume_completes_correctly() {
         m.tick();
     }
     assert_eq!(m.vl(0).granules(), 4, "core 0 mid-phase");
-    let task = m.preempt(0, 100_000);
+    let task = m.preempt(0, 100_000).expect("preempt drains in budget");
 
     // Core 0's lanes are released; the plan now offers them to core 1.
     assert!(m.vl(0).is_zero());
@@ -105,8 +105,8 @@ fn preempt_releases_lanes_and_resume_completes_correctly() {
 
     // Resume and run to completion: both results must be exact, proving
     // the loop-invariant broadcast in z9 survived the switch.
-    m.resume(0, task, 100_000);
-    let stats = m.run(10_000_000);
+    m.resume(0, task, 100_000).expect("resume re-acquires lanes");
+    let stats = m.run(10_000_000).expect("simulation fault");
     assert!(stats.completed);
     for i in 0..n {
         let got0 = m.memory().read_f32(c0 + 4 * i as u64);
@@ -153,22 +153,22 @@ fn round_robin_scheduling_three_tasks_two_cores() {
         }
         // Rotate core 0: park the current task, start/resume another.
         if m.stats().cores[0].finish_cycle.is_none() {
-            let task = m.preempt(0, 100_000);
+            let task = m.preempt(0, 100_000).expect("preempt drains in budget");
             parked.push(task);
         }
         if let Some(p) = pending.pop() {
             m.load_program(0, p);
         } else if !parked.is_empty() {
             let t = parked.remove(0);
-            m.resume(0, t, 100_000);
+            m.resume(0, t, 100_000).expect("resume re-acquires lanes");
         }
     }
     // Drain the remaining parked tasks sequentially.
     while let Some(t) = parked.pop() {
-        let _ = m.run(10_000_000);
-        m.resume(0, t, 100_000);
+        let _ = m.run(10_000_000).expect("simulation fault");
+        m.resume(0, t, 100_000).expect("resume re-acquires lanes");
     }
-    let stats = m.run(20_000_000);
+    let stats = m.run(20_000_000).expect("simulation fault");
     assert!(stats.completed, "scheduler failed to finish all tasks");
     for (t, &(a, c)) in arrays.iter().enumerate() {
         let k = if t == 3 { 5.0 } else { 2.0 };
@@ -181,8 +181,7 @@ fn round_robin_scheduling_three_tasks_two_cores() {
 }
 
 #[test]
-#[should_panic(expected = "busy")]
-fn resume_onto_busy_core_panics() {
+fn resume_onto_busy_core_is_a_typed_error() {
     let n = 512;
     let (mem, a, c) = setup(n);
     let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
@@ -190,12 +189,13 @@ fn resume_onto_busy_core_panics() {
     for _ in 0..200 {
         m.tick();
     }
-    let task = m.preempt(0, 100_000);
+    let task = m.preempt(0, 100_000).expect("preempt drains in budget");
     m.load_program(0, scale_program(a, c, n, 2.0, 2));
     for _ in 0..200 {
         m.tick();
     }
-    m.resume(0, task, 1_000); // core is busy again
+    let err = m.resume(0, task, 1_000).expect_err("resume onto a busy core must fail");
+    assert!(err.to_string().contains("busy"), "unexpected error: {err}");
 }
 
 #[test]
@@ -214,12 +214,12 @@ fn preempt_and_resume_on_baseline_architectures() {
         for _ in 0..400 {
             m.tick();
         }
-        let task = m.preempt(0, 100_000);
+        let task = m.preempt(0, 100_000).expect("preempt drains in budget");
         for _ in 0..500 {
             m.tick();
         }
-        m.resume(0, task, 100_000);
-        let stats = m.run(10_000_000);
+        m.resume(0, task, 100_000).expect("resume re-acquires lanes");
+        let stats = m.run(10_000_000).expect("simulation fault");
         assert!(stats.completed, "{} resume failed", arch.short_name());
         for i in (0..n).step_by(61) {
             assert_eq!(

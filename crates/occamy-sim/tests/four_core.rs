@@ -80,7 +80,7 @@ fn four_elastic_workloads_negotiate_and_compute_correctly() {
     for (t, &(a, c)) in arrays.iter().enumerate() {
         m.load_program(t, kernel_program(a, c, n, t as f32, ois[t]));
     }
-    let stats = m.run(50_000_000);
+    let stats = m.run(50_000_000).expect("simulation fault");
     assert!(stats.completed);
     // Functional correctness on every core.
     for (t, &(a, c)) in arrays.iter().enumerate() {

@@ -55,7 +55,7 @@ fn scalar_then_sve_data_dependency() {
     configure_vl(&mut b, 0);
     b.halt();
     let mut m = machine_with(mem, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     assert_eq!(m.memory().read_f32(out), 8.0, "load used the freshly computed base");
 }
 
@@ -83,7 +83,7 @@ fn sve_then_scalar_reduction_writeback() {
     configure_vl(&mut b, 0);
     b.halt();
     let mut m = machine_with(mem, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     // 8 lanes x 1.5 = 12, doubled = 24.
     assert_eq!(m.memory().read_f32(out), 24.0);
 }
@@ -112,7 +112,7 @@ fn sve_store_then_scalar_load_overlap() {
     configure_vl(&mut b, 0);
     b.halt();
     let mut m = machine_with(mem, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     assert_eq!(m.memory().read_f32(out), 14.5);
 }
 
@@ -135,7 +135,7 @@ fn sve_then_sve_register_dependency() {
     configure_vl(&mut b, 0);
     b.halt();
     let mut m = machine_with(mem, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     assert_eq!(m.memory().read_f32(out + 4 * 7), 66.0); // (10 + 3*4) * 3
 }
 
@@ -159,7 +159,7 @@ fn sve_store_then_sve_load_overlap() {
     configure_vl(&mut b, 0);
     b.halt();
     let mut m = machine_with(mem, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     assert_eq!(m.memory().read_f32(out + 4), 5.0);
 }
 
@@ -182,7 +182,7 @@ fn sve_then_em_simd_drain() {
     configure_vl(&mut b, 0);
     b.halt();
     let mut m = machine_with(mem, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     // First 4 lanes overwritten at the narrow VL, lanes 4..16 keep 9.0
     // from the wide store — proving the wide store ran at the old VL.
     assert_eq!(m.memory().read_f32(c), 1.0);
@@ -206,7 +206,7 @@ fn em_simd_then_sve_new_width() {
     configure_vl(&mut b, 0);
     b.halt();
     let mut m = machine_with(mem, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     assert_eq!(m.memory().read_f32(c + 4 * 3), 5.0, "lane 3 written");
     assert_eq!(m.memory().read_f32(c + 4 * 4), 0.0, "lane 4 untouched at VL=1");
 }
@@ -231,7 +231,7 @@ fn em_simd_in_order() {
     b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(0) });
     b.halt();
     let mut m = machine_with(mem, b.build());
-    let stats = m.run(100_000);
+    let stats = m.run(100_000).expect("simulation fault");
     assert!(stats.completed);
     // Status reflects the *younger* (failed) write; VL keeps the older
     // successful configuration; AL = 8 - 4.
@@ -267,6 +267,6 @@ fn scalar_waw_with_pending_writeback() {
     configure_vl(&mut b, 0);
     b.halt();
     let mut m = machine_with(mem, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     assert_eq!(m.memory().read_f32(out), -1.0, "younger scalar write wins");
 }

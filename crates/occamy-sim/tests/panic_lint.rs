@@ -1,0 +1,67 @@
+//! Source lint: the untrusted-input modules must not grow new panic
+//! sites.
+//!
+//! The robustness contract routes decode faults, invalid vector lengths,
+//! register-block exhaustion, cache misconfiguration and wild addresses
+//! through typed [`occamy_sim::SimError`]s; internal invariants use
+//! `debug_assert!`. This test greps the modules on that untrusted path
+//! for `unwrap()` / `expect(` / `panic!` outside `#[cfg(test)]` and
+//! comments, so a new panic site fails CI with a pointer to the error
+//! taxonomy instead of surfacing as a crash in a fuzz run.
+
+use std::path::Path;
+
+/// Modules on the untrusted-input path (relative to the workspace root).
+const LINTED: &[&str] = &[
+    "crates/em-simd/src/inst.rs",
+    "crates/lane-manager/src/table.rs",
+    "crates/mem-sim/src/cache.rs",
+    "crates/occamy-sim/src/coproc.rs",
+    "crates/occamy-sim/src/regblocks.rs",
+    "crates/occamy-sim/src/lsu.rs",
+];
+
+/// Justified residual panic sites: `"<file suffix>:<exact line content>"`.
+/// Additions require a comment in the source explaining why the input
+/// cannot be untrusted.
+const ALLOWLIST: &[&str] = &[];
+
+const TOKENS: &[&str] = &["unwrap()", "expect(", "panic!"];
+
+fn workspace_root() -> &'static Path {
+    // occamy-sim/tests → crates/occamy-sim → crates → root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+#[test]
+fn untrusted_input_modules_have_no_new_panic_sites() {
+    let mut violations = Vec::new();
+    for file in LINTED {
+        let path = workspace_root().join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        // Unit tests at the bottom of the module may assert freely.
+        let body = text.split("#[cfg(test)]").next().unwrap_or(&text);
+        for (i, line) in body.lines().enumerate() {
+            let code = line.trim_start();
+            if code.starts_with("//") {
+                continue;
+            }
+            for token in TOKENS {
+                if code.contains(token) {
+                    let entry = format!("{file}:{}", line.trim());
+                    if !ALLOWLIST.iter().any(|a| entry.starts_with(a)) {
+                        violations.push(format!("{file}:{}: {}", i + 1, line.trim()));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "new panic site(s) on the untrusted-input path — return a typed \
+         occamy_sim::SimError (see docs/INTERNALS.md, \"Error taxonomy & fault \
+         injection\") or use debug_assert! for internal invariants:\n  {}",
+        violations.join("\n  ")
+    );
+}

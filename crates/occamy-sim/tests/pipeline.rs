@@ -123,7 +123,7 @@ fn run_vec_add_on(arch: Architecture, granules: [usize; 2]) -> occamy_sim::Machi
     let mut m = Machine::new(cfg, arch, mem).expect("valid config");
     m.load_program(0, vec_add_program(arr0.a, arr0.b, arr0.c, n, granules[0]));
     m.load_program(1, vec_add_program(arr1.a, arr1.b, arr1.c, n, granules[1]));
-    let stats = m.run(2_000_000);
+    let stats = m.run(2_000_000).expect("simulation fault");
     assert!(stats.completed, "run did not complete: {stats:?}");
     check_vec_add(&m, &arr0, 1.0);
     check_vec_add(&m, &arr1, -3.0);
@@ -182,7 +182,7 @@ fn occamy_over_subscription_fails_then_succeeds() {
     let mut m = Machine::new(cfg, Architecture::Occamy, mem).expect("valid config");
     m.load_program(0, vec_add_program(arr0.a, arr0.b, arr0.c, n, 8));
     m.load_program(1, vec_add_program(arr1.a, arr1.b, arr1.c, n, 4));
-    let stats = m.run(2_000_000);
+    let stats = m.run(2_000_000).expect("simulation fault");
     assert!(stats.completed, "deadlock: core 1 never acquired lanes");
     check_vec_add(&m, &arr0, 5.0);
     check_vec_add(&m, &arr1, 9.0);
@@ -241,7 +241,7 @@ fn reduction_writes_back_to_scalar_core() {
 
     let mut m = Machine::new(cfg, Architecture::Occamy, mem).expect("valid config");
     m.load_program(0, b.build());
-    let stats = m.run(1_000_000);
+    let stats = m.run(1_000_000).expect("simulation fault");
     assert!(stats.completed);
     let got = m.memory().read_f32(out);
     assert!((got - expected).abs() < 1e-3, "sum = {got}, want {expected}");
@@ -254,7 +254,7 @@ fn vl_zero_after_epilogue_and_lanes_freed() {
     let arr = setup_arrays(&mut mem, 64, 0.5);
     let mut m = Machine::new(cfg, Architecture::Occamy, mem).expect("valid config");
     m.load_program(0, vec_add_program(arr.a, arr.b, arr.c, 64, 4));
-    let stats = m.run(1_000_000);
+    let stats = m.run(1_000_000).expect("simulation fault");
     assert!(stats.completed);
     assert!(m.vl(0).is_zero());
     assert_eq!(m.resource_table().free_granules(), 8);
@@ -287,7 +287,7 @@ fn scalar_load_waits_for_overlapping_vector_store() {
     b.halt();
     let mut m = Machine::new(cfg, Architecture::Occamy, mem).expect("valid config");
     m.load_program(0, b.build());
-    let stats = m.run(1_000_000);
+    let stats = m.run(1_000_000).expect("simulation fault");
     assert!(stats.completed);
     assert_eq!(m.memory().read_f32(c + 15 * 4), 42.5);
 }
@@ -302,7 +302,7 @@ fn utilization_is_higher_with_more_lanes_for_compute() {
         let arr = setup_arrays(&mut mem, 4096, 1.5);
         let mut m = Machine::new(cfg, Architecture::Occamy, mem).expect("valid config");
         m.load_program(0, vec_add_program(arr.a, arr.b, arr.c, 4096, granules));
-        m.run(10_000_000)
+        m.run(10_000_000).expect("simulation fault")
     };
     let wide = run(4);
     let narrow = run(1);
@@ -321,7 +321,7 @@ fn trace_records_full_instruction_lifecycles() {
     let mut m = Machine::new(cfg, Architecture::Occamy, mem).expect("valid config");
     m.enable_trace(4096);
     m.load_program(0, vec_add_program(arr.a, arr.b, arr.c, 64, 4));
-    let stats = m.run(1_000_000);
+    let stats = m.run(1_000_000).expect("simulation fault");
     assert!(stats.completed);
     // Every stage appears, and the pipeview names real instructions.
     use occamy_sim::TraceStage;
@@ -351,8 +351,8 @@ fn machine_is_deterministic_and_clonable_mid_run() {
     }
     // A clone must continue identically: cycle-accurate reproducibility.
     let mut fork = m.clone();
-    let s1 = m.run(10_000_000);
-    let s2 = fork.run(10_000_000);
+    let s1 = m.run(10_000_000).expect("simulation fault");
+    let s2 = fork.run(10_000_000).expect("simulation fault");
     assert_eq!(s1.cycles, s2.cycles);
     assert_eq!(s1.cores[0].vector_compute_issued, s2.cores[0].vector_compute_issued);
     assert_eq!(s1.cores[1].busy_lane_cycles, s2.cores[1].busy_lane_cycles);

@@ -63,7 +63,7 @@ fn whilelo_tail_writes_only_active_lanes() {
 
     let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
     m.load_program(0, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     for i in 0..10 {
         assert_eq!(m.memory().read_f32(c + 4 * i), 2.0 * (1.0 + i as f32), "active lane {i}");
     }
@@ -94,7 +94,7 @@ fn merging_compute_keeps_inactive_destination_lanes() {
     b.halt();
     let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
     m.load_program(0, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     for i in 0..3 {
         assert_eq!(m.memory().read_f32(out + 4 * i), 105.0);
     }
@@ -125,7 +125,7 @@ fn predicated_reduction_sums_active_lanes_only() {
     b.halt();
     let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
     m.load_program(0, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     assert_eq!(m.memory().read_f32(out), 50.0, "5 active lanes x 10.0");
 }
 
@@ -154,7 +154,7 @@ fn zeroing_load_does_not_touch_inactive_memory() {
     b.halt();
     let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
     m.load_program(0, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     for i in 0..4 {
         assert_eq!(m.memory().read_f32(out + 4 * i), 2.5);
     }
@@ -186,7 +186,7 @@ fn whilelo_tracks_vl_changes() {
     b.halt();
     let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
     m.load_program(0, b.build());
-    assert!(m.run(200_000).completed);
+    assert!(m.run(200_000).expect("simulation fault").completed);
     // Second phase (16 lanes, value 2.0) overwrote the first 16 lanes.
     for i in 0..16 {
         assert_eq!(m.memory().read_f32(out + 4 * i), 2.0);

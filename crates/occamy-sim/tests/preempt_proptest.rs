@@ -99,7 +99,7 @@ proptest! {
         dwell in 0usize..3_000,
     ) {
         let (mut golden, y, s) = build(seed);
-        let stats = golden.run(20_000_000);
+        let stats = golden.run(20_000_000).expect("simulation fault");
         prop_assert!(stats.completed);
         let want = outputs(&golden, y, s);
 
@@ -107,13 +107,13 @@ proptest! {
         for _ in 0..preempt_at {
             m.tick();
         }
-        let task = m.preempt(0, 100_000);
+        let task = m.preempt(0, 100_000).expect("preempt drains in budget");
         prop_assert!(m.vl(0).is_zero(), "lanes released on switch-out");
         for _ in 0..dwell {
             m.tick();
         }
-        m.resume(0, task, 100_000);
-        let stats = m.run(20_000_000);
+        m.resume(0, task, 100_000).expect("resume re-acquires lanes");
+        let stats = m.run(20_000_000).expect("simulation fault");
         prop_assert!(stats.completed);
         assert_transparent(outputs(&m, y, s), &want)?;
     }
@@ -126,7 +126,7 @@ proptest! {
         gaps in proptest::collection::vec(30usize..1_200, 1..6),
     ) {
         let (mut golden, y, s) = build(seed);
-        prop_assert!(golden.run(20_000_000).completed);
+        prop_assert!(golden.run(20_000_000).expect("simulation fault").completed);
         let want = outputs(&golden, y, s);
 
         let (mut m, y, s) = build(seed);
@@ -139,13 +139,13 @@ proptest! {
             }
             // `preempt` requires a live program on the core; a finished
             // core is preempted trivially.
-            let task = m.preempt(0, 100_000);
+            let task = m.preempt(0, 100_000).expect("preempt drains in budget");
             for _ in 0..gap / 2 {
                 m.tick();
             }
-            m.resume(0, task, 100_000);
+            m.resume(0, task, 100_000).expect("resume re-acquires lanes");
         }
-        let stats = m.run(20_000_000);
+        let stats = m.run(20_000_000).expect("simulation fault");
         prop_assert!(stats.completed);
         assert_transparent(outputs(&m, y, s), &want)?;
     }

@@ -31,7 +31,7 @@ fn oversized_vl_request_sets_status_zero() {
     b.halt();
     let mut m = machine();
     m.load_program(0, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     assert!(m.vl(0).is_zero(), "failed request must not allocate");
 }
 
@@ -47,7 +47,7 @@ fn al_register_ignores_software_writes() {
     b.halt();
     let mut m = machine();
     m.load_program(0, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     // Nothing was allocated, so <AL> reads 0 lanes in use — not 999.
     let stored = m.memory().read_f32(0x100 + 4 * 0x100);
     assert_ne!(stored.to_bits(), 999, "software wrote a read-only register");
@@ -74,7 +74,7 @@ fn releasing_twice_is_idempotent() {
     b.halt();
     let mut m = machine();
     m.load_program(0, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     assert!(m.vl(0).is_zero());
     assert_eq!(m.resource_table().free_granules(), 8, "all granules returned once");
 }
@@ -92,7 +92,7 @@ fn decision_reads_zero_before_any_declaration() {
     b.halt();
     let mut m = machine();
     m.load_program(0, b.build());
-    assert!(m.run(100_000).completed);
+    assert!(m.run(100_000).expect("simulation fault").completed);
     assert_eq!(m.memory().read_f32(0x200).to_bits(), 0);
 }
 
@@ -133,7 +133,7 @@ fn vl_release_waits_for_inflight_vector_work() {
     b.halt();
     let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
     m.load_program(0, b.build());
-    assert!(m.run(1_000_000).completed);
+    assert!(m.run(1_000_000).expect("simulation fault").completed);
     for i in 0..64u64 {
         assert_eq!(m.memory().read_f32(c + 4 * i), 2.0 * i as f32, "c[{i}]");
     }

@@ -220,7 +220,7 @@ mod tests {
         ];
         for arch in archs {
             let mut m = build_machine(&pair.workloads, &cfg, &arch, 0.05).expect("build");
-            let stats = m.run(10_000_000);
+            let stats = m.run(10_000_000).expect("simulation fault");
             assert!(stats.completed, "{arch} did not complete");
             assert!(stats.cores[0].vector_compute_issued > 0);
             assert!(stats.cores[1].vector_compute_issued > 0);
@@ -232,7 +232,7 @@ mod tests {
         let cfg = SimConfig::paper_2core();
         let specs = [table3::spec_workload(16, 0.05)];
         let mut m = build_machine(&specs, &cfg, &Architecture::Occamy, 1.0).expect("build");
-        let stats = m.run(10_000_000);
+        let stats = m.run(10_000_000).expect("simulation fault");
         assert!(stats.completed);
         assert_eq!(stats.cores[1].vector_compute_issued, 0);
     }

@@ -132,7 +132,7 @@ mod tests {
         let specs = [memory_workload(), compute_workload()];
         let mut m =
             corun::build_machine(&specs, &cfg, &Architecture::Occamy, 0.2).expect("build");
-        let stats = m.run(50_000_000);
+        let stats = m.run(50_000_000).expect("simulation fault");
         assert!(stats.completed);
         assert!(stats.cores[0].vector_compute_issued > 0);
         assert!(stats.cores[1].vector_compute_issued > 0);

@@ -26,9 +26,9 @@
 //! let cfg = SimConfig::paper_2core();
 //! let specs = [motivating::wl0(), motivating::wl1()];
 //! let mut machine = corun::build_machine(&specs, &cfg, &Architecture::Occamy, 1.0)?;
-//! let stats = machine.run(50_000_000);
+//! let stats = machine.run(50_000_000)?;
 //! println!("SIMD utilisation: {:.1}%", 100.0 * stats.simd_utilization());
-//! # Ok::<(), workloads::BuildError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod corun;

@@ -179,7 +179,7 @@ mod tests {
         let cfg = SimConfig::paper_2core();
         let mut m =
             corun::build_machine(&[spec], &cfg, &Architecture::Occamy, 1.0).expect("build");
-        assert!(m.run(20_000_000).completed);
+        assert!(m.run(20_000_000).expect("simulation fault").completed);
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut base = None;
     for arch in archs {
         let mut machine = corun::build_machine(&pair.workloads, &cfg, &arch, 1.0)?;
-        let stats = machine.run(100_000_000);
+        let stats = machine.run(100_000_000).expect("simulation fault");
         assert!(stats.completed);
         let t1 = stats.core_time(1);
         let speedup = base.map(|b: u64| b as f64 / t1 as f64);

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SimConfig::paper_2core();
     let mut machine =
         corun::build_machine(&[stream_wl, compute_wl], &cfg, &Architecture::Occamy, 1.0)?;
-    let stats = machine.run(100_000_000);
+    let stats = machine.run(100_000_000).expect("simulation fault");
     assert!(stats.completed);
 
     println!("\nlane allocation over time (avg lanes per 1k cycles):");

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem)?;
     machine.enable_trace(512);
     machine.load_program(0, program);
-    let stats = machine.run(100_000);
+    let stats = machine.run(100_000).expect("simulation fault");
     assert!(stats.completed);
 
     println!("{} trace events captured over {} cycles\n", machine.trace().len(), stats.cycles);

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Run on a 2-core machine with the Occamy co-processor.
     let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem)?;
     machine.load_program(0, program);
-    let stats = machine.run(10_000_000);
+    let stats = machine.run(10_000_000).expect("simulation fault");
     assert!(stats.completed);
 
     // 5. Inspect results: functional output and timing statistics.

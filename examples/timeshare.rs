@@ -67,12 +67,12 @@ fn tasks_and_machine() -> Result<(Machine, Vec<Task>), Box<dyn std::error::Error
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Preemptive round-robin, quantum = 3000 cycles:");
     let (mut machine, tasks) = tasks_and_machine()?;
-    let sliced = Scheduler::new(3_000).run(&mut machine, tasks, 100_000_000);
+    let sliced = Scheduler::new(3_000).run(&mut machine, tasks, 100_000_000).expect("simulation fault");
     print!("{}", sliced.render());
 
     println!("\nRun-to-completion FIFO (quantum = ∞):");
     let (mut machine, tasks) = tasks_and_machine()?;
-    let fifo = Scheduler::new(u64::MAX / 2).run(&mut machine, tasks, 100_000_000);
+    let fifo = Scheduler::new(u64::MAX / 2).run(&mut machine, tasks, 100_000_000).expect("simulation fault");
     print!("{}", fifo.render());
 
     let worst = |r: &SchedReport| r.outcomes.iter().map(|o| o.started_at).max().unwrap_or(0);

@@ -43,7 +43,7 @@
 //!
 //! let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem)?;
 //! machine.load_program(0, program);
-//! let stats = machine.run(1_000_000);
+//! let stats = machine.run(1_000_000)?;
 //! assert!(stats.completed);
 //! assert_eq!(machine.memory().read_f32(c + 4 * 100), 101.0);
 //! # Ok(())
@@ -72,7 +72,7 @@ pub mod prelude {
     };
     pub use occamy_os::{Policy, SchedReport, Scheduler, Task};
     pub use occamy_sim::{
-        Architecture, ConfigError, Machine, MachineStats, SimConfig,
+        Architecture, ConfigError, FaultPlan, Machine, MachineStats, SimConfig, SimError,
     };
     pub use roofline::{MachineCeilings, MemLevel};
 }

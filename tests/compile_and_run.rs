@@ -153,7 +153,7 @@ fn every_kernel_matches_reference_on_every_architecture() {
             let mut machine =
                 Machine::new(SimConfig::paper_2core(), arch.clone(), bed.mem.clone()).unwrap();
             machine.load_program(0, program);
-            let stats = machine.run(10_000_000);
+            let stats = machine.run(10_000_000).expect("simulation fault");
             assert!(stats.completed, "{} on {} timed out", kernel.name(), arch);
             bed.check_against_reference(&machine, &kernel);
         }
@@ -203,7 +203,7 @@ fn co_running_elastic_workloads_stay_correct_while_repartitioning() {
     let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
     machine.load_program(0, p0);
     machine.load_program(1, p1);
-    let stats = machine.run(20_000_000);
+    let stats = machine.run(20_000_000).expect("simulation fault");
     assert!(stats.completed, "co-run timed out");
 
     for (name, n) in [("c", n0), ("y", n1)] {
@@ -263,7 +263,7 @@ fn elastic_reduction_survives_reconfiguration() {
     let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
     machine.load_program(0, p0);
     machine.load_program(1, p1);
-    let stats = machine.run(20_000_000);
+    let stats = machine.run(20_000_000).expect("simulation fault");
     assert!(stats.completed);
     let got = machine.memory().read_f32(sum);
     let tol = expected.abs() * 1e-3;
@@ -282,7 +282,7 @@ fn phases_report_their_operational_intensity() {
     let mut machine =
         Machine::new(SimConfig::paper_2core(), Architecture::Occamy, bed.mem.clone()).unwrap();
     machine.load_program(0, program);
-    let stats = machine.run(10_000_000);
+    let stats = machine.run(10_000_000).expect("simulation fault");
     assert_eq!(stats.cores[0].phases.len(), 1);
     let phase = &stats.cores[0].phases[0];
     assert!((phase.oi.mem() - info.oi.mem()).abs() < 1e-6);
@@ -308,7 +308,7 @@ fn fma_contraction_preserves_semantics() {
         let mut machine =
             Machine::new(SimConfig::paper_2core(), Architecture::Occamy, bed.mem.clone()).unwrap();
         machine.load_program(0, program);
-        let stats = machine.run(50_000_000);
+        let stats = machine.run(50_000_000).expect("simulation fault");
         assert!(stats.completed, "{} timed out", kernel.name());
         bed.check_against_reference(&machine, &kernel);
     }

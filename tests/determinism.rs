@@ -9,7 +9,7 @@ fn run_once(arch: &Architecture) -> (u64, Vec<(u64, u64, u64)>) {
     let cfg = SimConfig::paper_2core();
     let specs = [motivating::wl0(), motivating::wl1()];
     let mut m = corun::build_machine(&specs, &cfg, arch, 0.25).expect("build");
-    let stats = m.run(100_000_000);
+    let stats = m.run(100_000_000).expect("simulation fault");
     assert!(stats.completed);
     (
         stats.cycles,
@@ -46,9 +46,9 @@ fn preemption_points_do_not_leak_into_fresh_machines() {
     for _ in 0..700 {
         scratch.tick();
     }
-    let task = scratch.preempt(0, 100_000);
-    scratch.resume(0, task, 100_000);
-    let _ = scratch.run(100_000_000);
+    let task = scratch.preempt(0, 100_000).expect("preempt drains in budget");
+    scratch.resume(0, task, 100_000).expect("resume re-acquires lanes");
+    let _ = scratch.run(100_000_000).expect("simulation fault");
 
     assert_eq!(run_once(&Architecture::Occamy), baseline);
 }

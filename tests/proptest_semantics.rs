@@ -129,7 +129,7 @@ fn run_and_compare(kernel: &Kernel, n: usize, arch: Architecture, mode: VlMode, 
     };
     let mut machine = Machine::new(SimConfig::paper_2core(), arch, mem).expect("machine");
     machine.load_program(0, program);
-    let stats = machine.run(50_000_000);
+    let stats = machine.run(50_000_000).expect("simulation fault");
     assert!(stats.completed, "timed out");
 
     // Reductions have a different (vector) summation order: scale the
@@ -326,7 +326,7 @@ fn elastic_corun_repartitions_and_matches() {
         mem).unwrap();
     machine.load_program(0, p0);
     machine.load_program(1, p1);
-    let stats = machine.run(50_000_000);
+    let stats = machine.run(50_000_000).expect("simulation fault");
     assert!(stats.completed);
 
     // Lanes moved: core 0 saw at least two distinct allocations.

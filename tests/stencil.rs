@@ -50,7 +50,7 @@ fn run_stencil(arch: Architecture, mode: VlMode) {
         .unwrap();
     let mut machine = Machine::new(SimConfig::paper_2core(), arch, mem).unwrap();
     machine.load_program(0, program);
-    let stats = machine.run(10_000_000);
+    let stats = machine.run(10_000_000).expect("simulation fault");
     assert!(stats.completed);
 
     let (ww, dz) = (&host["ww"], &host["dz"]);
@@ -86,7 +86,7 @@ fn stencil_workload_runs_through_the_materializer() {
     );
     let cfg = SimConfig::paper_2core();
     let mut m = corun::build_machine(&[spec], &cfg, &Architecture::Occamy, 1.0).unwrap();
-    assert!(m.run(20_000_000).completed);
+    assert!(m.run(20_000_000).expect("simulation fault").completed);
 }
 
 /// Runtime parameters: a scaled-saxpy whose coefficient lives in memory,
@@ -119,7 +119,7 @@ fn runtime_parameters_broadcast_once_per_phase() {
             .unwrap();
         let mut machine = Machine::new(SimConfig::paper_2core(), arch, mem.clone()).unwrap();
         machine.load_program(0, program);
-        assert!(machine.run(10_000_000).completed);
+        assert!(machine.run(10_000_000).expect("simulation fault").completed);
         for i in 0..n {
             let want = -3.25 * (i as f32 * 0.5) + 1.0;
             let got = machine.memory().read_f32(y + 4 * i as u64);
@@ -145,7 +145,7 @@ fn runtime_parameters_reach_the_scalar_variant() {
     let program = Compiler::new(CodeGenOptions::default()).compile(&[(kernel, n)], &layout).unwrap();
     let mut machine = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
     machine.load_program(0, program);
-    assert!(machine.run(1_000_000).completed);
+    assert!(machine.run(1_000_000).expect("simulation fault").completed);
     for i in 0..n {
         assert_eq!(machine.memory().read_f32(x + 4 * i as u64), 10.0 * (1.0 + i as f32));
     }

@@ -54,7 +54,7 @@ fn check_kernel(name: &str, mode: VlMode, arch: Architecture, n: usize) {
     let mut machine =
         Machine::new(SimConfig::paper_2core(), arch, mem).expect("machine");
     machine.load_program(0, program);
-    let stats = machine.run(20_000_000);
+    let stats = machine.run(20_000_000).expect("simulation fault");
     assert!(stats.completed, "{name} timed out");
 
     for array in kernel.arrays() {
@@ -121,7 +121,7 @@ fn every_workload_spec_runs_on_occamy() {
         let phases = spec.phases.len();
         let mut m = corun::build_machine(&[spec], &cfg, &Architecture::Occamy, 1.0)
             .unwrap_or_else(|e| panic!("WL{i}: {e}"));
-        let stats = m.run(20_000_000);
+        let stats = m.run(20_000_000).expect("simulation fault");
         assert!(stats.completed, "WL{i} timed out");
         // Vectorized phases are recorded through their <OI> writes
         // (scalar-fallback multi-version phases are not).
@@ -131,6 +131,6 @@ fn every_workload_spec_runs_on_occamy() {
         let spec = table3::opencv_workload(i, 0.03);
         let mut m = corun::build_machine(&[spec], &cfg, &Architecture::Occamy, 1.0)
             .unwrap_or_else(|e| panic!("cv{i}: {e}"));
-        assert!(m.run(20_000_000).completed, "cv{i} timed out");
+        assert!(m.run(20_000_000).expect("simulation fault").completed, "cv{i} timed out");
     }
 }
