@@ -19,6 +19,7 @@ use workloads::table3::CorunPair;
 use workloads::{corun, WorkloadSpec};
 
 pub mod json;
+pub mod recovery;
 pub mod runner;
 
 use json::Value;

@@ -162,6 +162,147 @@ pub fn run_points(points: &[SweepPoint], workers: usize) -> Vec<PointResult> {
     })
 }
 
+/// Why a checked sweep job failed. Unlike [`run_points`], which panics
+/// (and therefore poisons the whole sweep), the checked runner reports
+/// per-job failures so a watchdog-tripped or faulted point shows up as
+/// a failed row in `--json` output while the rest of the sweep stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure {
+    /// The machine could not be built (bad spec/config). Deterministic —
+    /// never retried.
+    Build(String),
+    /// The run exceeded the per-job cycle budget without completing.
+    TimedOut {
+        /// Cycles consumed when the budget ran out.
+        cycles: u64,
+    },
+    /// The machine tripped a typed simulation fault.
+    Faulted {
+        /// [`SimError::kind`](occamy_sim::SimError::kind) of the fault.
+        kind: &'static str,
+        /// Full fault message.
+        detail: String,
+    },
+}
+
+impl JobFailure {
+    /// Short machine-readable outcome tag for JSON rows.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobFailure::Build(_) => "build",
+            JobFailure::TimedOut { .. } => "timed_out",
+            JobFailure::Faulted { kind, .. } => kind,
+        }
+    }
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Build(e) => write!(f, "build failed: {e}"),
+            JobFailure::TimedOut { cycles } => {
+                write!(f, "timed out after {cycles} cycles")
+            }
+            JobFailure::Faulted { detail, .. } => write!(f, "faulted: {detail}"),
+        }
+    }
+}
+
+/// Per-job budget and bounded-retry policy for [`run_points_checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Cycle budget per attempt (default [`MAX_CYCLES`]).
+    pub max_cycles: u64,
+    /// Forward-progress watchdog per attempt.
+    pub watchdog: u64,
+    /// Attempts before the job is marked failed (minimum 1).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_cycles: MAX_CYCLES, watchdog: 1_000_000, max_attempts: 2 }
+    }
+}
+
+/// Runs `attempt` up to `max_attempts` times, returning the attempt
+/// count actually used and the first success (or the last failure).
+/// Build failures short-circuit: they are deterministic, so retrying
+/// cannot help. The attempt index is passed in so callers can re-salt
+/// per-attempt state (e.g. a fault seed).
+pub fn run_with_retry<T>(
+    max_attempts: u32,
+    attempt: impl FnMut(u32) -> Result<T, JobFailure>,
+) -> (u32, Result<T, JobFailure>) {
+    let mut attempt = attempt;
+    let tries = max_attempts.max(1);
+    let mut last = JobFailure::Build("no attempt ran".into());
+    for a in 0..tries {
+        match attempt(a) {
+            Ok(v) => return (a + 1, Ok(v)),
+            Err(e @ JobFailure::Build(_)) => return (a + 1, Err(e)),
+            Err(e) => last = e,
+        }
+    }
+    (tries, Err(last))
+}
+
+/// The outcome of one checked sweep job.
+#[derive(Debug, Clone)]
+pub struct CheckedResult {
+    /// The submitting point's label.
+    pub label: String,
+    /// Architecture short name.
+    pub arch: &'static str,
+    /// Attempts consumed (1 on first-try success).
+    pub attempts: u32,
+    /// The statistics, or why every attempt failed.
+    pub outcome: Result<MachineStats, JobFailure>,
+    /// Host wall-clock across all attempts.
+    pub wall: Duration,
+}
+
+/// The fault-tolerant sibling of [`run_points`]: each point gets a
+/// per-job watchdog, a cycle budget and a bounded retry, and a job that
+/// still fails is reported as a [`JobFailure`] row instead of panicking
+/// the pool. Every attempt builds a fresh machine, so one poisoned run
+/// cannot leak state into the next.
+pub fn run_points_checked(
+    points: &[SweepPoint],
+    workers: usize,
+    policy: RetryPolicy,
+) -> Vec<CheckedResult> {
+    run_jobs(points.len(), workers, |i| {
+        let point = &points[i];
+        let name = point.architecture.short_name();
+        let started = Instant::now();
+        let (attempts, outcome) = run_with_retry(policy.max_attempts, |_| {
+            let mut machine = corun::build_machine(
+                &point.specs,
+                &point.config,
+                &point.architecture,
+                point.build_scale,
+            )
+            .map_err(|e| JobFailure::Build(e.to_string()))?;
+            machine.set_watchdog(policy.watchdog);
+            let stats = machine
+                .run(policy.max_cycles)
+                .map_err(|e| JobFailure::Faulted { kind: e.kind(), detail: e.to_string() })?;
+            if !stats.completed {
+                return Err(JobFailure::TimedOut { cycles: stats.cycles });
+            }
+            Ok(stats)
+        });
+        CheckedResult {
+            label: point.label.clone(),
+            arch: name,
+            attempts,
+            outcome,
+            wall: started.elapsed(),
+        }
+    })
+}
+
 /// Prints a one-line harness summary to **stderr** (stdout carries only
 /// deterministic experiment output): point count, worker count, summed
 /// simulation time vs. wall time, and the resulting speedup.
@@ -201,6 +342,64 @@ mod tests {
     fn zero_jobs_yield_nothing() {
         let out: Vec<u32> = run_jobs(0, 8, |_| unreachable!("no jobs to run"));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn checked_runner_marks_a_budget_overrun_as_timed_out() {
+        let cfg = SimConfig::paper_2core();
+        let pair = &workloads::table3::all_pairs(0.05)[0];
+        let point = SweepPoint::new(
+            &pair.label,
+            pair.workloads.to_vec(),
+            Architecture::Occamy,
+            cfg,
+        );
+        let policy = RetryPolicy { max_cycles: 50, watchdog: 1_000, max_attempts: 3 };
+        let out = run_points_checked(std::slice::from_ref(&point), 1, policy);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].attempts, 3, "timeouts are retried up to the bound");
+        match &out[0].outcome {
+            Err(JobFailure::TimedOut { cycles }) => assert_eq!(*cycles, 50),
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        assert_eq!(out[0].outcome.as_ref().unwrap_err().kind(), "timed_out");
+    }
+
+    #[test]
+    fn checked_runner_matches_the_panicking_runner_on_success() {
+        let cfg = SimConfig::paper_2core();
+        let pair = &workloads::table3::all_pairs(0.05)[0];
+        let point = SweepPoint::new(
+            &pair.label,
+            pair.workloads.to_vec(),
+            Architecture::Occamy,
+            cfg,
+        );
+        let plain = run_points(std::slice::from_ref(&point), 1);
+        let checked =
+            run_points_checked(std::slice::from_ref(&point), 1, RetryPolicy::default());
+        assert_eq!(checked[0].attempts, 1);
+        let stats = checked[0].outcome.as_ref().expect("point completes");
+        assert_eq!(stats, &plain[0].stats, "checked and plain runners agree");
+    }
+
+    #[test]
+    fn retry_helper_short_circuits_build_failures_and_reports_attempts() {
+        let (attempts, out) = run_with_retry(5, |_| {
+            Err::<(), _>(JobFailure::Build("bad spec".into()))
+        });
+        assert_eq!(attempts, 1, "build failures are deterministic: no retry");
+        assert_eq!(out.unwrap_err().kind(), "build");
+
+        let (attempts, out) = run_with_retry(4, |a| {
+            if a < 2 {
+                Err(JobFailure::TimedOut { cycles: 10 })
+            } else {
+                Ok(a)
+            }
+        });
+        assert_eq!(attempts, 3);
+        assert_eq!(out.unwrap(), 2, "the succeeding attempt's value comes back");
     }
 
     #[test]

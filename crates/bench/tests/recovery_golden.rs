@@ -1,0 +1,122 @@
+//! Golden-file and smoke coverage for the recovery campaign: the full
+//! rate × seed × policy report is rebuilt in-process and compared
+//! byte-for-byte against a checked-in snapshot, and the headline
+//! robustness claim — a permanent lane fault is survivable with nonzero
+//! retained throughput and an exact memory image — is asserted
+//! directly.
+//!
+//! The campaign is deterministic (seeded faults, no wall-clock fields,
+//! worker-count-independent ordering), so any diff is a real behaviour
+//! change. To bless a deliberate one, re-run with `UPDATE_GOLDEN=1` and
+//! commit the file.
+
+use std::path::Path;
+
+use bench::json::{parse, Value};
+use bench::recovery::{campaign_document, permanent_fault_run, policies, TRANSIENT_RATES};
+
+const GOLDEN: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/recovery_campaign.json");
+const SCALE: f64 = 0.05;
+
+fn document() -> Value {
+    campaign_document(SCALE, 4)
+}
+
+#[test]
+fn campaign_report_matches_checked_in_snapshot() {
+    let rendered = document().render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &rendered).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN).unwrap_or_else(|e| {
+        panic!("missing golden file {GOLDEN} ({e}); run with UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        rendered, expected,
+        "recovery campaign output drifted from {}; if intentional, re-bless with \
+         UPDATE_GOLDEN=1",
+        Path::new(GOLDEN).display()
+    );
+}
+
+#[test]
+fn campaign_report_round_trips_and_has_the_expected_shape() {
+    let doc = document();
+    let rendered = doc.render();
+    let reparsed = parse(&rendered).expect("campaign output must be valid JSON");
+    assert_eq!(reparsed, doc, "parse(render(doc)) lost information");
+
+    assert_eq!(doc.get("experiment").and_then(Value::as_str), Some("recovery_campaign"));
+    let pairs = doc.get("pairs").expect("pairs array").items();
+    assert_eq!(pairs.len(), 1);
+    let runs = pairs[0].get("runs").expect("runs array").items();
+    let per_policy = TRANSIENT_RATES.len() * bench::recovery::SEEDS.len() + 1;
+    assert_eq!(runs.len(), policies().len() * per_policy);
+
+    // Transient rollback recovery must be *exact*: every completed run
+    // under a rollback-capable policy ends bit-identical to fault-free.
+    for r in runs {
+        let policy = r.get("policy").and_then(Value::as_str).expect("policy");
+        let scenario = r.get("scenario").and_then(Value::as_str).expect("scenario");
+        let ok = r.get("outcome").and_then(Value::as_str) == Some("ok");
+        if ok && scenario == "transient" && policy != "none" {
+            assert_eq!(
+                r.get("stats_identical").and_then(Value::as_bool),
+                Some(true),
+                "transient rollback must replay to bit-identical statistics"
+            );
+            assert_eq!(r.get("memory_identical").and_then(Value::as_bool), Some(true));
+        }
+    }
+
+    // The permanent scenario separates the three policies: no recovery
+    // latches the typed fault, rollback alone exhausts its budget, and
+    // quarantine survives.
+    let permanent = |policy: &str| {
+        runs.iter()
+            .find(|r| {
+                r.get("scenario").and_then(Value::as_str) == Some("permanent")
+                    && r.get("policy").and_then(Value::as_str) == Some(policy)
+            })
+            .unwrap_or_else(|| panic!("missing permanent row for policy {policy}"))
+    };
+    assert_eq!(
+        permanent("none").get("outcome").and_then(Value::as_str),
+        Some("lane-fault")
+    );
+    assert_eq!(
+        permanent("rollback").get("outcome").and_then(Value::as_str),
+        Some("recovery-failed")
+    );
+    let survived = permanent("rollback+quarantine");
+    assert_eq!(survived.get("outcome").and_then(Value::as_str), Some("ok"));
+    assert!(survived.get("lanes_retired").and_then(Value::as_u64).expect("retired") >= 1);
+    assert_eq!(survived.get("memory_identical").and_then(Value::as_bool), Some(true));
+}
+
+/// The issue's smoke test: a run with a single permanent lane fault
+/// completes with the quarantine active and nonzero retained
+/// throughput.
+#[test]
+fn permanent_fault_smoke_run_survives_with_quarantine_active() {
+    let report = permanent_fault_run(SCALE);
+    assert!(report.completed, "permanent-fault run must complete under the full policy");
+    assert!(
+        report.lanes_retired + report.lanes_draining >= 1,
+        "the stuck granule must be quarantined"
+    );
+    assert!(
+        report.retained_throughput > 0.0,
+        "retained throughput must be nonzero"
+    );
+    assert!(
+        report.retained_throughput <= 1.0 + 1e-9,
+        "a degraded machine cannot beat the fault-free baseline"
+    );
+    assert!(
+        report.memory_identical,
+        "recovery must preserve the architectural memory image exactly"
+    );
+}

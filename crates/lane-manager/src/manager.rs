@@ -129,6 +129,29 @@ impl LaneManager {
             / self.ceilings.mem_bw(self.mem_level)
     }
 
+    /// The machine balance point (FLOPs/byte) at the planning memory
+    /// level — the hardware monitor's anchor when it must synthesize an
+    /// operational intensity for a core whose `<OI>` hint was rejected.
+    pub fn balance_point_oi(&self) -> f64 {
+        self.balance_oi()
+    }
+
+    /// The largest operational intensity the roofline model considers
+    /// plausible for this machine (see
+    /// [`roofline::MachineCeilings::plausible_oi_max`]); `<OI>` hints
+    /// beyond it are treated as corrupted and replaced by the
+    /// monitor-measured path.
+    pub fn plausible_oi_max(&self) -> f64 {
+        self.ceilings.plausible_oi_max(VectorLength::new(self.total.max(1)), self.mem_level)
+    }
+
+    /// Permanently removes one granule from the managed pool (lane
+    /// quarantine): subsequent plans partition over the survivors.
+    /// Saturates at zero.
+    pub fn retire_granule(&mut self) {
+        self.total = self.total.saturating_sub(1);
+    }
+
     /// Whether a phase is memory-bound at full machine width.
     fn is_memory_bound(&self, oi: OperationalIntensity) -> bool {
         oi.mem() < self.balance_oi()
@@ -168,27 +191,43 @@ impl LaneManager {
         &self.ceilings
     }
 
-    /// Produces a partition plan for the given per-core demands.
+    /// Produces a partition plan for the given per-core demands
+    /// (equivalent to [`plan_rotated`](Self::plan_rotated) at rotation 0).
     ///
-    /// Idle cores receive a zero vector length. If there are more active
-    /// workloads than ExeBUs, the first `N` (by core index) receive one
-    /// granule each and the rest receive zero — the paper assumes
-    /// `M <= C <= N`, so this is a graceful degradation, not a modeled
-    /// regime.
+    /// Idle cores receive a zero vector length.
     pub fn plan(&self, demands: &[PhaseDemand]) -> PartitionPlan {
+        self.plan_rotated(demands, 0)
+    }
+
+    /// Produces a partition plan for the given per-core demands, with an
+    /// explicit rotation for the oversubscribed `M > N` regime.
+    ///
+    /// The paper assumes `M <= C <= N` (never more active workloads than
+    /// ExeBUs), but lane quarantine can shrink the pool below the core
+    /// count. When that happens, step 1's one-granule-per-workload pass
+    /// runs out of granules; the starting workload advances by
+    /// `rotation` (callers pass a replan counter) so the workloads that
+    /// go without rotate round-robin across replans instead of the same
+    /// low-indexed cores always winning. With `M <= N` every active
+    /// workload is served in step 1 regardless of rotation, so the plan
+    /// is bit-identical to the unrotated one.
+    pub fn plan_rotated(&self, demands: &[PhaseDemand], rotation: usize) -> PartitionPlan {
         let mut vls = vec![0usize; demands.len()];
         let mut remaining = self.total;
 
-        // Step 1: one ExeBU per active workload.
+        // Step 1: one ExeBU per active workload, starting from the
+        // rotation point.
         let active: Vec<(usize, OperationalIntensity)> = demands
             .iter()
             .enumerate()
             .filter_map(|(i, d)| d.intensity().map(|oi| (i, oi)))
             .collect();
-        for &(core, _) in &active {
+        let start = if active.is_empty() { 0 } else { rotation % active.len() };
+        for k in 0..active.len() {
             if remaining == 0 {
                 break;
             }
+            let (core, _) = active[(start + k) % active.len()];
             vls[core] = 1;
             remaining -= 1;
         }
@@ -377,6 +416,83 @@ mod tests {
         ]);
         let total: usize = (0..4).map(|c| plan.granules(c)).sum();
         assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn oversubscribed_rotation_serves_every_core_equally() {
+        // 4 active workloads over 2 surviving granules: a single plan
+        // must starve someone, but across 4 consecutive rotations each
+        // core is served exactly `total` times — nobody is starved
+        // forever.
+        let mgr = LaneManager::paper_default(4, 2);
+        let oi = OperationalIntensity::uniform(1.0);
+        let demands = vec![PhaseDemand::Active(oi); 4];
+        let mut served = [0usize; 4];
+        for rotation in 0..4 {
+            let plan = mgr.plan_rotated(&demands, rotation);
+            let total: usize = (0..4).map(|c| plan.granules(c)).sum();
+            assert_eq!(total, 2, "capacity respected at rotation {rotation}");
+            for (c, s) in served.iter_mut().enumerate() {
+                *s += usize::from(plan.granules(c) > 0);
+            }
+        }
+        assert_eq!(served, [2, 2, 2, 2], "round-robin fairness across rotations");
+    }
+
+    #[test]
+    fn rotation_skips_idle_cores() {
+        let mgr = LaneManager::paper_default(4, 2);
+        let oi = OperationalIntensity::uniform(1.0);
+        let demands = [
+            PhaseDemand::Active(oi),
+            PhaseDemand::Idle,
+            PhaseDemand::Active(oi),
+            PhaseDemand::Active(oi),
+        ];
+        for rotation in 0..8 {
+            let plan = mgr.plan_rotated(&demands, rotation);
+            assert_eq!(plan.granules(1), 0, "idle core must get nothing");
+            let total: usize = (0..4).map(|c| plan.granules(c)).sum();
+            assert_eq!(total, 2);
+        }
+    }
+
+    #[test]
+    fn rotation_is_invisible_when_granules_cover_all_workloads() {
+        // M <= N: rotation must not change anything — fault-free plans
+        // stay byte-identical no matter how many replans happened.
+        let mgr = LaneManager::paper_default(2, 8);
+        let demands = [
+            PhaseDemand::Active(OperationalIntensity::uniform(0.09)),
+            PhaseDemand::Active(OperationalIntensity::uniform(1.0)),
+        ];
+        let base = mgr.plan(&demands);
+        for rotation in 1..16 {
+            assert_eq!(mgr.plan_rotated(&demands, rotation), base, "rotation {rotation}");
+        }
+    }
+
+    #[test]
+    fn retire_granule_shrinks_subsequent_plans() {
+        let mut mgr = LaneManager::paper_default(2, 8);
+        let oi = OperationalIntensity::uniform(2.0);
+        let demands = [PhaseDemand::Active(oi), PhaseDemand::Active(oi)];
+        mgr.retire_granule();
+        mgr.retire_granule();
+        assert_eq!(mgr.total_granules(), 6);
+        let plan = mgr.plan(&demands);
+        assert_eq!((plan.granules(0), plan.granules(1)), (3, 3), "{plan}");
+    }
+
+    #[test]
+    fn plausible_oi_range_brackets_real_hints() {
+        let mgr = mgr();
+        let max = mgr.plausible_oi_max();
+        assert!(max > mgr.balance_point_oi());
+        // Every Table 3 workload intensity is comfortably inside.
+        assert!(max > 4.0, "plausible max {max} too tight");
+        // A NaN-bits/huge corrupted hint is far outside.
+        assert!(1.0e9 > max);
     }
 
     #[test]

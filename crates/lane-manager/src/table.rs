@@ -153,6 +153,21 @@ impl ResourceTable {
         let allocated: usize = self.cores.iter().map(|c| c.vl as usize).sum();
         allocated + self.al == self.total
     }
+
+    /// Permanently removes one *free* granule from the machine (lane
+    /// quarantine retiring a faulty ExeBU): `<AL>` and the total both
+    /// shrink by one, so the conservation invariant keeps holding over
+    /// the survivors. Returns `false` (changing nothing) when no granule
+    /// is free — the caller must wait for the owner to release it first.
+    pub fn retire_granule(&mut self) -> bool {
+        if self.al == 0 {
+            return false;
+        }
+        self.al -= 1;
+        self.total -= 1;
+        debug_assert!(self.invariant_holds());
+        true
+    }
 }
 
 impl fmt::Display for ResourceTable {
@@ -251,6 +266,23 @@ mod tests {
         for c in 0..3 {
             assert_eq!(tbl.read(c, DedicatedReg::Al), 8);
         }
+    }
+
+    #[test]
+    fn retire_granule_shrinks_al_and_total_together() {
+        let mut tbl = ResourceTable::new(2, 8);
+        tbl.try_reconfigure(0, VectorLength::new(6)).unwrap();
+        assert!(tbl.retire_granule());
+        assert_eq!(tbl.free_granules(), 1);
+        assert_eq!(tbl.total_granules(), 7);
+        assert!(tbl.invariant_holds());
+        // The retired lane is really gone: core 0 can no longer grow
+        // back to 8.
+        assert!(tbl.try_reconfigure(0, VectorLength::new(8)).is_err());
+        assert!(tbl.try_reconfigure(0, VectorLength::new(7)).is_ok());
+        // Nothing free: retirement must wait.
+        assert!(!tbl.retire_granule());
+        assert_eq!(tbl.total_granules(), 7);
     }
 
     #[test]

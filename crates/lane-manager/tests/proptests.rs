@@ -161,6 +161,75 @@ proptest! {
 }
 
 proptest! {
+    /// With at least as many granules as active workloads the rotation
+    /// is invisible: quarantine-driven replans cannot perturb the
+    /// paper's `M <= C <= N` regime.
+    #[test]
+    fn rotation_is_invisible_when_granules_cover_workloads(
+        demands in proptest::collection::vec(demand_strategy(), 1..6),
+        granules_per_core in 1usize..6,
+        rotation in 0usize..64,
+    ) {
+        let mgr = LaneManager::paper_default(demands.len(), granules_per_core * demands.len());
+        prop_assert_eq!(mgr.plan_rotated(&demands, rotation), mgr.plan(&demands));
+    }
+
+    /// Rotated plans keep the capacity and idleness invariants in the
+    /// oversubscribed `M > N` regime (more active workloads than
+    /// surviving granules): every granule is handed to exactly one
+    /// active workload, one granule each.
+    #[test]
+    fn oversubscribed_rotated_plans_conserve_granules(
+        actives in 2usize..8,
+        total in 1usize..8,
+        rotation in 0usize..64,
+        oi in 0.01f64..4.0,
+    ) {
+        prop_assume!(total < actives);
+        let demands =
+            vec![PhaseDemand::Active(OperationalIntensity::uniform(oi)); actives];
+        let mgr = LaneManager::paper_default(actives, total);
+        let plan = mgr.plan_rotated(&demands, rotation);
+        let allocated: usize = (0..actives).map(|c| plan.granules(c)).sum();
+        prop_assert_eq!(allocated + plan.free_granules(), total);
+        prop_assert_eq!(plan.free_granules(), 0, "granules idle despite active work");
+        let served = (0..actives).filter(|&c| plan.granules(c) > 0).count();
+        prop_assert_eq!(served, total, "each granule serves exactly one workload");
+        for c in 0..actives {
+            prop_assert!(plan.granules(c) <= 1, "core {} hoarded in M > N", c);
+        }
+    }
+
+    /// Across one full cycle of rotations every workload is served the
+    /// same number of times — the starved set round-robins instead of
+    /// always being the high-indexed cores.
+    #[test]
+    fn rotation_round_robins_the_starved_workloads(
+        actives in 2usize..8,
+        total in 1usize..8,
+        oi in 0.01f64..4.0,
+    ) {
+        prop_assume!(total < actives);
+        let demands =
+            vec![PhaseDemand::Active(OperationalIntensity::uniform(oi)); actives];
+        let mgr = LaneManager::paper_default(actives, total);
+        let mut served = vec![0usize; actives];
+        for rotation in 0..actives {
+            let plan = mgr.plan_rotated(&demands, rotation);
+            for (c, count) in served.iter_mut().enumerate() {
+                *count += usize::from(plan.granules(c) > 0);
+            }
+        }
+        for (c, &count) in served.iter().enumerate() {
+            prop_assert_eq!(
+                count, total,
+                "core {} served {} times over a full rotation cycle", c, count
+            );
+        }
+    }
+}
+
+proptest! {
     /// Contention-aware plans obey the same §5.2 invariants as the
     /// paper's planner: capacity respected, no starvation, no granule
     /// idles while someone is active.

@@ -26,7 +26,8 @@ use occamy_compiler::{
     analyze, parse_kernel, ArrayLayout, CodeGenOptions, Compiler, Kernel, VlMode,
 };
 use occamy_sim::{
-    render_lane_timeline, render_pipeview, to_kanata, Architecture, FaultPlan, Machine, SimConfig,
+    render_lane_timeline, render_pipeview, to_kanata, Architecture, FaultPlan, Machine,
+    RecoveryPolicy, SimConfig,
 };
 use roofline::{MachineCeilings, MemLevel};
 
@@ -104,7 +105,9 @@ fn print_usage() {
          --quantum <c>     sched: round-robin time slice in cycles (default 5000)\n  \
          --trace-out <f>   run: write a Kanata trace file (Konata viewer)\n  \
          --inject <spec>   deterministic fault injection, e.g.\n                    \
-         seed=42,oi=0.01,decision=0.01,mem=0.05,spike=300,truncate=0.1,bitflip=0.02\n\n\
+         seed=42,oi=0.01,decision=0.01,mem=0.05,spike=300,truncate=0.1,bitflip=0.02\n  \
+         --recover <spec>  run/corun: arm detection & recovery; `default` or e.g.\n                    \
+         interval=10000,selftest=25000,strikes=3,rollbacks=64,quarantine=1\n\n\
          exit codes: 0 ok, 2 usage, 3 kernel load/compile, 4 simulation fault"
     );
 }
@@ -123,6 +126,7 @@ struct RunOpts {
     quantum: u64,
     trace_out: Option<String>,
     inject: Option<FaultPlan>,
+    recover: Option<RecoveryPolicy>,
 }
 
 fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
@@ -140,6 +144,7 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
         quantum: 5_000,
         trace_out: None,
         inject: None,
+        recover: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -180,6 +185,12 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
                 opts.inject =
                     Some(FaultPlan::parse(&spec).map_err(|e| format!("--inject: {e}"))?);
             }
+            "--recover" => {
+                let spec = value("--recover")?;
+                let spec = if spec == "default" { "" } else { spec.as_str() };
+                opts.recover =
+                    Some(RecoveryPolicy::parse(spec).map_err(|e| format!("--recover: {e}"))?);
+            }
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             file => {
                 if !opts.file.is_empty() {
@@ -199,6 +210,24 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
         ));
     }
     Ok(opts)
+}
+
+/// Prints the detection-and-recovery counters when the subsystem was
+/// armed with `--recover`.
+fn print_recovery_summary(machine: &Machine) {
+    if let Some(r) = machine.recovery_stats() {
+        println!("recovery:");
+        for line in r.to_string().lines() {
+            println!("  {line}");
+        }
+        let quarantined = machine.quarantined_granules();
+        if !quarantined.is_empty() {
+            println!("  quarantined granule(s): {quarantined:?}");
+        }
+        if machine.hints_sanitized() > 0 {
+            println!("  <OI> hints sanitized: {}", machine.hints_sanitized());
+        }
+    }
 }
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
@@ -317,6 +346,9 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         machine.set_fault_plan(plan);
     }
     machine.load_program(0, program);
+    if let Some(policy) = opts.recover {
+        machine.enable_recovery(policy);
+    }
     let stats = machine
         .run(500_000_000)
         .map_err(|e| CliError::Sim(format!("simulation fault: {e}")))?;
@@ -364,6 +396,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
              {dec} decision perturbation(s), {spikes} memory spike(s)"
         );
     }
+    print_recovery_summary(&machine);
     if opts.stats {
         println!();
         print!("{}", stats.report());
@@ -437,12 +470,16 @@ fn cmd_corun(args: &[String]) -> Result<(), CliError> {
         }
         machine.load_program(core, program);
     }
+    if let Some(policy) = opts.recover {
+        machine.enable_recovery(policy);
+    }
     let stats = machine
         .run(500_000_000)
         .map_err(|e| CliError::Sim(format!("simulation fault: {e}")))?;
     if !stats.completed {
         return Err(CliError::Sim("run exceeded the cycle budget".into()));
     }
+    print_recovery_summary(&machine);
     if opts.inject.is_some() {
         let (oi, dec, spikes) = machine
             .fault_stats()
@@ -479,6 +516,12 @@ fn cmd_sched(args: &[String]) -> Result<(), CliError> {
     }
     let rest: Vec<String> = args[files.len()..].to_vec();
     let opts = parse_opts(&[vec![files[0].clone()], rest].concat()).map_err(CliError::Usage)?;
+    if opts.recover.is_some() {
+        // The scheduler loads and unloads programs itself; a checkpoint
+        // taken between its context switches could roll a task back
+        // across an OS-visible boundary.
+        return Err(CliError::Usage("--recover is not supported with sched".into()));
+    }
 
     let halo = 16u64;
     let mut mem = Memory::new(64 << 20);

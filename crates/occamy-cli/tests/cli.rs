@@ -200,3 +200,80 @@ fn trace_out_writes_a_kanata_file() {
     assert!(text.starts_with("Kanata\t0004\n"), "{text}");
     assert!(text.contains("ld1w"), "{text}");
 }
+
+#[test]
+fn recover_flag_prints_a_summary_on_a_clean_run() {
+    let path = write_kernel("recover_clean", "c[i] = a[i] * 2.0\n");
+    let out = occamy()
+        .args(["run", path.to_str().unwrap(), "--trip", "500", "--recover", "default"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recovery:"), "{text}");
+    assert!(text.contains("0 residue"), "{text}");
+    assert!(text.contains("0 retired"), "{text}");
+}
+
+#[test]
+fn recover_survives_an_injected_permanent_lane_fault() {
+    let path = write_kernel("recover_perm", "c[i] = a[i] * 2.0 + b[i]\n");
+    let out = occamy()
+        .args([
+            "run",
+            path.to_str().unwrap(),
+            "--trip",
+            "4096",
+            "--inject",
+            "seed=1,lanep=2,lanepat=400",
+            "--recover",
+            "interval=1000,selftest=2000,strikes=3",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("quarantined granule(s): [2]"), "{text}");
+    assert!(text.contains("1 retired"), "{text}");
+}
+
+#[test]
+fn an_unrecovered_lane_fault_is_a_simulation_fault() {
+    let path = write_kernel("recover_off", "c[i] = a[i] * 2.0 + b[i]\n");
+    let out = occamy()
+        .args([
+            "run",
+            path.to_str().unwrap(),
+            "--trip",
+            "4096",
+            "--inject",
+            "seed=1,lanep=2,lanepat=400",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("lane"), "{err}");
+}
+
+#[test]
+fn bad_recover_spec_is_a_usage_error() {
+    let path = write_kernel("recover_bad", "c[i] = a[i] * 2.0\n");
+    let out = occamy()
+        .args(["run", path.to_str().unwrap(), "--recover", "bogus=1"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bogus"));
+}
+
+#[test]
+fn recover_with_sched_is_rejected() {
+    let path = write_kernel("recover_sched", "c[i] = a[i] * 2.0\n");
+    let out = occamy()
+        .args(["sched", path.to_str().unwrap(), "--recover", "default"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sched"));
+}

@@ -29,7 +29,7 @@ use crate::error::SimError;
 use crate::exec;
 use crate::fault::FaultState;
 use crate::lsu::{Lsu, LsuEntry};
-use crate::regblocks::{PhysId, PhysRegFile, RegBlocks};
+use crate::regblocks::{BlockOwner, LaneHealth, PhysId, PhysRegFile, RegBlocks};
 use crate::stats::{CoreStats, PhaseStats};
 use crate::trace::{Trace, TraceEvent, TraceStage};
 
@@ -113,6 +113,15 @@ struct RobEntry {
     prev_phys: Option<(PhysId, RegClass)>,
 }
 
+/// Extra cycles charged when a corrupted result on an already-quarantined
+/// granule is corrected in place (re-execution on a healthy granule)
+/// instead of tripping another rollback.
+const RETRY_PENALTY: Cycle = 12;
+
+/// Bit XORed into a corrupted lane (mantissa bit 22: visibly wrong on any
+/// normal operand without manufacturing NaN/Inf out of thin air).
+const LANE_FLIP: u32 = 0x0040_0000;
+
 #[derive(Debug, Clone, PartialEq)]
 struct InflightCompute {
     complete_at: Cycle,
@@ -122,6 +131,10 @@ struct InflightCompute {
     value: Vec<f32>,
     scalar_wb: Option<(XReg, f32)>,
     rob_seq: u64,
+    /// Set when a lane fault corrupted this result: the granule hit and
+    /// the injection cycle. The residue check at writeback turns the tag
+    /// into a [`SimError::LaneFault`].
+    faulted: Option<(usize, Cycle)>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -163,6 +176,17 @@ pub(crate) struct CoProcessor {
     /// First fault latched by the co-processor pipeline; surfaced by
     /// `Machine::step` at the end of the cycle.
     pub(crate) fault: Option<SimError>,
+    /// Lane-fault corruptions absorbed in place because they hit an
+    /// already-quarantined granule (charged [`RETRY_PENALTY`] instead of
+    /// another rollback).
+    pub(crate) corrected_inline: u64,
+    /// `<OI>` hints rejected by sanitization and replaced with the
+    /// hardware monitor's measured intensity.
+    pub(crate) hints_sanitized: u64,
+    /// Monotonic replan counter; rotates the oversubscription
+    /// round-robin so no core is starved when workloads outnumber
+    /// surviving granules (invisible otherwise).
+    replan_epoch: usize,
     /// Instruction-lifecycle trace (disabled by default).
     pub(crate) trace: Trace,
 }
@@ -223,6 +247,9 @@ impl CoProcessor {
             next_seq: 0,
             retired: 0,
             fault: None,
+            corrected_inline: 0,
+            hints_sanitized: 0,
+            replan_epoch: 0,
             trace: Trace::disabled(),
         }
     }
@@ -328,8 +355,21 @@ impl CoProcessor {
 
         // Compute writebacks.
         let mut remaining = Vec::with_capacity(self.inflight.len());
+        let mut lane_faults = Vec::new();
         for f in self.inflight.drain(..) {
             if f.complete_at <= now {
+                // Residue check at writeback (§ detection & recovery):
+                // a corrupted result is *detected* here, not corrected —
+                // the value still lands, and the machine's recovery layer
+                // decides whether to roll back to the last checkpoint.
+                if let Some((granule, injected_at)) = f.faulted {
+                    lane_faults.push(SimError::LaneFault {
+                        core: f.core,
+                        granule,
+                        injected_at,
+                        detected_at: now,
+                    });
+                }
                 if let Some(dst) = f.dst {
                     match f.dst_class {
                         RegClass::Vector => self.prf.write(dst, f.value),
@@ -354,6 +394,9 @@ impl CoProcessor {
             }
         }
         self.inflight = remaining;
+        for e in lane_faults {
+            self.trip(e);
+        }
 
         // Memory completions.
         for core in 0..self.cores.len() {
@@ -419,7 +462,7 @@ impl CoProcessor {
             let start = (now as usize) % ncores;
             for k in 0..ncores {
                 let c = (start + k) % ncores;
-                while budget > 0 && self.try_issue_compute(c, now) {
+                while budget > 0 && self.try_issue_compute(c, now, faults) {
                     counts[c].compute += 1;
                     budget -= 1;
                 }
@@ -427,7 +470,7 @@ impl CoProcessor {
         } else {
             for c in 0..ncores {
                 for _ in 0..self.cfg.compute_width {
-                    if self.try_issue_compute(c, now) {
+                    if self.try_issue_compute(c, now, faults) {
                         counts[c].compute += 1;
                     } else {
                         break;
@@ -462,7 +505,12 @@ impl CoProcessor {
     }
 
     /// Issues the oldest ready compute instruction of `core`, if any.
-    fn try_issue_compute(&mut self, core: usize, now: Cycle) -> bool {
+    fn try_issue_compute(
+        &mut self,
+        core: usize,
+        now: Cycle,
+        faults: &mut Option<FaultState>,
+    ) -> bool {
         let pos = {
             let ctx = &self.cores[core];
             ctx.iq
@@ -489,7 +537,7 @@ impl CoProcessor {
         };
         let srcs: Vec<&[f32]> = e.srcs.iter().map(|&s| self.prf.read(s)).collect();
         let mask: Option<&[f32]> = e.pred.map(|p| self.ppf.read(p));
-        let (mut value, scalar_wb) = match e.inst.inner() {
+        let (mut value, mut scalar_wb) = match e.inst.inner() {
             VectorInst::Unary { op, .. } => (exec::exec_unary(*op, srcs[0]), None),
             VectorInst::Binary { op, .. } => (exec::exec_binary(*op, srcs[0], srcs[1]), None),
             VectorInst::Fma { .. } => (exec::exec_fma(srcs[0], srcs[1], srcs[2]), None),
@@ -528,14 +576,45 @@ impl CoProcessor {
         if let (Some(m), Some(old)) = (mask, e.merge) {
             value = exec::blend(m, &value, self.prf.read(old));
         }
+        // Lane-fault injection (§ detection & recovery): a transient or
+        // permanent ExeBU fault flips a bit in the lanes one granule of
+        // this core computes. A hit on an already-quarantined granule is
+        // corrected in place at a re-execution penalty — the recovery
+        // layer has retired it, so no rollback is owed — while a hit on a
+        // healthy granule corrupts the result and tags it for the residue
+        // check at writeback.
+        let mut complete_at = now + latency;
+        let mut faulted = None;
+        if let Some(f) = faults.as_mut() {
+            if let Some(g) = f.lane_fault(&self.cores[core].spans, now) {
+                if self.blocks.is_quarantined(g) {
+                    self.corrected_inline += 1;
+                    complete_at += RETRY_PENALTY;
+                } else {
+                    let spans = &self.cores[core].spans;
+                    let per_granule = e.lanes / spans.len().max(1);
+                    let li =
+                        spans.iter().position(|&s| s == g).unwrap_or(0) * per_granule;
+                    if let Some(v) = value.get_mut(li) {
+                        *v = f32::from_bits(v.to_bits() ^ LANE_FLIP);
+                    } else if let Some((_, sum)) = scalar_wb.as_mut() {
+                        // Reductions write back a scalar; the corrupted
+                        // lane surfaces in the sum.
+                        *sum = f32::from_bits(sum.to_bits() ^ LANE_FLIP);
+                    }
+                    faulted = Some((g, now));
+                }
+            }
+        }
         self.inflight.push(InflightCompute {
-            complete_at: now + latency,
+            complete_at,
             core,
             dst: e.dst,
             dst_class: e.dst_class,
             value,
             scalar_wb,
             rob_seq: e.seq,
+            faulted,
         });
         true
     }
@@ -913,6 +992,7 @@ impl CoProcessor {
             Some(f) => f.corrupt_oi(operand),
             None => operand,
         };
+        let operand = self.sanitize_oi(core, operand, stats);
         self.table.write(core, DedicatedReg::Oi, operand);
         let oi = OperationalIntensity::from_bits(operand);
         if oi.is_phase_end() {
@@ -939,10 +1019,47 @@ impl CoProcessor {
         self.replan(faults);
     }
 
+    /// Validates a software `<OI>` hint against the roofline model's
+    /// plausible range (§ detection & recovery). A hint that decodes to
+    /// NaN/Inf, a negative intensity, or a value orders of magnitude past
+    /// any machine balance point cannot come from an honest kernel, and
+    /// feeding it to the planner would wreck the partition for every
+    /// co-runner. Such hints fall back to the hardware monitor's measured
+    /// intensity for the core; valid hints (and the phase-end marker)
+    /// pass through bit-unchanged. Baselines have no planner to poison,
+    /// so they keep the raw write.
+    fn sanitize_oi(&mut self, core: usize, operand: u64, stats: &[CoreStats]) -> u64 {
+        let Some(mgr) = &self.mgr else { return operand };
+        let oi = OperationalIntensity::from_bits(operand);
+        if oi.is_phase_end() {
+            return operand;
+        }
+        let max = mgr.plausible_oi_max();
+        let plausible = |x: f64| x.is_finite() && x >= 0.0 && x <= max;
+        if plausible(oi.issue()) && plausible(oi.mem()) {
+            return operand;
+        }
+        // Monitor path: FLOPs per byte from the issue counters (each
+        // vector memory instruction moves ~4 bytes per lane), defaulting
+        // to the machine balance point before any traffic exists. Clamped
+        // away from zero so the fallback can never alias the phase-end
+        // marker.
+        let s = &stats[core];
+        let measured = if s.vector_mem_issued == 0 {
+            mgr.balance_point_oi()
+        } else {
+            s.vector_compute_issued as f64 / (4.0 * s.vector_mem_issued as f64)
+        };
+        self.hints_sanitized += 1;
+        OperationalIntensity::uniform(measured.clamp(1e-6, max)).to_bits()
+    }
+
     /// Re-runs the lane manager over the current `<OI>` registers and
     /// publishes the plan in every core's `<decision>` (no-op on the
     /// baseline architectures, which have no lane manager).
     fn replan(&mut self, faults: &mut Option<FaultState>) {
+        let epoch = self.replan_epoch;
+        self.replan_epoch = self.replan_epoch.wrapping_add(1);
         if let Some(mgr) = &self.mgr {
             let demands: Vec<PhaseDemand> = (0..self.cores.len())
                 .map(|c| {
@@ -955,7 +1072,7 @@ impl CoProcessor {
                     }
                 })
                 .collect();
-            let plan = mgr.plan(&demands);
+            let plan = mgr.plan_rotated(&demands, epoch);
             for c in 0..self.cores.len() {
                 let mut granules = plan.vl(c).granules() as u64;
                 if let Some(f) = faults {
@@ -964,6 +1081,112 @@ impl CoProcessor {
                 self.table.write(c, DedicatedReg::Decision, granules);
             }
         }
+    }
+
+    /// Whether this co-processor has a lane manager (Occamy) — the only
+    /// architecture that can repartition around a retired granule.
+    pub(crate) fn has_lane_manager(&self) -> bool {
+        self.mgr.is_some()
+    }
+
+    /// Whether a corrupted (tagged) compute result is still in flight —
+    /// checkpoints must not be taken while one is, or the rollback would
+    /// replay the corruption forever.
+    pub(crate) fn inflight_tainted(&self) -> bool {
+        self.inflight.iter().any(|f| f.faulted.is_some())
+    }
+
+    /// Starts quarantining `granule` (§ detection & recovery): the block
+    /// is marked for lazy drain (retired immediately when free), the lane
+    /// manager stops planning over it, and a fresh plan is published so
+    /// the owning core sheds it at its next partition point. Returns
+    /// `false` when the granule was already quarantined, is out of range,
+    /// or there is no lane manager to repartition around it.
+    pub(crate) fn begin_quarantine(&mut self, granule: usize) -> bool {
+        if self.mgr.is_none() || granule >= self.cfg.total_granules {
+            return false;
+        }
+        if !self.blocks.begin_quarantine(granule) {
+            return false;
+        }
+        if let Some(mgr) = &mut self.mgr {
+            mgr.retire_granule();
+        }
+        if self.blocks.health(granule) == LaneHealth::Retired {
+            // The block was free, so it leaves the resource table now;
+            // owned blocks retire in `maintain_quarantine` once drained.
+            let retired = self.table.retire_granule();
+            debug_assert!(retired, "a free block implies a free table slot");
+        }
+        self.replan(&mut None);
+        true
+    }
+
+    /// Finishes quarantines whose owner has shed the block since the last
+    /// cycle, shrinking the resource table to the survivors. A block only
+    /// retires when the table has a free slot to give up (always true on
+    /// planner-driven machines; adversarial programs can briefly
+    /// over-acquire, in which case the block stays draining until a slot
+    /// frees). Returns the number of granules newly retired.
+    pub(crate) fn maintain_quarantine(&mut self) -> usize {
+        let mut retired = 0;
+        for b in self.blocks.draining_blocks() {
+            if self.blocks.owner(b) == BlockOwner::Free
+                && self.table.retire_granule()
+                && self.blocks.try_finish_drain(b)
+            {
+                retired += 1;
+            }
+        }
+        retired
+    }
+
+    /// The `(draining, retired)` granule counts of the quarantine state
+    /// machine.
+    pub(crate) fn quarantine_counts(&self) -> (usize, usize) {
+        (self.blocks.draining_blocks().len(), self.blocks.retired_blocks().len())
+    }
+
+    /// Cross-checks the lane bookkeeping after quarantine and elastic
+    /// repartitioning: no block assigned to two cores, no retired block
+    /// still spanned, spans consistent with block ownership, occupancy
+    /// bounded by the surviving granules, and the resource-table
+    /// conservation invariant intact.
+    pub(crate) fn lane_audit(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.blocks.num_blocks()];
+        for (c, ctx) in self.cores.iter().enumerate() {
+            for &b in &ctx.spans {
+                if b >= seen.len() {
+                    return Err(format!("core {c} spans out-of-range block {b}"));
+                }
+                if self.arch != Architecture::TemporalSharing {
+                    if seen[b] {
+                        return Err(format!("block {b} assigned to two cores"));
+                    }
+                    if self.blocks.owner(b) != BlockOwner::Core(c) {
+                        return Err(format!("core {c} spans block {b} it does not own"));
+                    }
+                }
+                seen[b] = true;
+                if self.blocks.health(b) == LaneHealth::Retired {
+                    return Err(format!("core {c} still spans retired block {b}"));
+                }
+            }
+        }
+        let retired = self.blocks.retired_blocks().len();
+        let surviving = self.cfg.total_granules.saturating_sub(retired);
+        if self.arch != Architecture::TemporalSharing {
+            let occupied: usize = self.cores.iter().map(|c| c.spans.len()).sum();
+            if occupied > surviving {
+                return Err(format!(
+                    "{occupied} granules occupied but only {surviving} survive"
+                ));
+            }
+        }
+        if !self.table.invariant_holds() {
+            return Err("resource-table conservation (VL + AL == total) violated".into());
+        }
+        Ok(())
     }
 
     /// OS context save (§5): with the core's pipelines drained, captures

@@ -72,6 +72,36 @@ pub enum SimError {
         /// Structured machine state at the trip.
         dump: WatchdogDump,
     },
+    /// The residue check on a completing vector result (or a periodic
+    /// lane self-test) flagged an ExeBU granule as producing wrong data.
+    ///
+    /// Without a recovery policy
+    /// ([`Machine::enable_recovery`](crate::Machine::enable_recovery))
+    /// this is terminal — the corrupted value was caught before silently
+    /// propagating into the run's results. With recovery enabled the
+    /// machine rolls back to its last checkpoint instead of latching
+    /// this error.
+    LaneFault {
+        /// The core whose instruction exposed the fault.
+        core: usize,
+        /// The faulty ExeBU granule.
+        granule: usize,
+        /// The cycle at which the fault corrupted a result.
+        injected_at: u64,
+        /// The cycle at which the residue check caught it.
+        detected_at: u64,
+    },
+    /// The recovery controller could not restore correct execution: the
+    /// rollback budget was exhausted (e.g. an unquarantinable persistent
+    /// fault kept re-firing) or no checkpoint was available.
+    RecoveryFailed {
+        /// The cycle at which recovery gave up.
+        cycle: u64,
+        /// Rollbacks performed before giving up.
+        rollbacks: u64,
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -85,6 +115,8 @@ impl SimError {
             SimError::MemoryFault { .. } => "memory-fault",
             SimError::Config(_) => "config",
             SimError::Watchdog { .. } => "watchdog",
+            SimError::LaneFault { .. } => "lane-fault",
+            SimError::RecoveryFailed { .. } => "recovery-failed",
         }
     }
 }
@@ -115,6 +147,19 @@ impl fmt::Display for SimError {
             SimError::Config(msg) => write!(f, "invalid machine configuration: {msg}"),
             SimError::Watchdog { cycle, dump } => {
                 write!(f, "watchdog tripped at cycle {cycle}: {dump}")
+            }
+            SimError::LaneFault { core, granule, injected_at, detected_at } => {
+                write!(
+                    f,
+                    "lane fault on core {core}: residue check flagged ExeBU granule {granule} \
+                     at cycle {detected_at} (corrupted at cycle {injected_at})"
+                )
+            }
+            SimError::RecoveryFailed { cycle, rollbacks, detail } => {
+                write!(
+                    f,
+                    "recovery failed at cycle {cycle} after {rollbacks} rollback(s): {detail}"
+                )
             }
         }
     }
@@ -209,6 +254,29 @@ mod tests {
         let e: SimError = ConfigError("bad".to_owned()).into();
         assert_eq!(e, SimError::Config("bad".to_owned()));
         assert_eq!(e.kind(), "config");
+    }
+
+    #[test]
+    fn lane_fault_reports_granule_and_latency_window() {
+        let e = SimError::LaneFault { core: 0, granule: 5, injected_at: 100, detected_at: 104 };
+        let s = e.to_string();
+        assert!(s.contains("granule 5"), "{s}");
+        assert!(s.contains("cycle 104"), "{s}");
+        assert!(s.contains("cycle 100"), "{s}");
+        assert_eq!(e.kind(), "lane-fault");
+    }
+
+    #[test]
+    fn recovery_failed_reports_rollbacks() {
+        let e = SimError::RecoveryFailed {
+            cycle: 777,
+            rollbacks: 64,
+            detail: "rollback budget exhausted".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cycle 777"), "{s}");
+        assert!(s.contains("64 rollback(s)"), "{s}");
+        assert_eq!(e.kind(), "recovery-failed");
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //! * `<OI>` writes — the hint the lane manager plans from is bit-flipped,
 //! * partition decisions — the published `<decision>` is perturbed by
 //!   ±1 granule,
-//! * memory accesses — completion is delayed by a latency spike.
+//! * memory accesses — completion is delayed by a latency spike,
+//! * compute issues — a transient (soft-error) or persistent (hard-fault)
+//!   lane fault corrupts one result element; the co-processor's residue
+//!   check turns this into [`SimError::LaneFault`](crate::SimError) or,
+//!   with recovery enabled, a checkpoint rollback.
 //!
 //! Program corruption (truncation, immediate bit-flips) happens *before*
 //! the run via [`FaultPlan::corrupt_program`], modelling a faulty
@@ -40,6 +44,16 @@ pub struct FaultPlan {
     /// Per-instruction probability of an immediate bit-flip in
     /// [`corrupt_program`](Self::corrupt_program).
     pub program_bitflip_rate: f64,
+    /// Per-compute-issue probability that a *transient* lane fault flips
+    /// a bit in one result element (soft error in an ExeBU).
+    pub lane_transient_rate: f64,
+    /// A *persistent* hard fault: this ExeBU granule corrupts every
+    /// compute result it participates in (from
+    /// [`permanent_lane_from`](Self::permanent_lane_from) onward).
+    pub permanent_lane: Option<usize>,
+    /// First cycle at which [`permanent_lane`](Self::permanent_lane)
+    /// misbehaves (0 = broken from power-on).
+    pub permanent_lane_from: u64,
 }
 
 impl Default for FaultPlan {
@@ -52,6 +66,9 @@ impl Default for FaultPlan {
             mem_spike_cycles: 200,
             program_truncate_rate: 0.0,
             program_bitflip_rate: 0.0,
+            lane_transient_rate: 0.0,
+            permanent_lane: None,
+            permanent_lane_from: 0,
         }
     }
 }
@@ -64,6 +81,8 @@ impl FaultPlan {
             && self.mem_spike_rate == 0.0
             && self.program_truncate_rate == 0.0
             && self.program_bitflip_rate == 0.0
+            && self.lane_transient_rate == 0.0
+            && self.permanent_lane.is_none()
     }
 
     /// Parses a CLI spec like
@@ -102,10 +121,23 @@ impl FaultPlan {
                 }
                 "truncate" => plan.program_truncate_rate = rate(value)?,
                 "bitflip" => plan.program_bitflip_rate = rate(value)?,
+                "lanet" => plan.lane_transient_rate = rate(value)?,
+                "lanep" => {
+                    plan.permanent_lane = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("lane granule '{value}' is not a usize"))?,
+                    );
+                }
+                "lanepat" => {
+                    plan.permanent_lane_from = value
+                        .parse()
+                        .map_err(|_| format!("onset cycle '{value}' is not a u64"))?;
+                }
                 other => {
                     return Err(format!(
-                        "unknown fault spec key '{other}' \
-                         (expected seed/oi/decision/mem/spike/truncate/bitflip)"
+                        "unknown fault spec key '{other}' (expected \
+                         seed/oi/decision/mem/spike/truncate/bitflip/lanet/lanep/lanepat)"
                     ))
                 }
             }
@@ -212,12 +244,16 @@ pub struct FaultStats {
     pub decision_perturbations: u64,
     /// Memory accesses delayed.
     pub mem_spikes: u64,
+    /// Vector results corrupted by a lane fault (transient or
+    /// persistent), counting faults corrected in place by the residue
+    /// checker as well as those that escaped to detection.
+    pub lane_corruptions: u64,
 }
 
 impl FaultStats {
     /// Total faults injected at runtime.
     pub fn total(&self) -> u64 {
-        self.oi_corruptions + self.decision_perturbations + self.mem_spikes
+        self.oi_corruptions + self.decision_perturbations + self.mem_spikes + self.lane_corruptions
     }
 }
 
@@ -284,6 +320,38 @@ impl FaultState {
             0
         }
     }
+
+    /// Maybe faults one compute issue executing on the granules in
+    /// `spans`, returning the faulty granule. The persistent fault is
+    /// checked first and draws no randomness, so whether it is active
+    /// never shifts the transient stream; the transient draw is guarded
+    /// by its rate for the same reason.
+    pub(crate) fn lane_fault(&mut self, spans: &[usize], now: u64) -> Option<usize> {
+        if spans.is_empty() {
+            return None;
+        }
+        if let Some(g) = self.plan.permanent_lane {
+            if now >= self.plan.permanent_lane_from && spans.contains(&g) {
+                self.stats.lane_corruptions += 1;
+                return Some(g);
+            }
+        }
+        if self.plan.lane_transient_rate > 0.0 && self.rng.gen_bool(self.plan.lane_transient_rate)
+        {
+            self.stats.lane_corruptions += 1;
+            let pick = self.rng.gen_range(0..spans.len() as u32) as usize;
+            return Some(spans[pick]);
+        }
+        None
+    }
+
+    /// Whether the plan's persistent fault is active on `granule` at
+    /// `now`. Draws no randomness — this is the lane self-test's oracle
+    /// (a real self-test runs a known vector through the ExeBU; a
+    /// persistent fault fails it deterministically).
+    pub(crate) fn permanent_faulty(&self, granule: usize, now: u64) -> bool {
+        self.plan.permanent_lane == Some(granule) && now >= self.plan.permanent_lane_from
+    }
 }
 
 #[cfg(test)]
@@ -293,9 +361,11 @@ mod tests {
 
     #[test]
     fn parse_round_trips_every_knob() {
-        let plan =
-            FaultPlan::parse("seed=42, oi=0.25, decision=0.5, mem=1, spike=300, truncate=0.1, bitflip=0.02")
-                .unwrap();
+        let plan = FaultPlan::parse(
+            "seed=42, oi=0.25, decision=0.5, mem=1, spike=300, truncate=0.1, bitflip=0.02, \
+             lanet=0.001, lanep=3, lanepat=5000",
+        )
+        .unwrap();
         assert_eq!(plan.seed, 42);
         assert_eq!(plan.oi_corrupt_rate, 0.25);
         assert_eq!(plan.decision_perturb_rate, 0.5);
@@ -303,7 +373,47 @@ mod tests {
         assert_eq!(plan.mem_spike_cycles, 300);
         assert_eq!(plan.program_truncate_rate, 0.1);
         assert_eq!(plan.program_bitflip_rate, 0.02);
+        assert_eq!(plan.lane_transient_rate, 0.001);
+        assert_eq!(plan.permanent_lane, Some(3));
+        assert_eq!(plan.permanent_lane_from, 5000);
         assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn lane_knobs_alone_are_not_noop() {
+        let t = FaultPlan { lane_transient_rate: 0.1, ..FaultPlan::default() };
+        assert!(!t.is_noop());
+        let p = FaultPlan { permanent_lane: Some(0), ..FaultPlan::default() };
+        assert!(!p.is_noop());
+    }
+
+    #[test]
+    fn permanent_lane_fault_fires_deterministically_on_its_granule() {
+        let plan = FaultPlan {
+            permanent_lane: Some(2),
+            permanent_lane_from: 100,
+            ..FaultPlan::default()
+        };
+        let mut fs = FaultState::new(plan);
+        assert_eq!(fs.lane_fault(&[0, 1, 2, 3], 50), None, "dormant before onset");
+        assert_eq!(fs.lane_fault(&[0, 1], 200), None, "granule not in use");
+        assert_eq!(fs.lane_fault(&[0, 1, 2, 3], 200), Some(2));
+        assert!(fs.permanent_faulty(2, 200));
+        assert!(!fs.permanent_faulty(2, 50));
+        assert!(!fs.permanent_faulty(1, 200));
+        assert_eq!(fs.stats.lane_corruptions, 1);
+    }
+
+    #[test]
+    fn transient_lane_faults_pick_a_granule_in_use() {
+        let plan = FaultPlan { seed: 9, lane_transient_rate: 1.0, ..FaultPlan::default() };
+        let mut fs = FaultState::new(plan);
+        for _ in 0..32 {
+            let g = fs.lane_fault(&[3, 5, 6], 0).expect("rate 1.0 always fires");
+            assert!([3, 5, 6].contains(&g));
+        }
+        assert_eq!(fs.stats.lane_corruptions, 32);
+        assert_eq!(fs.lane_fault(&[], 0), None, "no granules in use, nothing to fault");
     }
 
     #[test]

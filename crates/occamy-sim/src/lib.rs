@@ -32,6 +32,7 @@ mod exec;
 mod fault;
 mod lsu;
 mod machine;
+mod recovery;
 mod regblocks;
 mod scalar;
 mod stats;
@@ -42,7 +43,9 @@ pub use area::{AreaBreakdown, AreaComponent};
 pub use config::{Architecture, SimConfig};
 pub use error::{CoreDump, SimError, WatchdogDump};
 pub use fault::{FaultPlan, FaultState, FaultStats};
-pub use machine::{ConfigError, Machine, SavedTask};
+pub use machine::{ConfigError, Machine, MachineSnapshot, SavedTask};
+pub use recovery::{RecoveryPolicy, RecoveryStats};
+pub use regblocks::LaneHealth;
 pub use stats::{CoreStats, MachineStats, PhaseStats, Timeline, TimelineBucket};
 pub use trace::{render_pipeview, to_kanata, Trace, TraceEvent, TraceStage};
 pub use viz::render_lane_timeline;

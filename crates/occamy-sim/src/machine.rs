@@ -7,6 +7,7 @@ use crate::config::{Architecture, SimConfig};
 use crate::coproc::{CoProcessor, OsContext};
 use crate::error::{CoreDump, SimError, WatchdogDump};
 use crate::fault::{FaultPlan, FaultState, FaultStats};
+use crate::recovery::{RecoveryPolicy, RecoveryStats};
 use crate::scalar::{ScalarCore, Wait};
 use crate::stats::{CoreStats, MachineStats, Timeline};
 
@@ -43,7 +44,7 @@ const DEFAULT_WATCHDOG: Cycle = 1_000_000;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
     cfg: SimConfig,
     mem: Memory,
@@ -67,6 +68,42 @@ pub struct Machine {
     /// Last observed progress signature: (co-processor retirements,
     /// total scalar retirements, hash of the `<decision>` registers).
     last_sig: (u64, u64, u64),
+    /// Detection-and-recovery controller (`None` unless
+    /// [`enable_recovery`](Machine::enable_recovery) was called; the
+    /// fault-free fast path is untouched).
+    recovery: Option<Box<RecoveryCtl>>,
+}
+
+/// A deterministic architectural snapshot of a whole [`Machine`], taken
+/// by [`Machine::snapshot`]. Opaque: hand it back to
+/// [`Machine::restore_snapshot`]. Restoring reproduces the captured run
+/// bit-identically because the simulator is deterministic and the
+/// snapshot includes the cycle counter, all pipeline state, the memory
+/// image and the fault-injection stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSnapshot(Box<Machine>);
+
+impl MachineSnapshot {
+    /// The cycle at which the snapshot was taken.
+    pub fn cycle(&self) -> Cycle {
+        self.0.cycle
+    }
+}
+
+/// Private state of the detection-and-recovery subsystem.
+#[derive(Debug, Clone, PartialEq)]
+struct RecoveryCtl {
+    policy: RecoveryPolicy,
+    stats: RecoveryStats,
+    /// Residue-check strikes per granule (persistence classifier).
+    strikes: Vec<u32>,
+    /// Granules classified persistently faulty. Quarantine marks live in
+    /// the co-processor's (checkpointed) block state; this list is the
+    /// classifier's verdict, re-applied idempotently after a rollback so
+    /// the two can never drift apart.
+    quarantined: Vec<usize>,
+    /// The rollback target. Always present after `enable_recovery`.
+    checkpoint: Option<MachineSnapshot>,
 }
 
 /// A task preempted by [`Machine::preempt`]: the scalar core state plus
@@ -119,6 +156,7 @@ impl Machine {
             watchdog: DEFAULT_WATCHDOG,
             stagnant: 0,
             last_sig: (0, 0, 0),
+            recovery: None,
         })
     }
 
@@ -142,6 +180,81 @@ impl Machine {
     pub fn set_watchdog(&mut self, cycles: Cycle) {
         self.watchdog = cycles.max(1);
         self.stagnant = 0;
+    }
+
+    /// Captures a deterministic architectural snapshot of the whole
+    /// machine (pipelines, memory image, statistics, cycle counter and
+    /// fault-injection stream). The recovery controller itself is not
+    /// part of the snapshot, so checkpoints never nest.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let mut image = self.clone();
+        image.recovery = None;
+        MachineSnapshot(Box::new(image))
+    }
+
+    /// Restores the machine to `snapshot` with full fidelity (including
+    /// the fault-injection stream position, so the captured run replays
+    /// bit-identically). The current recovery controller, if any, is
+    /// kept.
+    pub fn restore_snapshot(&mut self, snapshot: &MachineSnapshot) {
+        let ctl = self.recovery.take();
+        *self = (*snapshot.0).clone();
+        self.recovery = ctl;
+    }
+
+    /// Arms the detection-and-recovery subsystem (§ detection &
+    /// recovery): the residue check turns corrupted lane results into
+    /// rollbacks to a periodic checkpoint, persistent faults quarantine
+    /// their granule (on Occamy, where the lane manager can repartition
+    /// the survivors), and a periodic self-test sweeps for permanent
+    /// faults. Call after loading programs — the initial checkpoint is
+    /// taken here.
+    pub fn enable_recovery(&mut self, policy: RecoveryPolicy) {
+        let mut ctl = Box::new(RecoveryCtl {
+            policy,
+            stats: RecoveryStats::default(),
+            strikes: vec![0; self.cfg.total_granules],
+            quarantined: Vec::new(),
+            checkpoint: None,
+        });
+        ctl.checkpoint = Some(self.snapshot());
+        self.recovery = Some(ctl);
+    }
+
+    /// Counters of the recovery subsystem so far (`None` unless
+    /// [`enable_recovery`](Machine::enable_recovery) was called), with
+    /// the live inline-correction and quarantine gauges folded in.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.recovery.as_ref().map(|ctl| {
+            let mut s = ctl.stats;
+            s.corrected_inline = self.coproc.corrected_inline;
+            let (draining, retired) = self.coproc.quarantine_counts();
+            s.lanes_quarantined = draining as u64;
+            s.lanes_retired = retired as u64;
+            s
+        })
+    }
+
+    /// Granules classified persistently faulty so far.
+    pub fn quarantined_granules(&self) -> Vec<usize> {
+        self.recovery.as_ref().map_or_else(Vec::new, |ctl| ctl.quarantined.clone())
+    }
+
+    /// `<OI>` hints rejected by sanitization and replaced with the
+    /// hardware monitor's measured intensity.
+    pub fn hints_sanitized(&self) -> u64 {
+        self.coproc.hints_sanitized
+    }
+
+    /// Cross-checks the lane bookkeeping invariants (no granule assigned
+    /// to two cores, no retired granule still in use, occupancy bounded
+    /// by the survivors, resource-table conservation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn lane_audit(&self) -> Result<(), String> {
+        self.coproc.lane_audit()
     }
 
     /// The fault latched by a previous [`step`](Machine::step) /
@@ -262,6 +375,10 @@ impl Machine {
         while self.cycle < max_cycles && !self.done() {
             self.step()?;
         }
+        // A program epilogue may shed its last blocks on the final step;
+        // finish any pending quarantine drains so the run's end-state
+        // reflects every retirement the fault campaign should count.
+        self.recovery_maintenance();
         let mut stats = self.stats();
         stats.timed_out = !stats.completed;
         Ok(stats)
@@ -278,11 +395,147 @@ impl Machine {
         if let Some(e) = self.fault() {
             return Err(e.clone());
         }
+        self.recovery_maintenance();
         self.tick();
+        if self.try_recover()? {
+            // Rolled back to the last checkpoint: the cycle counter and
+            // watchdog state were restored with it.
+            return Ok(());
+        }
         if let Some(e) = self.fault() {
             return Err(e.clone());
         }
         self.check_watchdog()
+    }
+
+    /// Housekeeping of the recovery subsystem, run before each cycle:
+    /// finishes lazy quarantine drains, runs the periodic lane
+    /// self-test, and takes the periodic checkpoint. No-op when recovery
+    /// is disabled.
+    fn recovery_maintenance(&mut self) {
+        let Some(mut ctl) = self.recovery.take() else { return };
+        // Granules whose owner shed them since last cycle retire now.
+        self.coproc.maintain_quarantine();
+        // Periodic lane self-test: catches permanent faults on granules
+        // that are not currently computing (a lightly-loaded machine
+        // would otherwise never detect them through the residue check).
+        if ctl.policy.selftest_interval > 0
+            && ctl.policy.quarantine
+            && self.cycle > 0
+            && self.cycle % ctl.policy.selftest_interval == 0
+            && self.coproc.has_lane_manager()
+        {
+            for g in 0..self.cfg.total_granules {
+                let hit =
+                    self.faults.as_ref().is_some_and(|f| f.permanent_faulty(g, self.cycle));
+                if hit && !ctl.quarantined.contains(&g) && self.coproc.begin_quarantine(g) {
+                    ctl.quarantined.push(g);
+                    ctl.stats.selftest_detections += 1;
+                }
+            }
+        }
+        // Periodic checkpoint — but never while a core is frozen
+        // mid-preemption (a rollback must not cross a context-switch
+        // boundary) and never while a corrupted result is still in
+        // flight (the checkpoint would capture the corruption and the
+        // rollback would replay it forever).
+        let frozen = self.scalar.iter().any(|s| s.frozen);
+        if !frozen
+            && !self.coproc.inflight_tainted()
+            && (ctl.checkpoint.is_none()
+                || self.cycle % ctl.policy.checkpoint_interval == 0)
+        {
+            ctl.checkpoint = Some(self.snapshot());
+        }
+        self.recovery = Some(ctl);
+    }
+
+    /// Re-takes the checkpoint after an OS-visible transition (context
+    /// save/restore): a rollback must never undo a context switch the OS
+    /// has already observed.
+    fn refresh_checkpoint(&mut self) {
+        if let Some(mut ctl) = self.recovery.take() {
+            ctl.checkpoint = Some(self.snapshot());
+            self.recovery = Some(ctl);
+        }
+    }
+
+    /// Consumes a freshly-latched [`SimError::LaneFault`] when recovery
+    /// is enabled: classifies the granule (transient vs persistent),
+    /// quarantines persistent offenders, and rolls the machine back to
+    /// the last checkpoint for a deterministic replay. Returns
+    /// `Ok(true)` when a rollback happened this cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RecoveryFailed`] once the rollback budget is
+    /// spent — the machine stays poisoned with that error.
+    fn try_recover(&mut self) -> Result<bool, SimError> {
+        let Some(mut ctl) = self.recovery.take() else { return Ok(false) };
+        let (granule, injected_at, detected_at) = match &self.coproc.fault {
+            Some(SimError::LaneFault { granule, injected_at, detected_at, .. }) => {
+                (*granule, *injected_at, *detected_at)
+            }
+            _ => {
+                self.recovery = Some(ctl);
+                return Ok(false);
+            }
+        };
+        ctl.stats.detections += 1;
+        ctl.stats.detection_latency_sum += detected_at.saturating_sub(injected_at);
+        // Classification: repeated strikes on the same granule mean the
+        // fault moved in for good, so quarantine it before replaying —
+        // further hits there are then corrected in place instead of
+        // burning another rollback.
+        if let Some(s) = ctl.strikes.get_mut(granule) {
+            *s += 1;
+        }
+        let persistent =
+            ctl.strikes.get(granule).is_some_and(|&s| s >= ctl.policy.strike_threshold);
+        if persistent
+            && ctl.policy.quarantine
+            && self.coproc.has_lane_manager()
+            && !ctl.quarantined.contains(&granule)
+        {
+            ctl.quarantined.push(granule);
+        }
+        if ctl.stats.rollbacks >= ctl.policy.max_rollbacks {
+            let e = SimError::RecoveryFailed {
+                cycle: self.cycle,
+                rollbacks: ctl.stats.rollbacks,
+                detail: format!(
+                    "granule {granule} faulted again after the rollback budget was spent"
+                ),
+            };
+            self.coproc.fault = None;
+            self.fault = Some(e.clone());
+            self.recovery = Some(ctl);
+            return Err(e);
+        }
+        let Some(image) = ctl.checkpoint.clone() else {
+            // Unreachable in practice: enable_recovery takes the initial
+            // checkpoint. Surface the raw lane fault.
+            let e = SimError::LaneFault { core: 0, granule, injected_at, detected_at };
+            self.recovery = Some(ctl);
+            self.fault = Some(e.clone());
+            return Err(e);
+        };
+        ctl.stats.rollbacks += 1;
+        ctl.stats.replayed_cycles += self.cycle.saturating_sub(image.cycle());
+        // Roll the architectural state back but keep the *live* fault
+        // stream: the replay draws fresh randomness, so a transient does
+        // not recur deterministically, while a permanent fault keeps
+        // firing until classification quarantines its granule.
+        let keep_faults = self.faults.take();
+        *self = (*image.0).clone();
+        self.faults = keep_faults;
+        // Re-apply the classifier's verdicts: the checkpoint predates
+        // any quarantine begun after it (idempotent for the rest).
+        for g in ctl.quarantined.clone() {
+            self.coproc.begin_quarantine(g);
+        }
+        self.recovery = Some(ctl);
+        Ok(true)
     }
 
     /// A snapshot of the statistics so far.
@@ -381,6 +634,9 @@ impl Machine {
         self.scalar[core].frozen = true;
         let deadline = self.cycle + max_drain_cycles;
         while !(self.coproc.is_drained(core) && self.scalar[core].wait == Wait::Ready) {
+            // A recovery rollback may restore an image from before the
+            // freeze; re-assert it so the drain still converges.
+            self.scalar[core].frozen = true;
             if self.cycle >= deadline {
                 let e = SimError::Watchdog {
                     cycle: self.cycle,
@@ -395,6 +651,9 @@ impl Machine {
         }
         let em = self.coproc.os_save(core);
         let scalar = std::mem::replace(&mut self.scalar[core], ScalarCore::idle());
+        // The OS has observed the context switch: rollbacks must not
+        // cross it.
+        self.refresh_checkpoint();
         Ok(SavedTask { scalar, em })
     }
 
@@ -440,6 +699,9 @@ impl Machine {
         // The workload was mid-run before; clear its finish marker in
         // case the drain recorded one.
         self.core_stats[core].finish_cycle = None;
+        // As with preemption: the restore is OS-visible, so rollbacks
+        // must not cross it.
+        self.refresh_checkpoint();
         Ok(())
     }
 

@@ -1,0 +1,198 @@
+//! Detection & recovery policy and statistics (lane quarantine,
+//! checkpoint/rollback).
+//!
+//! The recovery subsystem is opt-in (`Machine::enable_recovery`) and
+//! layers three mechanisms over the fault-injection hooks in
+//! [`fault`](crate::fault):
+//!
+//! 1. **Detection** — a residue check on every compute writeback turns a
+//!    corrupted lane result into a typed
+//!    [`SimError::LaneFault`](crate::SimError::LaneFault) instead of
+//!    silently poisoning downstream data, and a periodic lane self-test
+//!    sweeps for permanent faults on granules that are not currently
+//!    computing.
+//! 2. **Quarantine** — granules classified as *persistently* faulty
+//!    (repeated residue detections, or a self-test hit) are lazily
+//!    drained and retired, and the lane manager elastically repartitions
+//!    the survivors.
+//! 3. **Checkpoint/rollback** — periodic architectural snapshots of the
+//!    whole machine; a *transient* detection rolls back to the last
+//!    checkpoint and replays, which is bit-identical to a fault-free run
+//!    because the simulator is deterministic and the snapshot includes
+//!    the cycle counter.
+
+use std::fmt;
+
+/// Tunables of the detection-and-recovery subsystem.
+///
+/// The defaults balance checkpoint overhead against replay cost for the
+/// paper-scale kernels (tens to hundreds of thousands of cycles): a
+/// 10k-cycle checkpoint interval bounds any single replay, and three
+/// strikes on the same granule distinguish a persistent fault from an
+/// unlucky pair of transients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Cycles between architectural checkpoints (also the upper bound on
+    /// cycles replayed per rollback).
+    pub checkpoint_interval: u64,
+    /// Cycles between periodic lane self-tests (0 disables self-test).
+    pub selftest_interval: u64,
+    /// Residue-check detections on the same granule before it is
+    /// classified persistent and quarantined.
+    pub strike_threshold: u32,
+    /// Rollbacks allowed before the run is declared unrecoverable.
+    pub max_rollbacks: u64,
+    /// Whether persistent faults quarantine the granule (requires a lane
+    /// manager; without it every detection can only roll back).
+    pub quarantine: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            checkpoint_interval: 10_000,
+            selftest_interval: 25_000,
+            strike_threshold: 3,
+            max_rollbacks: 64,
+            quarantine: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Parses a `key=value,...` spec (the `--recover` CLI syntax):
+    /// `interval` (checkpoint cycles), `selftest` (self-test cycles),
+    /// `strikes`, `rollbacks`, `quarantine` (`0`/`1`). Unset keys keep
+    /// their defaults; an empty spec is the default policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending clause when a key is
+    /// unknown or a value does not parse.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut p = RecoveryPolicy::default();
+        for part in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("recovery clause `{part}` is not key=value"))?;
+            let bad = |_| format!("recovery clause `{part}` has an unparsable value");
+            match key.trim() {
+                "interval" => p.checkpoint_interval = value.trim().parse().map_err(bad)?,
+                "selftest" => p.selftest_interval = value.trim().parse().map_err(bad)?,
+                "strikes" => p.strike_threshold = value.trim().parse().map_err(bad)?,
+                "rollbacks" => p.max_rollbacks = value.trim().parse().map_err(bad)?,
+                "quarantine" => {
+                    let v: u8 = value.trim().parse().map_err(bad)?;
+                    p.quarantine = v != 0;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown recovery key `{other}` \
+                         (expected interval/selftest/strikes/rollbacks/quarantine)"
+                    ));
+                }
+            }
+        }
+        if p.checkpoint_interval == 0 {
+            return Err("recovery checkpoint interval must be nonzero".into());
+        }
+        Ok(p)
+    }
+}
+
+/// Counters accumulated by the recovery subsystem across a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Residue-check detections (each one surfaced a corrupted result).
+    pub detections: u64,
+    /// Permanent faults caught by the periodic lane self-test.
+    pub selftest_detections: u64,
+    /// Rollbacks to the last checkpoint.
+    pub rollbacks: u64,
+    /// Architectural cycles re-executed by rollbacks (wasted work).
+    pub replayed_cycles: u64,
+    /// Corruptions on already-quarantined granules corrected in place.
+    pub corrected_inline: u64,
+    /// Sum of detection latencies (detected − injected), for averaging.
+    pub detection_latency_sum: u64,
+    /// Granules currently draining toward retirement.
+    pub lanes_quarantined: u64,
+    /// Granules fully retired from the machine.
+    pub lanes_retired: u64,
+}
+
+impl RecoveryStats {
+    /// Mean cycles from corruption to residue-check detection, over the
+    /// residue detections seen so far (`None` before the first one).
+    pub fn avg_detection_latency(&self) -> Option<f64> {
+        if self.detections == 0 {
+            None
+        } else {
+            Some(self.detection_latency_sum as f64 / self.detections as f64)
+        }
+    }
+}
+
+impl fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "detections          : {} residue + {} self-test",
+            self.detections, self.selftest_detections
+        )?;
+        writeln!(
+            f,
+            "rollbacks           : {} ({} cycles replayed)",
+            self.rollbacks, self.replayed_cycles
+        )?;
+        writeln!(f, "corrected in place  : {}", self.corrected_inline)?;
+        match self.avg_detection_latency() {
+            Some(l) => writeln!(f, "detection latency   : {l:.1} cycles (mean)")?,
+            None => writeln!(f, "detection latency   : n/a")?,
+        }
+        write!(
+            f,
+            "lanes               : {} draining, {} retired",
+            self.lanes_quarantined, self.lanes_retired
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_round_trips_through_parse() {
+        assert_eq!(RecoveryPolicy::parse("").unwrap(), RecoveryPolicy::default());
+        let p = RecoveryPolicy::parse(
+            "interval=5000,selftest=0,strikes=2,rollbacks=9,quarantine=0",
+        )
+        .unwrap();
+        assert_eq!(p.checkpoint_interval, 5000);
+        assert_eq!(p.selftest_interval, 0);
+        assert_eq!(p.strike_threshold, 2);
+        assert_eq!(p.max_rollbacks, 9);
+        assert!(!p.quarantine);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bad_values() {
+        assert!(RecoveryPolicy::parse("bogus=1").unwrap_err().contains("bogus"));
+        assert!(RecoveryPolicy::parse("interval=abc").unwrap_err().contains("interval=abc"));
+        assert!(RecoveryPolicy::parse("interval").unwrap_err().contains("key=value"));
+        assert!(RecoveryPolicy::parse("interval=0").unwrap_err().contains("nonzero"));
+    }
+
+    #[test]
+    fn detection_latency_averages_over_residue_detections_only() {
+        let mut s = RecoveryStats::default();
+        assert_eq!(s.avg_detection_latency(), None);
+        s.detections = 4;
+        s.detection_latency_sum = 10;
+        assert_eq!(s.avg_detection_latency(), Some(2.5));
+        let text = s.to_string();
+        assert!(text.contains("4 residue"));
+        assert!(text.contains("2.5 cycles"));
+    }
+}

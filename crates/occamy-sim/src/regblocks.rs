@@ -47,6 +47,29 @@ impl fmt::Display for BlockOwner {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PhysId(pub(crate) u32);
 
+/// Health of one RegBlk/ExeBU pair, as seen by the quarantine state
+/// machine (`Healthy → Draining → Retired`, never backward).
+///
+/// A granule classified as persistently faulty is first marked
+/// [`Draining`](LaneHealth::Draining): the lane manager stops planning
+/// over it and [`RegBlocks::reassign`] stops handing it out, but the
+/// current owner keeps it (at full width, with detections corrected
+/// in place) until its next partition point naturally releases it.
+/// Forcing the block away mid-phase would change the owner's `<VL>`
+/// between partition points, which compiled kernels are allowed to
+/// assume constant. Once the block is free it becomes
+/// [`Retired`](LaneHealth::Retired) and leaves the machine for good.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneHealth {
+    /// Fully operational.
+    #[default]
+    Healthy,
+    /// Classified faulty; awaiting natural release by its owner.
+    Draining,
+    /// Out of service: never planned over, never reassigned.
+    Retired,
+}
+
 /// The RegBlk ownership table plus per-block free-entry counters for
 /// both register classes (Fig. 5: each RegBlk holds 160 x 128-bit
 /// vector registers and 64 x 16-bit predicate registers).
@@ -57,6 +80,7 @@ pub struct RegBlocks {
     capacity: usize,
     pred_free: Vec<usize>,
     pred_capacity: usize,
+    health: Vec<LaneHealth>,
 }
 
 impl RegBlocks {
@@ -70,6 +94,7 @@ impl RegBlocks {
             capacity,
             pred_free: vec![pred_capacity; blocks],
             pred_capacity,
+            health: vec![LaneHealth::Healthy; blocks],
         }
     }
 
@@ -91,6 +116,58 @@ impl RegBlocks {
     /// Marks every block [`BlockOwner::Shared`] (the FTS configuration).
     pub fn set_all_shared(&mut self) {
         self.owner.iter_mut().for_each(|o| *o = BlockOwner::Shared);
+    }
+
+    /// The health state of `block`.
+    pub fn health(&self, block: usize) -> LaneHealth {
+        self.health[block]
+    }
+
+    /// Whether `block` is quarantined (draining or retired).
+    pub fn is_quarantined(&self, block: usize) -> bool {
+        block < self.health.len() && self.health[block] != LaneHealth::Healthy
+    }
+
+    /// Starts quarantining `block`: marks it [`LaneHealth::Draining`] if
+    /// currently healthy and free blocks become [`LaneHealth::Retired`]
+    /// directly (nothing to drain). Idempotent; returns `true` if the
+    /// block left the healthy pool on this call.
+    pub fn begin_quarantine(&mut self, block: usize) -> bool {
+        if block >= self.health.len() || self.health[block] != LaneHealth::Healthy {
+            return false;
+        }
+        self.health[block] = if self.owner[block] == BlockOwner::Free {
+            LaneHealth::Retired
+        } else {
+            LaneHealth::Draining
+        };
+        true
+    }
+
+    /// Finalizes one quarantine if `block`'s owner has released it
+    /// (Draining + Free → Retired). Returns whether the block retired on
+    /// this call, so the caller can couple each retirement to its own
+    /// resource-table bookkeeping.
+    pub fn try_finish_drain(&mut self, block: usize) -> bool {
+        if block < self.health.len()
+            && self.health[block] == LaneHealth::Draining
+            && self.owner[block] == BlockOwner::Free
+        {
+            self.health[block] = LaneHealth::Retired;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Blocks currently in [`LaneHealth::Draining`].
+    pub fn draining_blocks(&self) -> Vec<usize> {
+        (0..self.health.len()).filter(|&i| self.health[i] == LaneHealth::Draining).collect()
+    }
+
+    /// Blocks currently in [`LaneHealth::Retired`].
+    pub fn retired_blocks(&self) -> Vec<usize> {
+        (0..self.health.len()).filter(|&i| self.health[i] == LaneHealth::Retired).collect()
     }
 
     /// Reassigns ownership so that `core` owns exactly `granules` blocks:
@@ -118,7 +195,7 @@ impl RegBlocks {
             if claimed.len() == granules {
                 break;
             }
-            if *o == BlockOwner::Free {
+            if *o == BlockOwner::Free && self.health[i] == LaneHealth::Healthy {
                 *o = BlockOwner::Core(core);
                 claimed.push(i);
             }
@@ -319,6 +396,36 @@ mod tests {
         assert_eq!(c, vec![0]);
         assert_eq!(rb.owner(1), BlockOwner::Free);
         assert_eq!(rb.spans_for(1), vec![3, 4]);
+    }
+
+    #[test]
+    fn quarantine_of_a_free_block_retires_immediately() {
+        let mut rb = RegBlocks::new(4, 160, 64);
+        assert!(rb.begin_quarantine(2));
+        assert_eq!(rb.health(2), LaneHealth::Retired);
+        assert!(!rb.begin_quarantine(2), "idempotent");
+        // Retired blocks are never handed out again.
+        let claimed = rb.reassign(0, 3);
+        assert_eq!(claimed, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn quarantine_of_an_owned_block_drains_then_retires() {
+        let mut rb = RegBlocks::new(4, 160, 64);
+        assert_eq!(rb.reassign(0, 2), vec![0, 1]);
+        assert!(rb.begin_quarantine(1));
+        assert_eq!(rb.health(1), LaneHealth::Draining);
+        assert!(rb.is_quarantined(1));
+        // Still owned: nothing retires yet.
+        assert!(!rb.try_finish_drain(1));
+        assert_eq!(rb.draining_blocks(), vec![1]);
+        // Owner repartitions down to one granule: the draining block is
+        // freed but not reclaimed, then finalization retires it.
+        assert_eq!(rb.reassign(0, 1), vec![0]);
+        assert!(rb.try_finish_drain(1));
+        assert_eq!(rb.retired_blocks(), vec![1]);
+        // Growing again skips the retired block.
+        assert_eq!(rb.reassign(0, 3), vec![0, 2, 3]);
     }
 
     #[test]

@@ -197,6 +197,9 @@ fn arbitrary_plan(seed: u64) -> FaultPlan {
         mem_spike_cycles: rng.gen_range(0..2_000),
         program_truncate_rate: rate(&mut rng),
         program_bitflip_rate: rate(&mut rng),
+        lane_transient_rate: [0.0, 0.001, 0.05][rng.gen_range(0..3usize)],
+        permanent_lane: if rng.gen_bool(0.25) { Some(rng.gen_range(0..10usize)) } else { None },
+        permanent_lane_from: rng.gen_range(0..5_000),
     }
 }
 

@@ -14,9 +14,13 @@ use std::path::Path;
 /// Modules on the untrusted-input path (relative to the workspace root).
 const LINTED: &[&str] = &[
     "crates/em-simd/src/inst.rs",
+    "crates/lane-manager/src/manager.rs",
     "crates/lane-manager/src/table.rs",
     "crates/mem-sim/src/cache.rs",
     "crates/occamy-sim/src/coproc.rs",
+    "crates/occamy-sim/src/fault.rs",
+    "crates/occamy-sim/src/machine.rs",
+    "crates/occamy-sim/src/recovery.rs",
     "crates/occamy-sim/src/regblocks.rs",
     "crates/occamy-sim/src/lsu.rs",
 ];

@@ -1,0 +1,321 @@
+//! Detection & recovery (lane quarantine, checkpoint/rollback, hint
+//! sanitization) end-to-end: transient lane faults roll back to a
+//! bit-identical run, permanent faults quarantine their granule and the
+//! machine completes on the survivors, and corrupted `<OI>` hints are
+//! replaced by the monitor-measured path instead of poisoning the
+//! partition plan.
+
+use em_simd::{
+    DedicatedReg, EmSimdInst, Operand, OperationalIntensity, Program, ProgramBuilder,
+    ScalarInst, VBinOp, VReg, VectorInst, XReg,
+};
+use mem_sim::Memory;
+use occamy_sim::{Architecture, FaultPlan, Machine, RecoveryPolicy, SimConfig};
+
+const BASE_A: XReg = XReg::X0;
+const BASE_C: XReg = XReg::X2;
+const I: XReg = XReg::X3;
+const N: XReg = XReg::X4;
+const LANES: XReg = XReg::X5;
+const STATUS: XReg = XReg::X6;
+const NEXT: XReg = XReg::X8;
+
+/// `c[i] = a[i] * k` with the Fig. 9 skeleton; `oi_bits` is written
+/// verbatim to `<OI>` so tests can hand the monitor garbage hints.
+fn scale_program_with_hint(a: u64, c: u64, n: usize, k: f32, granules: i64, oi_bits: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.scalar(ScalarInst::MovImm { dst: BASE_A, imm: a as i64 });
+    b.scalar(ScalarInst::MovImm { dst: BASE_C, imm: c as i64 });
+    b.scalar(ScalarInst::MovImm { dst: N, imm: n as i64 });
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Oi, src: Operand::Imm(oi_bits) });
+    let retry = b.fresh_label("cfg");
+    b.bind(retry);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(granules) });
+    b.em_simd(EmSimdInst::Mrs { dst: STATUS, reg: DedicatedReg::Status });
+    b.scalar(ScalarInst::Bne { a: STATUS, b: Operand::Imm(1), target: retry });
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X7, reg: DedicatedReg::Vl });
+    b.scalar(ScalarInst::ShlImm { dst: LANES, a: XReg::X7, shift: 2 });
+    b.vector(VectorInst::DupImm { dst: VReg::Z9, imm: k });
+    b.scalar(ScalarInst::MovImm { dst: I, imm: 0 });
+
+    let vloop = b.fresh_label("vloop");
+    let done = b.fresh_label("done");
+    b.bind(vloop);
+    b.scalar(ScalarInst::Add { dst: NEXT, a: I, b: Operand::Reg(LANES) });
+    b.scalar(ScalarInst::Blt { a: N, b: Operand::Reg(NEXT), target: done });
+    b.vector(VectorInst::Load { dst: VReg::Z1, base: BASE_A, index: I });
+    b.vector(VectorInst::Binary { op: VBinOp::Fmul, dst: VReg::Z2, a: VReg::Z1, b: VReg::Z9 });
+    b.vector(VectorInst::Store { src: VReg::Z2, base: BASE_C, index: I });
+    b.scalar(ScalarInst::Mov { dst: I, src: NEXT });
+    b.scalar(ScalarInst::B { target: vloop });
+    b.bind(done);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Oi, src: Operand::Imm(0) });
+    let rel = b.fresh_label("rel");
+    b.bind(rel);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(0) });
+    b.em_simd(EmSimdInst::Mrs { dst: STATUS, reg: DedicatedReg::Status });
+    b.scalar(ScalarInst::Bne { a: STATUS, b: Operand::Imm(1), target: rel });
+    b.halt();
+    b.build()
+}
+
+fn scale_program(a: u64, c: u64, n: usize, k: f32, granules: i64) -> Program {
+    let oi = OperationalIntensity::uniform(0.5).to_bits() as i64;
+    scale_program_with_hint(a, c, n, k, granules, oi)
+}
+
+/// A pure scalar busy loop: never configures lanes, never issues vector
+/// work, so lane faults can only be found by the periodic self-test.
+fn scalar_spin_program(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.scalar(ScalarInst::MovImm { dst: I, imm: iters });
+    let spin = b.fresh_label("spin");
+    b.bind(spin);
+    b.scalar(ScalarInst::Add { dst: I, a: I, b: Operand::Imm(-1) });
+    b.scalar(ScalarInst::Bne { a: I, b: Operand::Imm(0), target: spin });
+    b.halt();
+    b.build()
+}
+
+/// A paper 2-core machine with a scale program per core.
+fn build_pair(n: usize) -> (Machine, [u64; 2]) {
+    let mut mem = Memory::new(1 << 20);
+    let a0 = mem.alloc_f32(n as u64);
+    let c0 = mem.alloc_f32(n as u64);
+    let a1 = mem.alloc_f32(n as u64);
+    let c1 = mem.alloc_f32(n as u64);
+    for i in 0..n as u64 {
+        mem.write_f32(a0 + 4 * i, 1.0 + i as f32);
+        mem.write_f32(a1 + 4 * i, 0.5 * i as f32 - 7.0);
+    }
+    let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    m.load_program(0, scale_program(a0, c0, n, 3.0, 4));
+    m.load_program(1, scale_program(a1, c1, n, -2.0, 4));
+    (m, [c0, c1])
+}
+
+fn tight_policy() -> RecoveryPolicy {
+    RecoveryPolicy {
+        checkpoint_interval: 1_000,
+        selftest_interval: 2_000,
+        strike_threshold: 3,
+        max_rollbacks: 64,
+        quarantine: true,
+    }
+}
+
+#[test]
+fn enabling_recovery_on_a_fault_free_run_changes_nothing() {
+    let n = 2048;
+    let (mut plain, _) = build_pair(n);
+    let plain_stats = plain.run(10_000_000).expect("fault-free run");
+    assert!(plain_stats.completed);
+
+    let (mut recovering, _) = build_pair(n);
+    recovering.enable_recovery(tight_policy());
+    let stats = recovering.run(10_000_000).expect("recovery-enabled run");
+
+    // Checkpointing and self-tests are pure observers: cycle-exact
+    // statistics and a byte-identical memory image.
+    assert_eq!(stats, plain_stats, "recovery maintenance perturbed a fault-free run");
+    assert_eq!(*recovering.memory(), *plain.memory());
+    assert_eq!(recovering.hints_sanitized(), 0, "valid hints must pass untouched");
+    let r = recovering.recovery_stats().expect("stats present once enabled");
+    assert_eq!(r.detections, 0);
+    assert_eq!(r.rollbacks, 0);
+    assert_eq!(r.lanes_retired, 0);
+}
+
+#[test]
+fn transient_lane_faults_roll_back_to_a_bit_identical_run() {
+    let n = 2048;
+    let (mut baseline, _) = build_pair(n);
+    let base_stats = baseline.run(10_000_000).expect("fault-free run");
+    assert!(base_stats.completed);
+
+    // Sweep a few seeds so the test keeps meaning if issue timing
+    // drifts: every injected run must recover exactly, and at least one
+    // seed must actually exercise the rollback path.
+    let mut rollbacks_seen = 0;
+    for seed in 1..=10 {
+        let (mut m, _) = build_pair(n);
+        m.set_fault_plan(&FaultPlan {
+            seed,
+            lane_transient_rate: 5e-3,
+            ..FaultPlan::default()
+        });
+        m.enable_recovery(tight_policy());
+        let stats = m.run(10_000_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(stats.completed, "seed {seed} did not complete");
+        assert_eq!(stats, base_stats, "seed {seed}: stats diverged after rollback");
+        assert_eq!(
+            *m.memory(),
+            *baseline.memory(),
+            "seed {seed}: memory diverged after rollback"
+        );
+        let r = m.recovery_stats().expect("recovery stats");
+        rollbacks_seen += r.rollbacks;
+        assert_eq!(r.detections, r.rollbacks, "every detection must roll back");
+    }
+    assert!(rollbacks_seen > 0, "no seed exercised the rollback path");
+}
+
+#[test]
+fn a_permanent_fault_is_quarantined_and_the_run_completes_exactly() {
+    let n = 4096;
+    let (mut baseline, outs) = build_pair(n);
+    let base_stats = baseline.run(10_000_000).expect("fault-free run");
+    assert!(base_stats.completed);
+
+    let (mut m, _) = build_pair(n);
+    m.set_fault_plan(&FaultPlan {
+        seed: 1,
+        permanent_lane: Some(2),
+        permanent_lane_from: 400,
+        ..FaultPlan::default()
+    });
+    m.enable_recovery(tight_policy());
+    let stats = m.run(10_000_000).expect("quarantine must keep the machine alive");
+    assert!(stats.completed, "run must complete on the surviving granules");
+
+    let r = m.recovery_stats().expect("recovery stats");
+    assert!(r.rollbacks >= 1, "strikes accumulate through rollbacks");
+    assert!(
+        r.lanes_retired + r.lanes_quarantined >= 1,
+        "the stuck granule must be quarantined"
+    );
+    assert_eq!(m.quarantined_granules(), vec![2]);
+    m.lane_audit().expect("lane bookkeeping consistent after quarantine");
+
+    // Values are exact even though cycles are not: every corruption was
+    // rolled back or suppressed on the quarantined granule.
+    assert_eq!(*m.memory(), *baseline.memory());
+    for &c in &outs {
+        for i in (0..n as u64).step_by(127) {
+            assert_eq!(m.memory().read_f32(c + 4 * i), baseline.memory().read_f32(c + 4 * i));
+        }
+    }
+    assert!(stats.cycles >= base_stats.cycles, "recovery cannot be free");
+}
+
+#[test]
+fn a_permanent_fault_without_recovery_is_a_terminal_lane_fault() {
+    let n = 2048;
+    let (mut m, _) = build_pair(n);
+    m.set_fault_plan(&FaultPlan {
+        seed: 1,
+        permanent_lane: Some(2),
+        permanent_lane_from: 400,
+        ..FaultPlan::default()
+    });
+    let err = m.run(10_000_000).expect_err("an undetected-but-unrecovered fault latches");
+    assert_eq!(err.kind(), "lane-fault");
+    // Poisoned: stepping again returns the same error.
+    assert_eq!(m.step().expect_err("machine is poisoned").kind(), "lane-fault");
+}
+
+#[test]
+fn rollback_without_quarantine_exhausts_its_budget_on_a_permanent_fault() {
+    let n = 2048;
+    let (mut m, _) = build_pair(n);
+    m.set_fault_plan(&FaultPlan {
+        seed: 1,
+        permanent_lane: Some(2),
+        permanent_lane_from: 400,
+        ..FaultPlan::default()
+    });
+    m.enable_recovery(RecoveryPolicy {
+        quarantine: false,
+        max_rollbacks: 8,
+        ..tight_policy()
+    });
+    let err = m.run(10_000_000).expect_err("replaying a stuck granule cannot converge");
+    assert_eq!(err.kind(), "recovery-failed");
+    let r = m.recovery_stats().expect("recovery stats");
+    assert!(r.rollbacks >= 8, "the rollback budget must actually be spent");
+    assert_eq!(r.lanes_retired, 0, "quarantine was disabled");
+}
+
+#[test]
+fn the_selftest_finds_a_permanent_fault_on_an_unused_granule() {
+    // A scalar-only workload never exercises the lanes, so the residue
+    // check is blind; only the periodic self-test can find the fault.
+    let mem = Memory::new(1 << 16);
+    let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    m.load_program(0, scalar_spin_program(20_000));
+    m.set_fault_plan(&FaultPlan {
+        seed: 1,
+        permanent_lane: Some(3),
+        permanent_lane_from: 0,
+        ..FaultPlan::default()
+    });
+    m.enable_recovery(tight_policy());
+    let stats = m.run(10_000_000).expect("scalar work is unaffected");
+    assert!(stats.completed);
+
+    let r = m.recovery_stats().expect("recovery stats");
+    assert!(r.selftest_detections >= 1, "self-test must find the stuck granule");
+    assert_eq!(r.detections, 0, "the residue check never saw a corruption");
+    assert_eq!(m.quarantined_granules(), vec![3]);
+    assert_eq!(r.lanes_retired, 1, "a free granule retires without draining");
+    m.lane_audit().expect("lane bookkeeping consistent");
+}
+
+#[test]
+fn implausible_oi_hints_are_sanitized_to_the_measured_intensity() {
+    let n = 2048;
+    let (mut baseline, _) = build_pair(n);
+    let base_stats = baseline.run(10_000_000).expect("fault-free run");
+    assert!(base_stats.completed);
+
+    // Core 0 hands the monitor a NaN `<OI>` hint; sanitization must
+    // replace it with the measured intensity instead of letting NaN
+    // poison the partition plan.
+    let mut mem = Memory::new(1 << 20);
+    let a0 = mem.alloc_f32(n as u64);
+    let c0 = mem.alloc_f32(n as u64);
+    let a1 = mem.alloc_f32(n as u64);
+    let c1 = mem.alloc_f32(n as u64);
+    for i in 0..n as u64 {
+        mem.write_f32(a0 + 4 * i, 1.0 + i as f32);
+        mem.write_f32(a1 + 4 * i, 0.5 * i as f32 - 7.0);
+    }
+    let nan_bits = ((f32::NAN.to_bits() as u64) << 32 | f32::NAN.to_bits() as u64) as i64;
+    let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    m.load_program(0, scale_program_with_hint(a0, c0, n, 3.0, 4, nan_bits));
+    m.load_program(1, scale_program(a1, c1, n, -2.0, 4));
+    let stats = m.run(10_000_000).expect("sanitized run");
+    assert!(stats.completed);
+    assert!(m.hints_sanitized() > 0, "the NaN hint must be rejected");
+
+    // The partition plan stayed sane: both cores finished with correct
+    // values and nobody was starved.
+    for i in (0..n as u64).step_by(127) {
+        assert_eq!(m.memory().read_f32(c0 + 4 * i), 3.0 * (1.0 + i as f32));
+        assert_eq!(m.memory().read_f32(c1 + 4 * i), -2.0 * (0.5 * i as f32 - 7.0));
+    }
+    m.lane_audit().expect("lane bookkeeping consistent");
+}
+
+#[test]
+fn manual_snapshot_restore_resumes_bit_identically() {
+    let n = 2048;
+    let (mut golden, _) = build_pair(n);
+    let want = golden.run(10_000_000).expect("fault-free run");
+    assert!(want.completed);
+
+    let (mut m, _) = build_pair(n);
+    for _ in 0..700 {
+        m.step().expect("healthy run");
+    }
+    let snap = m.snapshot();
+    assert_eq!(snap.cycle(), 700);
+    for _ in 0..900 {
+        m.step().expect("healthy run");
+    }
+    m.restore_snapshot(&snap);
+    assert_eq!(m.cycle(), 700, "restore rewinds the cycle counter");
+    let stats = m.run(10_000_000).expect("resumed run");
+    assert_eq!(stats, want, "a restored machine must replay the original trajectory");
+    assert_eq!(*m.memory(), *golden.memory());
+}

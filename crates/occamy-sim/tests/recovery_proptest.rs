@@ -1,0 +1,189 @@
+//! Properties of the detection-and-recovery subsystem:
+//!
+//! * checkpoints are *exact* — `restore_snapshot` rewinds the machine to
+//!   a state bit-identical to the captured one, and the resumed run
+//!   replays the original trajectory exactly, from any capture point;
+//! * quarantine never corrupts the lane bookkeeping — for any permanent
+//!   fault location and onset, the ownership/occupancy/resource-table
+//!   invariants hold at every step and the survivors finish with exact
+//!   values.
+
+use em_simd::{
+    DedicatedReg, EmSimdInst, Operand, OperationalIntensity, Program, ProgramBuilder,
+    ScalarInst, VBinOp, VReg, VectorInst, XReg,
+};
+use mem_sim::Memory;
+use occamy_sim::{Architecture, FaultPlan, Machine, RecoveryPolicy, SimConfig};
+use proptest::prelude::*;
+
+const BASE_A: XReg = XReg::X0;
+const BASE_C: XReg = XReg::X2;
+const I: XReg = XReg::X3;
+const N: XReg = XReg::X4;
+const LANES: XReg = XReg::X5;
+const STATUS: XReg = XReg::X6;
+const NEXT: XReg = XReg::X8;
+
+fn scale_program(a: u64, c: u64, n: usize, k: f32, granules: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.scalar(ScalarInst::MovImm { dst: BASE_A, imm: a as i64 });
+    b.scalar(ScalarInst::MovImm { dst: BASE_C, imm: c as i64 });
+    b.scalar(ScalarInst::MovImm { dst: N, imm: n as i64 });
+    b.em_simd(EmSimdInst::Msr {
+        reg: DedicatedReg::Oi,
+        src: Operand::Imm(OperationalIntensity::uniform(0.5).to_bits() as i64),
+    });
+    let retry = b.fresh_label("cfg");
+    b.bind(retry);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(granules) });
+    b.em_simd(EmSimdInst::Mrs { dst: STATUS, reg: DedicatedReg::Status });
+    b.scalar(ScalarInst::Bne { a: STATUS, b: Operand::Imm(1), target: retry });
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X7, reg: DedicatedReg::Vl });
+    b.scalar(ScalarInst::ShlImm { dst: LANES, a: XReg::X7, shift: 2 });
+    b.vector(VectorInst::DupImm { dst: VReg::Z9, imm: k });
+    b.scalar(ScalarInst::MovImm { dst: I, imm: 0 });
+
+    let vloop = b.fresh_label("vloop");
+    let done = b.fresh_label("done");
+    b.bind(vloop);
+    b.scalar(ScalarInst::Add { dst: NEXT, a: I, b: Operand::Reg(LANES) });
+    b.scalar(ScalarInst::Blt { a: N, b: Operand::Reg(NEXT), target: done });
+    b.vector(VectorInst::Load { dst: VReg::Z1, base: BASE_A, index: I });
+    b.vector(VectorInst::Binary { op: VBinOp::Fmul, dst: VReg::Z2, a: VReg::Z1, b: VReg::Z9 });
+    b.vector(VectorInst::Store { src: VReg::Z2, base: BASE_C, index: I });
+    b.scalar(ScalarInst::Mov { dst: I, src: NEXT });
+    b.scalar(ScalarInst::B { target: vloop });
+    b.bind(done);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Oi, src: Operand::Imm(0) });
+    let rel = b.fresh_label("rel");
+    b.bind(rel);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(0) });
+    b.em_simd(EmSimdInst::Mrs { dst: STATUS, reg: DedicatedReg::Status });
+    b.scalar(ScalarInst::Bne { a: STATUS, b: Operand::Imm(1), target: rel });
+    b.halt();
+    b.build()
+}
+
+fn build_pair(n: usize, seed: u64, g0: i64, g1: i64) -> (Machine, [u64; 2]) {
+    let mut mem = Memory::new(1 << 20);
+    let a0 = mem.alloc_f32(n as u64);
+    let c0 = mem.alloc_f32(n as u64);
+    let a1 = mem.alloc_f32(n as u64);
+    let c1 = mem.alloc_f32(n as u64);
+    for i in 0..n as u64 {
+        let v = ((i * 37 + 13 + seed * 101) % 251) as f32 / 251.0 - 0.5;
+        mem.write_f32(a0 + 4 * i, v);
+        mem.write_f32(a1 + 4 * i, -2.0 * v + 0.125);
+    }
+    let mut m = Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).unwrap();
+    m.load_program(0, scale_program(a0, c0, n, 3.0, g0));
+    m.load_program(1, scale_program(a1, c1, n, -2.0, g1));
+    (m, [c0, c1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Snapshot at an arbitrary point, run ahead an arbitrary distance,
+    /// restore: the machine is bit-identical to its state at the
+    /// capture point (`Machine` equality covers pipelines, memory, RNG
+    /// position and statistics), and the resumed run completes exactly
+    /// like the undisturbed one.
+    #[test]
+    fn snapshot_restore_round_trips_bit_identically(
+        seed in 0u64..32,
+        capture_at in 1usize..3_000,
+        overshoot in 1usize..3_000,
+        g0 in 1i64..5,
+        g1 in 1i64..5,
+    ) {
+        let (mut golden, _) = build_pair(1024, seed, g0, g1);
+        let want = golden.run(10_000_000).expect("fault-free run");
+        prop_assert!(want.completed);
+
+        let (mut m, _) = build_pair(1024, seed, g0, g1);
+        for _ in 0..capture_at {
+            m.step().expect("healthy run");
+            if m.done() {
+                break;
+            }
+        }
+        let snap = m.snapshot();
+        let at_capture = m.clone();
+        for _ in 0..overshoot {
+            if m.done() {
+                break;
+            }
+            m.step().expect("healthy run");
+        }
+        m.restore_snapshot(&snap);
+        prop_assert_eq!(&m, &at_capture, "restore must rewind to the captured state");
+
+        let stats = m.run(10_000_000).expect("resumed run");
+        prop_assert_eq!(stats, want, "a restored machine must replay the original run");
+        prop_assert_eq!(m.memory(), golden.memory());
+    }
+
+    /// For any permanent fault location and onset, quarantine keeps the
+    /// lane bookkeeping invariants at every cycle (audited during the
+    /// run), the stuck granule is the only quarantined one, and the
+    /// surviving granules still produce the exact fault-free values.
+    #[test]
+    fn quarantine_preserves_lane_invariants_under_any_permanent_fault(
+        granule in 0usize..8,
+        onset in 0u64..4_000,
+        strikes in 1u32..5,
+        g0 in 1i64..5,
+        g1 in 1i64..5,
+    ) {
+        let (mut baseline, outs) = build_pair(1024, 7, g0, g1);
+        let want = baseline.run(10_000_000).expect("fault-free run");
+        prop_assert!(want.completed);
+
+        let (mut m, _) = build_pair(1024, 7, g0, g1);
+        m.set_fault_plan(&FaultPlan {
+            seed: 7,
+            permanent_lane: Some(granule),
+            permanent_lane_from: onset,
+            ..FaultPlan::default()
+        });
+        m.enable_recovery(RecoveryPolicy {
+            checkpoint_interval: 500,
+            selftest_interval: 1_500,
+            strike_threshold: strikes,
+            max_rollbacks: 256,
+            quarantine: true,
+        });
+
+        let mut audited = 0u64;
+        while !m.done() {
+            m.step().expect("quarantine must keep the machine alive");
+            if m.cycle() % 97 == 0 {
+                m.lane_audit().map_err(|e| {
+                    TestCaseError::fail(format!("cycle {}: {e}", m.cycle()))
+                })?;
+                audited += 1;
+            }
+            prop_assert!(m.cycle() < 10_000_000, "run exceeded its budget");
+        }
+        prop_assert!(audited > 0, "the audit must actually have run");
+        m.lane_audit().map_err(TestCaseError::fail)?;
+
+        // The fault was either never exercised (run ends fault-free) or
+        // quarantined — and values are exact either way.
+        let quarantined = m.quarantined_granules();
+        prop_assert!(
+            quarantined.is_empty() || quarantined == vec![granule],
+            "unexpected quarantine set {:?}", quarantined
+        );
+        prop_assert_eq!(m.memory(), baseline.memory(), "survivor values must be exact");
+        for &c in &outs {
+            for i in (0..1024u64).step_by(211) {
+                prop_assert_eq!(
+                    m.memory().read_f32(c + 4 * i).to_bits(),
+                    baseline.memory().read_f32(c + 4 * i).to_bits()
+                );
+            }
+        }
+    }
+}

@@ -77,6 +77,14 @@ impl fmt::Display for MemLevel {
     }
 }
 
+/// Safety margin applied on top of the machine balance point when
+/// deciding whether an `<OI>` hint is plausible
+/// ([`MachineCeilings::plausible_oi_max`]). Generous on purpose: a hint
+/// an order of magnitude past the balance point still plans identically
+/// (everything is compute-bound up there), so false rejections cost
+/// accuracy while false acceptances cost nothing.
+pub const PLAUSIBLE_OI_MARGIN: f64 = 64.0;
+
 /// The architecture-specific performance ceilings of the
 /// vector-length-aware roofline model (§5.1).
 ///
@@ -168,6 +176,16 @@ impl MachineCeilings {
         self.attainable(next, oi, level) - self.attainable(vl, oi, level)
     }
 
+    /// The largest operational intensity this machine could plausibly
+    /// observe: the balance point at `vl` (FP peak over the level's
+    /// bandwidth) times [`PLAUSIBLE_OI_MARGIN`]. Real kernels sit at or
+    /// below a few FLOPs/byte; an `<OI>` hint beyond this bound (or a
+    /// non-finite/negative one) carries no information the roofline
+    /// model can use and is treated as corrupted.
+    pub fn plausible_oi_max(&self, vl: VectorLength, level: MemLevel) -> f64 {
+        self.fp_peak(vl) / self.mem_bw(level) * PLAUSIBLE_OI_MARGIN
+    }
+
     /// The smallest vector length at which the workload saturates (no
     /// positive gain from one more granule), capped at `max` granules.
     ///
@@ -255,6 +273,19 @@ mod tests {
                 m.attainable(vl, oi, MemLevel::Dram)
             );
         }
+    }
+
+    #[test]
+    fn plausible_oi_max_is_margin_over_the_balance_point() {
+        let m = MachineCeilings::paper_default();
+        let vl = VectorLength::new(8);
+        let balance = m.fp_peak(vl) / m.mem_bw(MemLevel::Dram);
+        let max = m.plausible_oi_max(vl, MemLevel::Dram);
+        assert!((max - balance * PLAUSIBLE_OI_MARGIN).abs() < 1e-12);
+        // Real workloads (Table 3 intensities run up to ~2 FLOPs/byte)
+        // are well inside; f32::MAX-style corrupted bits are far outside.
+        assert!(max > 4.0);
+        assert!(f64::from(f32::MAX) > max);
     }
 
     #[test]
