@@ -14,7 +14,7 @@
 
 use std::path::PathBuf;
 
-use occamy_sim::{Architecture, MachineStats, SimConfig};
+use occamy_sim::{Architecture, MachineStats, MetricValue, MetricsRegistry, SimConfig};
 use workloads::table3::CorunPair;
 use workloads::{corun, WorkloadSpec};
 
@@ -321,6 +321,34 @@ pub fn stats_to_json(stats: &MachineStats) -> Value {
         })
         .collect();
     obj.push("cores", Value::Arr(cores));
+    obj.push("metrics", metrics_to_json(&stats.metrics));
+    obj
+}
+
+/// Serializes a metrics registry to a JSON object, one key per metric
+/// in registration order (which is what keeps the document
+/// deterministic). Histograms become `{samples, mean, <bucket>...}`
+/// sub-objects.
+pub fn metrics_to_json(metrics: &MetricsRegistry) -> Value {
+    let mut obj = Value::obj();
+    for m in metrics.iter() {
+        match &m.value {
+            MetricValue::Counter(v) => {
+                obj.push(&m.name, Value::UInt(*v));
+            }
+            MetricValue::Gauge(v) => {
+                obj.push(&m.name, Value::Num(*v));
+            }
+            MetricValue::Histogram(h) => {
+                let mut hv = Value::obj();
+                hv.push("samples", Value::UInt(h.total())).push("mean", Value::Num(h.mean()));
+                for (label, count) in h.buckets() {
+                    hv.push(&label, Value::UInt(count));
+                }
+                obj.push(&m.name, hv);
+            }
+        }
+    }
     obj
 }
 

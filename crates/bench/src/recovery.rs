@@ -150,7 +150,11 @@ pub struct RecoveryOutcome {
     /// Retained throughput per retired granule (completed runs with at
     /// least one retirement).
     pub retained_per_retired_lane: Option<f64>,
-    /// Full [`MachineStats`] equality with the fault-free run.
+    /// Architectural [`MachineStats`] equality with the fault-free run.
+    /// The metrics snapshot is excluded from the comparison: it embeds
+    /// fault-injection and recovery harness counters (`sim.fault.*`,
+    /// `sim.recovery.*`) that legitimately differ even when the replay
+    /// reproduced the workload bit-identically.
     pub stats_identical: bool,
     /// Final memory image equality with the fault-free run.
     pub memory_identical: bool,
@@ -187,10 +191,20 @@ impl Diag {
             lanes_draining: r.lanes_quarantined,
             lanes_retired: r.lanes_retired,
             injections: machine.fault_stats().map_or(0, |f| f.lane_corruptions),
-            stats_identical: stats.is_some_and(|s| *s == baseline.stats),
+            stats_identical: stats.is_some_and(|s| arch_stats_eq(s, &baseline.stats)),
             memory_identical: *machine.memory() == baseline.memory,
         }
     }
+}
+
+/// Compares two runs' architectural statistics, ignoring the metrics
+/// snapshots (see [`RunOutcome::stats_identical`]).
+fn arch_stats_eq(a: &MachineStats, b: &MachineStats) -> bool {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    a.metrics = Default::default();
+    b.metrics = Default::default();
+    a == b
 }
 
 fn build(specs: &[WorkloadSpec], cfg: &SimConfig) -> Result<Machine, JobFailure> {

@@ -118,6 +118,12 @@ impl ResourceTable {
         self.al
     }
 
+    /// A snapshot of every core's `<decision>` register, in core order
+    /// (used by observability layers to detect repartitions).
+    pub fn decisions(&self) -> Vec<u64> {
+        self.cores.iter().map(|c| c.decision).collect()
+    }
+
     /// Attempts the atomic register update of a successful `MSR <VL>, l`
     /// (§4.2.2): requires `c.<VL> + <AL> >= l`; on success sets `<AL>` to
     /// `c.<VL> + <AL> - l`, `c.<VL>` to `l` and `c.<status>` to 1. On

@@ -161,6 +161,9 @@ pub struct MemStats {
     pub l2_traffic: LevelStats,
     /// DRAM channel traffic.
     pub dram_traffic: LevelStats,
+    /// Vector accesses by the deepest level that served them, indexed
+    /// `[first-level, L2, DRAM]` (the [`ServiceLevel`] order).
+    pub vec_served: [u64; 3],
 }
 
 /// The cycle-level memory system of Fig. 4: per-core L1Ds for scalar
@@ -179,6 +182,8 @@ pub struct MemorySystem {
     vec_chan: Channel,
     l2_chan: Channel,
     dram_chan: Channel,
+    /// Vector accesses by deepest serving level ([`ServiceLevel`] order).
+    vec_served: [u64; 3],
 }
 
 impl MemorySystem {
@@ -192,6 +197,7 @@ impl MemorySystem {
             vec_chan: Channel::new(cfg.veccache_bytes_cycle),
             l2_chan: Channel::new(cfg.l2_bytes_cycle),
             dram_chan: Channel::new(cfg.dram_bytes_cycle),
+            vec_served: [0; 3],
         }
     }
 
@@ -306,6 +312,12 @@ impl MemorySystem {
                 }
             }
         }
+        let lvl_idx = match level {
+            ServiceLevel::FirstLevel => 0,
+            ServiceLevel::L2 => 1,
+            ServiceLevel::Dram => 2,
+        };
+        self.vec_served[lvl_idx] += 1;
         (slowest + self.cfg.veccache_latency, level)
     }
 
@@ -365,6 +377,7 @@ impl MemorySystem {
             veccache_traffic: self.vec_chan.stats(),
             l2_traffic: self.l2_chan.stats(),
             dram_traffic: self.dram_chan.stats(),
+            vec_served: self.vec_served,
         }
     }
 }
@@ -453,6 +466,18 @@ mod tests {
         assert_eq!(st.veccache_traffic.bytes_served, 128);
         assert!(st.dram_traffic.bytes_served >= 128);
         assert_eq!(st.veccache.misses, 2);
+    }
+
+    #[test]
+    fn vec_served_counts_by_deepest_level() {
+        let mut s = sys();
+        s.vector_access(0, 0, 0x1000, 64, false); // cold: DRAM
+        s.warm(0x8000, 64, ServiceLevel::FirstLevel);
+        s.vector_access(500, 0, 0x8000, 64, false); // first-level hit
+        s.warm(0x20000, 64, ServiceLevel::L2);
+        s.vector_access(1000, 0, 0x20000, 64, false); // L2
+        let st = s.stats();
+        assert_eq!(st.vec_served, [1, 1, 1]);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! occamy analyze <kernel.ok>                     phase behaviour (Eq. 5)
 //! occamy disasm  <kernel.ok> [options]           compiled EM-SIMD assembly
 //! occamy run     <kernel.ok> [options]           simulate on one core
+//! occamy profile <kernel.ok> [options]           per-phase cycle attribution
 //! occamy roofline <oi> [<oi>...]                 ceilings + partition plan
 //!
 //! options:
@@ -13,6 +14,8 @@
 //!   --granules <g>      fixed VL for private/vls     (default 4)
 //!   --param <name=v>    set a runtime parameter      (repeatable)
 //!   --trace             print the instruction pipeview
+//!   --trace-buf <n>     trace/event ring capacity (default 4096)
+//!   --events <f>        write Chrome trace_event JSON for Perfetto
 //!   --timeline          print the lane timeline
 //!   --opt, -O           run the optimizer before compiling
 //! ```
@@ -26,8 +29,8 @@ use occamy_compiler::{
     analyze, parse_kernel, ArrayLayout, CodeGenOptions, Compiler, Kernel, VlMode,
 };
 use occamy_sim::{
-    render_lane_timeline, render_pipeview, to_kanata, Architecture, FaultPlan, Machine,
-    RecoveryPolicy, SimConfig,
+    render_lane_timeline, render_pipeview, render_profile, to_kanata, Architecture, FaultPlan,
+    Machine, RecoveryPolicy, SimConfig,
 };
 use roofline::{MachineCeilings, MemLevel};
 
@@ -67,6 +70,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("corun") => cmd_corun(&args[1..]),
         Some("sched") => cmd_sched(&args[1..]),
         Some("roofline") => cmd_roofline(&args[1..]),
@@ -90,6 +94,7 @@ fn print_usage() {
         "occamy — elastic SIMD co-processor toolkit\n\n\
          usage:\n  occamy analyze <kernel.ok>\n  occamy disasm <kernel.ok> [options]\n  \
          occamy run <kernel.ok> [options]\n  \
+         occamy profile <kernel.ok> [options]      # per-phase cycle attribution (Fig. 15)\n  \
          occamy corun <k0.ok> <k1.ok> [options]   # two cores, elastic lanes\n  \
          occamy sched <k.ok>... [options]          # time-share N kernels (§5)\n  \
          occamy roofline <oi> [<oi>...]\n\n\
@@ -104,6 +109,11 @@ fn print_usage() {
          --opt, -O         run the optimizer before compiling\n  \
          --quantum <c>     sched: round-robin time slice in cycles (default 5000)\n  \
          --trace-out <f>   run: write a Kanata trace file (Konata viewer)\n  \
+         --trace-buf <n>   ring capacity for --trace/--trace-out/--events (default 4096);\n                    \
+         on overflow the OLDEST events are dropped, so views show the\n                    \
+         most recent <n> instruction events\n  \
+         --events <f>      run/corun: write cross-layer events as Chrome trace_event\n                    \
+         JSON (open in Perfetto / chrome://tracing)\n  \
          --inject <spec>   deterministic fault injection, e.g.\n                    \
          seed=42,oi=0.01,decision=0.01,mem=0.05,spike=300,truncate=0.1,bitflip=0.02\n  \
          --recover <spec>  run/corun: arm detection & recovery; `default` or e.g.\n                    \
@@ -125,6 +135,8 @@ struct RunOpts {
     optimize: bool,
     quantum: u64,
     trace_out: Option<String>,
+    trace_buf: usize,
+    events: Option<String>,
     inject: Option<FaultPlan>,
     recover: Option<RecoveryPolicy>,
 }
@@ -143,6 +155,8 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
         optimize: false,
         quantum: 5_000,
         trace_out: None,
+        trace_buf: 4096,
+        events: None,
         inject: None,
         recover: None,
     };
@@ -180,6 +194,14 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
                     value("--quantum")?.parse().map_err(|e| format!("--quantum: {e}"))?
             }
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--trace-buf" => {
+                opts.trace_buf =
+                    value("--trace-buf")?.parse().map_err(|e| format!("--trace-buf: {e}"))?;
+                if opts.trace_buf == 0 {
+                    return Err("--trace-buf must be at least 1".into());
+                }
+            }
+            "--events" => opts.events = Some(value("--events")?),
             "--inject" => {
                 let spec = value("--inject")?;
                 opts.inject =
@@ -337,8 +359,11 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let cfg = SimConfig::paper_2core();
     let mut machine =
         Machine::new(cfg, arch, mem).map_err(|e| CliError::Sim(e.to_string()))?;
-    if opts.trace || opts.trace_out.is_some() {
-        machine.enable_trace(4096);
+    if opts.trace || opts.trace_out.is_some() || opts.events.is_some() {
+        machine.enable_trace(opts.trace_buf);
+    }
+    if opts.events.is_some() {
+        machine.enable_events(EVENT_BUF);
     }
     let mut program_faults = 0;
     if let Some(plan) = &opts.inject {
@@ -400,6 +425,8 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if opts.stats {
         println!();
         print!("{}", stats.report());
+        println!();
+        print!("{}", stats.metrics.dump());
     }
     if opts.timeline {
         println!();
@@ -417,6 +444,67 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| CliError::Sim(format!("{path}: {e}")))?;
         println!("wrote Kanata trace to {path} (open with the Konata viewer)");
     }
+    write_events(&machine, &opts)?;
+    Ok(())
+}
+
+/// Ring capacity of the structured event log behind `--events`. On
+/// overflow the oldest events are evicted (the export then covers only
+/// the tail of the run); the export reports how many were dropped.
+const EVENT_BUF: usize = 65_536;
+
+/// Writes the Chrome `trace_event` export when `--events <f>` was given.
+fn write_events(machine: &Machine, opts: &RunOpts) -> Result<(), CliError> {
+    let Some(path) = &opts.events else { return Ok(()) };
+    std::fs::write(path, machine.chrome_trace())
+        .map_err(|e| CliError::Sim(format!("{path}: {e}")))?;
+    let dropped = machine.events().dropped();
+    if dropped > 0 {
+        println!(
+            "wrote Chrome trace to {path} (open in Perfetto); ring overflowed, \
+             {dropped} oldest event(s) dropped — raise --trace-buf or shorten the run"
+        );
+    } else {
+        println!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+    }
+    Ok(())
+}
+
+/// Run one kernel with the cycle-attribution profiler and print the
+/// per-phase breakdown (the Fig. 15 reproduction).
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_opts(args).map_err(CliError::Usage)?;
+    let kernel = load_kernel_opts(&opts.file, &opts).map_err(CliError::Load)?;
+    let (mem, _, _, program, arch) = build_program(&kernel, &opts).map_err(CliError::Load)?;
+    let cfg = SimConfig::paper_2core();
+    let mut machine = Machine::new(cfg, arch, mem).map_err(|e| CliError::Sim(e.to_string()))?;
+    machine.enable_profile();
+    if opts.events.is_some() {
+        machine.enable_trace(opts.trace_buf);
+        machine.enable_events(EVENT_BUF);
+    }
+    machine.load_program(0, program);
+    let stats = machine
+        .run(500_000_000)
+        .map_err(|e| CliError::Sim(format!("simulation fault: {e}")))?;
+    if !stats.completed {
+        return Err(CliError::Sim("run exceeded the cycle budget".into()));
+    }
+    println!(
+        "kernel `{}` on {}: {} elements x {} pass(es), {} cycles",
+        kernel.name(),
+        opts.arch,
+        opts.trip,
+        opts.passes,
+        stats.core_time(0)
+    );
+    let profile = machine.profile().expect("profiler was enabled above");
+    print!("{}", render_profile(profile, &stats));
+    if opts.stats {
+        println!();
+        print!("{}", stats.metrics.dump());
+    }
+    write_events(&machine, &opts)?;
     Ok(())
 }
 
@@ -455,6 +543,10 @@ fn cmd_corun(args: &[String]) -> Result<(), CliError> {
         mode: VlMode::Elastic { default: VectorLength::new(2) },
         ..CodeGenOptions::default()
     });
+    if opts.events.is_some() {
+        machine.enable_trace(opts.trace_buf);
+        machine.enable_events(EVENT_BUF);
+    }
     let mut program_faults = 0;
     if let Some(plan) = &opts.inject {
         machine.set_fault_plan(plan);
@@ -503,6 +595,7 @@ fn cmd_corun(args: &[String]) -> Result<(), CliError> {
         100.0 * stats.simd_utilization()
     );
     print!("{}", render_lane_timeline(&stats.timeline, stats.total_lanes, 100));
+    write_events(&machine, &opts)?;
     Ok(())
 }
 

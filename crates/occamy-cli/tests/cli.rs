@@ -268,6 +268,108 @@ fn bad_recover_spec_is_a_usage_error() {
 }
 
 #[test]
+fn events_flag_writes_chrome_trace_json() {
+    let path = write_kernel("events", "c[i] = a[i] + b[i]\n");
+    let events = std::env::temp_dir().join("occamy_cli_test_events.json");
+    let out = occamy()
+        .args([
+            "run",
+            path.to_str().unwrap(),
+            "--trip",
+            "2048",
+            "--events",
+            events.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&events).expect("events file");
+    assert!(text.starts_with("{\"displayTimeUnit\""), "{text}");
+    assert!(text.contains("\"traceEvents\""), "{text}");
+    // All four always-on subsystem tracks are named, and real (phase)
+    // spans were recorded.
+    for track in ["core0", "coproc", "lane-manager", "memory"] {
+        assert!(text.contains(&format!("\"name\":\"{track}\"")), "missing {track}: {text}");
+    }
+    assert!(text.contains("\"ph\":\"X\""), "{text}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote Chrome trace"), "{stdout}");
+}
+
+#[test]
+fn zero_trace_buf_is_a_usage_error() {
+    let path = write_kernel("tracebuf0", "c[i] = a[i] + b[i]\n");
+    let out = occamy()
+        .args(["run", path.to_str().unwrap(), "--trace-buf", "0"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace-buf"));
+}
+
+#[test]
+fn trace_buf_bounds_the_kanata_window() {
+    let path = write_kernel("tracebuf", "c[i] = a[i] * 2.0 + b[i]\n");
+    let small = std::env::temp_dir().join("occamy_cli_test_small.kanata");
+    let large = std::env::temp_dir().join("occamy_cli_test_large.kanata");
+    for (buf, out_path) in [("64", &small), ("4096", &large)] {
+        let out = occamy()
+            .args([
+                "run",
+                path.to_str().unwrap(),
+                "--trip",
+                "2048",
+                "--trace-buf",
+                buf,
+                "--trace-out",
+                out_path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let small_text = std::fs::read_to_string(&small).expect("small trace");
+    let large_text = std::fs::read_to_string(&large).expect("large trace");
+    assert!(
+        small_text.len() < large_text.len(),
+        "a 64-event ring should retain less than a 4096-event ring"
+    );
+}
+
+#[test]
+fn profile_subcommand_attributes_every_cycle() {
+    let path = write_kernel("profile", "y[i] = x[i] * 2.0 + 1.0\n");
+    let out = occamy()
+        .args(["profile", path.to_str().unwrap(), "--trip", "2048"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cycle attribution"), "{text}");
+    assert!(text.contains("(exact)"), "{text}");
+    assert!(!text.contains("attribution check: 0 attributed"), "{text}");
+    for needle in ["compute", "mem", "drain", "monitor", "idle", "other"] {
+        assert!(text.contains(needle), "missing column {needle}: {text}");
+    }
+}
+
+#[test]
+fn stats_flag_dumps_the_metrics_registry() {
+    let path = write_kernel("statsdump", "c[i] = a[i] + b[i]\n");
+    let out = occamy()
+        .args(["run", path.to_str().unwrap(), "--trip", "500", "--stats"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("begin statistics"), "{text}");
+    assert!(text.contains("end statistics"), "{text}");
+    for needle in ["sim.cycles", "sim.coproc.retired", "sim.mem.l2.misses", "sim.phase_len"] {
+        assert!(text.contains(needle), "missing metric {needle}: {text}");
+    }
+}
+
+#[test]
 fn recover_with_sched_is_rejected() {
     let path = write_kernel("recover_sched", "c[i] = a[i] * 2.0\n");
     let out = occamy()

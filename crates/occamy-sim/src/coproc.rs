@@ -26,6 +26,7 @@ use roofline::{MachineCeilings, MemLevel};
 
 use crate::config::{Architecture, SimConfig};
 use crate::error::SimError;
+use crate::events::{Event, EventKind, EventLog, Track};
 use crate::exec;
 use crate::fault::FaultState;
 use crate::lsu::{Lsu, LsuEntry};
@@ -153,6 +154,12 @@ struct CoreCtx {
     open_phase: Option<usize>,
     /// `vector_compute_issued` snapshot at phase start.
     phase_start_issued: u64,
+    /// Cycle an `MSR <VL>` began waiting for the pipeline drain
+    /// (event-log bookkeeping only; stays `None` when events are off).
+    drain_start: Option<Cycle>,
+    /// Cycle the current rename-stall streak began (event-log
+    /// bookkeeping only; stays `None` when events are off).
+    stall_since: Option<Cycle>,
 }
 
 /// The shared SIMD co-processor: register blocks, per-core pipeline
@@ -185,10 +192,13 @@ pub(crate) struct CoProcessor {
     pub(crate) hints_sanitized: u64,
     /// Monotonic replan counter; rotates the oversubscription
     /// round-robin so no core is starved when workloads outnumber
-    /// surviving granules (invisible otherwise).
-    replan_epoch: usize,
+    /// surviving granules (invisible otherwise). Also published as
+    /// `sim.lanemgr.replans` in the metrics registry.
+    pub(crate) replan_epoch: usize,
     /// Instruction-lifecycle trace (disabled by default).
     pub(crate) trace: Trace,
+    /// Cross-layer structured event log (disabled by default).
+    pub(crate) events: EventLog,
 }
 
 impl CoProcessor {
@@ -217,6 +227,8 @@ impl CoProcessor {
                 spans: Vec::new(),
                 open_phase: None,
                 phase_start_issued: 0,
+                drain_start: None,
+                stall_since: None,
             })
             .collect();
         let mgr = if arch == Architecture::Occamy {
@@ -251,6 +263,7 @@ impl CoProcessor {
             hints_sanitized: 0,
             replan_epoch: 0,
             trace: Trace::disabled(),
+            events: EventLog::disabled(),
         }
     }
 
@@ -280,6 +293,13 @@ impl CoProcessor {
     fn trace_event(&mut self, cycle: Cycle, core: usize, seq: u64, stage: TraceStage, disasm: String) {
         if self.trace.is_enabled() {
             self.trace.record(TraceEvent { cycle, core, seq, stage, disasm });
+        }
+    }
+
+    /// Records a structured event (no-op unless the event log is on).
+    pub(crate) fn event(&mut self, cycle: Cycle, track: Track, kind: EventKind) {
+        if self.events.is_enabled() {
+            self.events.record(Event { cycle, track, kind });
         }
     }
 
@@ -313,6 +333,12 @@ impl CoProcessor {
     /// The speculative `MRS <decision>` fast path (§4.1.1).
     pub(crate) fn read_decision(&self, core: usize) -> u64 {
         self.table.read(core, DedicatedReg::Decision)
+    }
+
+    /// Index into `stats[core].phases` of the phase currently open on
+    /// `core`, if any (profiler bucketing).
+    pub(crate) fn open_phase(&self, core: usize) -> Option<usize> {
+        self.cores[core].open_phase
     }
 
     /// Whether the core has no instructions anywhere in the co-processor.
@@ -686,8 +712,11 @@ impl CoProcessor {
                     }
                     None => mem.write_f32_slice(addr, &value),
                 }
-                let done = memsys.vector_access(now, core, addr, bytes, true)
-                    + faults.as_mut().map_or(0, FaultState::spike_mem);
+                let (served, level) = memsys.vector_access_traced(now, core, addr, bytes, true);
+                let done = served + faults.as_mut().map_or(0, FaultState::spike_mem);
+                if level != mem_sim::ServiceLevel::FirstLevel {
+                    self.event(now, Track::Memory, EventKind::CacheMiss { core, level });
+                }
                 let e = &mut self.cores[core].lsu.entries_mut()[idx];
                 e.issued = true;
                 e.complete_at = Some(done);
@@ -715,8 +744,11 @@ impl CoProcessor {
                         .collect(),
                     None => mem.read_f32_slice(addr, lanes),
                 };
-                let done = memsys.vector_access(now, core, addr, bytes, false)
-                    + faults.as_mut().map_or(0, FaultState::spike_mem);
+                let (served, level) = memsys.vector_access_traced(now, core, addr, bytes, false);
+                let done = served + faults.as_mut().map_or(0, FaultState::spike_mem);
+                if level != mem_sim::ServiceLevel::FirstLevel {
+                    self.event(now, Track::Memory, EventKind::CacheMiss { core, level });
+                }
                 let e = &mut self.cores[core].lsu.entries_mut()[idx];
                 e.issued = true;
                 e.complete_at = Some(done);
@@ -779,6 +811,16 @@ impl CoProcessor {
             }
             if stalled_on_regs {
                 stats[core].rename_stall_cycles += 1;
+            }
+            if self.events.is_enabled() {
+                if stalled_on_regs {
+                    if self.cores[core].stall_since.is_none() {
+                        self.cores[core].stall_since = Some(now);
+                        self.event(now, Track::Core(core), EventKind::RenameStallBegin);
+                    }
+                } else if self.cores[core].stall_since.take().is_some() {
+                    self.event(now, Track::Core(core), EventKind::RenameStallEnd);
+                }
             }
         }
         resps
@@ -937,9 +979,15 @@ impl CoProcessor {
                         // §4.2.2: the vector length only changes once the
                         // core's SIMD pipeline is drained.
                         if !self.cores[core].rob.is_empty() {
+                            if self.events.is_enabled()
+                                && self.cores[core].drain_start.is_none()
+                            {
+                                self.cores[core].drain_start = Some(now);
+                            }
                             return None;
                         }
                         debug_assert!(self.cores[core].lsu.is_empty());
+                        let from_granules = self.cores[core].cur_vl.granules();
                         let granules = (operand as usize).min(64);
                         let ok = self.try_set_vl(core, granules);
                         self.cores[core].status = u64::from(ok);
@@ -947,6 +995,22 @@ impl CoProcessor {
                             if let Some(p) = self.cores[core].open_phase {
                                 stats[core].phases[p].configured_granules = granules;
                             }
+                        }
+                        if self.events.is_enabled() {
+                            let drain_cycles = self.cores[core]
+                                .drain_start
+                                .take()
+                                .map_or(0, |s| now.saturating_sub(s));
+                            self.event(
+                                now,
+                                Track::Core(core),
+                                EventKind::VlReconfig {
+                                    from_granules,
+                                    to_granules: granules,
+                                    drain_cycles,
+                                    ok,
+                                },
+                            );
                         }
                     }
                     DedicatedReg::Decision => self.table.write(core, DedicatedReg::Decision, operand),
@@ -1002,6 +1066,7 @@ impl CoProcessor {
                 phase.compute_issued = stats[core].vector_compute_issued
                     + stats[core].vector_mem_issued
                     - self.cores[core].phase_start_issued;
+                self.event(now, Track::Core(core), EventKind::PhaseEnd);
             }
         } else {
             self.cores[core].phase_start_issued =
@@ -1014,9 +1079,14 @@ impl CoProcessor {
                 configured_granules: self.cores[core].cur_vl.granules(),
             });
             self.cores[core].open_phase = Some(stats[core].phases.len() - 1);
+            self.event(
+                now,
+                Track::Core(core),
+                EventKind::PhaseBegin { oi_issue: oi.issue(), oi_mem: oi.mem() },
+            );
         }
 
-        self.replan(faults);
+        self.replan(now, faults);
     }
 
     /// Validates a software `<OI>` hint against the roofline model's
@@ -1056,10 +1126,17 @@ impl CoProcessor {
 
     /// Re-runs the lane manager over the current `<OI>` registers and
     /// publishes the plan in every core's `<decision>` (no-op on the
-    /// baseline architectures, which have no lane manager).
-    fn replan(&mut self, faults: &mut Option<FaultState>) {
+    /// baseline architectures, which have no lane manager). Publishes a
+    /// [`EventKind::Repartition`] event when the plan actually changed
+    /// some core's `<decision>`.
+    fn replan(&mut self, now: Cycle, faults: &mut Option<FaultState>) {
         let epoch = self.replan_epoch;
         self.replan_epoch = self.replan_epoch.wrapping_add(1);
+        if self.mgr.is_none() {
+            return;
+        }
+        let record = self.events.is_enabled();
+        let old = if record { self.table.decisions() } else { Vec::new() };
         if let Some(mgr) = &self.mgr {
             let demands: Vec<PhaseDemand> = (0..self.cores.len())
                 .map(|c| {
@@ -1079,6 +1156,12 @@ impl CoProcessor {
                     granules = f.perturb_decision(granules, self.cfg.total_granules as u64);
                 }
                 self.table.write(c, DedicatedReg::Decision, granules);
+            }
+        }
+        if record {
+            let new = self.table.decisions();
+            if new != old {
+                self.event(now, Track::LaneManager, EventKind::Repartition { epoch, old, new });
             }
         }
     }
@@ -1102,7 +1185,7 @@ impl CoProcessor {
     /// the owning core sheds it at its next partition point. Returns
     /// `false` when the granule was already quarantined, is out of range,
     /// or there is no lane manager to repartition around it.
-    pub(crate) fn begin_quarantine(&mut self, granule: usize) -> bool {
+    pub(crate) fn begin_quarantine(&mut self, granule: usize, now: Cycle) -> bool {
         if self.mgr.is_none() || granule >= self.cfg.total_granules {
             return false;
         }
@@ -1118,7 +1201,8 @@ impl CoProcessor {
             let retired = self.table.retire_granule();
             debug_assert!(retired, "a free block implies a free table slot");
         }
-        self.replan(&mut None);
+        self.event(now, Track::Recovery, EventKind::QuarantineBegin { granule });
+        self.replan(now, &mut None);
         true
     }
 
@@ -1128,7 +1212,7 @@ impl CoProcessor {
     /// planner-driven machines; adversarial programs can briefly
     /// over-acquire, in which case the block stays draining until a slot
     /// frees). Returns the number of granules newly retired.
-    pub(crate) fn maintain_quarantine(&mut self) -> usize {
+    pub(crate) fn maintain_quarantine(&mut self, now: Cycle) -> usize {
         let mut retired = 0;
         for b in self.blocks.draining_blocks() {
             if self.blocks.owner(b) == BlockOwner::Free
@@ -1136,6 +1220,7 @@ impl CoProcessor {
                 && self.blocks.try_finish_drain(b)
             {
                 retired += 1;
+                self.event(now, Track::Recovery, EventKind::GranuleRetired { granule: b });
             }
         }
         retired
@@ -1197,7 +1282,7 @@ impl CoProcessor {
     /// # Panics
     ///
     /// Panics if the core is not drained.
-    pub(crate) fn os_save(&mut self, core: usize) -> OsContext {
+    pub(crate) fn os_save(&mut self, core: usize, now: Cycle) -> OsContext {
         assert!(self.is_drained(core), "context save requires drained pipelines (§5)");
         let ctx = OsContext {
             oi: self.table.read(core, DedicatedReg::Oi),
@@ -1214,7 +1299,7 @@ impl CoProcessor {
         let released = self.try_set_vl(core, 0);
         debug_assert!(released, "releasing lanes cannot fail");
         self.table.write(core, DedicatedReg::Oi, 0);
-        self.replan(&mut None);
+        self.replan(now, &mut None);
         ctx
     }
 
@@ -1222,10 +1307,10 @@ impl CoProcessor {
     /// a new partition), then attempts to re-acquire the saved vector
     /// length and vector state. Returns `false` while the lanes are not
     /// yet available — the OS retries as co-runners shed lanes.
-    pub(crate) fn os_try_restore(&mut self, core: usize, ctx: &OsContext) -> bool {
+    pub(crate) fn os_try_restore(&mut self, core: usize, ctx: &OsContext, now: Cycle) -> bool {
         assert!(self.is_drained(core), "context restore requires a quiesced core");
         self.table.write(core, DedicatedReg::Oi, ctx.oi);
-        self.replan(&mut None);
+        self.replan(now, &mut None);
         if !self.try_set_vl(core, ctx.vl) {
             return false;
         }

@@ -28,10 +28,13 @@ mod area;
 mod config;
 mod coproc;
 mod error;
+mod events;
 mod exec;
 mod fault;
 mod lsu;
 mod machine;
+mod metrics;
+mod profile;
 mod recovery;
 mod regblocks;
 mod scalar;
@@ -42,8 +45,11 @@ mod viz;
 pub use area::{AreaBreakdown, AreaComponent};
 pub use config::{Architecture, SimConfig};
 pub use error::{CoreDump, SimError, WatchdogDump};
+pub use events::{to_chrome_trace, Event, EventKind, EventLog, Track};
 pub use fault::{FaultPlan, FaultState, FaultStats};
 pub use machine::{ConfigError, Machine, MachineSnapshot, SavedTask};
+pub use metrics::{Histogram, Metric, MetricValue, MetricsRegistry};
+pub use profile::{render_profile, CoreProfile, CycleBreakdown, CycleClass, ProfileState};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use regblocks::LaneHealth;
 pub use stats::{CoreStats, MachineStats, PhaseStats, Timeline, TimelineBucket};

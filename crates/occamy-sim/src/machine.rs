@@ -6,7 +6,10 @@ use mem_sim::{Cycle, MemStats, Memory, MemorySystem};
 use crate::config::{Architecture, SimConfig};
 use crate::coproc::{CoProcessor, OsContext};
 use crate::error::{CoreDump, SimError, WatchdogDump};
+use crate::events::{EventKind, EventLog, Track};
 use crate::fault::{FaultPlan, FaultState, FaultStats};
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::profile::{CycleClass, ProfileState};
 use crate::recovery::{RecoveryPolicy, RecoveryStats};
 use crate::scalar::{ScalarCore, Wait};
 use crate::stats::{CoreStats, MachineStats, Timeline};
@@ -72,6 +75,11 @@ pub struct Machine {
     /// [`enable_recovery`](Machine::enable_recovery) was called; the
     /// fault-free fast path is untouched).
     recovery: Option<Box<RecoveryCtl>>,
+    /// Cycle-attribution profiler (`None` unless
+    /// [`enable_profile`](Machine::enable_profile) was called). Part of
+    /// the machine so rollbacks rewind it, keeping the attribution
+    /// exact.
+    profile: Option<Box<ProfileState>>,
 }
 
 /// A deterministic architectural snapshot of a whole [`Machine`], taken
@@ -157,6 +165,7 @@ impl Machine {
             stagnant: 0,
             last_sig: (0, 0, 0),
             recovery: None,
+            profile: None,
         })
     }
 
@@ -346,6 +355,40 @@ impl Machine {
         &self.coproc.trace
     }
 
+    /// Enables cross-layer structured event recording, retaining the
+    /// most recent `capacity` events (see [`crate::events`] and
+    /// [`crate::to_chrome_trace`]).
+    pub fn enable_events(&mut self, capacity: usize) {
+        self.coproc.events = EventLog::with_capacity(capacity);
+    }
+
+    /// The recorded event log (empty unless
+    /// [`enable_events`](Self::enable_events) was called).
+    pub fn events(&self) -> &EventLog {
+        &self.coproc.events
+    }
+
+    /// Exports the recorded events (and the instruction trace, if one was
+    /// enabled) as Chrome `trace_event` JSON for Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        crate::events::to_chrome_trace(&self.coproc.events, &self.coproc.trace, self.cfg.cores)
+    }
+
+    /// Enables the cycle-attribution profiler (see [`crate::profile`]):
+    /// from now on every cycle is classified per core into
+    /// compute/memory-bound/drain-reconfig/monitor/idle/other.
+    pub fn enable_profile(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::new(ProfileState::new(self.cfg.cores)));
+        }
+    }
+
+    /// The profiler state (`None` unless
+    /// [`enable_profile`](Self::enable_profile) was called).
+    pub fn profile(&self) -> Option<&ProfileState> {
+        self.profile.as_deref()
+    }
+
     /// Whether every workload has halted and the co-processor is drained.
     pub fn done(&self) -> bool {
         (0..self.scalar.len()).all(|c| self.core_done(c))
@@ -415,7 +458,7 @@ impl Machine {
     fn recovery_maintenance(&mut self) {
         let Some(mut ctl) = self.recovery.take() else { return };
         // Granules whose owner shed them since last cycle retire now.
-        self.coproc.maintain_quarantine();
+        self.coproc.maintain_quarantine(self.cycle);
         // Periodic lane self-test: catches permanent faults on granules
         // that are not currently computing (a lightly-loaded machine
         // would otherwise never detect them through the residue check).
@@ -428,9 +471,17 @@ impl Machine {
             for g in 0..self.cfg.total_granules {
                 let hit =
                     self.faults.as_ref().is_some_and(|f| f.permanent_faulty(g, self.cycle));
-                if hit && !ctl.quarantined.contains(&g) && self.coproc.begin_quarantine(g) {
+                if hit
+                    && !ctl.quarantined.contains(&g)
+                    && self.coproc.begin_quarantine(g, self.cycle)
+                {
                     ctl.quarantined.push(g);
                     ctl.stats.selftest_detections += 1;
+                    self.coproc.event(
+                        self.cycle,
+                        Track::Recovery,
+                        EventKind::SelftestDetect { granule: g },
+                    );
                 }
             }
         }
@@ -472,9 +523,9 @@ impl Machine {
     /// spent — the machine stays poisoned with that error.
     fn try_recover(&mut self) -> Result<bool, SimError> {
         let Some(mut ctl) = self.recovery.take() else { return Ok(false) };
-        let (granule, injected_at, detected_at) = match &self.coproc.fault {
-            Some(SimError::LaneFault { granule, injected_at, detected_at, .. }) => {
-                (*granule, *injected_at, *detected_at)
+        let (victim_core, granule, injected_at, detected_at) = match &self.coproc.fault {
+            Some(SimError::LaneFault { core, granule, injected_at, detected_at }) => {
+                (*core, *granule, *injected_at, *detected_at)
             }
             _ => {
                 self.recovery = Some(ctl);
@@ -521,7 +572,8 @@ impl Machine {
             return Err(e);
         };
         ctl.stats.rollbacks += 1;
-        ctl.stats.replayed_cycles += self.cycle.saturating_sub(image.cycle());
+        let replayed = self.cycle.saturating_sub(image.cycle());
+        ctl.stats.replayed_cycles += replayed;
         // Roll the architectural state back but keep the *live* fault
         // stream: the replay draws fresh randomness, so a transient does
         // not recur deterministically, while a permanent fault keeps
@@ -529,10 +581,32 @@ impl Machine {
         let keep_faults = self.faults.take();
         *self = (*image.0).clone();
         self.faults = keep_faults;
+        // The event log and profiler rewound with the restore; record the
+        // detection and rollback *after* it so they survive, stamped at
+        // the restored cycle (which keeps track timestamps monotone).
+        self.coproc.event(
+            self.cycle,
+            Track::Recovery,
+            EventKind::FaultDetected {
+                core: victim_core,
+                granule,
+                latency: detected_at.saturating_sub(injected_at),
+            },
+        );
+        self.coproc.event(
+            self.cycle,
+            Track::Recovery,
+            EventKind::Rollback { granule, to_cycle: image.cycle(), replayed },
+        );
+        if let Some(p) = self.profile.as_mut() {
+            for cp in &mut p.cores {
+                cp.rollback_replay += replayed;
+            }
+        }
         // Re-apply the classifier's verdicts: the checkpoint predates
         // any quarantine begun after it (idempotent for the rest).
         for g in ctl.quarantined.clone() {
-            self.coproc.begin_quarantine(g);
+            self.coproc.begin_quarantine(g, self.cycle);
         }
         self.recovery = Some(ctl);
         Ok(true)
@@ -547,7 +621,158 @@ impl Machine {
             total_lanes: self.cfg.total_lanes(),
             completed: self.done(),
             timed_out: false,
+            metrics: self.metrics(),
         }
+    }
+
+    /// Walks every live counter into a fresh hierarchical
+    /// [`MetricsRegistry`] snapshot (see [`crate::metrics`] for the
+    /// naming scheme). Taking a snapshot never perturbs the simulation.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.counter("sim.cycles", self.cycle, "total simulated cycles");
+        r.counter("sim.completed", u64::from(self.done()), "1 when every workload halted");
+        for (c, cs) in self.core_stats.iter().enumerate() {
+            let p = format!("sim.core{c}");
+            r.counter(
+                &format!("{p}.vector_compute_issued"),
+                cs.vector_compute_issued,
+                "vector compute instructions issued to ExeBUs",
+            );
+            r.counter(
+                &format!("{p}.vector_mem_issued"),
+                cs.vector_mem_issued,
+                "vector memory instructions issued to the LSU",
+            );
+            r.counter(&format!("{p}.scalar_executed"), cs.scalar_executed, "scalar instructions");
+            r.counter(
+                &format!("{p}.rename_stall_cycles"),
+                cs.rename_stall_cycles,
+                "cycles stalled in rename for physical registers",
+            );
+            r.counter(
+                &format!("{p}.alloc_lane_cycles"),
+                cs.alloc_lane_cycles,
+                "lane-cycles allocated (<VL> integrated over time)",
+            );
+            r.gauge(
+                &format!("{p}.busy_lane_cycles"),
+                cs.busy_lane_cycles,
+                "lane-cycles actually busy",
+            );
+            r.gauge(
+                &format!("{p}.monitor_cycles"),
+                cs.monitor_cycles,
+                "cycles attributed to the partition monitor",
+            );
+            r.gauge(
+                &format!("{p}.reconfig_cycles"),
+                cs.reconfig_cycles,
+                "cycles attributed to vector-length reconfiguration",
+            );
+            r.counter(&format!("{p}.phases"), cs.phases.len() as u64, "phases started");
+        }
+        r.counter("sim.coproc.retired", self.coproc.retired, "vector instructions retired");
+        r.counter(
+            "sim.coproc.hints_sanitized",
+            self.coproc.hints_sanitized,
+            "<OI> hints rejected by sanitization",
+        );
+        r.counter(
+            "sim.coproc.corrected_inline",
+            self.coproc.corrected_inline,
+            "lane corruptions corrected in place",
+        );
+        r.counter(
+            "sim.lanemgr.replans",
+            self.coproc.replan_epoch as u64,
+            "lane-manager planning epochs",
+        );
+        r.counter(
+            "sim.lanemgr.free_granules",
+            self.coproc.table().free_granules() as u64,
+            "granules currently free (<AL>)",
+        );
+        r.counter(
+            "sim.lanemgr.total_granules",
+            self.coproc.table().total_granules() as u64,
+            "granules still owned by the machine",
+        );
+        let mem = self.memsys.stats();
+        for (c, l1) in mem.l1.iter().enumerate() {
+            r.counter(&format!("sim.mem.l1.core{c}.hits"), l1.hits, "L1D hits");
+            r.counter(&format!("sim.mem.l1.core{c}.misses"), l1.misses, "L1D misses");
+        }
+        r.counter("sim.mem.veccache.hits", mem.veccache.hits, "vector-cache hits");
+        r.counter("sim.mem.veccache.misses", mem.veccache.misses, "vector-cache misses");
+        r.counter(
+            "sim.mem.veccache.writebacks",
+            mem.veccache.writebacks,
+            "vector-cache write-backs",
+        );
+        r.counter("sim.mem.l2.hits", mem.l2.hits, "shared L2 hits");
+        r.counter("sim.mem.l2.misses", mem.l2.misses, "shared L2 misses");
+        r.counter("sim.mem.dram.bytes_served", mem.dram_traffic.bytes_served, "DRAM bytes moved");
+        r.counter("sim.mem.dram.requests", mem.dram_traffic.requests, "DRAM requests");
+        r.counter(
+            "sim.mem.vec_served.first_level",
+            mem.vec_served[0],
+            "vector accesses served by the vector cache",
+        );
+        r.counter("sim.mem.vec_served.l2", mem.vec_served[1], "vector accesses served by L2");
+        r.counter("sim.mem.vec_served.dram", mem.vec_served[2], "vector accesses served by DRAM");
+        if let Some(f) = self.fault_stats() {
+            r.counter("sim.fault.oi_corruptions", f.oi_corruptions, "<OI> writes corrupted");
+            r.counter(
+                "sim.fault.decision_perturbations",
+                f.decision_perturbations,
+                "partition decisions perturbed",
+            );
+            r.counter("sim.fault.mem_spikes", f.mem_spikes, "memory accesses delayed");
+            r.counter("sim.fault.lane_corruptions", f.lane_corruptions, "lane results corrupted");
+        }
+        if let Some(s) = self.recovery_stats() {
+            r.counter("sim.recovery.detections", s.detections, "residue-check detections");
+            r.counter(
+                "sim.recovery.selftest_detections",
+                s.selftest_detections,
+                "permanent faults caught by the self-test",
+            );
+            r.counter("sim.recovery.rollbacks", s.rollbacks, "rollbacks to a checkpoint");
+            r.counter("sim.recovery.replayed_cycles", s.replayed_cycles, "cycles re-executed");
+            r.counter(
+                "sim.recovery.corrected_inline",
+                s.corrected_inline,
+                "corruptions corrected without a rollback",
+            );
+            r.counter(
+                "sim.recovery.detection_latency_sum",
+                s.detection_latency_sum,
+                "summed inject-to-detect latency",
+            );
+            r.counter("sim.recovery.lanes_quarantined", s.lanes_quarantined, "granules draining");
+            r.counter("sim.recovery.lanes_retired", s.lanes_retired, "granules retired");
+        }
+        r.counter(
+            "sim.events.recorded",
+            self.coproc.events.len() as u64,
+            "structured events currently retained",
+        );
+        r.counter(
+            "sim.events.dropped",
+            self.coproc.events.dropped(),
+            "structured events evicted by the ring",
+        );
+        let mut phase_len = Histogram::new(&[100, 1_000, 10_000, 100_000]);
+        for cs in &self.core_stats {
+            for p in &cs.phases {
+                if p.end_cycle.is_some() {
+                    phase_len.observe(p.duration());
+                }
+            }
+        }
+        r.histogram("sim.phase_len", phase_len, "completed-phase durations in cycles");
+        r
     }
 
     /// A progress signature that changes whenever any core retires a
@@ -578,6 +803,11 @@ impl Machine {
         if self.stagnant < self.watchdog {
             return Ok(());
         }
+        self.coproc.event(
+            self.cycle,
+            Track::Recovery,
+            EventKind::WatchdogTrip { stagnant_for: self.stagnant },
+        );
         let e = SimError::Watchdog {
             cycle: self.cycle,
             dump: self.dump(
@@ -649,7 +879,7 @@ impl Machine {
             }
             self.step()?;
         }
-        let em = self.coproc.os_save(core);
+        let em = self.coproc.os_save(core, self.cycle);
         let scalar = std::mem::replace(&mut self.scalar[core], ScalarCore::idle());
         // The OS has observed the context switch: rollbacks must not
         // cross it.
@@ -680,7 +910,7 @@ impl Machine {
             return Err(SimError::Config(format!("resume target core {core} is busy")));
         }
         let deadline = self.cycle + max_wait_cycles;
-        while !self.coproc.os_try_restore(core, &task.em) {
+        while !self.coproc.os_try_restore(core, &task.em, self.cycle) {
             if self.cycle >= deadline {
                 let e = SimError::Watchdog {
                     cycle: self.cycle,
@@ -741,6 +971,15 @@ impl Machine {
             self.core_stats[c].alloc_lane_cycles += lanes as u64;
         }
 
+        // Snapshot the overhead counters so the profiler can classify
+        // this cycle by what actually moved during it.
+        let prof_base: Option<Vec<(f64, f64, u64)>> = self.profile.is_some().then(|| {
+            self.core_stats
+                .iter()
+                .map(|s| (s.monitor_cycles, s.reconfig_cycles, s.scalar_executed))
+                .collect()
+        });
+
         // Stage 3: rename + EM-SIMD data path.
         for resp in self.coproc.rename(now, &mut self.core_stats, &mut self.faults) {
             if let Some((reg, value)) = resp.write_x {
@@ -764,6 +1003,34 @@ impl Machine {
             {
                 self.core_stats[c].finish_cycle = Some(now);
             }
+        }
+
+        // Classify the cycle per core. Every core gets exactly one
+        // category per cycle, so the per-core attribution sums to the
+        // total simulated cycles (checked by `render_profile`).
+        if let (Some(base), Some(mut prof)) = (prof_base, self.profile.take()) {
+            for c in 0..self.cfg.cores {
+                let (mon0, rec0, sc0) = base[c];
+                let class = if self.core_stats[c].monitor_cycles > mon0 {
+                    CycleClass::Monitor
+                } else if self.core_stats[c].reconfig_cycles > rec0 {
+                    CycleClass::DrainReconfig
+                } else if issued[c].compute > 0 {
+                    CycleClass::Compute
+                } else if issued[c].mem > 0
+                    || self.coproc.lsu_outstanding(c) + self.scalar[c].pending_loads.len() > 0
+                {
+                    CycleClass::MemoryBound
+                } else if self.core_stats[c].scalar_executed > sc0 {
+                    CycleClass::Compute
+                } else if self.scalar[c].halted && self.coproc.is_drained(c) {
+                    CycleClass::Idle
+                } else {
+                    CycleClass::Other
+                };
+                prof.attribute(c, self.coproc.open_phase(c), class);
+            }
+            self.profile = Some(prof);
         }
 
         self.timeline.record(now, &busy, &alloc);

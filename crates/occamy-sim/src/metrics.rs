@@ -1,0 +1,279 @@
+//! Hierarchical metrics registry (a gem5-style stats tree).
+//!
+//! Every quantity the simulator knows how to count is published under a
+//! dotted hierarchical name — `sim.cycles`, `sim.core0.rename_stalls`,
+//! `sim.coproc.retired`, `sim.mem.l2.misses`, `sim.recovery.rollbacks` —
+//! in one flat, insertion-ordered registry. The registry is a *snapshot*:
+//! [`crate::Machine::metrics`] walks the live counters and produces a
+//! fresh registry, so taking one never perturbs the simulation.
+//!
+//! Two serializations exist, both deterministic:
+//! - [`MetricsRegistry::dump`] — an aligned gem5-`stats.txt`-style text
+//!   block appended to `occamy run --stats` output;
+//! - the bench harness converts a registry to JSON for `bench --json`
+//!   snapshots (see `bench::stats_to_json`).
+//!
+//! # Naming scheme
+//!
+//! `sim.<component>[.<instance>].<quantity>`, all lower_snake_case.
+//! Components: `core<N>` (per-core pipeline stats), `coproc` (shared
+//! pipeline), `lanemgr` (resource table / repartitions), `mem` (cache
+//! hierarchy, sub-components `l1.core<N>`, `veccache`, `l2`, `dram`),
+//! `fault` (injection), `recovery` (detection & rollback), `events`
+//! (the observability layer itself).
+
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram: `counts[i]` tallies observations `v` with
+/// `edges[i-1] <= v < edges[i]` (the first bucket is `v < edges[0]`,
+/// the last is `v >= edges[last]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket edges.
+    pub fn new(edges: &[u64]) -> Self {
+        Histogram { edges: edges.to_vec(), counts: vec![0; edges.len() + 1], total: 0, sum: 0 }
+    }
+
+    /// Tallies one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.edges.iter().position(|&e| value < e).unwrap_or(self.edges.len());
+        if let Some(slot) = self.counts.get_mut(idx) {
+            *slot += 1;
+        }
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// `(label, count)` rows for serialization, in bucket order.
+    pub fn buckets(&self) -> Vec<(String, u64)> {
+        let mut rows = Vec::with_capacity(self.counts.len());
+        for (i, &count) in self.counts.iter().enumerate() {
+            let label = if i == 0 {
+                match self.edges.first() {
+                    Some(e) => format!("lt_{e}"),
+                    None => "all".to_owned(),
+                }
+            } else if i == self.edges.len() {
+                match self.edges.last() {
+                    Some(e) => format!("ge_{e}"),
+                    None => "all".to_owned(),
+                }
+            } else {
+                format!("{}_{}", self.edges[i - 1], self.edges[i])
+            };
+            rows.push((label, count));
+        }
+        rows
+    }
+}
+
+/// The value of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically accumulated count.
+    Counter(u64),
+    /// A point-in-time measurement.
+    Gauge(f64),
+    /// A bucketed distribution.
+    Histogram(Histogram),
+}
+
+/// One `(name, value, description)` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Dotted hierarchical name (`sim.coproc.retired`).
+    pub name: String,
+    /// The recorded value.
+    pub value: MetricValue,
+    /// One-line human description (shown in the text dump).
+    pub desc: String,
+}
+
+/// An insertion-ordered collection of named metrics.
+///
+/// Insertion order *is* the serialization order, which keeps both the
+/// text dump and the JSON snapshot deterministic without sorting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a counter.
+    pub fn counter(&mut self, name: &str, value: u64, desc: &str) {
+        self.entries.push(Metric {
+            name: name.to_owned(),
+            value: MetricValue::Counter(value),
+            desc: desc.to_owned(),
+        });
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&mut self, name: &str, value: f64, desc: &str) {
+        self.entries.push(Metric {
+            name: name.to_owned(),
+            value: MetricValue::Gauge(value),
+            desc: desc.to_owned(),
+        });
+    }
+
+    /// Registers a histogram.
+    pub fn histogram(&mut self, name: &str, hist: Histogram, desc: &str) {
+        self.entries.push(Metric {
+            name: name.to_owned(),
+            value: MetricValue::Histogram(hist),
+            desc: desc.to_owned(),
+        });
+    }
+
+    /// The entries in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Metric> {
+        self.entries.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|m| m.name == name).map(|m| &m.value)
+    }
+
+    /// Formats the registry as an aligned, deterministic text block in
+    /// the style of gem5's `stats.txt`:
+    ///
+    /// ```text
+    /// ---------- begin statistics ----------
+    /// sim.cycles                                   12345  # total simulated cycles
+    /// ...
+    /// ---------- end statistics ----------
+    /// ```
+    pub fn dump(&self) -> String {
+        const NAME_W: usize = 44;
+        const VAL_W: usize = 12;
+        let mut out = String::from("---------- begin statistics ----------\n");
+        for m in &self.entries {
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{:<NAME_W$} {:>VAL_W$}  # {}", m.name, v, m.desc);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<NAME_W$} {:>VAL_W$.4}  # {}",
+                        m.name, v, m.desc
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<NAME_W$} {:>VAL_W$}  # {} (mean {:.2})",
+                        format!("{}.samples", m.name),
+                        h.total(),
+                        m.desc,
+                        h.mean()
+                    );
+                    for (label, count) in h.buckets() {
+                        let _ = writeln!(
+                            out,
+                            "{:<NAME_W$} {:>VAL_W$}  #   bucket",
+                            format!("{}.{label}", m.name),
+                            count
+                        );
+                    }
+                }
+            }
+        }
+        out.push_str("---------- end statistics ----------\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [1, 5, 50, 500] {
+            h.observe(v);
+        }
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.mean(), 139.0);
+        let rows = h.buckets();
+        assert_eq!(rows[0], ("lt_10".to_owned(), 2));
+        assert_eq!(rows[1], ("10_100".to_owned(), 1));
+        assert_eq!(rows[2], ("ge_100".to_owned(), 1));
+    }
+
+    #[test]
+    fn registry_preserves_insertion_order() {
+        let mut r = MetricsRegistry::new();
+        r.counter("sim.b", 2, "second");
+        r.counter("sim.a", 1, "first");
+        let names: Vec<&str> = r.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["sim.b", "sim.a"]);
+        assert_eq!(r.get("sim.a"), Some(&MetricValue::Counter(1)));
+        assert_eq!(r.get("sim.missing"), None);
+    }
+
+    #[test]
+    fn dump_is_aligned_and_deterministic() {
+        let mut r = MetricsRegistry::new();
+        r.counter("sim.cycles", 12345, "total simulated cycles");
+        r.gauge("sim.util", 0.875, "simd utilization");
+        let mut h = Histogram::new(&[100]);
+        h.observe(7);
+        r.histogram("sim.phase_len", h, "phase durations");
+        let a = r.dump();
+        let b = r.dump();
+        assert_eq!(a, b);
+        assert!(a.starts_with("---------- begin statistics ----------\n"), "{a}");
+        assert!(a.contains("sim.cycles"), "{a}");
+        assert!(a.contains("12345  # total simulated cycles"), "{a}");
+        assert!(a.contains("0.8750"), "{a}");
+        assert!(a.contains("sim.phase_len.lt_100"), "{a}");
+        assert!(a.trim_end().ends_with("---------- end statistics ----------"), "{a}");
+    }
+
+    #[test]
+    fn empty_edge_histogram_has_one_bucket() {
+        let mut h = Histogram::new(&[]);
+        h.observe(3);
+        assert_eq!(h.buckets(), vec![("all".to_owned(), 1)]);
+    }
+}

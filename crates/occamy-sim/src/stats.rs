@@ -203,6 +203,9 @@ pub struct MachineStats {
     /// `false` for mid-run snapshots from
     /// [`Machine::stats`](crate::Machine::stats).
     pub timed_out: bool,
+    /// Hierarchical metrics snapshot (the gem5-style stats tree, see
+    /// [`crate::metrics`]).
+    pub metrics: crate::metrics::MetricsRegistry,
 }
 
 impl MachineStats {
@@ -342,6 +345,7 @@ mod tests {
             total_lanes: 32,
             completed: true,
             timed_out: false,
+            metrics: crate::metrics::MetricsRegistry::new(),
         };
         stats.cores[0].busy_lane_cycles = 800.0;
         stats.cores[1].busy_lane_cycles = 1600.0;
@@ -382,6 +386,7 @@ mod tests {
             total_lanes: 32,
             completed: true,
             timed_out: false,
+            metrics: crate::metrics::MetricsRegistry::new(),
         };
         assert_eq!(stats.core_time(0), 1000);
         stats.cores[0].finish_cycle = Some(700);

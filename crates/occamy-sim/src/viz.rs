@@ -75,12 +75,19 @@ pub fn render_lane_timeline(
         }
         out.push('\n');
     }
+    // The bucket width is a property of the data, not of this renderer:
+    // derive it from consecutive start cycles (falling back to the
+    // machine's default of 1000 for a single-bucket timeline).
+    let bucket_width = match buckets {
+        [a, b, ..] => b.start_cycle.saturating_sub(a.start_cycle).max(1),
+        _ => 1000,
+    };
     let last = buckets.last().expect("non-empty");
     let _ = writeln!(
         out,
         "             0 .. {} cycles ({} per column; full block = {} lanes)",
-        last.start_cycle + 1000,
-        1000 * stride,
+        last.start_cycle + bucket_width,
+        bucket_width * stride as u64,
         total_lanes
     );
     out
@@ -126,5 +133,62 @@ mod tests {
     #[test]
     fn empty_timeline_is_handled() {
         assert!(render_lane_timeline(&[], 32, 80).contains("empty"));
+    }
+
+    fn alloc_row_cols(text: &str) -> usize {
+        text.lines().next().unwrap().chars().count() - "core0 alloc ".chars().count()
+    }
+
+    #[test]
+    fn series_exactly_at_max_width_is_not_downsampled() {
+        let buckets: Vec<_> = (0..60).map(|i| bucket(i * 1000, 16.0, 8.0)).collect();
+        let text = render_lane_timeline(&buckets, 32, 60);
+        assert_eq!(alloc_row_cols(&text), 60);
+        assert!(text.contains("1000 per column"), "{text}");
+    }
+
+    #[test]
+    fn one_past_max_width_halves_the_columns() {
+        let buckets: Vec<_> = (0..61).map(|i| bucket(i * 1000, 16.0, 8.0)).collect();
+        let text = render_lane_timeline(&buckets, 32, 60);
+        // stride 2 over 61 buckets: 30 full columns plus one final
+        // partial column holding the lone last bucket.
+        assert_eq!(alloc_row_cols(&text), 31);
+        assert!(text.contains("2000 per column"), "{text}");
+        assert!(text.contains("0 .. 61000 cycles"), "{text}");
+    }
+
+    #[test]
+    fn final_partial_chunk_averages_only_its_own_buckets() {
+        // Three buckets, stride 2: the final chunk holds one bucket at
+        // 32 lanes. Averaging it against a phantom empty bucket would
+        // show a half block; the correct render is a full block.
+        let buckets = vec![bucket(0, 0.0, 0.0), bucket(1000, 0.0, 0.0), bucket(2000, 32.0, 32.0)];
+        let text = render_lane_timeline(&buckets, 32, 2);
+        // max_width clamps to 8 so no downsampling here; force stride 2
+        // with a longer series instead.
+        assert!(text.lines().next().unwrap().ends_with('█'), "{text:?}");
+        let buckets: Vec<_> = (0..9)
+            .map(|i| if i == 8 { bucket(i * 1000, 32.0, 32.0) } else { bucket(i * 1000, 0.0, 0.0) })
+            .collect();
+        let text = render_lane_timeline(&buckets, 32, 8);
+        // stride 2 over 9 buckets: the last column is the lone
+        // full-allocation bucket, averaged over itself alone.
+        let alloc_row = text.lines().next().unwrap();
+        assert!(alloc_row.ends_with('█'), "partial chunk diluted: {alloc_row:?}");
+    }
+
+    #[test]
+    fn footer_reflects_the_actual_bucket_width() {
+        let buckets = vec![bucket(0, 8.0, 4.0), bucket(500, 8.0, 4.0), bucket(1000, 8.0, 4.0)];
+        let text = render_lane_timeline(&buckets, 32, 80);
+        assert!(text.contains("0 .. 1500 cycles"), "{text}");
+        assert!(text.contains("500 per column"), "{text}");
+    }
+
+    #[test]
+    fn single_bucket_footer_falls_back_to_default_width() {
+        let text = render_lane_timeline(&[bucket(0, 8.0, 4.0)], 32, 80);
+        assert!(text.contains("0 .. 1000 cycles"), "{text}");
     }
 }

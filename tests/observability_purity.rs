@@ -1,0 +1,56 @@
+//! Tier-1 guarantee: the observability layer is a pure observer.
+//!
+//! An observability-disabled run (the shipping default) is byte-identical
+//! across repeats — statistics, metrics registry, and final memory — and
+//! enabling the full stack (instruction trace, event log, profiler)
+//! changes no architectural quantity: same cycles, same report, same
+//! memory image.
+
+use occamy_sim::{Architecture, Machine, SimConfig};
+use workloads::{corun, motivating};
+
+fn build() -> Machine {
+    let cfg = SimConfig::paper_2core();
+    let specs = [motivating::wl0(), motivating::wl1()];
+    corun::build_machine(&specs, &cfg, &Architecture::Occamy, 0.25).expect("build")
+}
+
+#[test]
+fn disabled_observability_runs_are_byte_identical() {
+    let mut m1 = build();
+    let mut m2 = build();
+    let s1 = m1.run(100_000_000).expect("simulation fault");
+    let s2 = m2.run(100_000_000).expect("simulation fault");
+    assert!(s1.completed);
+    // Full structural equality covers every counter, every phase record,
+    // and the embedded metrics registry.
+    assert_eq!(s1, s2, "disabled runs must be byte-identical");
+    assert_eq!(s1.report(), s2.report());
+    assert_eq!(s1.metrics.dump(), s2.metrics.dump());
+    assert!(*m1.memory() == *m2.memory(), "memory images diverged");
+    assert!(m1.events().is_empty() && m1.trace().is_empty(), "nothing may be recorded");
+}
+
+#[test]
+fn full_observability_does_not_perturb_the_architecture() {
+    let mut base = build();
+    let base_stats = base.run(100_000_000).expect("simulation fault");
+
+    let mut instr = build();
+    instr.enable_trace(4096);
+    instr.enable_events(1 << 16);
+    instr.enable_profile();
+    let instr_stats = instr.run(100_000_000).expect("simulation fault");
+
+    assert_eq!(base_stats.cycles, instr_stats.cycles);
+    assert_eq!(base_stats.report(), instr_stats.report());
+    assert!(*base.memory() == *instr.memory(), "memory images diverged");
+
+    // The instrumented run actually observed something, and the profiler
+    // accounted for every cycle.
+    assert!(instr.events().len() > 0);
+    let profile = instr.profile().expect("profiler enabled");
+    for (c, cp) in profile.cores.iter().enumerate() {
+        assert_eq!(cp.total(), instr_stats.cycles, "core {c} attribution is not exact");
+    }
+}
