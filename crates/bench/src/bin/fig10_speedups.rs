@@ -2,17 +2,20 @@
 //! pairs, on Core0 (memory side) and Core1 (compute side), with
 //! geometric means.
 
-use bench::{geomean, rule, sweep_pairs, Args};
-use occamy_sim::SimConfig;
+use bench::{geomean, rule, sweep_pairs_mode, Args};
+use occamy_sim::{SimConfig, SimMode};
 use workloads::table3;
 
 fn main() {
     let args = Args::parse();
     let cfg = SimConfig::paper_2core();
     let pairs = table3::all_pairs(args.scale);
-    let sweeps = sweep_pairs(&pairs, &cfg, 1.0, args.workers());
+    let sweeps = sweep_pairs_mode(&pairs, &cfg, 1.0, args.workers(), args.mode);
 
     println!("Fig. 10: speedups over Private (Core0 / Core1)");
+    if args.mode != SimMode::Timing {
+        println!("(mode {}: cycle totals are ESTIMATED, machine-wide)", args.mode);
+    }
     rule(86);
     println!(
         "{:<7} {:>12} {:>12} {:>12}   {:>12} {:>12} {:>12}",

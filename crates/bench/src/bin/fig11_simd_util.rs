@@ -4,8 +4,8 @@
 //! Paper reference (GM): Private 63.2 %, FTS 72.5 %, VLS 70.8 %,
 //! Occamy 84.2 %.
 
-use bench::{geomean, rule, sweep_pairs, Args};
-use occamy_sim::SimConfig;
+use bench::{geomean, rule, sweep_pairs_mode, Args};
+use occamy_sim::{SimConfig, SimMode};
 use workloads::table3;
 
 const ARCHS: [&str; 4] = ["Private", "FTS", "VLS", "Occamy"];
@@ -14,9 +14,15 @@ fn main() {
     let args = Args::parse();
     let cfg = SimConfig::paper_2core();
     let pairs = table3::all_pairs(args.scale);
-    let sweeps = sweep_pairs(&pairs, &cfg, 1.0, args.workers());
+    let sweeps = sweep_pairs_mode(&pairs, &cfg, 1.0, args.workers(), args.mode);
 
     println!("Fig. 11: SIMD utilisation (%)");
+    if args.mode != SimMode::Timing {
+        println!(
+            "(mode {}: utilisation covers the cycle-accurate windows only)",
+            args.mode
+        );
+    }
     rule(56);
     println!("{:<7} {:>10} {:>10} {:>10} {:>10}", "pair", "Private", "FTS", "VLS", "Occamy");
     rule(56);

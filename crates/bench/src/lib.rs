@@ -14,13 +14,14 @@
 
 use std::path::PathBuf;
 
-use occamy_sim::{Architecture, MachineStats, MetricValue, MetricsRegistry, SimConfig};
+use occamy_sim::{Architecture, MachineStats, MetricValue, MetricsRegistry, SimConfig, SimMode};
 use workloads::table3::CorunPair;
 use workloads::{corun, WorkloadSpec};
 
 pub mod json;
 pub mod recovery;
 pub mod runner;
+pub mod two_speed;
 
 use json::Value;
 use runner::SweepPoint;
@@ -29,7 +30,8 @@ use runner::SweepPoint;
 /// under it).
 pub const MAX_CYCLES: u64 = 200_000_000;
 
-const USAGE: &str = "--fast, --scale <f>, --workers <n>, --json <path>";
+const USAGE: &str =
+    "--fast, --scale <f>, --workers <n>, --json <path>, --mode timing|functional|sampled[:spec]";
 
 /// Command-line options shared by every experiment binary.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,11 +42,14 @@ pub struct Args {
     pub workers: usize,
     /// Where to dump per-point machine statistics as JSON, if anywhere.
     pub json: Option<PathBuf>,
+    /// Simulation mode for every point (two-speed execution). Anything
+    /// but [`SimMode::Timing`] makes cycle numbers ESTIMATES.
+    pub mode: SimMode,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Args { scale: 1.0, workers: 0, json: None }
+        Args { scale: 1.0, workers: 0, json: None, mode: SimMode::Timing }
     }
 }
 
@@ -87,6 +92,10 @@ impl Args {
                 "--json" => {
                     let v = args.next().ok_or("--json needs a path")?;
                     parsed.json = Some(PathBuf::from(v));
+                }
+                "--mode" => {
+                    let v = args.next().ok_or("--mode needs a value")?;
+                    parsed.mode = SimMode::parse(&v).map_err(|e| format!("--mode: {e}"))?;
                 }
                 other => return Err(format!("unknown argument `{other}` (supported: {USAGE})")),
             }
@@ -152,9 +161,19 @@ impl ArchSweep {
     }
 
     /// Speedup of `arch` over Private for `core` (ratio of core times).
+    /// Points simulated with functional fast-forward have no exact
+    /// per-core times; those fall back to the machine-wide ESTIMATED
+    /// cycle totals (same value for every `core`).
     pub fn speedup(&self, arch: &str, core: usize) -> f64 {
-        let base = self.stats("Private").core_time(core) as f64;
-        let t = self.stats(arch).core_time(core) as f64;
+        let time = |stats: &MachineStats| {
+            if stats.estimated {
+                stats.estimated_cycles as f64
+            } else {
+                stats.core_time(core) as f64
+            }
+        };
+        let base = time(self.stats("Private"));
+        let t = time(self.stats(arch));
         if t == 0.0 {
             1.0
         } else {
@@ -223,6 +242,24 @@ impl SweepGroup {
 ///
 /// Panics like [`sweep`] if any point fails to build or complete.
 pub fn sweep_groups(groups: &[SweepGroup], scale: f64, workers: usize) -> Vec<ArchSweep> {
+    sweep_groups_mode(groups, scale, workers, SimMode::Timing)
+}
+
+/// [`sweep_groups`] with an explicit [`SimMode`] for every point: the
+/// two-speed entry point behind the binaries' `--mode` flag. In
+/// [`SimMode::Timing`] this is exactly `sweep_groups` (byte-identical
+/// output); other modes trade cycle accuracy for wall-clock speed and
+/// mark their cycle totals `estimated`.
+///
+/// # Panics
+///
+/// Panics like [`sweep`] if any point fails to build or complete.
+pub fn sweep_groups_mode(
+    groups: &[SweepGroup],
+    scale: f64,
+    workers: usize,
+    mode: SimMode,
+) -> Vec<ArchSweep> {
     let points: Vec<SweepPoint> = groups
         .iter()
         .flat_map(|g| {
@@ -232,6 +269,7 @@ pub fn sweep_groups(groups: &[SweepGroup], scale: f64, workers: usize) -> Vec<Ar
                 architecture: arch,
                 config: g.config.clone(),
                 build_scale: scale,
+                mode,
             })
         })
         .collect();
@@ -263,6 +301,18 @@ pub fn sweep_pairs(
     sweep_groups(&groups, scale, workers)
 }
 
+/// [`sweep_pairs`] with an explicit [`SimMode`] for every point.
+pub fn sweep_pairs_mode(
+    pairs: &[CorunPair],
+    cfg: &SimConfig,
+    scale: f64,
+    workers: usize,
+    mode: SimMode,
+) -> Vec<ArchSweep> {
+    let groups: Vec<SweepGroup> = pairs.iter().map(|p| SweepGroup::from_pair(p, cfg)).collect();
+    sweep_groups_mode(&groups, scale, workers, mode)
+}
+
 /// Serializes one [`MachineStats`] to a JSON object. The lane-occupancy
 /// timeline is summarised (bucket count only) rather than dumped — it
 /// is deterministic but dwarfs everything else; Fig. 2/14 consumers
@@ -271,8 +321,16 @@ pub fn stats_to_json(stats: &MachineStats) -> Value {
     let mut obj = Value::obj();
     obj.push("cycles", Value::UInt(stats.cycles))
         .push("completed", Value::Bool(stats.completed))
-        .push("timed_out", Value::Bool(stats.timed_out))
-        .push("total_lanes", Value::UInt(stats.total_lanes as u64))
+        .push("timed_out", Value::Bool(stats.timed_out));
+    // Two-speed runs carry extrapolated cycle totals; emitted only when
+    // present so pure-timing documents stay byte-identical to pre-two-
+    // speed builds.
+    if stats.estimated {
+        obj.push("estimated", Value::Bool(true))
+            .push("estimated_cycles", Value::UInt(stats.estimated_cycles))
+            .push("functional_insts", Value::UInt(stats.functional_insts));
+    }
+    obj.push("total_lanes", Value::UInt(stats.total_lanes as u64))
         .push("simd_utilization", Value::Num(stats.simd_utilization()))
         .push("busy_lane_cycles", Value::Num(stats.total_busy_lane_cycles()))
         .push("timeline_buckets", Value::UInt(stats.timeline.len() as u64));

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use occamy_sim::{Architecture, MachineStats, SimConfig};
+use occamy_sim::{Architecture, MachineStats, SimConfig, SimMode};
 use workloads::{corun, WorkloadSpec};
 
 use crate::MAX_CYCLES;
@@ -106,17 +106,27 @@ pub struct SweepPoint {
     /// Trip-count multiplier forwarded to [`corun::build_machine`]
     /// (most sweeps bake scaling into `specs` and pass 1.0).
     pub build_scale: f64,
+    /// Two-speed simulation mode ([`SimMode::Timing`] for exact cycle
+    /// counts; functional/sampled modes mark cycles `estimated`).
+    pub mode: SimMode,
 }
 
 impl SweepPoint {
-    /// A point with the common defaults (`build_scale` 1.0).
+    /// A point with the common defaults (`build_scale` 1.0, timing mode).
     pub fn new(
         label: impl Into<String>,
         specs: Vec<WorkloadSpec>,
         architecture: Architecture,
         config: SimConfig,
     ) -> Self {
-        SweepPoint { label: label.into(), specs, architecture, config, build_scale: 1.0 }
+        SweepPoint {
+            label: label.into(),
+            specs,
+            architecture,
+            config,
+            build_scale: 1.0,
+            mode: SimMode::Timing,
+        }
     }
 }
 
@@ -154,6 +164,11 @@ pub fn run_points(points: &[SweepPoint], workers: usize) -> Vec<PointResult> {
             point.build_scale,
         )
         .unwrap_or_else(|e| panic!("{}/{name}: {e}", point.label));
+        // Freshly built machines are quiesced at cycle 0, so the mode
+        // switch cannot be refused for pipeline reasons.
+        machine
+            .set_mode(point.mode)
+            .unwrap_or_else(|e| panic!("{}/{name}: {e}", point.label));
         let stats = machine
             .run(MAX_CYCLES)
             .unwrap_or_else(|e| panic!("{}/{name}: simulation fault: {e}", point.label));
@@ -284,6 +299,9 @@ pub fn run_points_checked(
                 point.build_scale,
             )
             .map_err(|e| JobFailure::Build(e.to_string()))?;
+            machine
+                .set_mode(point.mode)
+                .map_err(|e| JobFailure::Build(e.to_string()))?;
             machine.set_watchdog(policy.watchdog);
             let stats = machine
                 .run(policy.max_cycles)

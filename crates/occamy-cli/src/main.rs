@@ -13,6 +13,7 @@
 //!   --arch <a>          occamy|private|fts|vls       (default occamy)
 //!   --granules <g>      fixed VL for private/vls     (default 4)
 //!   --param <name=v>    set a runtime parameter      (repeatable)
+//!   --mode <m>          timing|functional|sampled[:spec]  (default timing)
 //!   --trace             print the instruction pipeview
 //!   --trace-buf <n>     trace/event ring capacity (default 4096)
 //!   --events <f>        write Chrome trace_event JSON for Perfetto
@@ -30,7 +31,7 @@ use occamy_compiler::{
 };
 use occamy_sim::{
     render_lane_timeline, render_pipeview, render_profile, to_kanata, Architecture, FaultPlan,
-    Machine, RecoveryPolicy, SimConfig,
+    Machine, RecoveryPolicy, SimConfig, SimMode,
 };
 use roofline::{MachineCeilings, MemLevel};
 
@@ -103,6 +104,10 @@ fn print_usage() {
          --arch <a>        occamy|private|fts|vls (default occamy)\n  \
          --granules <g>    fixed vector length in 128-bit granules (default 4)\n  \
          --param <k=v>     set a runtime parameter (repeatable)\n  \
+         --mode <m>        run: timing | functional | sampled[:warmup=N,sample=N,ff=N]\n                    \
+         functional/sampled fast-forward on host SIMD; cycle totals\n                    \
+         are then ESTIMATED (default timing; incompatible with\n                    \
+         --inject/--recover)\n  \
          --trace           print the instruction pipeview\n  \
          --timeline        print the lane timeline\n  \
          --stats           print the full statistics report\n  \
@@ -139,6 +144,7 @@ struct RunOpts {
     events: Option<String>,
     inject: Option<FaultPlan>,
     recover: Option<RecoveryPolicy>,
+    mode: SimMode,
 }
 
 fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
@@ -159,6 +165,7 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
         events: None,
         inject: None,
         recover: None,
+        mode: SimMode::Timing,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -212,6 +219,10 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
                 let spec = if spec == "default" { "" } else { spec.as_str() };
                 opts.recover =
                     Some(RecoveryPolicy::parse(spec).map_err(|e| format!("--recover: {e}"))?);
+            }
+            "--mode" => {
+                let spec = value("--mode")?;
+                opts.mode = SimMode::parse(&spec).map_err(|e| format!("--mode: {e}"))?;
             }
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             file => {
@@ -374,6 +385,9 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     if let Some(policy) = opts.recover {
         machine.enable_recovery(policy);
     }
+    machine
+        .set_mode(opts.mode)
+        .map_err(|e| CliError::Usage(format!("--mode {}: {e}", opts.mode)))?;
     let stats = machine
         .run(500_000_000)
         .map_err(|e| CliError::Sim(format!("simulation fault: {e}")))?;
@@ -389,12 +403,21 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         opts.passes,
         info.oi
     );
-    println!(
-        "  {} cycles | SIMD issue {:.2} insts/cycle | utilisation {:.1}%",
-        stats.core_time(0),
-        stats.cores[0].issue_rate(stats.core_time(0)),
-        100.0 * stats.simd_utilization()
-    );
+    if stats.estimated {
+        // Timing-derived rates are meaningless across functional
+        // windows; report the extrapolated total instead.
+        println!(
+            "  {} cycles (ESTIMATED, mode {}; {} insts fast-forwarded)",
+            stats.estimated_cycles, opts.mode, stats.functional_insts
+        );
+    } else {
+        println!(
+            "  {} cycles | SIMD issue {:.2} insts/cycle | utilisation {:.1}%",
+            stats.core_time(0),
+            stats.cores[0].issue_rate(stats.core_time(0)),
+            100.0 * stats.simd_utilization()
+        );
+    }
     for p in stats.cores[0].phases.iter().take(3) {
         println!(
             "  phase: {} lanes, issue {:.2}, {} cycles",

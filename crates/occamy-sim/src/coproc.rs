@@ -961,8 +961,10 @@ impl CoProcessor {
 
     /// Executes one EM-SIMD instruction on the in-order EM-SIMD data
     /// path. Returns `None` when the instruction must wait (pipeline not
-    /// drained for `MSR <VL>`).
-    fn exec_em(
+    /// drained for `MSR <VL>`). Also the EM-SIMD semantic core of the
+    /// functional engine (`crate::functional`), which calls it on a
+    /// drained pipeline so the wait case cannot occur there.
+    pub(crate) fn exec_em(
         &mut self,
         core: usize,
         inst: EmSimdInst,
@@ -1445,5 +1447,35 @@ impl CoProcessor {
     /// register.
     pub(crate) fn read_vreg(&self, core: usize, v: VReg) -> Vec<f32> {
         self.prf.read(self.cores[core].rename_map[v.index()]).to_vec()
+    }
+
+    /// Borrows the current architectural value of a vector register —
+    /// the allocation-free read path of the functional engine's
+    /// instruction loop.
+    pub(crate) fn vreg(&self, core: usize, v: VReg) -> &[f32] {
+        self.prf.read(self.cores[core].rename_map[v.index()])
+    }
+
+    /// Borrows the current architectural value of a predicate register
+    /// (see [`vreg`](Self::vreg)).
+    pub(crate) fn preg(&self, core: usize, p: em_simd::PReg) -> &[f32] {
+        self.ppf.read(self.cores[core].pred_rename[p.index()])
+    }
+
+    /// Overwrites an architectural vector register in place (functional
+    /// engine): the physical entry is recycled within the same register
+    /// blocks, so block occupancy is unchanged.
+    pub(crate) fn write_vreg(&mut self, core: usize, v: VReg, value: Vec<f32>) {
+        let id = self.cores[core].rename_map[v.index()];
+        let blocks = self.prf.free(id);
+        self.cores[core].rename_map[v.index()] = self.prf.alloc_ready(blocks, value);
+    }
+
+    /// Overwrites an architectural predicate register in place
+    /// (functional engine).
+    pub(crate) fn write_preg(&mut self, core: usize, p: em_simd::PReg, value: Vec<f32>) {
+        let id = self.cores[core].pred_rename[p.index()];
+        let blocks = self.ppf.free(id);
+        self.cores[core].pred_rename[p.index()] = self.ppf.alloc_ready(blocks, value);
     }
 }

@@ -49,17 +49,17 @@ const DEFAULT_WATCHDOG: Cycle = 1_000_000;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
-    cfg: SimConfig,
-    mem: Memory,
-    memsys: MemorySystem,
-    scalar: Vec<ScalarCore>,
-    coproc: CoProcessor,
-    cycle: Cycle,
-    core_stats: Vec<CoreStats>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) mem: Memory,
+    pub(crate) memsys: MemorySystem,
+    pub(crate) scalar: Vec<ScalarCore>,
+    pub(crate) coproc: CoProcessor,
+    pub(crate) cycle: Cycle,
+    pub(crate) core_stats: Vec<CoreStats>,
     timeline: Timeline,
     /// First scalar-side fault, if any; once latched the machine is
     /// poisoned and [`step`](Machine::step) keeps returning the error.
-    fault: Option<SimError>,
+    pub(crate) fault: Option<SimError>,
     /// Deterministic fault-injection state (`None` on the fault-free
     /// path, which therefore stays byte-identical to a build without
     /// the injection layer).
@@ -80,6 +80,136 @@ pub struct Machine {
     /// the machine so rollbacks rewind it, keeping the attribution
     /// exact.
     profile: Option<Box<ProfileState>>,
+    /// Execution mode (see [`SimMode`]). `Timing` is the default and
+    /// leaves every output byte-identical to builds without the
+    /// two-speed layer.
+    mode: SimMode,
+    /// Two-speed bookkeeping: per-core functionally-executed instruction
+    /// counts and the extrapolated cycle estimate. Stays at its default
+    /// (and therefore preserves full-machine `==`) until a functional
+    /// window actually runs.
+    twospeed: TwoSpeed,
+}
+
+/// The machine's execution mode (the gem5 Atomic-vs-O3 split): the
+/// cycle-accurate default, a pure functional fast-forward, or an
+/// alternating SMARTS-style sampled mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// Cycle-accurate simulation (the default; byte-identical to
+    /// pre-two-speed builds).
+    #[default]
+    Timing,
+    /// Functional fast-forward: whole programs batch-execute directly
+    /// over architectural state, bypassing the pipeline and memory
+    /// timing. Cycle totals are extrapolated (IPC = 1) and marked
+    /// `estimated` in [`MachineStats`].
+    Functional,
+    /// Alternating cycle-accurate sample windows and functional
+    /// fast-forward windows; cycle totals are extrapolated from each
+    /// sample's measured CPI and marked `estimated`.
+    Sampled(SampledSpec),
+}
+
+/// Window sizes for [`SimMode::Sampled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampledSpec {
+    /// Cycle-accurate warm-up cycles before the first sample.
+    pub warmup: Cycle,
+    /// Cycle-accurate cycles per sample window.
+    pub sample: Cycle,
+    /// Approximate virtual cycles fast-forwarded between samples: each
+    /// core's instruction budget is `ff / cpi[core]` so all cores
+    /// advance the same estimated time.
+    pub ff: u64,
+}
+
+impl Default for SampledSpec {
+    fn default() -> Self {
+        SampledSpec { warmup: 500, sample: 500, ff: 20_000 }
+    }
+}
+
+impl SimMode {
+    /// Parses a mode specification: `timing`, `functional`, `sampled`,
+    /// or `sampled:warmup=N,sample=N,ff=N` (each key optional, defaults
+    /// from [`SampledSpec::default`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed specification.
+    pub fn parse(spec: &str) -> Result<SimMode, String> {
+        match spec {
+            "timing" => return Ok(SimMode::Timing),
+            "functional" => return Ok(SimMode::Functional),
+            "sampled" => return Ok(SimMode::Sampled(SampledSpec::default())),
+            _ => {}
+        }
+        let Some(rest) = spec.strip_prefix("sampled:") else {
+            return Err(format!(
+                "unknown mode '{spec}' (expected timing, functional, or sampled:<spec>)"
+            ));
+        };
+        let mut s = SampledSpec::default();
+        for part in rest.split(',').filter(|p| !p.is_empty()) {
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(format!("malformed sampled parameter '{part}' (expected key=value)"));
+            };
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("sampled parameter '{key}' has non-numeric value '{value}'"))?;
+            match key {
+                "warmup" => s.warmup = n,
+                "sample" => s.sample = n,
+                "ff" => s.ff = n,
+                _ => {
+                    return Err(format!(
+                        "unknown sampled parameter '{key}' (expected warmup, sample, or ff)"
+                    ))
+                }
+            }
+        }
+        if s.sample == 0 {
+            return Err("sampled mode needs a non-zero sample window".into());
+        }
+        if s.ff == 0 {
+            return Err("sampled mode needs a non-zero fast-forward window".into());
+        }
+        Ok(SimMode::Sampled(s))
+    }
+}
+
+impl std::fmt::Display for SimMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimMode::Timing => write!(f, "timing"),
+            SimMode::Functional => write!(f, "functional"),
+            SimMode::Sampled(s) => {
+                write!(f, "sampled:warmup={},sample={},ff={}", s.warmup, s.sample, s.ff)
+            }
+        }
+    }
+}
+
+/// Two-speed bookkeeping (see [`SimMode`]). All fields stay at their
+/// defaults until a functional window runs, so a machine that never
+/// fast-forwards compares `==` to one without the two-speed layer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct TwoSpeed {
+    /// Functionally-executed instructions per core (empty until the
+    /// first functional window; sized lazily to keep `Default` pure).
+    pub insts: Vec<u64>,
+    /// Extrapolated cycles accumulated over functional windows.
+    pub est_cycles: f64,
+    /// Functional windows executed.
+    pub windows: u64,
+}
+
+impl TwoSpeed {
+    /// Total functionally-executed instructions across cores.
+    pub fn total_insts(&self) -> u64 {
+        self.insts.iter().sum()
+    }
 }
 
 /// A deterministic architectural snapshot of a whole [`Machine`], taken
@@ -166,7 +296,108 @@ impl Machine {
             last_sig: (0, 0, 0),
             recovery: None,
             profile: None,
+            mode: SimMode::Timing,
+            twospeed: TwoSpeed::default(),
         })
+    }
+
+    /// The current execution mode (see [`SimMode`]).
+    pub fn mode(&self) -> SimMode {
+        self.mode
+    }
+
+    /// Switches the execution mode. Switching into `Functional` or
+    /// `Sampled` requires a quiesced machine (see
+    /// [`quiesce`](Machine::quiesce)) and is refused while a fault plan
+    /// or the recovery subsystem is active: injected faults perturb
+    /// *timing* state the functional engine does not model, so they can
+    /// neither fire nor replay identically in a functional window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] (leaving the machine untouched) when
+    /// the switch is refused.
+    pub fn set_mode(&mut self, mode: SimMode) -> Result<(), SimError> {
+        if mode != SimMode::Timing {
+            if self.faults.is_some() {
+                return Err(SimError::Config(
+                    "functional fast-forward is incompatible with an active fault plan \
+                     (injected faults cannot replay without the timing model)"
+                        .into(),
+                ));
+            }
+            if self.recovery.is_some() {
+                return Err(SimError::Config(
+                    "functional fast-forward is incompatible with the recovery subsystem \
+                     (checkpoints and rollbacks are timing constructs)"
+                        .into(),
+                ));
+            }
+            if !self.is_quiesced() {
+                return Err(SimError::Config(
+                    "mode switches require a quiesced machine (drained pipelines and no \
+                     pending scalar loads); call quiesce() first"
+                        .into(),
+                ));
+            }
+        }
+        self.mode = mode;
+        Ok(())
+    }
+
+    /// Whether every core's pipelines are drained and no scalar load or
+    /// EM-SIMD acknowledgement is pending — the precondition for a mode
+    /// switch (all architectural state is in registers and memory).
+    pub fn is_quiesced(&self) -> bool {
+        (0..self.scalar.len()).all(|c| {
+            self.coproc.is_drained(c)
+                && self.scalar[c].wait == Wait::Ready
+                && self.scalar[c].pending_loads.is_empty()
+        })
+    }
+
+    /// Runs the machine (in timing mode) with every front end frozen
+    /// until all in-flight work drains, then unfreezes. A quiesced
+    /// machine can switch execution modes with all architectural state
+    /// in registers and memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Watchdog`] (with a diagnostic dump) if the
+    /// machine fails to drain within `max_cycles`, or any fault tripped
+    /// while draining.
+    pub fn quiesce(&mut self, max_cycles: Cycle) -> Result<(), SimError> {
+        if self.is_quiesced() {
+            return Ok(());
+        }
+        let deadline = self.cycle + max_cycles;
+        while !self.is_quiesced() {
+            for s in &mut self.scalar {
+                s.frozen = true;
+            }
+            if self.cycle >= deadline {
+                for s in &mut self.scalar {
+                    s.frozen = false;
+                }
+                let e = SimError::Watchdog {
+                    cycle: self.cycle,
+                    dump: self
+                        .dump(format!("machine failed to quiesce within {max_cycles} cycles")),
+                };
+                self.fault = Some(e.clone());
+                return Err(e);
+            }
+            if let Err(e) = self.step() {
+                for s in &mut self.scalar {
+                    s.frozen = false;
+                }
+                return Err(e);
+            }
+        }
+        for s in &mut self.scalar {
+            s.frozen = false;
+        }
+        Ok(())
     }
 
     /// Installs a deterministic fault-injection plan (replacing any
@@ -338,6 +569,24 @@ impl Machine {
         self.coproc.read_vreg(core, v)
     }
 
+    /// Diagnostic: the architectural value of a predicate register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn preg(&self, core: usize, p: em_simd::PReg) -> Vec<f32> {
+        self.coproc.preg(core, p).to_vec()
+    }
+
+    /// Diagnostic: the architectural scalar register file of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn xregs(&self, core: usize) -> &[u64] {
+        &self.scalar[core].x
+    }
+
     /// Diagnostic: free physical-register entries per RegBlk.
     pub fn block_free_entries(&self) -> Vec<usize> {
         self.coproc.block_free_entries()
@@ -415,6 +664,14 @@ impl Machine {
     /// memory fault on an untrusted program, a register-block or
     /// vector-length inconsistency, or the forward-progress watchdog.
     pub fn run(&mut self, max_cycles: Cycle) -> Result<MachineStats, SimError> {
+        match self.mode {
+            SimMode::Timing => self.run_timing(max_cycles),
+            SimMode::Functional => self.run_functional(max_cycles),
+            SimMode::Sampled(spec) => self.run_sampled(max_cycles, spec),
+        }
+    }
+
+    fn run_timing(&mut self, max_cycles: Cycle) -> Result<MachineStats, SimError> {
         while self.cycle < max_cycles && !self.done() {
             self.step()?;
         }
@@ -425,6 +682,134 @@ impl Machine {
         let mut stats = self.stats();
         stats.timed_out = !stats.completed;
         Ok(stats)
+    }
+
+    /// Pure functional fast-forward: batch-executes every program to
+    /// completion over architectural state, with a per-core fuel bound of
+    /// `max_cycles × scalar_width` instructions (the most the timing
+    /// model could retire in the same budget). Cycle extrapolation
+    /// assumes one instruction per cycle on the slowest core.
+    fn run_functional(&mut self, max_cycles: Cycle) -> Result<MachineStats, SimError> {
+        let fuel = max_cycles.saturating_mul(self.cfg.scalar_width as u64);
+        self.fast_forward(fuel)?;
+        let mut stats = self.stats();
+        stats.timed_out = !stats.completed;
+        Ok(stats)
+    }
+
+    /// SMARTS-style sampling: a cycle-accurate warm-up, then alternating
+    /// cycle-accurate sample windows (which measure per-core CPI) and
+    /// functional fast-forward windows (whose cycle cost is extrapolated
+    /// from the latest sample's CPI).
+    fn run_sampled(&mut self, max_cycles: Cycle, spec: SampledSpec) -> Result<MachineStats, SimError> {
+        let deadline = max_cycles;
+        // CPI carried over from the previous sample window; starts at the
+        // IPC=1 assumption until the first sample completes.
+        let mut cpi = vec![1.0; self.cfg.cores];
+        while self.cycle < deadline && !self.done() {
+            // Detailed warm-up in timing mode before EVERY sample window
+            // (SMARTS-style): refills the pipeline and re-warms the
+            // memory system after a functional window so the sample
+            // doesn't measure the cold-start transient.
+            let warm_end = (self.cycle + spec.warmup).min(deadline);
+            while self.cycle < warm_end && !self.done() {
+                self.step()?;
+            }
+            if self.done() || self.cycle >= deadline {
+                break;
+            }
+            // Sample window: measure per-core retirement rates.
+            let before: Vec<u64> = self.core_stats.iter().map(retired_insts).collect();
+            let start = self.cycle;
+            let sample_end = (self.cycle + spec.sample).min(deadline);
+            while self.cycle < sample_end && !self.done() {
+                self.step()?;
+            }
+            let elapsed = self.cycle - start;
+            if elapsed > 0 {
+                for (c, b) in before.iter().enumerate() {
+                    let insts = retired_insts(&self.core_stats[c]).saturating_sub(*b);
+                    // An idle/halted core retires nothing; charge it the
+                    // window at the machine's pace rather than inventing
+                    // an infinite CPI.
+                    cpi[c] = if insts == 0 { 1.0 } else { elapsed as f64 / insts as f64 };
+                }
+            }
+            if self.done() || self.cycle >= deadline {
+                break;
+            }
+            // Fast-forward window, charged at the sampled CPI. Fuel is
+            // per-core so every core advances ~`ff` estimated cycles of
+            // virtual time: a core twice as fast (in insts/cycle) gets
+            // twice the instruction budget, keeping the cores' progress
+            // time-consistent across the window.
+            self.quiesce(deadline.saturating_sub(self.cycle).max(1))?;
+            #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let fuel: Vec<u64> = cpi
+                .iter()
+                .map(|&c| ((spec.ff as f64 / c).ceil() as u64).max(1))
+                .collect();
+            let executed = self.fast_forward_window(&fuel, true)?;
+            let est: f64 = executed
+                .iter()
+                .enumerate()
+                .map(|(c, &n)| n as f64 * cpi[c])
+                .fold(0.0, f64::max);
+            self.twospeed.est_cycles += est;
+            if executed.iter().all(|&n| n == 0) {
+                // No forward progress left for the functional engine
+                // (e.g. every remaining instruction is in a timing-only
+                // wait); let the timing windows finish the run.
+                continue;
+            }
+        }
+        self.recovery_maintenance();
+        let mut stats = self.stats();
+        stats.timed_out = !stats.completed;
+        Ok(stats)
+    }
+
+    /// Fast-forwards every core to completion (or fuel exhaustion),
+    /// extrapolating cycles at IPC = 1 on the slowest core.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any architectural fault (decode, memory, invalid-VL) the
+    /// programs trip, exactly as the timing path would.
+    fn fast_forward(&mut self, fuel_per_core: u64) -> Result<(), SimError> {
+        let fuel = vec![fuel_per_core; self.cfg.cores];
+        let executed = self.fast_forward_window(&fuel, false)?;
+        let est = executed.iter().copied().max().unwrap_or(0);
+        self.twospeed.est_cycles += est as f64;
+        Ok(())
+    }
+
+    /// One functional window: batch-executes up to `fuel[c]`
+    /// instructions on core `c` over architectural state, with
+    /// observability (trace, events) suppressed. `warm` enables
+    /// functional cache warming (sampled mode only — pure functional
+    /// runs never return to timing, so they skip it). Returns the
+    /// per-core executed-instruction counts.
+    fn fast_forward_window(&mut self, fuel: &[u64], warm: bool) -> Result<Vec<u64>, SimError> {
+        debug_assert!(self.is_quiesced(), "functional windows start quiesced");
+        if self.twospeed.insts.is_empty() {
+            self.twospeed.insts = vec![0; self.cfg.cores];
+        }
+        // Suppress observability during the window: functional execution
+        // has no meaningful cycle timestamps, so recording events would
+        // interleave wrong-clock entries into the timing streams.
+        let trace = std::mem::replace(&mut self.coproc.trace, crate::trace::Trace::disabled());
+        let events = std::mem::replace(&mut self.coproc.events, EventLog::disabled());
+        let mut engine = crate::functional::FunctionalEngine::new(self, warm);
+        let result = engine.run_window(fuel);
+        self.coproc.trace = trace;
+        self.coproc.events = events;
+        let executed = result?;
+        for (c, &n) in executed.iter().enumerate() {
+            self.twospeed.insts[c] += n;
+        }
+        self.twospeed.windows += 1;
+        Ok(executed)
     }
 
     /// Advances the machine by one cycle, surfacing any fault tripped by
@@ -614,6 +999,8 @@ impl Machine {
 
     /// A snapshot of the statistics so far.
     pub fn stats(&self) -> MachineStats {
+        let functional_insts = self.twospeed.total_insts();
+        let estimated = functional_insts > 0;
         MachineStats {
             cycles: self.cycle,
             cores: self.core_stats.clone(),
@@ -621,6 +1008,13 @@ impl Machine {
             total_lanes: self.cfg.total_lanes(),
             completed: self.done(),
             timed_out: false,
+            estimated,
+            estimated_cycles: if estimated {
+                self.cycle + self.twospeed.est_cycles.round() as Cycle
+            } else {
+                self.cycle
+            },
+            functional_insts,
             metrics: self.metrics(),
         }
     }
@@ -632,6 +1026,26 @@ impl Machine {
         let mut r = MetricsRegistry::new();
         r.counter("sim.cycles", self.cycle, "total simulated cycles");
         r.counter("sim.completed", u64::from(self.done()), "1 when every workload halted");
+        // Two-speed metrics are emitted only after a functional window
+        // has run, so pure-timing registries stay byte-identical to
+        // pre-two-speed builds.
+        if self.twospeed.total_insts() > 0 {
+            r.counter(
+                "sim.cycles.estimated",
+                self.cycle + self.twospeed.est_cycles.round() as Cycle,
+                "ESTIMATED total cycles (timing windows + extrapolated functional windows)",
+            );
+            r.counter(
+                "sim.functional.insts",
+                self.twospeed.total_insts(),
+                "instructions executed by the functional engine",
+            );
+            r.counter(
+                "sim.functional.windows",
+                self.twospeed.windows,
+                "functional fast-forward windows executed",
+            );
+        }
         for (c, cs) in self.core_stats.iter().enumerate() {
             let p = format!("sim.core{c}");
             r.counter(
@@ -1222,6 +1636,12 @@ impl Machine {
             }
         }
     }
+}
+
+/// Instructions a core has retired (scalar + vector), the numerator of
+/// the sampled-mode CPI measurement.
+fn retired_insts(cs: &CoreStats) -> u64 {
+    cs.scalar_executed + cs.vector_compute_issued + cs.vector_mem_issued
 }
 
 #[cfg(test)]

@@ -271,6 +271,9 @@ mod tests {
             total_lanes: 32,
             completed: true,
             timed_out: false,
+            estimated: false,
+            estimated_cycles: 2,
+            functional_insts: 0,
             metrics: crate::metrics::MetricsRegistry::new(),
         };
         let text = render_profile(&p, &stats);

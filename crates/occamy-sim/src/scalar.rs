@@ -186,7 +186,19 @@ impl ScalarCore {
     ///
     /// Panics if called with a memory instruction or without a program.
     pub fn exec_pure(&mut self, inst: &ScalarInst) {
-        let program = self.program.as_ref().expect("no program loaded");
+        let program = self.program.take().expect("no program loaded");
+        self.exec_pure_in(inst, &program);
+        self.program = Some(program);
+    }
+
+    /// [`exec_pure`](Self::exec_pure) with the program supplied by the
+    /// caller — for the functional engine, which holds the program
+    /// outside the core while batch-executing a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a memory instruction.
+    pub(crate) fn exec_pure_in(&mut self, inst: &ScalarInst, program: &Program) {
         let mut next = self.pc + 1;
         match inst {
             ScalarInst::MovImm { dst, imm } => self.x[dst.index()] = *imm as u64,

@@ -203,6 +203,19 @@ pub struct MachineStats {
     /// `false` for mid-run snapshots from
     /// [`Machine::stats`](crate::Machine::stats).
     pub timed_out: bool,
+    /// Whether any part of this run was executed by the functional
+    /// engine (see [`SimMode`](crate::SimMode)): when set,
+    /// [`estimated_cycles`](Self::estimated_cycles) is an extrapolation
+    /// and every timing-derived quantity (cycles, utilisation, timeline,
+    /// phase durations) covers only the cycle-accurate windows.
+    pub estimated: bool,
+    /// Total cycles including the extrapolated cost of functional
+    /// fast-forward windows. Equal to [`cycles`](Self::cycles) when
+    /// [`estimated`](Self::estimated) is `false`.
+    pub estimated_cycles: Cycle,
+    /// Instructions executed by the functional engine (zero in pure
+    /// timing runs).
+    pub functional_insts: u64,
     /// Hierarchical metrics snapshot (the gem5-style stats tree, see
     /// [`crate::metrics`]).
     pub metrics: crate::metrics::MetricsRegistry,
@@ -258,6 +271,13 @@ impl MachineStats {
         let _ = writeln!(out, "cycles simulated      : {}", self.cycles);
         let _ = writeln!(out, "completed             : {}", self.completed);
         let _ = writeln!(out, "timed out             : {}", self.timed_out);
+        if self.estimated {
+            let _ = writeln!(
+                out,
+                "estimated cycles      : {} (extrapolated; {} insts fast-forwarded)",
+                self.estimated_cycles, self.functional_insts
+            );
+        }
         let _ = writeln!(
             out,
             "SIMD utilisation      : {:.2}% of {} lanes",
@@ -345,6 +365,9 @@ mod tests {
             total_lanes: 32,
             completed: true,
             timed_out: false,
+            estimated: false,
+            estimated_cycles: 100,
+            functional_insts: 0,
             metrics: crate::metrics::MetricsRegistry::new(),
         };
         stats.cores[0].busy_lane_cycles = 800.0;
@@ -386,6 +409,9 @@ mod tests {
             total_lanes: 32,
             completed: true,
             timed_out: false,
+            estimated: false,
+            estimated_cycles: 1000,
+            functional_insts: 0,
             metrics: crate::metrics::MetricsRegistry::new(),
         };
         assert_eq!(stats.core_time(0), 1000);

@@ -28,6 +28,12 @@ const LINTED: &[&str] = &[
     "crates/occamy-sim/src/events.rs",
     "crates/occamy-sim/src/metrics.rs",
     "crates/occamy-sim/src/profile.rs",
+    // The functional engine executes the same untrusted programs as the
+    // timing path and must trip the same typed faults.
+    "crates/occamy-sim/src/functional.rs",
+    // The two-speed campaign code runs in CI sweeps.
+    "crates/bench/src/two_speed.rs",
+    "crates/bench/src/bin/speedup.rs",
 ];
 
 /// Justified residual panic sites: `"<file suffix>:<exact line content>"`.
