@@ -41,11 +41,13 @@ impl Value {
         Value::Obj(Vec::new())
     }
 
-    /// Appends a field to an object; panics on non-objects.
+    /// Appends a field to an object. Calling this on a non-object is a
+    /// programming error: it trips a `debug_assert!` in debug builds
+    /// and is ignored in release builds (the document stays valid).
     pub fn push(&mut self, key: impl Into<String>, value: Value) -> &mut Value {
         match self {
             Value::Obj(fields) => fields.push((key.into(), value)),
-            other => panic!("push on non-object {other:?}"),
+            ref other => debug_assert!(false, "push on non-object {other:?}"),
         }
         self
     }
@@ -108,6 +110,46 @@ impl Value {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Serializes the tree on a single line with no whitespace — the
+    /// framing used by the `occamyd` line-delimited wire protocol (one
+    /// message per `\n`-terminated line; string escapes keep embedded
+    /// newlines out of the payload). No trailing newline.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars and empty containers print identically in both
+            // layouts; reuse the pretty writer at depth 0.
+            other => other.write(out, 0),
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -200,6 +242,35 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Failure class of a [`ParseError`], so protocol code can distinguish
+/// resource-limit rejections from plain syntax errors without string
+/// matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed JSON text (bad token, trailing garbage, bad escape…).
+    Syntax,
+    /// The input ended inside a value (unterminated string/container or
+    /// empty input) — typical of a truncated message.
+    Truncated,
+    /// The input exceeds [`Limits::max_bytes`]; nothing was parsed.
+    Oversized,
+    /// Containers nest deeper than [`Limits::max_depth`]. The recursive
+    /// parser refuses rather than risking stack exhaustion.
+    TooDeep,
+}
+
+impl ParseErrorKind {
+    /// Stable machine-readable tag (used in protocol error replies).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ParseErrorKind::Syntax => "syntax",
+            ParseErrorKind::Truncated => "truncated",
+            ParseErrorKind::Oversized => "oversized",
+            ParseErrorKind::TooDeep => "too_deep",
+        }
+    }
+}
+
 /// A parse failure with a byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -207,6 +278,8 @@ pub struct ParseError {
     pub at: usize,
     /// What went wrong.
     pub message: String,
+    /// Failure class (syntax, truncated, oversized, too deep).
+    pub kind: ParseErrorKind,
 }
 
 impl std::fmt::Display for ParseError {
@@ -217,7 +290,28 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parses a JSON document (the round-trip half of the golden tests).
+/// Resource limits enforced by [`parse_limited`]. Both bounds make the
+/// parser's memory use O(`max_bytes`) and its recursion O(`max_depth`)
+/// regardless of what an untrusted peer sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum input length in bytes; longer inputs are rejected with
+    /// [`ParseErrorKind::Oversized`] before any allocation.
+    pub max_bytes: usize,
+    /// Maximum container nesting depth ([`ParseErrorKind::TooDeep`]).
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        // Generous for trusted experiment files, still bounded: the
+        // deepest document the repo emits nests 6 levels.
+        Limits { max_bytes: 1 << 30, max_depth: 128 }
+    }
+}
+
+/// Parses a JSON document (the round-trip half of the golden tests)
+/// under the default [`Limits`].
 ///
 /// Numbers parse to [`Value::UInt`]/[`Value::Int`] when the text is an
 /// exact integer, [`Value::Num`] otherwise — matching what the writer
@@ -227,9 +321,32 @@ impl std::error::Error for ParseError {}
 ///
 /// Returns [`ParseError`] on malformed input or trailing garbage.
 pub fn parse(text: &str) -> Result<Value, ParseError> {
+    parse_limited(text, &Limits::default())
+}
+
+/// [`parse`] with explicit resource [`Limits`] — the entry point for
+/// untrusted network input (the `occamyd` wire protocol).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed, truncated, oversized or
+/// too-deeply-nested input.
+pub fn parse_limited(text: &str, limits: &Limits) -> Result<Value, ParseError> {
+    if text.len() > limits.max_bytes {
+        return Err(ParseError {
+            at: limits.max_bytes,
+            message: format!(
+                "input of {} bytes exceeds the {}-byte limit",
+                text.len(),
+                limits.max_bytes
+            ),
+            kind: ParseErrorKind::Oversized,
+        });
+    }
     let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let mut p = Parser { bytes, pos: 0, depth_left: limits.max_depth };
+    let value = p.value()?;
+    let mut pos = p.pos;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(err(pos, "trailing characters"));
@@ -238,7 +355,11 @@ pub fn parse(text: &str) -> Result<Value, ParseError> {
 }
 
 fn err(at: usize, message: impl Into<String>) -> ParseError {
-    ParseError { at, message: message.into() }
+    ParseError { at, message: message.into(), kind: ParseErrorKind::Syntax }
+}
+
+fn err_kind(at: usize, message: impl Into<String>, kind: ParseErrorKind) -> ParseError {
+    ParseError { at, message: message.into(), kind }
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -247,156 +368,238 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), ParseError> {
-    if *pos < bytes.len() && bytes[*pos] == token {
-        *pos += 1;
+/// Recursive-descent state: `depth_left` decrements on every container
+/// so adversarial nesting fails with a typed error instead of blowing
+/// the stack.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth_left: usize,
+}
+
+impl Parser<'_> {
+    fn eat(&mut self, token: u8) -> Result<(), ParseError> {
+        if self.bytes.get(self.pos) == Some(&token) {
+            self.pos += 1;
+            Ok(())
+        } else if self.pos >= self.bytes.len() {
+            Err(err_kind(
+                self.pos,
+                format!("expected '{}', got end of input", token as char),
+                ParseErrorKind::Truncated,
+            ))
+        } else {
+            Err(err(self.pos, format!("expected '{}'", token as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        skip_ws(self.bytes, &mut self.pos);
+        match self.bytes.get(self.pos) {
+            None => Err(err_kind(self.pos, "unexpected end of input", ParseErrorKind::Truncated)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.enter()?;
+                self.pos += 1;
+                let mut items = Vec::new();
+                skip_ws(self.bytes, &mut self.pos);
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    self.leave();
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    skip_ws(self.bytes, &mut self.pos);
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            self.leave();
+                            return Ok(Value::Arr(items));
+                        }
+                        Some(_) => return Err(err(self.pos, "expected ',' or ']'")),
+                        None => {
+                            return Err(err_kind(
+                                self.pos,
+                                "unterminated array",
+                                ParseErrorKind::Truncated,
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.enter()?;
+                self.pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(self.bytes, &mut self.pos);
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    self.leave();
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(self.bytes, &mut self.pos);
+                    let key = self.string()?;
+                    skip_ws(self.bytes, &mut self.pos);
+                    self.eat(b':')?;
+                    let value = self.value()?;
+                    fields.push((key, value));
+                    skip_ws(self.bytes, &mut self.pos);
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            self.leave();
+                            return Ok(Value::Obj(fields));
+                        }
+                        Some(_) => return Err(err(self.pos, "expected ',' or '}'")),
+                        None => {
+                            return Err(err_kind(
+                                self.pos,
+                                "unterminated object",
+                                ParseErrorKind::Truncated,
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        if self.depth_left == 0 {
+            return Err(err_kind(
+                self.pos,
+                "containers nest too deeply",
+                ParseErrorKind::TooDeep,
+            ));
+        }
+        self.depth_left -= 1;
         Ok(())
-    } else {
-        Err(err(*pos, format!("expected '{}'", token as char)))
     }
-}
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err(err(*pos, "unexpected end of input")),
-        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
-        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
-        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
-        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Value::Arr(items));
+    fn leave(&mut self) {
+        self.depth_left += 1;
+    }
+
+    fn keyword(&mut self, keyword: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(err(self.pos, format!("expected '{keyword}'")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => {
+                    return Err(err_kind(
+                        self.pos,
+                        "unterminated string",
+                        ParseErrorKind::Truncated,
+                    ))
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| {
+                                    err_kind(
+                                        self.pos,
+                                        "truncated \\u escape",
+                                        ParseErrorKind::Truncated,
+                                    )
+                                })?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| err(self.pos, "non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| err(self.pos, "bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        Some(_) => return Err(err(self.pos, "bad escape")),
+                        None => {
+                            return Err(err_kind(
+                                self.pos,
+                                "truncated escape",
+                                ParseErrorKind::Truncated,
+                            ))
+                        }
                     }
-                    _ => return Err(err(*pos, "expected ',' or ']'")),
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this
+                    // cannot fail mid-character).
+                    let rest = match std::str::from_utf8(&self.bytes[self.pos..]) {
+                        Ok(r) => r,
+                        Err(_) => return Err(err(self.pos, "invalid utf-8")),
+                    };
+                    match rest.chars().next() {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => {
+                            return Err(err_kind(
+                                self.pos,
+                                "unterminated string",
+                                ParseErrorKind::Truncated,
+                            ))
+                        }
+                    }
                 }
             }
         }
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Value::Obj(fields));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
-                fields.push((key, value));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Value::Obj(fields));
-                    }
-                    _ => return Err(err(*pos, "expected ',' or '}'")),
-                }
-            }
-        }
-        Some(_) => parse_number(bytes, pos),
     }
-}
 
-fn parse_keyword(
-    bytes: &[u8],
-    pos: &mut usize,
-    keyword: &str,
-    value: Value,
-) -> Result<Value, ParseError> {
-    if bytes[*pos..].starts_with(keyword.as_bytes()) {
-        *pos += keyword.len();
-        Ok(value)
-    } else {
-        Err(err(*pos, format!("expected '{keyword}'")))
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
-    expect(bytes, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err(err(*pos, "unterminated string")),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        // The scan above only accepts ASCII, so the slice is valid UTF-8.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        if text.is_empty() {
+            return Err(err(start, "expected a value"));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
             }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| err(*pos, "non-ascii \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| err(*pos, "bad \\u escape"))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(err(*pos, "bad escape")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so this is safe).
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| err(*pos, "invalid utf-8"))?;
-                let c = rest.chars().next().ok_or_else(|| err(*pos, "unterminated string"))?;
-                out.push(c);
-                *pos += c.len_utf8();
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
             }
         }
+        text.parse::<f64>().map(Value::Num).map_err(|_| err(start, "malformed number"))
     }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
-    if text.is_empty() {
-        return Err(err(start, "expected a value"));
-    }
-    if !text.contains(['.', 'e', 'E']) {
-        if let Ok(u) = text.parse::<u64>() {
-            return Ok(Value::UInt(u));
-        }
-        if let Ok(i) = text.parse::<i64>() {
-            return Ok(Value::Int(i));
-        }
-    }
-    text.parse::<f64>().map(Value::Num).map_err(|_| err(start, "malformed number"))
 }
 
 #[cfg(test)]
@@ -455,5 +658,52 @@ mod tests {
     fn parses_unicode_and_escapes() {
         let v = parse("\"caf\\u00e9 🦀\"").expect("parse");
         assert_eq!(v.as_str(), Some("café 🦀"));
+    }
+
+    #[test]
+    fn truncated_input_is_typed() {
+        for text in ["", "{", "[1,", "\"abc", "{\"a\":", "\"esc\\", "\"u\\u00"] {
+            let e = parse(text).expect_err(text);
+            assert_eq!(e.kind, ParseErrorKind::Truncated, "{text:?} → {e}");
+        }
+        // Syntax errors stay syntax errors.
+        assert_eq!(parse("[1,]").unwrap_err().kind, ParseErrorKind::Syntax);
+        assert_eq!(parse("12 34").unwrap_err().kind, ParseErrorKind::Syntax);
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_before_parsing() {
+        let limits = Limits { max_bytes: 8, max_depth: 128 };
+        let e = parse_limited("[1,2,3,4,5]", &limits).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::Oversized);
+        assert!(parse_limited("[1,2]", &limits).is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_is_refused_not_overflowed() {
+        let deep: String = "[".repeat(100_000);
+        let e = parse(&deep).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooDeep);
+        let mut ok = "1".to_string();
+        for _ in 0..100 {
+            ok = format!("[{ok}]");
+        }
+        assert!(parse(&ok).is_ok(), "100 levels are within the default limit");
+        let e = parse_limited(&ok, &Limits { max_bytes: 1 << 20, max_depth: 10 }).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooDeep);
+    }
+
+    #[test]
+    fn compact_render_round_trips_and_stays_on_one_line() {
+        let mut doc = Value::obj();
+        doc.push("s", Value::Str("line\nbreak \"q\"".into()))
+            .push("u", Value::UInt(7))
+            .push("arr", Value::Arr(vec![Value::Bool(false), Value::Null, Value::Num(0.5)]))
+            .push("empty_arr", Value::Arr(vec![]))
+            .push("empty_obj", Value::obj());
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "compact output must be newline-free: {line:?}");
+        assert_eq!(parse(&line).expect("parse compact"), doc);
+        assert_eq!(line, "{\"s\":\"line\\nbreak \\\"q\\\"\",\"u\":7,\"arr\":[false,null,0.5],\"empty_arr\":[],\"empty_obj\":{}}");
     }
 }

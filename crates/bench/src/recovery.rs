@@ -32,7 +32,7 @@ use workloads::table3::CorunPair;
 use workloads::{corun, table3, WorkloadSpec};
 
 use crate::json::Value;
-use crate::runner::{run_jobs, run_with_retry, JobFailure};
+use crate::runner::{run_jobs, run_with_retry, BackoffPolicy, JobFailure};
 
 /// Transient lane-corruption rates swept per policy.
 pub const TRANSIENT_RATES: [f64; 3] = [2e-6, 2e-5, 2e-4];
@@ -223,7 +223,14 @@ fn run_scenario(
 ) -> RecoveryOutcome {
     let budget = baseline.cycles.saturating_mul(BUDGET_FACTOR).max(1_000_000);
     let mut diag: Option<Diag> = None;
-    let (attempts, result) = run_with_retry(MAX_ATTEMPTS, |attempt| {
+    // No backoff: each attempt re-salts the fault plan, so waiting
+    // between deterministic campaign attempts buys nothing.
+    let retry = run_with_retry(
+        MAX_ATTEMPTS,
+        &BackoffPolicy::none(),
+        0,
+        |e: &JobFailure| !matches!(e, JobFailure::Build(_)),
+        |attempt| {
         let mut machine = build(specs, cfg)?;
         machine.set_fault_plan(&scenario.plan(attempt, baseline.cycles));
         if let Some(p) = policy {
@@ -240,7 +247,9 @@ fn run_scenario(
         };
         diag = Some(Diag::collect(&machine, baseline, stats.as_ref()));
         out
-    });
+    },
+    );
+    let (attempts, result) = (retry.attempts, retry.result);
     let d = diag.unwrap_or_else(|| Diag {
         cycles: 0,
         detections: 0,

@@ -223,6 +223,73 @@ impl std::fmt::Display for JobFailure {
     }
 }
 
+/// Deterministic seeded exponential backoff with jitter, applied
+/// between retry attempts.
+///
+/// The *schedule* is a pure function of `(seed, salt, attempt)`: the
+/// delay before retry `attempt` is drawn uniformly (SplitMix64) from
+/// `[ceiling/2, ceiling]` where `ceiling = min(base_us << attempt,
+/// cap_us)` — AWS-style "equal jitter", so concurrent retries of many
+/// jobs decorrelate but every delay keeps an exponential floor. Only
+/// the wall-clock is affected; simulation output never depends on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay scale in microseconds for the first retry (0 disables
+    /// backoff entirely: retries are immediate).
+    pub base_us: u64,
+    /// Upper bound on any single delay, in microseconds.
+    pub cap_us: u64,
+    /// Seed of the jitter stream. Combined with the caller's per-job
+    /// `salt` so identical policies still spread across jobs.
+    pub seed: u64,
+}
+
+impl BackoffPolicy {
+    /// No backoff: retries run immediately (the pre-backoff behaviour,
+    /// used by deterministic campaign sweeps where waiting buys
+    /// nothing).
+    pub fn none() -> Self {
+        BackoffPolicy { base_us: 0, cap_us: 0, seed: 0 }
+    }
+
+    /// The deterministic delay before retry number `attempt` (1-based:
+    /// the delay *after* attempt `attempt - 1` failed) for the job
+    /// identified by `salt`.
+    pub fn delay(&self, salt: u64, attempt: u32) -> Duration {
+        if self.base_us == 0 {
+            return Duration::ZERO;
+        }
+        let shift = attempt.saturating_sub(1).min(20);
+        let ceiling = self
+            .base_us
+            .saturating_mul(1u64 << shift)
+            .min(self.cap_us.max(self.base_us));
+        let stream = splitmix64(
+            self.seed ^ salt.rotate_left(17) ^ (u64::from(attempt) << 32),
+        );
+        let floor = ceiling / 2;
+        Duration::from_micros(floor + stream % (ceiling - floor + 1))
+    }
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        // Small scale: simulation jobs run for milliseconds, so a
+        // 200 µs..20 ms window spreads retry storms without stalling
+        // an interactive sweep.
+        BackoffPolicy { base_us: 200, cap_us: 20_000, seed: 0x0cca_a17e }
+    }
+}
+
+/// SplitMix64 — the one-shot mixer used for jitter (and the seeding
+/// stage of the vendored `rand` shim).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// Per-job budget and bounded-retry policy for [`run_points_checked`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -232,34 +299,77 @@ pub struct RetryPolicy {
     pub watchdog: u64,
     /// Attempts before the job is marked failed (minimum 1).
     pub max_attempts: u32,
+    /// Inter-attempt backoff schedule.
+    pub backoff: BackoffPolicy,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_cycles: MAX_CYCLES, watchdog: 1_000_000, max_attempts: 2 }
+        RetryPolicy {
+            max_cycles: MAX_CYCLES,
+            watchdog: 1_000_000,
+            max_attempts: 2,
+            backoff: BackoffPolicy::default(),
+        }
     }
 }
 
-/// Runs `attempt` up to `max_attempts` times, returning the attempt
-/// count actually used and the first success (or the last failure).
-/// Build failures short-circuit: they are deterministic, so retrying
-/// cannot help. The attempt index is passed in so callers can re-salt
-/// per-attempt state (e.g. a fault seed).
-pub fn run_with_retry<T>(
+/// What [`run_with_retry`] did: how many attempts ran, how long the
+/// schedule slept between them, and the first success or last failure.
+#[derive(Debug, Clone)]
+pub struct RetryOutcome<T, E> {
+    /// Attempts consumed (1 on first-try success).
+    pub attempts: u32,
+    /// Total wall-clock spent sleeping in backoff (zero when the first
+    /// attempt succeeds or the failure is not retryable).
+    pub backoff_waited: Duration,
+    /// The first success, or the error that stopped the loop.
+    pub result: Result<T, E>,
+}
+
+/// Runs `attempt` up to `max_attempts` times with deterministic seeded
+/// exponential backoff (plus jitter) between attempts, returning the
+/// attempt count, total backoff slept, and the first success (or the
+/// last failure).
+///
+/// `retryable` classifies failures: a non-retryable error (e.g. a
+/// deterministic build failure, where retrying cannot help) stops the
+/// loop immediately with no backoff. The attempt index is passed to
+/// `attempt` so callers can re-salt per-attempt state (e.g. a fault
+/// seed); `salt` decorrelates the jitter streams of concurrent jobs
+/// sharing one policy.
+pub fn run_with_retry<T, E>(
     max_attempts: u32,
-    attempt: impl FnMut(u32) -> Result<T, JobFailure>,
-) -> (u32, Result<T, JobFailure>) {
-    let mut attempt = attempt;
+    backoff: &BackoffPolicy,
+    salt: u64,
+    retryable: impl Fn(&E) -> bool,
+    mut attempt: impl FnMut(u32) -> Result<T, E>,
+) -> RetryOutcome<T, E> {
     let tries = max_attempts.max(1);
-    let mut last = JobFailure::Build("no attempt ran".into());
-    for a in 0..tries {
+    let mut waited = Duration::ZERO;
+    let mut a = 0;
+    loop {
         match attempt(a) {
-            Ok(v) => return (a + 1, Ok(v)),
-            Err(e @ JobFailure::Build(_)) => return (a + 1, Err(e)),
-            Err(e) => last = e,
+            Ok(v) => {
+                return RetryOutcome { attempts: a + 1, backoff_waited: waited, result: Ok(v) }
+            }
+            Err(e) => {
+                if !retryable(&e) || a + 1 == tries {
+                    return RetryOutcome {
+                        attempts: a + 1,
+                        backoff_waited: waited,
+                        result: Err(e),
+                    };
+                }
+                let delay = backoff.delay(salt, a + 1);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                    waited += delay;
+                }
+                a += 1;
+            }
         }
     }
-    (tries, Err(last))
 }
 
 /// The outcome of one checked sweep job.
@@ -271,6 +381,9 @@ pub struct CheckedResult {
     pub arch: &'static str,
     /// Attempts consumed (1 on first-try success).
     pub attempts: u32,
+    /// Wall-clock slept in retry backoff (zero without retries). Not
+    /// part of any deterministic output.
+    pub backoff_waited: Duration,
     /// The statistics, or why every attempt failed.
     pub outcome: Result<MachineStats, JobFailure>,
     /// Host wall-clock across all attempts.
@@ -291,31 +404,38 @@ pub fn run_points_checked(
         let point = &points[i];
         let name = point.architecture.short_name();
         let started = Instant::now();
-        let (attempts, outcome) = run_with_retry(policy.max_attempts, |_| {
-            let mut machine = corun::build_machine(
-                &point.specs,
-                &point.config,
-                &point.architecture,
-                point.build_scale,
-            )
-            .map_err(|e| JobFailure::Build(e.to_string()))?;
-            machine
-                .set_mode(point.mode)
+        let retry = run_with_retry(
+            policy.max_attempts,
+            &policy.backoff,
+            i as u64,
+            |e: &JobFailure| !matches!(e, JobFailure::Build(_)),
+            |_| {
+                let mut machine = corun::build_machine(
+                    &point.specs,
+                    &point.config,
+                    &point.architecture,
+                    point.build_scale,
+                )
                 .map_err(|e| JobFailure::Build(e.to_string()))?;
-            machine.set_watchdog(policy.watchdog);
-            let stats = machine
-                .run(policy.max_cycles)
-                .map_err(|e| JobFailure::Faulted { kind: e.kind(), detail: e.to_string() })?;
-            if !stats.completed {
-                return Err(JobFailure::TimedOut { cycles: stats.cycles });
-            }
-            Ok(stats)
-        });
+                machine
+                    .set_mode(point.mode)
+                    .map_err(|e| JobFailure::Build(e.to_string()))?;
+                machine.set_watchdog(policy.watchdog);
+                let stats = machine
+                    .run(policy.max_cycles)
+                    .map_err(|e| JobFailure::Faulted { kind: e.kind(), detail: e.to_string() })?;
+                if !stats.completed {
+                    return Err(JobFailure::TimedOut { cycles: stats.cycles });
+                }
+                Ok(stats)
+            },
+        );
         CheckedResult {
             label: point.label.clone(),
             arch: name,
-            attempts,
-            outcome,
+            attempts: retry.attempts,
+            backoff_waited: retry.backoff_waited,
+            outcome: retry.result,
             wall: started.elapsed(),
         }
     })
@@ -372,7 +492,12 @@ mod tests {
             Architecture::Occamy,
             cfg,
         );
-        let policy = RetryPolicy { max_cycles: 50, watchdog: 1_000, max_attempts: 3 };
+        let policy = RetryPolicy {
+            max_cycles: 50,
+            watchdog: 1_000,
+            max_attempts: 3,
+            backoff: BackoffPolicy { base_us: 1, cap_us: 10, seed: 7 },
+        };
         let out = run_points_checked(std::slice::from_ref(&point), 1, policy);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].attempts, 3, "timeouts are retried up to the bound");
@@ -403,21 +528,49 @@ mod tests {
 
     #[test]
     fn retry_helper_short_circuits_build_failures_and_reports_attempts() {
-        let (attempts, out) = run_with_retry(5, |_| {
+        let retryable = |e: &JobFailure| !matches!(e, JobFailure::Build(_));
+        let out = run_with_retry(5, &BackoffPolicy::none(), 0, retryable, |_| {
             Err::<(), _>(JobFailure::Build("bad spec".into()))
         });
-        assert_eq!(attempts, 1, "build failures are deterministic: no retry");
-        assert_eq!(out.unwrap_err().kind(), "build");
+        assert_eq!(out.attempts, 1, "build failures are deterministic: no retry");
+        assert_eq!(out.backoff_waited, Duration::ZERO);
+        assert_eq!(out.result.unwrap_err().kind(), "build");
 
-        let (attempts, out) = run_with_retry(4, |a| {
+        let backoff = BackoffPolicy { base_us: 50, cap_us: 400, seed: 42 };
+        let out = run_with_retry(4, &backoff, 9, retryable, |a| {
             if a < 2 {
                 Err(JobFailure::TimedOut { cycles: 10 })
             } else {
                 Ok(a)
             }
         });
-        assert_eq!(attempts, 3);
-        assert_eq!(out.unwrap(), 2, "the succeeding attempt's value comes back");
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.result.unwrap(), 2, "the succeeding attempt's value comes back");
+        let expected: Duration = (1..=2).map(|a| backoff.delay(9, a)).sum();
+        assert_eq!(out.backoff_waited, expected, "slept exactly the deterministic schedule");
+        assert!(!expected.is_zero());
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_jittered_and_capped() {
+        let p = BackoffPolicy { base_us: 100, cap_us: 1_000, seed: 1 };
+        for salt in [0u64, 1, 99] {
+            for attempt in 1..=16 {
+                let d = p.delay(salt, attempt);
+                assert_eq!(d, p.delay(salt, attempt), "pure function of (seed, salt, attempt)");
+                let ceiling = (100u64 << (attempt - 1).min(20)).min(1_000);
+                let us = d.as_micros() as u64;
+                assert!(
+                    us >= ceiling / 2 && us <= ceiling,
+                    "delay {us}µs outside [{}, {ceiling}]µs at attempt {attempt}",
+                    ceiling / 2
+                );
+            }
+        }
+        // Different salts see different jitter (decorrelated streams).
+        assert_ne!(p.delay(0, 4), p.delay(1, 4));
+        // Disabled backoff sleeps nothing.
+        assert_eq!(BackoffPolicy::none().delay(3, 5), Duration::ZERO);
     }
 
     #[test]

@@ -36,17 +36,22 @@ use occamy_sim::{
 use roofline::{MachineCeilings, MemLevel};
 
 /// CLI failure classes, each with a distinct exit code so scripts can
-/// tell a typo from a broken kernel from a simulator fault:
+/// tell a typo from a broken kernel from a simulator fault from a dead
+/// daemon:
 ///
 /// * `Usage` (exit 2) — malformed command line,
 /// * `Load` (exit 3) — kernel parse/compile or program-load failure,
 /// * `Sim` (exit 4) — simulation fault (typed `SimError`, including the
-///   forward-progress watchdog) or an exceeded cycle budget.
+///   forward-progress watchdog), an exceeded cycle budget, or a job
+///   the daemon terminated with a typed error/shed reply,
+/// * `Net` (exit 5) — `serve`/`submit` connection or protocol failure
+///   (could not bind/connect, transport error, malformed reply).
 #[derive(Debug)]
 enum CliError {
     Usage(String),
     Load(String),
     Sim(String),
+    Net(String),
 }
 
 impl CliError {
@@ -55,12 +60,16 @@ impl CliError {
             CliError::Usage(_) => ExitCode::from(2),
             CliError::Load(_) => ExitCode::from(3),
             CliError::Sim(_) => ExitCode::from(4),
+            CliError::Net(_) => ExitCode::from(5),
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            CliError::Usage(m) | CliError::Load(m) | CliError::Sim(m) => m,
+            CliError::Usage(m)
+            | CliError::Load(m)
+            | CliError::Sim(m)
+            | CliError::Net(m) => m,
         }
     }
 }
@@ -75,6 +84,8 @@ fn main() -> ExitCode {
         Some("corun") => cmd_corun(&args[1..]),
         Some("sched") => cmd_sched(&args[1..]),
         Some("roofline") => cmd_roofline(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("--help" | "-h") | None => {
             print_usage();
             Ok(())
@@ -98,7 +109,9 @@ fn print_usage() {
          occamy profile <kernel.ok> [options]      # per-phase cycle attribution (Fig. 15)\n  \
          occamy corun <k0.ok> <k1.ok> [options]   # two cores, elastic lanes\n  \
          occamy sched <k.ok>... [options]          # time-share N kernels (§5)\n  \
-         occamy roofline <oi> [<oi>...]\n\n\
+         occamy roofline <oi> [<oi>...]\n  \
+         occamy serve [--listen <ep>] [options]    # multi-tenant simulation daemon\n  \
+         occamy submit <workload>... [options]     # run a job on a daemon\n\n\
          options:\n  --trip <n>        elements per pass (default 4096)\n  \
          --passes <n>      sweeps over the arrays (default 1)\n  \
          --arch <a>        occamy|private|fts|vls (default occamy)\n  \
@@ -123,7 +136,23 @@ fn print_usage() {
          seed=42,oi=0.01,decision=0.01,mem=0.05,spike=300,truncate=0.1,bitflip=0.02\n  \
          --recover <spec>  run/corun: arm detection & recovery; `default` or e.g.\n                    \
          interval=10000,selftest=25000,strikes=3,rollbacks=64,quarantine=1\n\n\
-         exit codes: 0 ok, 2 usage, 3 kernel load/compile, 4 simulation fault"
+         service options (serve/submit):\n  \
+         --listen <ep>     serve: endpoint to bind — unix:<path> | tcp:<host:port>\n                    \
+         (default unix:/tmp/occamyd.sock; tcp port 0 picks a free port)\n  \
+         --workers <n>     serve: simulation worker threads (default 4)\n  \
+         --capacity <n>    serve: bounded admission queue depth (default 1024)\n  \
+         --per-tenant <n>  serve: per-tenant quota, queued + running (default 256)\n  \
+         --connect <ep>    submit: daemon endpoint (default unix:/tmp/occamyd.sock)\n  \
+         --tenant <name>   submit: tenant identity for quotas (default `cli`)\n  \
+         --id <name>       submit: job id (default `job`)\n  \
+         --scale <f>       submit: workload scale factor (default 1.0)\n  \
+         --seed <n>        submit: retry-salted fault seed (default 0)\n  \
+         --max-cycles <n>  submit: per-attempt cycle budget (default 50000000)\n  \
+         --deadline-ms <n> submit: wall-clock deadline for the job\n  \
+         --ping | --stats | --shutdown   submit: daemon control ops\n                    \
+         workloads: WL1..WL22 | cv1..cv12 | synth:<loads>,<stores>,<flops>[,trip[,repeat]]\n\n\
+         exit codes: 0 ok, 2 usage, 3 kernel load/compile, 4 simulation/job fault,\n             \
+         5 connection/protocol failure"
     );
 }
 
@@ -690,6 +719,150 @@ fn cmd_sched(args: &[String]) -> Result<(), CliError> {
         print!("{}", render_lane_timeline(&stats.timeline, stats.total_lanes, 100));
     }
     Ok(())
+}
+
+/// Default rendezvous for `serve`/`submit` when no endpoint is given.
+const DEFAULT_ENDPOINT: &str = "unix:/tmp/occamyd.sock";
+
+/// Starts the `occamyd` daemon and blocks until a client sends a
+/// `shutdown` op (`occamy submit --shutdown`).
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let mut listen = DEFAULT_ENDPOINT.to_owned();
+    let mut config = occamyd::ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--listen" => listen = value("--listen")?,
+            "--workers" => {
+                config.workers = parse_num(&value("--workers")?, "--workers")?;
+                if config.workers == 0 {
+                    return Err(CliError::Usage("--workers must be at least 1".into()));
+                }
+            }
+            "--capacity" => {
+                config.admission.capacity = parse_num(&value("--capacity")?, "--capacity")?;
+            }
+            "--per-tenant" => {
+                config.admission.per_tenant = parse_num(&value("--per-tenant")?, "--per-tenant")?;
+            }
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+    let endpoint = occamyd::Endpoint::parse(&listen).map_err(CliError::Usage)?;
+    let mut handle = occamyd::serve(&endpoint, config).map_err(CliError::Net)?;
+    println!("occamyd listening on {}", handle.endpoint);
+    println!("stop with: occamy submit --shutdown --connect {}", handle.endpoint);
+    handle.wait(std::time::Duration::from_millis(100));
+    handle.stop();
+    println!("occamyd stopped");
+    Ok(())
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| CliError::Usage(format!("{name}: {e}")))
+}
+
+/// What a `submit` invocation asks the daemon to do.
+enum SubmitOp {
+    Run,
+    Ping,
+    Stats,
+    Shutdown,
+}
+
+/// Submits one job (or a control op) to a running daemon and waits for
+/// the terminal reply.
+fn cmd_submit(args: &[String]) -> Result<(), CliError> {
+    let mut connect = DEFAULT_ENDPOINT.to_owned();
+    let mut tenant = "cli".to_owned();
+    let mut id = "job".to_owned();
+    let mut op = SubmitOp::Run;
+    let mut spec = occamyd::JobSpec::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--connect" => connect = value("--connect")?,
+            "--tenant" => tenant = value("--tenant")?,
+            "--id" => id = value("--id")?,
+            "--arch" => spec.arch = value("--arch")?,
+            "--scale" => spec.scale = parse_num(&value("--scale")?, "--scale")?,
+            "--seed" => spec.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--max-cycles" => {
+                spec.max_cycles = parse_num(&value("--max-cycles")?, "--max-cycles")?;
+            }
+            "--deadline-ms" => {
+                spec.deadline_ms = Some(parse_num(&value("--deadline-ms")?, "--deadline-ms")?);
+            }
+            "--inject" => spec.inject = Some(value("--inject")?),
+            "--mode" => {
+                spec.mode = SimMode::parse(&value("--mode")?)
+                    .map_err(|e| CliError::Usage(format!("--mode: {e}")))?;
+            }
+            "--ping" => op = SubmitOp::Ping,
+            "--stats" => op = SubmitOp::Stats,
+            "--shutdown" => op = SubmitOp::Shutdown,
+            other if other.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option `{other}`")))
+            }
+            workload => spec.workloads.push(workload.to_owned()),
+        }
+    }
+    let endpoint = occamyd::Endpoint::parse(&connect).map_err(CliError::Usage)?;
+    let mut client = occamyd::Client::connect(&endpoint).map_err(CliError::Net)?;
+    let request = match op {
+        SubmitOp::Ping => occamyd::Request::Ping,
+        SubmitOp::Stats => occamyd::Request::Stats,
+        SubmitOp::Shutdown => occamyd::Request::Shutdown,
+        SubmitOp::Run => {
+            if spec.workloads.is_empty() {
+                return Err(CliError::Usage(
+                    "no workload given (WL1..WL22 | cv1..cv12 | synth:l,s,f[,trip[,rep]])"
+                        .into(),
+                ));
+            }
+            occamyd::Request::Submit { tenant, id: id.clone(), job: spec }
+        }
+    };
+    let run = matches!(request, occamyd::Request::Submit { .. });
+    client.send(&request).map_err(CliError::Net)?;
+    if !run {
+        let reply = client.recv().map_err(CliError::Net)?;
+        match reply {
+            occamyd::Reply::Pong => println!("pong"),
+            occamyd::Reply::Stats { payload } => println!("{}", payload.render()),
+            occamyd::Reply::ShuttingDown => println!("daemon shutting down"),
+            other => {
+                return Err(CliError::Net(format!("unexpected reply: {}", other.to_line())))
+            }
+        }
+        return Ok(());
+    }
+    match client.wait_terminal(&id).map_err(CliError::Net)? {
+        occamyd::Reply::Result { cached, attempts, payload, .. } => {
+            eprintln!(
+                "job `{id}` ok ({}, {attempts} attempt(s))",
+                if cached { "cached" } else { "cold" }
+            );
+            println!("{}", payload.render());
+            Ok(())
+        }
+        occamyd::Reply::Error { kind, detail, .. } => {
+            Err(CliError::Sim(format!("job `{id}` failed ({kind}): {detail}")))
+        }
+        occamyd::Reply::Shed { kind, detail, .. } => {
+            Err(CliError::Sim(format!("job `{id}` shed ({kind}): {detail}")))
+        }
+        other => Err(CliError::Net(format!("unexpected terminal reply: {}", other.to_line()))),
+    }
 }
 
 fn cmd_roofline(args: &[String]) -> Result<(), CliError> {

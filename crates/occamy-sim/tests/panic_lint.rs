@@ -34,12 +34,29 @@ const LINTED: &[&str] = &[
     // The two-speed campaign code runs in CI sweeps.
     "crates/bench/src/two_speed.rs",
     "crates/bench/src/bin/speedup.rs",
+    // The JSON layer parses bytes straight off the daemon socket.
+    "crates/bench/src/json.rs",
+    // The daemon faces untrusted clients end to end: every frame,
+    // schema field, queue operation and job execution must degrade to
+    // a typed reply, never a crash (a panic here takes down every
+    // tenant at once, not one run).
+    "crates/occamyd/src/protocol.rs",
+    "crates/occamyd/src/admission.rs",
+    "crates/occamyd/src/cache.rs",
+    "crates/occamyd/src/service.rs",
+    "crates/occamyd/src/server.rs",
+    "crates/occamyd/src/bin/load_test.rs",
 ];
 
 /// Justified residual panic sites: `"<file suffix>:<exact line content>"`.
 /// Additions require a comment in the source explaining why the input
 /// cannot be untrusted.
-const ALLOWLIST: &[&str] = &[];
+const ALLOWLIST: &[&str] = &[
+    // The chaos probe exists to prove the catch_unwind job boundary
+    // contains a panicking job; it fires only when a client explicitly
+    // asks for chaos.
+    "crates/occamyd/src/service.rs:panic!(\"chaos: deliberate panic probe\");",
+];
 
 const TOKENS: &[&str] = &["unwrap()", "expect(", "panic!"];
 

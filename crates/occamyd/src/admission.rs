@@ -1,0 +1,331 @@
+//! Admission control: a bounded multi-tenant queue with per-tenant
+//! quotas and round-robin fair dequeue.
+//!
+//! The queue is a pure data structure (no locks, no I/O) so the
+//! fairness and bounds properties can be property-tested in isolation;
+//! the service wraps it in its state mutex.
+//!
+//! Invariants, enforced by construction and checked by the proptests:
+//!
+//! - total queued entries never exceed `capacity`;
+//! - no tenant ever holds more than `per_tenant` *active* entries
+//!   (queued + the caller-reported in-flight count at offer time);
+//! - dequeue is round-robin across tenants with queued work, so a
+//!   tenant flooding the queue cannot starve the others: between two
+//!   dequeues of one tenant, every other tenant with queued work is
+//!   served once.
+
+use std::collections::VecDeque;
+
+/// Sizing of the admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Total queued jobs across all tenants.
+    pub capacity: usize,
+    /// Per-tenant cap on *active* jobs (queued + running + waiting on a
+    /// coalesced run).
+    pub per_tenant: usize,
+    /// Maximum distinct tenants tracked at once; an offer from a new
+    /// tenant beyond this is shed as overloaded.
+    pub max_tenants: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { capacity: 1024, per_tenant: 256, max_tenants: 64 }
+    }
+}
+
+/// Why admission control refused a job. Every refusal is *typed* and
+/// reaches the client as a [`crate::protocol::Reply::Shed`] — load is
+/// shed loudly, never by dropping a request on the floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The global queue (or tenant table) is full.
+    Overloaded,
+    /// The tenant is at its active-job quota.
+    QuotaExceeded,
+    /// The daemon is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+impl ShedReason {
+    /// Stable machine-readable tag for shed replies.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ShedReason::Overloaded => "overloaded",
+            ShedReason::QuotaExceeded => "quota_exceeded",
+            ShedReason::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Human-readable detail for shed replies.
+    pub fn detail(self) -> &'static str {
+        match self {
+            ShedReason::Overloaded => "the admission queue is full; retry with backoff",
+            ShedReason::QuotaExceeded => "tenant active-job quota exhausted; drain or cancel jobs",
+            ShedReason::ShuttingDown => "the daemon is shutting down",
+        }
+    }
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.tag(), self.detail())
+    }
+}
+
+struct TenantLane<T> {
+    name: String,
+    queue: VecDeque<T>,
+    /// Jobs admitted here but not yet released (running, or waiting on
+    /// a coalesced in-flight run). Counted against `per_tenant`.
+    in_flight: usize,
+}
+
+/// The bounded fair queue. `T` is the queued payload (the service
+/// queues job tickets; the proptests queue integers).
+pub struct AdmissionQueue<T> {
+    config: AdmissionConfig,
+    lanes: Vec<TenantLane<T>>,
+    /// Round-robin cursor: index into `lanes` of the *next* lane to
+    /// inspect on [`AdmissionQueue::take`].
+    cursor: usize,
+    queued: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue with the given bounds.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionQueue { config, lanes: Vec::new(), cursor: 0, queued: 0 }
+    }
+
+    /// Total queued entries across all tenants.
+    pub fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// A tenant's active count: queued entries plus unreleased
+    /// admissions.
+    pub fn active(&self, tenant: &str) -> usize {
+        self.lanes
+            .iter()
+            .find(|l| l.name == tenant)
+            .map_or(0, |l| l.queue.len() + l.in_flight)
+    }
+
+    /// Offers an entry for `tenant`. On admission the entry is queued
+    /// and the new global depth is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`ShedReason`] when the global capacity, the
+    /// tenant table, or the tenant's quota is exhausted; `value` is
+    /// dropped (the caller still owns the reply channel and must send
+    /// the shed reply).
+    pub fn offer(&mut self, tenant: &str, value: T) -> Result<usize, ShedReason> {
+        if self.queued >= self.config.capacity {
+            return Err(ShedReason::Overloaded);
+        }
+        let lane = match self.lanes.iter().position(|l| l.name == tenant) {
+            Some(i) => i,
+            None => {
+                if self.lanes.len() >= self.config.max_tenants {
+                    return Err(ShedReason::Overloaded);
+                }
+                self.lanes.push(TenantLane {
+                    name: tenant.to_owned(),
+                    queue: VecDeque::new(),
+                    in_flight: 0,
+                });
+                self.lanes.len() - 1
+            }
+        };
+        let lane = &mut self.lanes[lane];
+        if lane.queue.len() + lane.in_flight >= self.config.per_tenant {
+            return Err(ShedReason::QuotaExceeded);
+        }
+        lane.queue.push_back(value);
+        self.queued += 1;
+        Ok(self.queued)
+    }
+
+    /// Dequeues the next entry round-robin across tenants with queued
+    /// work, bumping that tenant's in-flight count (release it with
+    /// [`AdmissionQueue::release`] once the work reaches a terminal
+    /// state). Returns the owning tenant and the entry.
+    pub fn take(&mut self) -> Option<(String, T)> {
+        if self.queued == 0 || self.lanes.is_empty() {
+            return None;
+        }
+        let n = self.lanes.len();
+        for step in 0..n {
+            let i = (self.cursor + step) % n;
+            if let Some(value) = self.lanes[i].queue.pop_front() {
+                self.lanes[i].in_flight += 1;
+                self.queued -= 1;
+                self.cursor = (i + 1) % n;
+                return Some((self.lanes[i].name.clone(), value));
+            }
+        }
+        None
+    }
+
+    /// Records an out-of-queue admission for `tenant` (a job that
+    /// bypasses the queue — e.g. a waiter coalesced onto an in-flight
+    /// run — but still counts against the quota).
+    ///
+    /// # Errors
+    ///
+    /// Sheds exactly like [`AdmissionQueue::offer`] when the quota or
+    /// tenant table is exhausted.
+    pub fn admit_direct(&mut self, tenant: &str) -> Result<(), ShedReason> {
+        let lane = match self.lanes.iter().position(|l| l.name == tenant) {
+            Some(i) => i,
+            None => {
+                if self.lanes.len() >= self.config.max_tenants {
+                    return Err(ShedReason::Overloaded);
+                }
+                self.lanes.push(TenantLane {
+                    name: tenant.to_owned(),
+                    queue: VecDeque::new(),
+                    in_flight: 0,
+                });
+                self.lanes.len() - 1
+            }
+        };
+        let lane = &mut self.lanes[lane];
+        if lane.queue.len() + lane.in_flight >= self.config.per_tenant {
+            return Err(ShedReason::QuotaExceeded);
+        }
+        lane.in_flight += 1;
+        Ok(())
+    }
+
+    /// Releases one in-flight admission for `tenant` (its job reached a
+    /// terminal state). Unknown tenants and zero counts are ignored —
+    /// release is idempotent against double-reporting.
+    pub fn release(&mut self, tenant: &str) {
+        if let Some(lane) = self.lanes.iter_mut().find(|l| l.name == tenant) {
+            lane.in_flight = lane.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Removes a queued entry matching `pred` for `tenant` (used by
+    /// cancellation). Returns the entry if one was queued.
+    pub fn remove_queued(&mut self, tenant: &str, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let lane = self.lanes.iter_mut().find(|l| l.name == tenant)?;
+        let pos = lane.queue.iter().position(pred)?;
+        let value = lane.queue.remove(pos);
+        if value.is_some() {
+            self.queued -= 1;
+        }
+        value
+    }
+
+    /// Drains every queued entry (used at shutdown to shed the backlog
+    /// with typed replies). In-flight counts are untouched.
+    pub fn drain(&mut self) -> Vec<(String, T)> {
+        let mut out = Vec::with_capacity(self.queued);
+        for lane in &mut self.lanes {
+            while let Some(v) = lane.queue.pop_front() {
+                out.push((lane.name.clone(), v));
+            }
+        }
+        self.queued = 0;
+        out
+    }
+
+    /// Number of distinct tenants tracked.
+    pub fn tenants(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(capacity: usize, per_tenant: usize) -> AdmissionConfig {
+        AdmissionConfig { capacity, per_tenant, max_tenants: 8 }
+    }
+
+    #[test]
+    fn offer_respects_global_capacity_and_quota() {
+        let mut q = AdmissionQueue::new(cfg(3, 2));
+        assert_eq!(q.offer("a", 1), Ok(1));
+        assert_eq!(q.offer("a", 2), Ok(2));
+        assert_eq!(q.offer("a", 3), Err(ShedReason::QuotaExceeded));
+        assert_eq!(q.offer("b", 4), Ok(3));
+        assert_eq!(q.offer("c", 5), Err(ShedReason::Overloaded));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn take_is_round_robin_across_tenants() {
+        let mut q = AdmissionQueue::new(cfg(16, 16));
+        for i in 0..3 {
+            q.offer("a", i).expect("fits");
+        }
+        for i in 10..12 {
+            q.offer("b", i).expect("fits");
+        }
+        q.offer("c", 20).expect("fits");
+        let order: Vec<(String, i32)> = std::iter::from_fn(|| q.take()).collect();
+        let tenants: Vec<&str> = order.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(tenants, ["a", "b", "c", "a", "b", "a"], "fair interleave");
+        // Per-tenant FIFO order is preserved.
+        let a: Vec<i32> = order.iter().filter(|(t, _)| t == "a").map(|&(_, v)| v).collect();
+        assert_eq!(a, [0, 1, 2]);
+    }
+
+    #[test]
+    fn in_flight_counts_against_quota_until_released() {
+        let mut q = AdmissionQueue::new(cfg(8, 2));
+        q.offer("a", 1).expect("fits");
+        q.offer("a", 2).expect("fits");
+        let (t, _) = q.take().expect("queued");
+        assert_eq!(t, "a");
+        // One queued + one in-flight = still at quota.
+        assert_eq!(q.offer("a", 3), Err(ShedReason::QuotaExceeded));
+        q.release("a");
+        assert_eq!(q.offer("a", 3), Ok(2));
+        // Release never underflows.
+        q.release("a");
+        q.release("a");
+        q.release("ghost");
+        assert_eq!(q.active("a"), 2);
+    }
+
+    #[test]
+    fn admit_direct_counts_like_a_queue_entry() {
+        let mut q = AdmissionQueue::new(cfg(8, 2));
+        q.admit_direct("a").expect("quota free");
+        q.admit_direct("a").expect("quota free");
+        assert_eq!(q.admit_direct("a"), Err(ShedReason::QuotaExceeded));
+        assert_eq!(q.offer("a", 1), Err(ShedReason::QuotaExceeded));
+        q.release("a");
+        q.offer("a", 1).expect("freed");
+    }
+
+    #[test]
+    fn cancel_and_drain_remove_queued_entries() {
+        let mut q = AdmissionQueue::new(cfg(8, 8));
+        q.offer("a", 1).expect("fits");
+        q.offer("a", 2).expect("fits");
+        q.offer("b", 3).expect("fits");
+        assert_eq!(q.remove_queued("a", |&v| v == 2), Some(2));
+        assert_eq!(q.remove_queued("a", |&v| v == 2), None);
+        assert_eq!(q.len(), 2);
+        let mut drained = q.drain();
+        drained.sort();
+        assert_eq!(drained, [("a".into(), 1), ("b".into(), 3)]);
+        assert!(q.is_empty());
+        assert_eq!(q.take(), None);
+    }
+}

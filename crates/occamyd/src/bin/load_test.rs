@@ -1,0 +1,406 @@
+//! Load and chaos generator for the `occamyd` service layer.
+//!
+//! Replays thousands of concurrent job arrivals from many tenants
+//! against an in-process service — a fraction of them *chaos* jobs
+//! (deliberate panics, synthetic faults, already-expired deadlines) —
+//! and checks the service's robustness contract:
+//!
+//! - the daemon never crashes (a panicking job fails alone);
+//! - every submitted job receives exactly one terminal reply;
+//! - refusals are typed shed replies, never silent drops.
+//!
+//! With `--json`, stdout carries a deterministic document: per-outcome
+//! counts and a digest over every job's terminal outcome (and result
+//! payload bytes), sorted by job id. With the default sizing the
+//! document is byte-identical across worker counts and thread
+//! interleavings — duplicate submissions coalesce or hit the cache, so
+//! each distinct job runs exactly once and every reply is a pure
+//! function of the job spec. Wall-clock figures (latency quantiles,
+//! throughput) go to stderr only.
+//!
+//! ```text
+//! load_test [--jobs N] [--tenants N] [--chaos PCT] [--inject PCT]
+//!           [--workers N] [--capacity N] [--per-tenant N]
+//!           [--seed N] [--json]
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use bench::json::Value;
+use bench::runner::BackoffPolicy;
+use occamyd::admission::AdmissionConfig;
+use occamyd::cache::CacheConfig;
+use occamyd::protocol::{fnv1a, ChaosKind, JobSpec, Reply};
+use occamyd::service::{Service, ServiceConfig};
+
+struct Args {
+    jobs: usize,
+    tenants: usize,
+    chaos_pct: u64,
+    inject_pct: u64,
+    workers: usize,
+    capacity: Option<usize>,
+    per_tenant: Option<usize>,
+    seed: u64,
+    json: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            jobs: 1_200,
+            tenants: 8,
+            chaos_pct: 10,
+            inject_pct: 5,
+            workers: bench::runner::default_workers(),
+            capacity: None,
+            per_tenant: None,
+            seed: 0x10ad_7e57,
+            json: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|_| format!("{name} needs a number"))
+        };
+        match flag.as_str() {
+            "--jobs" => args.jobs = num("--jobs")? as usize,
+            "--tenants" => args.tenants = (num("--tenants")? as usize).max(1),
+            "--chaos" => args.chaos_pct = num("--chaos")?.min(100),
+            "--inject" => args.inject_pct = num("--inject")?.min(100),
+            "--workers" => args.workers = (num("--workers")? as usize).max(1),
+            "--capacity" => args.capacity = Some(num("--capacity")? as usize),
+            "--per-tenant" => args.per_tenant = Some(num("--per-tenant")? as usize),
+            "--seed" => args.seed = num("--seed")?,
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "load_test: replay concurrent multi-tenant arrivals (with chaos) \
+                     against the occamyd service\n\n\
+                     \t--jobs N       total submissions (default 1200)\n\
+                     \t--tenants N    distinct tenants (default 8)\n\
+                     \t--chaos PCT    percent of jobs that are chaos probes (default 10)\n\
+                     \t--inject PCT   percent of jobs with fault injection (default 5)\n\
+                     \t--workers N    service worker threads (default: host parallelism)\n\
+                     \t--capacity N   admission queue capacity (default: jobs, so nothing sheds)\n\
+                     \t--per-tenant N per-tenant active-job quota (default: jobs)\n\
+                     \t--seed N       arrival-pattern seed (default 0x10ad7e57)\n\
+                     \t--json         deterministic JSON report on stdout"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The deterministic job plan: spec `i` is a pure function of
+/// `(seed, i)`, so every process, worker count and interleaving
+/// replays the identical workload.
+fn make_spec(seed: u64, i: usize) -> JobSpec {
+    let r = splitmix64(seed ^ (i as u64).wrapping_mul(0x5851_f42d_4c95_7f2d));
+    JobSpec {
+        // A small pool of distinct kernels so duplicates exercise the
+        // cache and in-flight coalescing.
+        workloads: vec![format!(
+            "synth:{},{},{},{}",
+            2 + r % 2,          // 2..=3 loads (flops+stores always covers them)
+            1 + (r >> 8) % 2,   // 1..=2 stores
+            2 + (r >> 16) % 5,  // 2..=6 flops
+            64 << ((r >> 24) % 2) // trip 64 or 128
+        )],
+        scale: 1.0,
+        seed: r % 4, // few distinct seeds -> duplicate canonical keys
+        max_cycles: 5_000_000,
+        ..JobSpec::default()
+    }
+}
+
+/// Marks job `i` as a chaos probe (deterministically, on a stripe of
+/// the id space) and returns the flavour applied.
+fn apply_chaos(spec: &mut JobSpec, seed: u64, i: usize, chaos_pct: u64, inject_pct: u64) {
+    let r = splitmix64(seed ^ 0xc4a0_5000 ^ (i as u64));
+    if r % 100 < chaos_pct {
+        match r % 3 {
+            0 => spec.chaos = Some(ChaosKind::Panic),
+            1 => spec.chaos = Some(ChaosKind::Fault),
+            _ => {
+                // An already-expired deadline; a unique seed keeps the
+                // canonical key unique so the job can neither coalesce
+                // with nor be cached by a runnable sibling (which would
+                // make its outcome timing-dependent).
+                spec.deadline_ms = Some(0);
+                spec.seed = 0xdead_0000_0000_0000 | i as u64;
+            }
+        }
+    } else if splitmix64(r) % 100 < inject_pct {
+        // Deterministic fault injection: failures are retryable (the
+        // per-attempt seed is re-salted) so these exercise the backoff
+        // path — some jobs recover on a later attempt, some burn every
+        // attempt and surface `lane-fault`. The rates are high because
+        // the synthetic kernels are tiny (few compute issues to draw
+        // on); the terminal outcome is still a pure function of the
+        // spec because the canonical key covers the plan and seed.
+        let rate = ["0.3", "0.6", "0.9"][(splitmix64(r ^ 1) % 3) as usize];
+        spec.inject = Some(format!("seed={},lanet={rate}", 1 + splitmix64(r) % 8));
+    }
+}
+
+struct Terminal {
+    id: String,
+    kind: String,
+    payload: Option<String>,
+    cached: bool,
+    attempts: u32,
+    latency: Duration,
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("load_test: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Chaos probes panic on purpose (the service contains them); keep
+    // their spam out of the report while leaving genuine panics loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let chaos = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.starts_with("chaos:"));
+        if !chaos {
+            default_hook(info);
+        }
+    }));
+
+    let config = ServiceConfig {
+        workers: args.workers,
+        admission: AdmissionConfig {
+            capacity: args.capacity.unwrap_or(args.jobs.max(1)),
+            per_tenant: args.per_tenant.unwrap_or(args.jobs.max(1)),
+            max_tenants: args.tenants.max(1) + 1,
+        },
+        // Verification re-runs would make run counts interleaving-
+        // dependent; the deterministic replay turns sampling off (the
+        // soak tests cover verification separately).
+        cache: CacheConfig { max_entries: 512, verify_every: 0 },
+        max_attempts: 3,
+        backoff: BackoffPolicy { base_us: 50, cap_us: 5_000, seed: args.seed },
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(config);
+    let started = Instant::now();
+
+    // One submitter thread per tenant, each blasting its stripe of the
+    // id space and then collecting terminal replies.
+    let mut collected: Vec<Terminal> = std::thread::scope(|scope| {
+        let service = &service;
+        let handles: Vec<_> = (0..args.tenants)
+            .map(|t| {
+                scope.spawn(move || {
+                    let tenant = format!("tenant{t}");
+                    let (tx, rx) = mpsc::channel::<Reply>();
+                    let mut pending = 0usize;
+                    let mut submitted_at: BTreeMap<String, Instant> = BTreeMap::new();
+                    for i in (t..args.jobs).step_by(args.tenants.max(1)) {
+                        let mut spec = make_spec(args.seed, i);
+                        apply_chaos(&mut spec, args.seed, i, args.chaos_pct, args.inject_pct);
+                        let id = format!("job{i:06}");
+                        submitted_at.insert(id.clone(), Instant::now());
+                        service.submit(&tenant, &id, spec, &tx);
+                        pending += 1;
+                    }
+                    let mut terminals = Vec::with_capacity(pending);
+                    while terminals.len() < pending {
+                        let reply = match rx.recv_timeout(Duration::from_secs(300)) {
+                            Ok(r) => r,
+                            Err(_) => break, // liveness violation; reported below
+                        };
+                        let latency = |id: &str| {
+                            submitted_at.get(id).map_or(Duration::ZERO, |t0| t0.elapsed())
+                        };
+                        match reply {
+                            Reply::Result { id, cached, attempts, payload } => {
+                                terminals.push(Terminal {
+                                    latency: latency(&id),
+                                    kind: "ok".into(),
+                                    payload: Some(payload.render_compact()),
+                                    cached,
+                                    attempts,
+                                    id,
+                                });
+                            }
+                            Reply::Error { id, kind, .. } => {
+                                terminals.push(Terminal {
+                                    latency: latency(&id),
+                                    kind,
+                                    payload: None,
+                                    cached: false,
+                                    attempts: 0,
+                                    id,
+                                });
+                            }
+                            Reply::Shed { id, kind, .. } => {
+                                terminals.push(Terminal {
+                                    latency: latency(&id),
+                                    kind: format!("shed:{kind}"),
+                                    payload: None,
+                                    cached: false,
+                                    attempts: 0,
+                                    id,
+                                });
+                            }
+                            _ => {}
+                        }
+                    }
+                    (pending, terminals)
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(args.jobs);
+        let mut missing = 0usize;
+        for h in handles {
+            let (pending, terminals) = match h.join() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!("load_test: FATAL: a submitter thread panicked");
+                    std::process::exit(1);
+                }
+            };
+            missing += pending - terminals.len();
+            all.extend(terminals);
+        }
+        if missing > 0 {
+            eprintln!(
+                "load_test: FATAL: {missing} jobs never received a terminal reply \
+                 (liveness contract broken)"
+            );
+            std::process::exit(1);
+        }
+        all
+    });
+    let wall = started.elapsed();
+
+    service.quiesce();
+    let metrics = service.metrics();
+    service.join();
+
+    // --- Invariant checks -------------------------------------------------
+    collected.sort_by(|a, b| a.id.cmp(&b.id));
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    let mut failed: BTreeMap<String, u64> = BTreeMap::new();
+    let mut cached_replies = 0u64;
+    let mut retried_jobs = 0u64;
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for t in &collected {
+        match t.kind.as_str() {
+            "ok" => ok += 1,
+            k if k.starts_with("shed:") => shed += 1,
+            k => *failed.entry(k.to_owned()).or_default() += 1,
+        }
+        if t.cached {
+            cached_replies += 1;
+        }
+        if t.attempts > 1 {
+            retried_jobs += 1;
+        }
+        let mut line = String::new();
+        line.push_str(&t.id);
+        line.push('=');
+        line.push_str(&t.kind);
+        if let Some(p) = &t.payload {
+            line.push(':');
+            line.push_str(p);
+        }
+        digest ^= fnv1a(line.as_bytes());
+        digest = digest.rotate_left(1);
+    }
+
+    let mut latencies: Vec<Duration> = collected.iter().map(|t| t.latency).collect();
+    latencies.sort();
+    let quantile = |q: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+
+    eprintln!(
+        "[load_test] {} jobs, {} tenants, {}% chaos on {} workers in {:.2}s \
+         ({:.0} jobs/s)",
+        args.jobs,
+        args.tenants,
+        args.chaos_pct,
+        args.workers,
+        wall.as_secs_f64(),
+        args.jobs as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    eprintln!(
+        "[load_test] ok={} shed={} failed={} cached_replies={} retried_jobs={}",
+        ok,
+        shed,
+        collected.len() as u64 - ok - shed,
+        cached_replies,
+        retried_jobs,
+    );
+    eprintln!(
+        "[load_test] latency p50={:?} p90={:?} p99={:?} max={:?}",
+        quantile(0.50),
+        quantile(0.90),
+        quantile(0.99),
+        latencies.last().copied().unwrap_or(Duration::ZERO),
+    );
+    eprintln!("{}", metrics.dump());
+
+    if args.json {
+        let mut obj = Value::obj();
+        obj.push("experiment", Value::Str("load_test".into()))
+            .push("jobs", Value::UInt(args.jobs as u64))
+            .push("tenants", Value::UInt(args.tenants as u64))
+            .push("chaos_pct", Value::UInt(args.chaos_pct))
+            .push("inject_pct", Value::UInt(args.inject_pct))
+            .push("seed", Value::UInt(args.seed))
+            .push("ok", Value::UInt(ok))
+            .push("shed", Value::UInt(shed));
+        let mut failures = Value::obj();
+        for (kind, count) in &failed {
+            failures.push(kind, Value::UInt(*count));
+        }
+        obj.push("failed", failures);
+        obj.push("outcome_digest", Value::Str(format!("{digest:016x}")));
+        println!("{}", obj.render());
+    } else {
+        println!(
+            "load_test: {} jobs -> {} ok, {} failed, {} shed (digest {:016x})",
+            collected.len(),
+            ok,
+            collected.len() as u64 - ok - shed,
+            shed,
+            digest,
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Content-addressed result cache.
+//!
+//! Jobs are addressed by [`crate::protocol::JobSpec::canonical_key`] —
+//! a canonical rendering of exactly the fields the simulation output
+//! depends on. Simulations are deterministic in that key, so a hit can
+//! return the stored payload verbatim: replies served from cache are
+//! **byte-identical** to the cold run that populated the entry (the
+//! payload is a [`Value`] tree and the JSON writer is deterministic).
+//!
+//! Trust, but verify: determinism is an invariant of the simulator, and
+//! invariants rot. A deterministic sample of hits (every
+//! `verify_every`-th, counted per cache) is flagged for re-execution;
+//! the service re-runs the job and compares the fresh payload against
+//! the cached bytes, counting any mismatch in
+//! [`CacheStats::verify_failures`] — a nonzero count means the
+//! determinism contract is broken and cached replies cannot be trusted.
+
+use std::collections::HashMap;
+
+use bench::json::Value;
+
+use crate::protocol::fnv1a;
+
+/// Cache sizing and verification policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum retained entries; least-recently-used entries are
+    /// evicted beyond this. Zero disables caching entirely.
+    pub max_entries: usize,
+    /// Verify every N-th hit by re-running the job and comparing bytes
+    /// (0 disables verification).
+    pub verify_every: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { max_entries: 256, verify_every: 16 }
+    }
+}
+
+/// Cache observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Hits flagged for verification re-runs.
+    pub verified: u64,
+    /// Verification re-runs whose fresh payload differed from the
+    /// cached bytes. Any nonzero value is a determinism violation.
+    pub verify_failures: u64,
+}
+
+struct Entry {
+    payload: Value,
+    /// LRU clock value at last touch.
+    touched: u64,
+}
+
+/// The cache: canonical key → result payload, LRU-bounded.
+pub struct ResultCache {
+    config: CacheConfig,
+    entries: HashMap<String, Entry>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// A successful lookup: the stored payload plus whether this hit was
+/// deterministically sampled for verification.
+pub struct CacheHit {
+    /// A clone of the stored payload tree.
+    pub payload: Value,
+    /// When true the service should re-run the job anyway and call
+    /// [`ResultCache::report_verification`] with the outcome.
+    pub verify: bool,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        ResultCache { config, entries: HashMap::new(), clock: 0, stats: CacheStats::default() }
+    }
+
+    /// Looks up `key`, updating hit/miss counters and the LRU clock.
+    pub fn lookup(&mut self, key: &str) -> Option<CacheHit> {
+        if self.config.max_entries == 0 {
+            self.stats.misses += 1;
+            return None;
+        }
+        self.clock += 1;
+        let (clock, verify_every) = (self.clock, self.config.verify_every);
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.touched = clock;
+                self.stats.hits += 1;
+                let verify = verify_every > 0 && self.stats.hits.is_multiple_of(verify_every);
+                if verify {
+                    self.stats.verified += 1;
+                }
+                Some(CacheHit { payload: entry.payload.clone(), verify })
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `key`, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: String, payload: Value) {
+        if self.config.max_entries == 0 {
+            return;
+        }
+        self.clock += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.config.max_entries {
+            if let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, e)| e.touched).map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(key, Entry { payload, touched: self.clock });
+    }
+
+    /// Records the outcome of a verification re-run. On a mismatch the
+    /// poisoned entry is dropped (the fresh payload is authoritative)
+    /// and the failure is counted.
+    pub fn report_verification(&mut self, key: &str, matched: bool) {
+        if !matched {
+            self.stats.verify_failures += 1;
+            self.entries.remove(key);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Statistics as a JSON object (embedded in service stats replies).
+    pub fn to_value(&self) -> Value {
+        let mut obj = Value::obj();
+        obj.push("entries", Value::UInt(self.entries.len() as u64))
+            .push("hits", Value::UInt(self.stats.hits))
+            .push("misses", Value::UInt(self.stats.misses))
+            .push("evictions", Value::UInt(self.stats.evictions))
+            .push("verified", Value::UInt(self.stats.verified))
+            .push("verify_failures", Value::UInt(self.stats.verify_failures));
+        obj
+    }
+}
+
+/// Short content-address of a canonical key (reporting only — identity
+/// always compares the full key).
+pub fn short_address(key: &str) -> String {
+    format!("{:016x}", fnv1a(key.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: u64) -> Value {
+        let mut v = Value::obj();
+        v.push("cycles", Value::UInt(n));
+        v
+    }
+
+    #[test]
+    fn hits_return_byte_identical_payloads() {
+        let mut c = ResultCache::new(CacheConfig { max_entries: 4, verify_every: 0 });
+        let stored = payload(99);
+        c.insert("k".into(), stored.clone());
+        let hit = c.lookup("k").expect("hit");
+        assert_eq!(hit.payload.render(), stored.render());
+        assert_eq!(hit.payload.render_compact(), stored.render_compact());
+        assert!(!hit.verify);
+        assert!(c.lookup("other").is_none());
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, ..CacheStats::default() });
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut c = ResultCache::new(CacheConfig { max_entries: 2, verify_every: 0 });
+        c.insert("a".into(), payload(1));
+        c.insert("b".into(), payload(2));
+        c.lookup("a"); // a is now warmer than b
+        c.insert("c".into(), payload(3));
+        assert!(c.lookup("b").is_none(), "b was the LRU entry");
+        assert!(c.lookup("a").is_some());
+        assert!(c.lookup("c").is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn verification_sampling_is_deterministic() {
+        let mut c = ResultCache::new(CacheConfig { max_entries: 4, verify_every: 3 });
+        c.insert("k".into(), payload(1));
+        let flags: Vec<bool> =
+            (0..9).map(|_| c.lookup("k").expect("hit").verify).collect();
+        assert_eq!(
+            flags,
+            [false, false, true, false, false, true, false, false, true],
+            "every third hit is sampled"
+        );
+        assert_eq!(c.stats().verified, 3);
+    }
+
+    #[test]
+    fn verify_failure_poisons_the_entry() {
+        let mut c = ResultCache::new(CacheConfig { max_entries: 4, verify_every: 1 });
+        c.insert("k".into(), payload(1));
+        assert!(c.lookup("k").expect("hit").verify);
+        c.report_verification("k", false);
+        assert_eq!(c.stats().verify_failures, 1);
+        assert!(c.lookup("k").is_none(), "mismatched entry is dropped");
+        c.insert("k".into(), payload(2));
+        c.report_verification("k", true);
+        assert_eq!(c.stats().verify_failures, 1);
+        assert!(c.lookup("k").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(CacheConfig { max_entries: 0, verify_every: 1 });
+        c.insert("k".into(), payload(1));
+        assert!(c.lookup("k").is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! `occamyd` — a fault-tolerant multi-tenant simulation service over
+//! the Occamy simulator.
+//!
+//! The paper's experiments run as batch sweeps; this crate turns the
+//! same deterministic simulation core into a long-lived daemon that
+//! many clients (tenants) share, the way a simulation cluster or CI
+//! fleet would. The service accepts `run` jobs over a Unix-domain or
+//! TCP socket speaking line-delimited JSON (reusing [`bench::json`]),
+//! schedules them onto a worker pool, and streams typed replies.
+//!
+//! Robustness is the point, so every layer degrades loudly and
+//! gracefully rather than silently or fatally:
+//!
+//! - **Admission control** ([`admission`]): a bounded queue with
+//!   per-tenant quotas and round-robin fair dequeue; refusals are
+//!   typed shed replies (`overloaded`, `quota_exceeded`,
+//!   `shutting_down`), never dropped requests.
+//! - **Deadlines, cancellation, retry** ([`service`]): jobs carry
+//!   wall-clock deadlines and can be cancelled mid-run (the simulation
+//!   is sliced, reusing `Machine::run`'s absolute-deadline resume
+//!   semantics); transient fault-injected failures retry under the
+//!   deterministic seeded exponential backoff of
+//!   [`bench::runner::BackoffPolicy`].
+//! - **Crash isolation** ([`service`]): every job runs under
+//!   `catch_unwind`; a panicking job (chaos probe or real bug) becomes
+//!   a structured `panic` error for that job alone, poisoned locks are
+//!   recovered and audited.
+//! - **Content-addressed caching** ([`cache`]): results are keyed by a
+//!   canonical rendering of the job's identity; simulations are
+//!   deterministic, so hits are byte-identical to cold runs, and a
+//!   sampled fraction of hits is re-run to *verify* that invariant.
+//! - **Hardened protocol** ([`protocol`]): bounded frames, depth- and
+//!   size-limited JSON parsing, field-by-field schema validation with
+//!   typed errors; a hostile line costs one reply, not the daemon.
+//!
+//! The `load_test` binary (in `src/bin`) replays thousands of
+//! concurrent arrivals across many tenants with a chaos fraction and
+//! reports acceptance/shed/retry counts and latency quantiles.
+
+pub mod admission;
+pub mod cache;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use admission::{AdmissionConfig, AdmissionQueue, ShedReason};
+pub use cache::{CacheConfig, CacheStats, ResultCache};
+pub use protocol::{JobSpec, ProtocolError, ProtocolErrorKind, Reply, Request};
+pub use server::{serve, Client, Endpoint, ServerHandle};
+pub use service::{JobError, Service, ServiceConfig};

@@ -1,0 +1,1027 @@
+//! The job service: a worker pool with admission control, coalescing,
+//! retry/backoff, crash isolation, deadlines, cancellation and the
+//! result cache — everything between the wire protocol and the
+//! simulator.
+//!
+//! # Life of a job
+//!
+//! 1. **Admission** ([`Service::submit`]): duplicate-id check, then a
+//!    three-way split under the state lock — cache hit (instant
+//!    terminal reply), coalesce onto an identical in-flight run
+//!    (quota-checked via [`AdmissionQueue::admit_direct`]), or queue as
+//!    a fresh run (bounded, per-tenant fair). Refusals are typed
+//!    [`ShedReason`]s, never silent drops.
+//! 2. **Execution**: a worker dequeues round-robin, re-checks the
+//!    cache, then simulates in bounded slices; between slices it sweeps
+//!    the requester list for cancellations and expired deadlines and
+//!    aborts if nobody is left waiting. Retryable failures (fault
+//!    injection only — deterministic failures cannot be cured by
+//!    retrying) re-run under the seeded exponential backoff of
+//!    [`bench::runner::BackoffPolicy`], re-salting the fault seed per
+//!    attempt.
+//! 3. **Isolation**: the whole attempt loop runs under
+//!    `catch_unwind`, so a panicking job (chaos, or a real bug) becomes
+//!    a structured `panic` error reply for that job alone; the worker
+//!    and every other job keep running. Poisoned locks are recovered
+//!    (`into_inner`) and audited in `service.poisoned_locks`.
+//! 4. **Terminal**: exactly one terminal reply per admitted requester —
+//!    result, typed error, or typed shed. Successes populate the
+//!    content-addressed [`ResultCache`]; sampled hits are re-verified
+//!    against the cached bytes.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use bench::json::Value;
+use bench::runner::{run_with_retry, BackoffPolicy};
+use occamy_sim::{Architecture, FaultPlan, Histogram, MetricsRegistry, SimConfig};
+use workloads::{corun, table3, SyntheticSpec, WorkloadSpec};
+
+use crate::admission::{AdmissionConfig, AdmissionQueue, ShedReason};
+use crate::cache::{CacheConfig, ResultCache};
+use crate::protocol::{ChaosKind, JobSpec, Reply};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Admission queue bounds.
+    pub admission: AdmissionConfig,
+    /// Result-cache bounds and verification sampling.
+    pub cache: CacheConfig,
+    /// Attempts per job (minimum 1); only fault-injected failures are
+    /// retried — deterministic failures repeat identically.
+    pub max_attempts: u32,
+    /// Inter-attempt backoff schedule.
+    pub backoff: BackoffPolicy,
+    /// Cycles simulated between control checks (cancellation, deadline
+    /// sweep). Smaller slices react faster and cost slightly more.
+    pub slice_cycles: u64,
+    /// Forward-progress watchdog per attempt.
+    pub watchdog: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            admission: AdmissionConfig::default(),
+            cache: CacheConfig::default(),
+            max_attempts: 2,
+            backoff: BackoffPolicy::default(),
+            slice_cycles: 25_000,
+            watchdog: 1_000_000,
+        }
+    }
+}
+
+/// Why a job ended without a result. [`JobError::tag`] values are the
+/// wire-visible `kind` strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The machine could not be built (bad spec). Deterministic.
+    Build(String),
+    /// The cycle budget ran out on every attempt.
+    TimedOut {
+        /// Cycles consumed when the final attempt's budget ran out.
+        cycles: u64,
+    },
+    /// A typed simulation fault on every attempt.
+    Faulted {
+        /// `SimError::kind` of the fault.
+        kind: String,
+        /// Full fault message.
+        detail: String,
+    },
+    /// The job panicked; the panic was contained at the job boundary.
+    Panicked(String),
+    /// The wall-clock deadline expired before completion.
+    Deadline,
+    /// The requester cancelled the job.
+    Cancelled,
+    /// A chaos hook fired ([`ChaosKind::Fault`]).
+    Chaos(String),
+}
+
+impl JobError {
+    /// Machine-readable `kind` for error replies.
+    pub fn tag(&self) -> &str {
+        match self {
+            JobError::Build(_) => "build",
+            JobError::TimedOut { .. } => "timed_out",
+            JobError::Faulted { kind, .. } => kind,
+            JobError::Panicked(_) => "panic",
+            JobError::Deadline => "deadline",
+            JobError::Cancelled => "cancelled",
+            JobError::Chaos(_) => "chaos",
+        }
+    }
+
+    /// Human-readable detail for error replies.
+    pub fn detail(&self) -> String {
+        match self {
+            JobError::Build(d) => d.clone(),
+            JobError::TimedOut { cycles } => format!("cycle budget exhausted after {cycles} cycles"),
+            JobError::Faulted { detail, .. } => detail.clone(),
+            JobError::Panicked(d) => format!("job panicked: {d}"),
+            JobError::Deadline => "deadline expired before the job completed".into(),
+            JobError::Cancelled => "cancelled by the requester".into(),
+            JobError::Chaos(d) => d.clone(),
+        }
+    }
+}
+
+/// One party waiting on a run (the submitting requester, or a
+/// later submitter coalesced onto the same canonical key).
+struct Requester {
+    tenant: String,
+    id: String,
+    deadline: Option<Instant>,
+    tx: Sender<Reply>,
+    /// Whether this requester's quota is held by the queue slot (the
+    /// submitting requester) or by an `admit_direct` in-flight count
+    /// (coalesced waiters).
+    via_queue: bool,
+}
+
+enum RunState {
+    Queued,
+    Running,
+}
+
+/// All bookkeeping for one canonical key with at least one live
+/// requester.
+struct InFlight {
+    state: RunState,
+    requesters: Vec<Requester>,
+    /// Tenant whose quota holds the queue slot (released exactly once,
+    /// at terminal time or on queued-cancel).
+    queue_slot_tenant: Option<String>,
+    /// Cached payload bytes to compare against when this run is a
+    /// verification re-run of a sampled cache hit.
+    verify_against: Option<String>,
+}
+
+/// A queue ticket: the key into the in-flight map plus the spec to run.
+struct QueuedJob {
+    key: String,
+    spec: JobSpec,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    accepted: u64,
+    shed: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    deadline_expired: u64,
+    panics_contained: u64,
+    retries: u64,
+    coalesced: u64,
+    poisoned_locks: u64,
+}
+
+struct State {
+    queue: AdmissionQueue<QueuedJob>,
+    inflight: HashMap<String, InFlight>,
+    cache: ResultCache,
+    counters: Counters,
+    latency_us: Histogram,
+    shutting_down: bool,
+    live_workers: usize,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    state: Mutex<State>,
+    work_ready: Condvar,
+    idle: Condvar,
+}
+
+impl Inner {
+    /// Locks the state, recovering (and auditing) a poisoned mutex: a
+    /// contained job panic must not take the whole service down with a
+    /// poisoned-lock cascade.
+    fn locked(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|poisoned| {
+            let mut st = poisoned.into_inner();
+            st.counters.poisoned_locks += 1;
+            st
+        })
+    }
+}
+
+/// The running service: owns the worker pool. Cheap to clone handles
+/// are not provided — the server shares it via `Arc`.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the worker pool.
+    pub fn start(config: ServiceConfig) -> Service {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: AdmissionQueue::new(config.admission),
+                inflight: HashMap::new(),
+                cache: ResultCache::new(config.cache),
+                counters: Counters::default(),
+                latency_us: latency_histogram(),
+                shutting_down: false,
+                live_workers: workers,
+            }),
+            work_ready: Condvar::new(),
+            idle: Condvar::new(),
+            config,
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Service { inner, workers: handles }
+    }
+
+    /// Submits a job. Every call produces at least one reply on `tx`:
+    /// an instant terminal (cache hit, shed, duplicate id), or
+    /// `Accepted` followed eventually by exactly one terminal reply.
+    pub fn submit(&self, tenant: &str, id: &str, spec: JobSpec, tx: &Sender<Reply>) {
+        let key = spec.canonical_key();
+        let deadline = spec.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let mut st = self.inner.locked();
+        st.counters.submitted += 1;
+        if st.shutting_down {
+            st.counters.shed += 1;
+            send(tx, shed_reply(id, ShedReason::ShuttingDown));
+            return;
+        }
+        let duplicate = st
+            .inflight
+            .values()
+            .flat_map(|f| f.requesters.iter())
+            .any(|r| r.tenant == tenant && r.id == id);
+        if duplicate {
+            send(
+                tx,
+                Reply::Error {
+                    id: id.into(),
+                    kind: "duplicate_id".into(),
+                    detail: format!("tenant `{tenant}` already has an active job `{id}`"),
+                },
+            );
+            return;
+        }
+
+        // Coalesce onto an identical in-flight run: the duplicate never
+        // reaches the queue or the simulator, it just shares the
+        // original run's terminal reply (quota still applies).
+        if st.inflight.contains_key(&key) {
+            match st.queue.admit_direct(tenant) {
+                Ok(()) => {
+                    st.counters.accepted += 1;
+                    st.counters.coalesced += 1;
+                    let depth = st.queue.len() as u64;
+                    send(tx, Reply::Accepted { id: id.into(), queue_depth: depth });
+                    if let Some(flight) = st.inflight.get_mut(&key) {
+                        flight.requesters.push(Requester {
+                            tenant: tenant.into(),
+                            id: id.into(),
+                            deadline,
+                            tx: tx.clone(),
+                            via_queue: false,
+                        });
+                    }
+                }
+                Err(reason) => {
+                    st.counters.shed += 1;
+                    send(tx, shed_reply(id, reason));
+                }
+            }
+            return;
+        }
+
+        // Fast path: a clean cache hit answers without admission.
+        let mut verify_against = None;
+        if let Some(hit) = st.cache.lookup(&key) {
+            if hit.verify {
+                // Sampled for verification: run anyway, compare bytes.
+                verify_against = Some(hit.payload.render_compact());
+            } else {
+                st.counters.accepted += 1;
+                st.counters.completed += 1;
+                send(
+                    tx,
+                    Reply::Result { id: id.into(), cached: true, attempts: 0, payload: hit.payload },
+                );
+                return;
+            }
+        }
+
+        // Fresh run: through the bounded fair queue.
+        match st.queue.offer(tenant, QueuedJob { key: key.clone(), spec }) {
+            Ok(depth) => {
+                st.counters.accepted += 1;
+                send(tx, Reply::Accepted { id: id.into(), queue_depth: depth as u64 });
+                st.inflight.insert(
+                    key,
+                    InFlight {
+                        state: RunState::Queued,
+                        requesters: vec![Requester {
+                            tenant: tenant.into(),
+                            id: id.into(),
+                            deadline,
+                            tx: tx.clone(),
+                            via_queue: true,
+                        }],
+                        queue_slot_tenant: Some(tenant.into()),
+                        verify_against,
+                    },
+                );
+                drop(st);
+                self.inner.work_ready.notify_one();
+            }
+            Err(reason) => {
+                st.counters.shed += 1;
+                send(tx, shed_reply(id, reason));
+            }
+        }
+    }
+
+    /// Cancels a queued, coalesced or running job. The requester gets
+    /// an immediate `cancelled` terminal reply; a run nobody else waits
+    /// on is aborted at its next control check. Returns whether the job
+    /// was found.
+    pub fn cancel(&self, tenant: &str, id: &str) -> bool {
+        let mut st = self.inner.locked();
+        let Some((key, idx)) = st.inflight.iter().find_map(|(k, f)| {
+            f.requesters
+                .iter()
+                .position(|r| r.tenant == tenant && r.id == id)
+                .map(|i| (k.clone(), i))
+        }) else {
+            return false;
+        };
+        let flight = st.inflight.get_mut(&key).unwrap_or_else(|| unreachable!());
+        let requester = flight.requesters.remove(idx);
+        let orphaned = flight.requesters.is_empty();
+        let queued = matches!(flight.state, RunState::Queued);
+        send(
+            &requester.tx,
+            Reply::Error {
+                id: requester.id,
+                kind: "cancelled".into(),
+                detail: "cancelled by the requester".into(),
+            },
+        );
+        if !requester.via_queue {
+            st.queue.release(&requester.tenant);
+        }
+        st.counters.cancelled += 1;
+        if orphaned && queued {
+            // Nobody else wants this run: drop the ticket before a
+            // worker picks it up. Removing the queued entry frees the
+            // queue slot, so the slot tenant needs no release.
+            st.queue.remove_queued(tenant, |job| job.key == key);
+            st.inflight.remove(&key);
+        }
+        true
+    }
+
+    /// Statistics snapshot as a JSON object (the `stats` reply
+    /// payload): service counters, queue gauges and cache counters.
+    pub fn stats_value(&self) -> Value {
+        let st = self.inner.locked();
+        let mut obj = Value::obj();
+        obj.push("metrics", bench::metrics_to_json(&snapshot_metrics(&st)))
+            .push("cache", st.cache.to_value());
+        obj
+    }
+
+    /// Metrics registry snapshot (service counters + latency
+    /// histogram), for embedding or dumping.
+    pub fn metrics(&self) -> MetricsRegistry {
+        snapshot_metrics(&self.inner.locked())
+    }
+
+    /// Begins a graceful shutdown: no new admissions, queued jobs are
+    /// shed with typed replies, in-flight runs finish normally.
+    pub fn shutdown(&self) {
+        let mut st = self.inner.locked();
+        if st.shutting_down {
+            return;
+        }
+        st.shutting_down = true;
+        for (_, job) in st.queue.drain() {
+            if let Some(flight) = st.inflight.remove(&job.key) {
+                for r in flight.requesters {
+                    send(&r.tx, shed_reply(&r.id, ShedReason::ShuttingDown));
+                    st.counters.shed += 1;
+                    if !r.via_queue {
+                        st.queue.release(&r.tenant);
+                    }
+                }
+                // The queue slot vanished with the drained entry; no
+                // release needed for `queue_slot_tenant`.
+            }
+        }
+        drop(st);
+        self.inner.work_ready.notify_all();
+    }
+
+    /// Blocks until every worker has exited (call after
+    /// [`Service::shutdown`]). Consumes the service.
+    pub fn join(mut self) {
+        self.shutdown();
+        for handle in self.workers.drain(..) {
+            // A worker that somehow panicked outside the job boundary
+            // is already dead; joining it cannot bring it back, so the
+            // error is ignored rather than propagated.
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until no work is queued or running (test/soak helper).
+    pub fn quiesce(&self) {
+        let mut st = self.inner.locked();
+        while !(st.queue.is_empty() && st.inflight.is_empty()) {
+            st = self.inner.idle.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+fn latency_histogram() -> Histogram {
+    // Microsecond edges from sub-millisecond to minutes.
+    Histogram::new(&[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 60_000_000])
+}
+
+fn snapshot_metrics(st: &State) -> MetricsRegistry {
+    let c = &st.counters;
+    let mut m = MetricsRegistry::new();
+    m.counter("service.submitted", c.submitted, "jobs offered to admission control");
+    m.counter("service.accepted", c.accepted, "jobs admitted (queued, coalesced or cache hits)");
+    m.counter("service.shed", c.shed, "jobs refused with a typed shed reply");
+    m.counter("service.completed", c.completed, "jobs finished with a result");
+    m.counter("service.failed", c.failed, "jobs finished with a typed error");
+    m.counter("service.cancelled", c.cancelled, "requesters cancelled");
+    m.counter("service.deadline_expired", c.deadline_expired, "requesters past their deadline");
+    m.counter("service.panics_contained", c.panics_contained, "job panics caught at the boundary");
+    m.counter("service.retries", c.retries, "extra simulation attempts consumed");
+    m.counter("service.coalesced", c.coalesced, "submissions coalesced onto in-flight runs");
+    m.counter("service.poisoned_locks", c.poisoned_locks, "poisoned state locks recovered");
+    m.gauge("service.queue_depth", st.queue.len() as f64, "jobs currently queued");
+    m.gauge("service.tenants", st.queue.tenants() as f64, "distinct tenants tracked");
+    m.histogram(
+        "service.latency_us",
+        st.latency_us.clone(),
+        "admission-to-terminal latency of executed jobs (µs)",
+    );
+    m
+}
+
+fn send(tx: &Sender<Reply>, reply: Reply) {
+    // A gone client cannot receive its reply; dropping it is the only
+    // correct behaviour and must not disturb the service.
+    let _ = tx.send(reply);
+}
+
+fn shed_reply(id: &str, reason: ShedReason) -> Reply {
+    Reply::Shed { id: id.into(), kind: reason.tag().into(), detail: reason.detail().into() }
+}
+
+/// What the inter-slice control check decided.
+enum Control {
+    Continue,
+    /// No live requesters remain; stop simulating.
+    Abandon,
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let (key, spec, started) = {
+            let mut st = inner.locked();
+            loop {
+                if let Some((_tenant, job)) = st.queue.take() {
+                    if let Some(flight) = st.inflight.get_mut(&job.key) {
+                        flight.state = RunState::Running;
+                    }
+                    break (job.key, job.spec, Instant::now());
+                }
+                if st.shutting_down {
+                    st.live_workers -= 1;
+                    inner.idle.notify_all();
+                    return;
+                }
+                st = inner.work_ready.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+
+        // Sweep before spending any simulation time: the job may have
+        // waited out its deadline (or been fully cancelled) in queue.
+        if matches!(sweep(inner, &key), Control::Abandon) {
+            finish(inner, &key, started, None);
+            continue;
+        }
+
+        // The crash-isolation boundary: a panic anywhere in the attempt
+        // loop (chaos hook or a genuine simulator bug) is contained
+        // here and fails only this job. The closure touches no shared
+        // state — replies and bookkeeping happen after the boundary —
+        // so unwinding cannot leave the service torn.
+        let attempt_outcome = catch_unwind(AssertUnwindSafe(|| execute(inner, &key, &spec)));
+        let outcome = match attempt_outcome {
+            Ok(outcome) => outcome,
+            Err(panic) => {
+                let mut st = inner.locked();
+                st.counters.panics_contained += 1;
+                drop(st);
+                Outcome { attempts: 1, result: Err(JobError::Panicked(panic_message(&panic))) }
+            }
+        };
+        finish(inner, &key, started, Some(outcome));
+    }
+}
+
+struct Outcome {
+    attempts: u32,
+    result: Result<Value, JobError>,
+}
+
+/// Runs the attempt loop (build → sliced simulate → stats), with
+/// bounded retry under seeded backoff for fault-injected failures.
+fn execute(inner: &Arc<Inner>, key: &str, spec: &JobSpec) -> Outcome {
+    match spec.chaos {
+        Some(ChaosKind::Panic) => {
+            // The deliberate crash-isolation probe. Allow-listed in the
+            // panic lint: this line exists to prove the catch_unwind
+            // boundary works.
+            panic!("chaos: deliberate panic probe");
+        }
+        Some(ChaosKind::Fault) => {
+            return Outcome {
+                attempts: 1,
+                result: Err(JobError::Chaos("chaos: synthetic fault probe".into())),
+            };
+        }
+        None => {}
+    }
+
+    // Only fault-injected runs can fail transiently: the per-attempt
+    // fault seed is re-salted, so a retry sees different faults. All
+    // other failures are deterministic and retrying repeats them.
+    let retryable = |e: &JobError| {
+        spec.inject.is_some()
+            && matches!(e, JobError::TimedOut { .. } | JobError::Faulted { .. })
+    };
+    let salt = spec.seed ^ crate::protocol::fnv1a(key.as_bytes());
+    let retry = run_with_retry(
+        inner.config.max_attempts,
+        &inner.config.backoff,
+        salt,
+        retryable,
+        |attempt| run_attempt(inner, key, spec, attempt),
+    );
+    if retry.attempts > 1 {
+        let mut st = inner.locked();
+        st.counters.retries += u64::from(retry.attempts - 1);
+    }
+    Outcome { attempts: retry.attempts, result: retry.result }
+}
+
+/// One simulation attempt: fresh machine, sliced run with control
+/// checks between slices.
+fn run_attempt(inner: &Arc<Inner>, key: &str, spec: &JobSpec, attempt: u32) -> Result<Value, JobError> {
+    let specs = resolve_workloads(spec).map_err(JobError::Build)?;
+    let cfg = SimConfig::paper(specs.len().max(2));
+    let arch = resolve_arch(&spec.arch, &specs, &cfg);
+    let mut machine = corun::build_machine(&specs, &cfg, &arch, spec.scale)
+        .map_err(|e| JobError::Build(e.to_string()))?;
+    machine.set_mode(spec.mode).map_err(|e| JobError::Build(e.to_string()))?;
+    machine.set_watchdog(inner.config.watchdog);
+    if let Some(inject) = &spec.inject {
+        let mut plan = FaultPlan::parse(inject).map_err(JobError::Build)?;
+        // Re-salt per attempt: a retry faces fresh (but deterministic)
+        // faults instead of replaying the exact failure.
+        plan.seed ^= u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        machine.set_fault_plan(&plan);
+    }
+
+    // `Machine::run` treats the budget as an absolute cycle deadline
+    // and resumes on repeated calls, so the run is sliced to give
+    // cancellation and deadline sweeps a bounded reaction time.
+    let slice = inner.config.slice_cycles.max(1);
+    let mut horizon = 0u64;
+    loop {
+        horizon = horizon.saturating_add(slice).min(spec.max_cycles);
+        let stats = machine
+            .run(horizon)
+            .map_err(|e| JobError::Faulted { kind: e.kind().into(), detail: e.to_string() })?;
+        if stats.completed {
+            return Ok(bench::stats_to_json(&stats));
+        }
+        if horizon >= spec.max_cycles {
+            return Err(JobError::TimedOut { cycles: stats.cycles });
+        }
+        if matches!(sweep(inner, key), Control::Abandon) {
+            // Every requester is gone; the distinction between
+            // cancellation and deadline was already reported to each
+            // of them by the sweep.
+            return Err(JobError::Cancelled);
+        }
+    }
+}
+
+/// Removes cancelled and deadline-expired requesters (replying to the
+/// expired ones), and reports whether anyone is still waiting.
+fn sweep(inner: &Arc<Inner>, key: &str) -> Control {
+    let now = Instant::now();
+    let mut st = inner.locked();
+    let Some(flight) = st.inflight.get_mut(key) else {
+        return Control::Abandon;
+    };
+    let mut expired = Vec::new();
+    flight.requesters.retain(|r| {
+        let dead = r.deadline.is_some_and(|d| d <= now);
+        if dead {
+            send(
+                &r.tx,
+                Reply::Error {
+                    id: r.id.clone(),
+                    kind: "deadline".into(),
+                    detail: JobError::Deadline.detail(),
+                },
+            );
+            expired.push((r.tenant.clone(), r.via_queue));
+        }
+        !dead
+    });
+    let empty = flight.requesters.is_empty();
+    for (tenant, via_queue) in expired {
+        st.counters.deadline_expired += 1;
+        st.counters.failed += 1;
+        if !via_queue {
+            st.queue.release(&tenant);
+        }
+    }
+    if empty {
+        Control::Abandon
+    } else {
+        Control::Continue
+    }
+}
+
+/// Delivers terminal replies, updates the cache and releases quotas.
+/// `outcome: None` means the run was abandoned (all requesters already
+/// replied to by sweeps or cancellation).
+fn finish(inner: &Arc<Inner>, key: &str, started: Instant, outcome: Option<Outcome>) {
+    let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    let mut st = inner.locked();
+    st.latency_us.observe(elapsed_us);
+    let Some(flight) = st.inflight.remove(key) else {
+        return;
+    };
+    if let Some(tenant) = &flight.queue_slot_tenant {
+        st.queue.release(tenant);
+    }
+    let Some(outcome) = outcome else {
+        // Abandoned: requesters (if any slipped in between the last
+        // sweep and here) get a cancelled reply so no one waits
+        // forever.
+        for r in flight.requesters {
+            send(
+                &r.tx,
+                Reply::Error {
+                    id: r.id,
+                    kind: "cancelled".into(),
+                    detail: "the run was abandoned".into(),
+                },
+            );
+            st.counters.failed += 1;
+            if !r.via_queue {
+                st.queue.release(&r.tenant);
+            }
+        }
+        if st.queue.is_empty() && st.inflight.is_empty() {
+            inner.idle.notify_all();
+        }
+        return;
+    };
+
+    match &outcome.result {
+        Ok(payload) => {
+            if let Some(expected) = &flight.verify_against {
+                let matched = payload.render_compact() == *expected;
+                st.cache.report_verification(key, matched);
+            }
+            st.cache.insert(key.to_owned(), payload.clone());
+            for (i, r) in flight.requesters.iter().enumerate() {
+                send(
+                    &r.tx,
+                    Reply::Result {
+                        id: r.id.clone(),
+                        // The first requester paid for the run; the
+                        // rest were coalesced onto it.
+                        cached: i > 0,
+                        attempts: outcome.attempts,
+                        payload: payload.clone(),
+                    },
+                );
+                st.counters.completed += 1;
+                if !r.via_queue {
+                    st.queue.release(&r.tenant);
+                }
+            }
+        }
+        Err(error) => {
+            for r in &flight.requesters {
+                send(
+                    &r.tx,
+                    Reply::Error {
+                        id: r.id.clone(),
+                        kind: error.tag().into(),
+                        detail: error.detail(),
+                    },
+                );
+                st.counters.failed += 1;
+                if !r.via_queue {
+                    st.queue.release(&r.tenant);
+                }
+            }
+        }
+    }
+    if st.queue.is_empty() && st.inflight.is_empty() {
+        inner.idle.notify_all();
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
+/// Resolves workload names to specs: `WL1`–`WL22` (SPEC), `cv1`–`cv12`
+/// (OpenCV), or `synth:<loads>,<stores>,<flops>[,<trip>[,<repeat>]]`.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first unresolvable name
+/// (surfaced as a `build` error reply).
+pub fn resolve_workloads(spec: &JobSpec) -> Result<Vec<WorkloadSpec>, String> {
+    spec.workloads.iter().map(|name| resolve_workload(name)).collect()
+}
+
+fn resolve_workload(name: &str) -> Result<WorkloadSpec, String> {
+    if let Some(n) = name.strip_prefix("WL") {
+        let i: usize = n.parse().map_err(|_| format!("bad SPEC workload `{name}`"))?;
+        if !(1..=22).contains(&i) {
+            return Err(format!("SPEC workload index {i} out of range 1..=22"));
+        }
+        return Ok(table3::spec_workload(i, 1.0));
+    }
+    if let Some(n) = name.strip_prefix("cv") {
+        let i: usize = n.parse().map_err(|_| format!("bad OpenCV workload `{name}`"))?;
+        if !(1..=12).contains(&i) {
+            return Err(format!("OpenCV workload index {i} out of range 1..=12"));
+        }
+        return Ok(table3::opencv_workload(i, 1.0));
+    }
+    if let Some(rest) = name.strip_prefix("synth:") {
+        return resolve_synth(rest);
+    }
+    Err(format!("unknown workload `{name}` (expected WL1..22, cv1..12, or synth:...)"))
+}
+
+fn resolve_synth(rest: &str) -> Result<WorkloadSpec, String> {
+    let parts: Vec<u64> = rest
+        .split(',')
+        .map(|p| p.trim().parse::<u64>().map_err(|_| format!("bad synth parameter `{p}`")))
+        .collect::<Result<_, _>>()?;
+    if !(3..=5).contains(&parts.len()) {
+        return Err("synth needs loads,stores,flops[,trip[,repeat]]".into());
+    }
+    let (loads, stores, flops) = (parts[0] as usize, parts[1] as usize, parts[2] as usize);
+    let trip = parts.get(3).copied().unwrap_or(4096) as usize;
+    let repeat = parts.get(4).copied().unwrap_or(1) as usize;
+    // Pre-validate everything SyntheticSpec would assert on, so a bad
+    // spec is a typed build error instead of a panic.
+    if loads == 0 || loads > 16 || stores > 16 || flops > 64 {
+        return Err("synth needs 1..=16 loads, <=16 stores, <=64 flops".into());
+    }
+    if stores == 0 && flops == 0 {
+        return Err("synth kernel needs some work (stores or flops)".into());
+    }
+    if stores == 0 {
+        return Err("synth needs at least one store".into());
+    }
+    if flops + stores < loads {
+        return Err("synth flops+stores must cover every load".into());
+    }
+    if !(64..=1 << 20).contains(&trip) || !(1..=64).contains(&repeat) {
+        return Err("synth trip must be 64..=1048576 and repeat 1..=64".into());
+    }
+    let kernel = SyntheticSpec::new(format!("synth_{loads}_{stores}_{flops}"), loads, stores, flops)
+        .build();
+    let paper_oi = occamy_compiler_oi(&kernel);
+    Ok(WorkloadSpec::new(
+        format!("synth:{loads},{stores},{flops}"),
+        vec![workloads::PhaseSpec { kernel, trip, repeat, paper_oi }],
+    ))
+}
+
+fn occamy_compiler_oi(kernel: &occamy_compiler::Kernel) -> f64 {
+    occamy_compiler::analyze(kernel).oi.mem()
+}
+
+fn resolve_arch(arch: &str, specs: &[WorkloadSpec], cfg: &SimConfig) -> Architecture {
+    match arch {
+        "private" => Architecture::Private,
+        "fts" => Architecture::TemporalSharing,
+        "vls" => {
+            Architecture::StaticSpatialSharing { partition: corun::vls_partition(specs, cfg) }
+        }
+        // The protocol layer validated the name; anything else is the
+        // default architecture.
+        _ => Architecture::Occamy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn tiny_spec(seed: u64) -> JobSpec {
+        JobSpec {
+            workloads: vec!["synth:2,1,2,64".into()],
+            scale: 0.05,
+            seed,
+            max_cycles: 2_000_000,
+            ..JobSpec::default()
+        }
+    }
+
+    fn test_config() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            backoff: BackoffPolicy { base_us: 1, cap_us: 10, seed: 1 },
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn wait_terminal(rx: &mpsc::Receiver<Reply>) -> Reply {
+        loop {
+            let reply = rx.recv_timeout(Duration::from_secs(60)).expect("a reply arrives");
+            if reply.is_terminal() {
+                return reply;
+            }
+        }
+    }
+
+    #[test]
+    fn a_job_runs_to_a_result_and_repeats_from_cache() {
+        let service = Service::start(test_config());
+        let (tx, rx) = mpsc::channel();
+        service.submit("t", "j1", tiny_spec(1), &tx);
+        let first = wait_terminal(&rx);
+        let Reply::Result { cached, attempts, payload, .. } = &first else {
+            panic!("expected a result, got {first:?}");
+        };
+        assert!(!cached);
+        assert_eq!(*attempts, 1);
+        let cold = payload.render_compact();
+
+        service.submit("t", "j2", tiny_spec(1), &tx);
+        let second = wait_terminal(&rx);
+        let Reply::Result { cached, attempts, payload, .. } = &second else {
+            panic!("expected a result, got {second:?}");
+        };
+        assert!(*cached, "second submission hits the cache");
+        assert_eq!(*attempts, 0);
+        assert_eq!(payload.render_compact(), cold, "cache hit is byte-identical");
+        service.join();
+    }
+
+    #[test]
+    fn chaos_panic_is_contained_to_its_job() {
+        let service = Service::start(test_config());
+        let (tx, rx) = mpsc::channel();
+        let mut chaos = tiny_spec(2);
+        chaos.chaos = Some(ChaosKind::Panic);
+        service.submit("t", "boom", chaos, &tx);
+        let reply = wait_terminal(&rx);
+        let Reply::Error { kind, .. } = &reply else {
+            panic!("expected an error, got {reply:?}");
+        };
+        assert_eq!(kind, "panic");
+
+        // The service survives and still runs real jobs.
+        service.submit("t", "after", tiny_spec(3), &tx);
+        assert!(matches!(wait_terminal(&rx), Reply::Result { .. }));
+        let stats = service.metrics();
+        match stats.get("service.panics_contained") {
+            Some(occamy_sim::MetricValue::Counter(n)) => assert_eq!(*n, 1),
+            other => panic!("missing panic counter: {other:?}"),
+        }
+        service.join();
+    }
+
+    #[test]
+    fn duplicate_ids_and_bad_builds_get_typed_errors() {
+        let service = Service::start(test_config());
+        let (tx, rx) = mpsc::channel();
+        let mut bad = tiny_spec(4);
+        bad.workloads = vec!["synth:9,1,2,64".into()]; // flops+stores < loads
+        service.submit("t", "bad", bad, &tx);
+        let reply = wait_terminal(&rx);
+        let Reply::Error { kind, .. } = &reply else {
+            panic!("expected an error, got {reply:?}");
+        };
+        assert_eq!(kind, "build");
+        service.join();
+    }
+
+    #[test]
+    fn zero_deadline_jobs_expire_instead_of_running() {
+        let service = Service::start(test_config());
+        let (tx, rx) = mpsc::channel();
+        let mut spec = tiny_spec(5);
+        spec.deadline_ms = Some(0);
+        service.submit("t", "late", spec, &tx);
+        let reply = wait_terminal(&rx);
+        let Reply::Error { kind, .. } = &reply else {
+            panic!("expected an error, got {reply:?}");
+        };
+        assert_eq!(kind, "deadline");
+        service.join();
+    }
+
+    #[test]
+    fn shutdown_sheds_queued_work_with_typed_replies() {
+        // One worker and a long job keep the rest queued.
+        let config = ServiceConfig { workers: 1, ..test_config() };
+        let service = Service::start(config);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..4 {
+            service.submit("t", &format!("j{i}"), tiny_spec(100 + i), &tx);
+        }
+        service.shutdown();
+        // Submissions after shutdown are shed immediately.
+        service.submit("t", "late", tiny_spec(999), &tx);
+        let mut terminals = 0;
+        while terminals < 5 {
+            if wait_terminal(&rx).is_terminal() {
+                terminals += 1;
+            }
+        }
+        service.join();
+    }
+
+    #[test]
+    fn fault_injection_drives_retry_then_typed_failure() {
+        let config = ServiceConfig { max_attempts: 3, ..test_config() };
+        let service = Service::start(config);
+        let (tx, rx) = mpsc::channel();
+        let mut spec = tiny_spec(7);
+        // A certain transient lane fault: every attempt trips the
+        // residue check, so the job burns all three attempts before
+        // surfacing a typed failure.
+        spec.inject = Some("seed=9,lanet=1.0".into());
+        service.submit("t", "j1", spec, &tx);
+        let reply = wait_terminal(&rx);
+        let Reply::Error { kind, .. } = &reply else {
+            panic!("expected a lane-fault error, got {reply:?}");
+        };
+        assert_eq!(kind, "lane-fault");
+        let stats = service.stats_value().render_compact();
+        assert!(
+            stats.contains("\"service.retries\":2"),
+            "two retries recorded in {stats}"
+        );
+        service.join();
+    }
+
+    #[test]
+    fn workload_resolution_covers_all_suites() {
+        assert!(resolve_workload("WL8").is_ok());
+        assert!(resolve_workload("cv3").is_ok());
+        assert!(resolve_workload("synth:4,2,4").is_ok());
+        assert!(resolve_workload("WL23").is_err());
+        assert!(resolve_workload("cv0").is_err());
+        assert!(resolve_workload("synth:0,1,1").is_err());
+        assert!(resolve_workload("synth:2,1").is_err());
+        assert!(resolve_workload("mystery").is_err());
+    }
+}
