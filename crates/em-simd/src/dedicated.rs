@@ -101,3 +101,13 @@ mod tests {
         assert_eq!(DedicatedReg::Status.to_string(), "<status>");
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec_enum!(DedicatedReg {
+    0 => Oi,
+    1 => Decision,
+    2 => Vl,
+    3 => Status,
+    4 => Al,
+});

@@ -669,3 +669,85 @@ mod tests {
         assert_eq!(ScalarInst::Nop.branch_target(), None);
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec_enum!(Operand {
+    0 => Reg(r),
+    1 => Imm(v),
+});
+
+statecodec::impl_codec_enum!(ScalarInst {
+    0 => MovImm { dst, imm },
+    1 => Mov { dst, src },
+    2 => Add { dst, a, b },
+    3 => Sub { dst, a, b },
+    4 => Mul { dst, a, b },
+    5 => Div { dst, a, b },
+    6 => Rem { dst, a, b },
+    7 => ShlImm { dst, a, shift },
+    8 => FmovImm { dst, imm },
+    9 => Fadd { dst, a, b },
+    10 => Fsub { dst, a, b },
+    11 => Fmul { dst, a, b },
+    12 => Fdiv { dst, a, b },
+    13 => Ldr { dst, base, index },
+    14 => Str { src, base, index },
+    15 => B { target },
+    16 => Beq { a, b, target },
+    17 => Bne { a, b, target },
+    18 => Blt { a, b, target },
+    19 => Bge { a, b, target },
+    20 => Nop,
+});
+
+statecodec::impl_codec_enum!(VUnOp {
+    0 => Fneg,
+    1 => Fabs,
+    2 => Fsqrt,
+});
+
+statecodec::impl_codec_enum!(VCmpOp {
+    0 => Gt,
+    1 => Ge,
+    2 => Eq,
+    3 => Ne,
+    4 => Lt,
+    5 => Le,
+});
+
+statecodec::impl_codec_enum!(VBinOp {
+    0 => Fadd,
+    1 => Fsub,
+    2 => Fmul,
+    3 => Fdiv,
+    4 => Fmax,
+    5 => Fmin,
+});
+
+statecodec::impl_codec_enum!(VectorInst {
+    0 => Unary { op, dst, src },
+    1 => Binary { op, dst, a, b },
+    2 => Fma { dst, a, b },
+    3 => DupImm { dst, imm },
+    4 => Dup { dst, src },
+    5 => ReduceAdd { dst, src },
+    6 => Load { dst, base, index },
+    7 => Store { src, base, index },
+    8 => Whilelo { dst, a, b },
+    9 => Fcm { op, dst, a, b },
+    10 => Sel { dst, sel, a, b },
+    11 => Predicated { pred, inst },
+});
+
+statecodec::impl_codec_enum!(EmSimdInst {
+    0 => Msr { reg, src },
+    1 => Mrs { dst, reg },
+});
+
+statecodec::impl_codec_enum!(Inst {
+    0 => Scalar(s),
+    1 => Vector(v),
+    2 => EmSimd(e),
+    3 => Halt,
+});

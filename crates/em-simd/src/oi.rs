@@ -132,3 +132,14 @@ mod tests {
         assert!(s.contains("issue=0.17") && s.contains("mem=0.25"), "{s}");
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+impl statecodec::Codec for OperationalIntensity {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.to_bits(), sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        Ok(OperationalIntensity::from_bits(<u64 as statecodec::Codec>::decode(src)?))
+    }
+}

@@ -110,3 +110,33 @@ mod tests {
         assert!(VReg::ALL.windows(2).all(|w| w[0].index() + 1 == w[1].index()));
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+macro_rules! impl_reg_codec {
+    ($name:ident, $count:expr) => {
+        impl statecodec::Codec for $name {
+            fn encode(&self, sink: &mut statecodec::Sink) {
+                sink.put_byte(self.index() as u8);
+            }
+            fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+                let idx = usize::from(<u8 as statecodec::Codec>::decode(src)?);
+                if idx >= $count {
+                    return Err(statecodec::DecodeError::at(
+                        src,
+                        format!(
+                            "{} index {idx} out of range 0..{}",
+                            stringify!($name),
+                            $count
+                        ),
+                    ));
+                }
+                Ok($name::from_index(idx))
+            }
+        }
+    };
+}
+
+impl_reg_codec!(XReg, NUM_XREGS);
+impl_reg_codec!(VReg, NUM_VREGS);
+impl_reg_codec!(PReg, NUM_PREGS);

@@ -62,3 +62,13 @@ mod tests {
         assert_eq!(InstTag::default(), InstTag::Body);
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec_enum!(InstTag {
+    0 => Body,
+    1 => PhasePrologue,
+    2 => PhaseEpilogue,
+    3 => Monitor,
+    4 => Reconfigure,
+});

@@ -535,3 +535,7 @@ mod tests {
         assert!(s.contains("core0=8") && s.contains("core1=0"), "{s}");
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec!(LaneManager { ceilings, total, mem_level, contention_aware });

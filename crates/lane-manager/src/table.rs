@@ -316,3 +316,42 @@ mod tests {
         assert!(s.contains("core0") && s.contains("core1") && s.contains("<AL>=8"));
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec!(CoreRegs { oi, decision, vl, status });
+
+// Hand-written so decode re-establishes the conservation invariant
+// (`Σ vl + al == total`) and the per-core vl range that
+// `ResourceTable::vl`'s `VectorLength::new` asserts.
+impl statecodec::Codec for ResourceTable {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.cores, sink);
+        statecodec::Codec::encode(&self.al, sink);
+        statecodec::Codec::encode(&self.total, sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        let cores: Vec<CoreRegs> = statecodec::Codec::decode(src)?;
+        let al = <usize as statecodec::Codec>::decode(src)?;
+        let total = <usize as statecodec::Codec>::decode(src)?;
+        if cores.is_empty() {
+            return Err(statecodec::DecodeError::at(src, "resource table has no cores"));
+        }
+        if let Some((i, c)) = cores.iter().enumerate().find(|(_, c)| c.vl > 64) {
+            return Err(statecodec::DecodeError::at(
+                src,
+                format!("core {i} holds {} granules, beyond the 64-granule ceiling", c.vl),
+            ));
+        }
+        let table = ResourceTable { cores, al, total };
+        if !table.invariant_holds() {
+            return Err(statecodec::DecodeError::at(
+                src,
+                format!(
+                    "lane conservation violated: allocated + {al} free != {total} total"
+                ),
+            ));
+        }
+        Ok(table)
+    }
+}

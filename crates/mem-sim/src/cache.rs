@@ -315,3 +315,41 @@ mod tests {
         }
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec!(CacheConfig { size_bytes, ways, line_bytes });
+statecodec::impl_codec!(CacheStats { hits, misses, writebacks });
+statecodec::impl_codec!(Line { tag, valid, dirty, lru, ready_at });
+
+// Hand-written so decode re-establishes the geometry invariants that
+// `index_tag` relies on (`sets.len()` matches the config and is
+// non-zero, every set holds exactly `ways` lines).
+impl statecodec::Codec for Cache {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.cfg, sink);
+        statecodec::Codec::encode(&self.sets, sink);
+        statecodec::Codec::encode(&self.clock, sink);
+        statecodec::Codec::encode(&self.stats, sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        let cfg: CacheConfig = statecodec::Codec::decode(src)?;
+        let sets: Vec<Vec<Line>> = statecodec::Codec::decode(src)?;
+        let clock = <u64 as statecodec::Codec>::decode(src)?;
+        let stats: CacheStats = statecodec::Codec::decode(src)?;
+        cfg.validate().map_err(|e| statecodec::DecodeError::at(src, e))?;
+        if sets.len() != cfg.num_sets() {
+            return Err(statecodec::DecodeError::at(
+                src,
+                format!("cache has {} sets, geometry implies {}", sets.len(), cfg.num_sets()),
+            ));
+        }
+        if let Some(bad) = sets.iter().find(|s| s.len() != cfg.ways) {
+            return Err(statecodec::DecodeError::at(
+                src,
+                format!("cache set holds {} lines, geometry implies {}", bad.len(), cfg.ways),
+            ));
+        }
+        Ok(Cache { cfg, sets, clock, stats })
+    }
+}

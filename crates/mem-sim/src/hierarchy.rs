@@ -499,3 +499,65 @@ mod tests {
         assert!(s.stats().veccache.writebacks > 0);
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec!(MemConfig {
+    cores,
+    l1,
+    l1_latency,
+    veccache,
+    veccache_latency,
+    veccache_bytes_cycle,
+    l2,
+    l2_latency,
+    l2_bytes_cycle,
+    dram_latency,
+    dram_bytes_cycle,
+    vec_prefetch_lines,
+    l1_prefetch_lines,
+});
+statecodec::impl_codec!(Channel { next_free, bytes_per_cycle, busy_cycles, bytes_served, requests });
+
+// Hand-written so decode re-checks the structural invariants
+// (one L1 per core, non-zero channel bandwidths — `Channel::serve`
+// divides by them).
+impl statecodec::Codec for MemorySystem {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.cfg, sink);
+        statecodec::Codec::encode(&self.l1, sink);
+        statecodec::Codec::encode(&self.veccache, sink);
+        statecodec::Codec::encode(&self.l2, sink);
+        statecodec::Codec::encode(&self.vec_chan, sink);
+        statecodec::Codec::encode(&self.l2_chan, sink);
+        statecodec::Codec::encode(&self.dram_chan, sink);
+        statecodec::Codec::encode(&self.vec_served, sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        let cfg: MemConfig = statecodec::Codec::decode(src)?;
+        let l1: Vec<Cache> = statecodec::Codec::decode(src)?;
+        let veccache: Cache = statecodec::Codec::decode(src)?;
+        let l2: Cache = statecodec::Codec::decode(src)?;
+        let vec_chan: Channel = statecodec::Codec::decode(src)?;
+        let l2_chan: Channel = statecodec::Codec::decode(src)?;
+        let dram_chan: Channel = statecodec::Codec::decode(src)?;
+        let vec_served: [u64; 3] = statecodec::Codec::decode(src)?;
+        if l1.len() != cfg.cores {
+            return Err(statecodec::DecodeError::at(
+                src,
+                format!("memory system has {} L1 caches for {} cores", l1.len(), cfg.cores),
+            ));
+        }
+        for (chan, name) in
+            [(&vec_chan, "veccache"), (&l2_chan, "l2"), (&dram_chan, "dram")]
+        {
+            if chan.bytes_per_cycle == 0 {
+                return Err(statecodec::DecodeError::at(
+                    src,
+                    format!("{name} channel has zero bytes/cycle"),
+                ));
+            }
+        }
+        Ok(MemorySystem { cfg, l1, veccache, l2, vec_chan, l2_chan, dram_chan, vec_served })
+    }
+}

@@ -725,7 +725,10 @@ fn cmd_sched(args: &[String]) -> Result<(), CliError> {
 const DEFAULT_ENDPOINT: &str = "unix:/tmp/occamyd.sock";
 
 /// Starts the `occamyd` daemon and blocks until a client sends a
-/// `shutdown` op (`occamy submit --shutdown`).
+/// `shutdown` op (`occamy submit --shutdown`) or the process receives
+/// `SIGTERM`/`SIGINT` — both end in a graceful drain: admission stops,
+/// in-flight jobs finish (or persist a checkpoint), the journal is
+/// flushed, and the process exits 0.
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut listen = DEFAULT_ENDPOINT.to_owned();
     let mut config = occamyd::ServiceConfig::default();
@@ -748,14 +751,20 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "--per-tenant" => {
                 config.admission.per_tenant = parse_num(&value("--per-tenant")?, "--per-tenant")?;
             }
+            "--state-dir" => {
+                config.state_dir = Some(std::path::PathBuf::from(value("--state-dir")?));
+            }
             other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
         }
     }
     let endpoint = occamyd::Endpoint::parse(&listen).map_err(CliError::Usage)?;
+    let term = occamyd::server::install_termination_flag();
     let mut handle = occamyd::serve(&endpoint, config).map_err(CliError::Net)?;
     println!("occamyd listening on {}", handle.endpoint);
     println!("stop with: occamy submit --shutdown --connect {}", handle.endpoint);
-    handle.wait(std::time::Duration::from_millis(100));
+    while !handle.stopping() && !term.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
     handle.stop();
     println!("occamyd stopped");
     Ok(())
@@ -783,6 +792,7 @@ fn cmd_submit(args: &[String]) -> Result<(), CliError> {
     let mut tenant = "cli".to_owned();
     let mut id = "job".to_owned();
     let mut op = SubmitOp::Run;
+    let mut retries = 5u32;
     let mut spec = occamyd::JobSpec::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -791,6 +801,9 @@ fn cmd_submit(args: &[String]) -> Result<(), CliError> {
         };
         match a.as_str() {
             "--connect" => connect = value("--connect")?,
+            "--connect-retries" => {
+                retries = parse_num(&value("--connect-retries")?, "--connect-retries")?;
+            }
             "--tenant" => tenant = value("--tenant")?,
             "--id" => id = value("--id")?,
             "--arch" => spec.arch = value("--arch")?,
@@ -817,7 +830,7 @@ fn cmd_submit(args: &[String]) -> Result<(), CliError> {
         }
     }
     let endpoint = occamyd::Endpoint::parse(&connect).map_err(CliError::Usage)?;
-    let mut client = occamyd::Client::connect(&endpoint).map_err(CliError::Net)?;
+    let mut client = connect_with_retry(&endpoint, retries).map_err(CliError::Net)?;
     let request = match op {
         SubmitOp::Ping => occamyd::Request::Ping,
         SubmitOp::Stats => occamyd::Request::Stats,
@@ -863,6 +876,46 @@ fn cmd_submit(args: &[String]) -> Result<(), CliError> {
         }
         other => Err(CliError::Net(format!("unexpected terminal reply: {}", other.to_line()))),
     }
+}
+
+/// Connects to the daemon, retrying transient "nobody home yet"
+/// failures (connection refused, socket file not created yet) under the
+/// deterministic equal-jitter backoff of
+/// [`bench::runner::BackoffPolicy`]. A daemon mid-restart — crash
+/// recovery, a rolling upgrade — looks exactly like this, and a client
+/// that sleeps a few hundred milliseconds beats one that exits 5.
+/// Non-transient errors (refused auth, unroutable host) fail fast.
+fn connect_with_retry(
+    endpoint: &occamyd::Endpoint,
+    attempts: u32,
+) -> Result<occamyd::Client, String> {
+    let attempts = attempts.max(1);
+    let policy = bench::runner::BackoffPolicy {
+        base_us: 50_000,
+        cap_us: 2_000_000,
+        seed: 0x0cca_317e,
+    };
+    let salt = occamyd::protocol::fnv1a(endpoint.to_string().as_bytes());
+    let mut last_err = String::new();
+    for attempt in 1..=attempts {
+        match occamyd::Client::connect(endpoint) {
+            Ok(client) => return Ok(client),
+            Err(e) => {
+                let transient = e.contains("refused") || e.contains("No such file");
+                if !transient || attempt == attempts {
+                    return Err(e);
+                }
+                let delay = policy.delay(salt, attempt);
+                eprintln!(
+                    "occamy submit: {e}; retrying in {delay:?} \
+                     (attempt {attempt}/{attempts})"
+                );
+                last_err = e;
+                std::thread::sleep(delay);
+            }
+        }
+    }
+    Err(last_err)
 }
 
 fn cmd_roofline(args: &[String]) -> Result<(), CliError> {

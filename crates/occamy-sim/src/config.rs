@@ -375,3 +375,33 @@ mod tests {
         assert_eq!(Architecture::Occamy.short_name(), "Occamy");
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec_enum!(Architecture {
+    0 => Private,
+    1 => TemporalSharing,
+    2 => StaticSpatialSharing { partition },
+    3 => Occamy,
+});
+
+statecodec::impl_codec!(SimConfig {
+    cores,
+    total_granules,
+    vregs_per_block,
+    pregs_per_block,
+    pool_entries,
+    iq_entries,
+    rob_entries,
+    lsu_entries,
+    compute_width,
+    mem_width,
+    transmit_width,
+    scalar_width,
+    retire_width,
+    em_width,
+    exe_latency,
+    exe_latency_long,
+    mem,
+    contention_aware_planning,
+});

@@ -1479,3 +1479,168 @@ impl CoProcessor {
         self.cores[core].pred_rename[p.index()] = self.ppf.alloc_ready(blocks, value);
     }
 }
+
+impl CoProcessor {
+    /// The configuration this co-processor was built with; checkpoint
+    /// decoding cross-checks it against the machine's copy.
+    pub(crate) fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+}
+
+// --- Checkpoint serialization --------------------------------------------
+//
+// `trace`, `events` and the latched `fault` are NOT serialized: snapshot
+// I/O refuses machines with any of them active (see
+// `Machine::snapshot_io_refusal`), and decode reconstructs the disabled /
+// empty defaults. Everything else — including the out-of-order windows —
+// round-trips exactly.
+
+statecodec::impl_codec_enum!(PoolEntry {
+    0 => Vector { inst, aux },
+    1 => Em { inst, operand },
+});
+
+statecodec::impl_codec_enum!(RegClass {
+    0 => Vector,
+    1 => Pred,
+});
+
+statecodec::impl_codec!(IqEntry {
+    seq,
+    inst,
+    srcs,
+    dst,
+    dst_class,
+    pred,
+    psrcs,
+    merge,
+    aux,
+    lanes,
+});
+statecodec::impl_codec!(RobEntry { seq, done, prev_phys });
+statecodec::impl_codec!(InflightCompute {
+    complete_at,
+    core,
+    dst,
+    dst_class,
+    value,
+    scalar_wb,
+    rob_seq,
+    faulted,
+});
+statecodec::impl_codec!(CoreCtx {
+    pool,
+    iq,
+    lsu,
+    rob,
+    rename_map,
+    pred_rename,
+    cur_vl,
+    status,
+    spans,
+    open_phase,
+    phase_start_issued,
+    drain_start,
+    stall_since,
+});
+
+// Hand-written so decode re-validates the configuration and the
+// cross-structure invariants a later pipeline step would otherwise
+// index-panic on.
+impl statecodec::Codec for CoProcessor {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.cfg, sink);
+        statecodec::Codec::encode(&self.arch, sink);
+        statecodec::Codec::encode(&self.blocks, sink);
+        statecodec::Codec::encode(&self.prf, sink);
+        statecodec::Codec::encode(&self.ppf, sink);
+        statecodec::Codec::encode(&self.cores, sink);
+        statecodec::Codec::encode(&self.table, sink);
+        statecodec::Codec::encode(&self.mgr, sink);
+        statecodec::Codec::encode(&self.inflight, sink);
+        statecodec::Codec::encode(&self.next_seq, sink);
+        statecodec::Codec::encode(&self.retired, sink);
+        statecodec::Codec::encode(&self.corrected_inline, sink);
+        statecodec::Codec::encode(&self.hints_sanitized, sink);
+        statecodec::Codec::encode(&self.replan_epoch, sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        let cfg: SimConfig = statecodec::Codec::decode(src)?;
+        let arch: Architecture = statecodec::Codec::decode(src)?;
+        let blocks: RegBlocks = statecodec::Codec::decode(src)?;
+        let prf: PhysRegFile = statecodec::Codec::decode(src)?;
+        let ppf: PhysRegFile = statecodec::Codec::decode(src)?;
+        let cores: Vec<CoreCtx> = statecodec::Codec::decode(src)?;
+        let table: ResourceTable = statecodec::Codec::decode(src)?;
+        let mgr: Option<LaneManager> = statecodec::Codec::decode(src)?;
+        let inflight: Vec<InflightCompute> = statecodec::Codec::decode(src)?;
+        let next_seq = <u64 as statecodec::Codec>::decode(src)?;
+        let retired = <u64 as statecodec::Codec>::decode(src)?;
+        let corrected_inline = <u64 as statecodec::Codec>::decode(src)?;
+        let hints_sanitized = <u64 as statecodec::Codec>::decode(src)?;
+        let replan_epoch = <usize as statecodec::Codec>::decode(src)?;
+
+        cfg.validate().map_err(|e| statecodec::DecodeError::at(src, e))?;
+        cfg.validate_arch(&arch).map_err(|e| statecodec::DecodeError::at(src, e))?;
+        if cores.len() != cfg.cores {
+            return Err(statecodec::DecodeError::at(
+                src,
+                format!("co-processor holds {} core contexts for {} cores", cores.len(), cfg.cores),
+            ));
+        }
+        if blocks.num_blocks() != cfg.total_granules {
+            return Err(statecodec::DecodeError::at(
+                src,
+                format!(
+                    "{} register blocks for {} granules",
+                    blocks.num_blocks(),
+                    cfg.total_granules
+                ),
+            ));
+        }
+        if table.num_cores() != cfg.cores {
+            return Err(statecodec::DecodeError::at(
+                src,
+                format!("resource table serves {} of {} cores", table.num_cores(), cfg.cores),
+            ));
+        }
+        let nv = prf.slot_count();
+        let np = ppf.slot_count();
+        for ctx in &cores {
+            if ctx.rename_map.iter().any(|p| p.0 as usize >= nv)
+                || ctx.pred_rename.iter().any(|p| p.0 as usize >= np)
+            {
+                return Err(statecodec::DecodeError::at(
+                    src,
+                    "rename map references a physical register beyond the file",
+                ));
+            }
+            if ctx.spans.iter().any(|&b| b >= blocks.num_blocks()) {
+                return Err(statecodec::DecodeError::at(
+                    src,
+                    "core spanning set references a register block beyond the machine",
+                ));
+            }
+        }
+        Ok(CoProcessor {
+            cfg,
+            arch,
+            blocks,
+            prf,
+            ppf,
+            cores,
+            table,
+            mgr,
+            inflight,
+            next_seq,
+            retired,
+            fault: None,
+            corrected_inline,
+            hints_sanitized,
+            replan_epoch,
+            trace: Trace::disabled(),
+            events: EventLog::disabled(),
+        })
+    }
+}

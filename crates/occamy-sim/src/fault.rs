@@ -501,3 +501,76 @@ mod tests {
         assert_eq!(q.label_targets(), p.label_targets());
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec!(FaultStats {
+    oi_corruptions,
+    decision_perturbations,
+    mem_spikes,
+    lane_corruptions,
+});
+
+// Hand-written so decode re-validates the rates (gen_bool's contract)
+// rather than trusting the bytes.
+impl statecodec::Codec for FaultPlan {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.seed, sink);
+        statecodec::Codec::encode(&self.oi_corrupt_rate, sink);
+        statecodec::Codec::encode(&self.decision_perturb_rate, sink);
+        statecodec::Codec::encode(&self.mem_spike_rate, sink);
+        statecodec::Codec::encode(&self.mem_spike_cycles, sink);
+        statecodec::Codec::encode(&self.program_truncate_rate, sink);
+        statecodec::Codec::encode(&self.program_bitflip_rate, sink);
+        statecodec::Codec::encode(&self.lane_transient_rate, sink);
+        statecodec::Codec::encode(&self.permanent_lane, sink);
+        statecodec::Codec::encode(&self.permanent_lane_from, sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        let plan = FaultPlan {
+            seed: statecodec::Codec::decode(src)?,
+            oi_corrupt_rate: statecodec::Codec::decode(src)?,
+            decision_perturb_rate: statecodec::Codec::decode(src)?,
+            mem_spike_rate: statecodec::Codec::decode(src)?,
+            mem_spike_cycles: statecodec::Codec::decode(src)?,
+            program_truncate_rate: statecodec::Codec::decode(src)?,
+            program_bitflip_rate: statecodec::Codec::decode(src)?,
+            lane_transient_rate: statecodec::Codec::decode(src)?,
+            permanent_lane: statecodec::Codec::decode(src)?,
+            permanent_lane_from: statecodec::Codec::decode(src)?,
+        };
+        for (rate, name) in [
+            (plan.oi_corrupt_rate, "oi"),
+            (plan.decision_perturb_rate, "decision"),
+            (plan.mem_spike_rate, "mem"),
+            (plan.program_truncate_rate, "truncate"),
+            (plan.program_bitflip_rate, "bitflip"),
+            (plan.lane_transient_rate, "lanet"),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(statecodec::DecodeError::at(
+                    src,
+                    format!("fault rate '{name}' = {rate} outside [0, 1]"),
+                ));
+            }
+        }
+        Ok(plan)
+    }
+}
+
+// Hand-written: the RNG serializes through its raw xoshiro state, which
+// decode must reject when degenerate (all-zero).
+impl statecodec::Codec for FaultState {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.plan, sink);
+        statecodec::Codec::encode(&self.stats, sink);
+        statecodec::Codec::encode(&self.rng.state(), sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        let plan: FaultPlan = statecodec::Codec::decode(src)?;
+        let stats: FaultStats = statecodec::Codec::decode(src)?;
+        let raw: [u64; 4] = statecodec::Codec::decode(src)?;
+        let rng = StdRng::from_state(raw).map_err(|e| statecodec::DecodeError::at(src, e))?;
+        Ok(FaultState { plan, stats, rng })
+    }
+}

@@ -245,3 +245,42 @@ mod tests {
         lsu.push(load(3, 64, 64));
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec!(LsuEntry {
+    seq,
+    store,
+    addr,
+    bytes,
+    lanes,
+    dst,
+    src,
+    issued,
+    complete_at,
+    data,
+    pred,
+});
+
+// Hand-written so decode re-establishes the bounds and age-order
+// invariants `push` enforces.
+impl statecodec::Codec for Lsu {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.entries, sink);
+        statecodec::Codec::encode(&self.capacity, sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        let entries: Vec<LsuEntry> = statecodec::Codec::decode(src)?;
+        let capacity = <usize as statecodec::Codec>::decode(src)?;
+        if entries.len() > capacity {
+            return Err(statecodec::DecodeError::at(
+                src,
+                format!("LSU holds {} entries over a capacity of {capacity}", entries.len()),
+            ));
+        }
+        if entries.windows(2).any(|w| w[0].seq >= w[1].seq) {
+            return Err(statecodec::DecodeError::at(src, "LSU entries out of age order"));
+        }
+        Ok(Lsu { entries, capacity })
+    }
+}

@@ -1703,3 +1703,162 @@ mod tests {
         assert_eq!(err.kind(), "decode");
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+//
+// The machine's binary checkpoint format. Kept as `pub(crate)` free
+// functions rather than a public `Codec` impl so the only external entry
+// point is [`crate::snapshot_io`], whose refusal gate
+// ([`Machine::snapshot_io_refusal`]) runs first.
+
+impl statecodec::Codec for SampledSpec {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.warmup, sink);
+        statecodec::Codec::encode(&self.sample, sink);
+        statecodec::Codec::encode(&self.ff, sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        let warmup = <Cycle as statecodec::Codec>::decode(src)?;
+        let sample = <Cycle as statecodec::Codec>::decode(src)?;
+        let ff = <u64 as statecodec::Codec>::decode(src)?;
+        if sample == 0 || ff == 0 {
+            return Err(statecodec::DecodeError::at(
+                src,
+                "sampled-mode spec needs non-zero sample and fast-forward windows",
+            ));
+        }
+        Ok(SampledSpec { warmup, sample, ff })
+    }
+}
+
+statecodec::impl_codec_enum!(SimMode {
+    0 => Timing,
+    1 => Functional,
+    2 => Sampled(spec),
+});
+statecodec::impl_codec!(TwoSpeed { insts, est_cycles, windows });
+
+impl Machine {
+    /// Why this machine cannot be serialized, if anything: observer and
+    /// controller state (tracing, event logs, the profiler, the recovery
+    /// controller, fault injection, a latched fault) is deliberately
+    /// outside the checkpoint format — resuming such a machine could not
+    /// be bit-faithful, so snapshot I/O refuses it up front instead of
+    /// silently dropping state.
+    pub(crate) fn snapshot_io_refusal(&self) -> Option<&'static str> {
+        if self.coproc.trace.is_enabled() {
+            return Some("instruction tracing is enabled");
+        }
+        if self.coproc.events.is_enabled() {
+            return Some("event logging is enabled");
+        }
+        if self.profile.is_some() {
+            return Some("the cycle-attribution profiler is enabled");
+        }
+        if self.recovery.is_some() {
+            return Some("the detection-and-recovery controller is enabled");
+        }
+        if self.fault.is_some() || self.coproc.fault.is_some() {
+            return Some("a fault is latched");
+        }
+        None
+    }
+}
+
+pub(crate) fn encode_machine(m: &Machine, sink: &mut statecodec::Sink) {
+    statecodec::Codec::encode(&m.cfg, sink);
+    statecodec::Codec::encode(&m.mem, sink);
+    statecodec::Codec::encode(&m.memsys, sink);
+    statecodec::Codec::encode(&m.scalar, sink);
+    statecodec::Codec::encode(&m.coproc, sink);
+    statecodec::Codec::encode(&m.cycle, sink);
+    statecodec::Codec::encode(&m.core_stats, sink);
+    statecodec::Codec::encode(&m.timeline, sink);
+    statecodec::Codec::encode(&m.faults, sink);
+    statecodec::Codec::encode(&m.watchdog, sink);
+    statecodec::Codec::encode(&m.stagnant, sink);
+    statecodec::Codec::encode(&m.last_sig, sink);
+    statecodec::Codec::encode(&m.mode, sink);
+    statecodec::Codec::encode(&m.twospeed, sink);
+}
+
+pub(crate) fn decode_machine(
+    src: &mut statecodec::Src<'_>,
+) -> Result<Machine, statecodec::DecodeError> {
+    let cfg: SimConfig = statecodec::Codec::decode(src)?;
+    let mem: Memory = statecodec::Codec::decode(src)?;
+    let memsys: MemorySystem = statecodec::Codec::decode(src)?;
+    let scalar: Vec<ScalarCore> = statecodec::Codec::decode(src)?;
+    let coproc: CoProcessor = statecodec::Codec::decode(src)?;
+    let cycle = <Cycle as statecodec::Codec>::decode(src)?;
+    let core_stats: Vec<CoreStats> = statecodec::Codec::decode(src)?;
+    let timeline: Timeline = statecodec::Codec::decode(src)?;
+    let faults: Option<FaultState> = statecodec::Codec::decode(src)?;
+    let watchdog = <Cycle as statecodec::Codec>::decode(src)?;
+    let stagnant = <Cycle as statecodec::Codec>::decode(src)?;
+    let last_sig = <(u64, u64, u64) as statecodec::Codec>::decode(src)?;
+    let mode: SimMode = statecodec::Codec::decode(src)?;
+    let twospeed: TwoSpeed = statecodec::Codec::decode(src)?;
+
+    cfg.validate().map_err(|e| statecodec::DecodeError::at(src, e))?;
+    if scalar.len() != cfg.cores || core_stats.len() != cfg.cores {
+        return Err(statecodec::DecodeError::at(
+            src,
+            format!(
+                "{} scalar cores / {} stat blocks for a {}-core machine",
+                scalar.len(),
+                core_stats.len(),
+                cfg.cores
+            ),
+        ));
+    }
+    if timeline.num_cores() != cfg.cores {
+        return Err(statecodec::DecodeError::at(
+            src,
+            format!("timeline sized for {} of {} cores", timeline.num_cores(), cfg.cores),
+        ));
+    }
+    if *coproc.config() != cfg {
+        return Err(statecodec::DecodeError::at(
+            src,
+            "co-processor and machine disagree on the configuration",
+        ));
+    }
+    if *memsys.config() != cfg.mem {
+        return Err(statecodec::DecodeError::at(
+            src,
+            "memory system and machine disagree on the configuration",
+        ));
+    }
+    Ok(Machine {
+        cfg,
+        mem,
+        memsys,
+        scalar,
+        coproc,
+        cycle,
+        core_stats,
+        timeline,
+        fault: None,
+        faults,
+        watchdog,
+        stagnant,
+        last_sig,
+        recovery: None,
+        profile: None,
+        mode,
+        twospeed,
+    })
+}
+
+impl MachineSnapshot {
+    /// The snapshotted machine, for checkpoint I/O.
+    pub(crate) fn inner(&self) -> &Machine {
+        &self.0
+    }
+
+    /// Wraps a decoded machine as a snapshot, for checkpoint I/O.
+    pub(crate) fn from_inner(m: Machine) -> Self {
+        MachineSnapshot(Box::new(m))
+    }
+}

@@ -499,3 +499,80 @@ mod tests {
         assert_eq!(PhysRegFile::zero_value(3).len(), 12);
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec_enum!(BlockOwner {
+    0 => Free,
+    1 => Core(core),
+    2 => Shared,
+});
+
+statecodec::impl_codec_enum!(LaneHealth {
+    0 => Healthy,
+    1 => Draining,
+    2 => Retired,
+});
+
+impl statecodec::Codec for PhysId {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.0, sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        Ok(PhysId(<u32 as statecodec::Codec>::decode(src)?))
+    }
+}
+
+statecodec::impl_codec!(Slot { ready, value, blocks, live });
+statecodec::impl_codec!(PhysRegFile { slots, recycled });
+
+// Hand-written so decode re-establishes the parallel-array invariant
+// (one free-count and one health state per block, free counts within
+// capacity).
+impl statecodec::Codec for RegBlocks {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.owner, sink);
+        statecodec::Codec::encode(&self.free, sink);
+        statecodec::Codec::encode(&self.capacity, sink);
+        statecodec::Codec::encode(&self.pred_free, sink);
+        statecodec::Codec::encode(&self.pred_capacity, sink);
+        statecodec::Codec::encode(&self.health, sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        let owner: Vec<BlockOwner> = statecodec::Codec::decode(src)?;
+        let free: Vec<usize> = statecodec::Codec::decode(src)?;
+        let capacity = <usize as statecodec::Codec>::decode(src)?;
+        let pred_free: Vec<usize> = statecodec::Codec::decode(src)?;
+        let pred_capacity = <usize as statecodec::Codec>::decode(src)?;
+        let health: Vec<LaneHealth> = statecodec::Codec::decode(src)?;
+        if free.len() != owner.len() || pred_free.len() != owner.len() || health.len() != owner.len()
+        {
+            return Err(statecodec::DecodeError::at(
+                src,
+                format!(
+                    "regblock tables disagree on block count: {} owners, {} free, \
+                     {} pred_free, {} health",
+                    owner.len(),
+                    free.len(),
+                    pred_free.len(),
+                    health.len()
+                ),
+            ));
+        }
+        if free.iter().any(|&f| f > capacity) || pred_free.iter().any(|&f| f > pred_capacity) {
+            return Err(statecodec::DecodeError::at(
+                src,
+                "regblock free count exceeds its capacity",
+            ));
+        }
+        Ok(RegBlocks { owner, free, capacity, pred_free, pred_capacity, health })
+    }
+}
+
+impl PhysRegFile {
+    /// Number of slots ever allocated (live or recycled); checkpoint
+    /// decoding bounds-checks rename maps against it.
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}

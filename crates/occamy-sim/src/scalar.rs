@@ -381,3 +381,22 @@ mod tests {
         assert!(ScalarCore::idle().halted);
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec_enum!(Wait {
+    0 => Ready,
+    1 => EmAck,
+});
+
+statecodec::impl_codec!(ScalarCore {
+    program,
+    pc,
+    x,
+    pending_x,
+    halted,
+    wait,
+    wait_tag,
+    pending_loads,
+    frozen,
+});

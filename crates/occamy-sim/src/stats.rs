@@ -421,3 +421,69 @@ mod tests {
         assert!((stats.rename_stall_fraction(0) - 0.1).abs() < 1e-12);
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec!(CoreStats {
+    vector_compute_issued,
+    vector_mem_issued,
+    scalar_executed,
+    busy_lane_cycles,
+    alloc_lane_cycles,
+    rename_stall_cycles,
+    monitor_cycles,
+    reconfig_cycles,
+    finish_cycle,
+    phases,
+});
+statecodec::impl_codec!(PhaseStats {
+    oi,
+    start_cycle,
+    end_cycle,
+    compute_issued,
+    configured_granules,
+});
+statecodec::impl_codec!(TimelineBucket { start_cycle, busy_lanes, alloc_lanes });
+
+// Hand-written so decode re-establishes the invariants `record` relies
+// on (non-zero bucket width, one accumulator per core).
+impl statecodec::Codec for Timeline {
+    fn encode(&self, sink: &mut statecodec::Sink) {
+        statecodec::Codec::encode(&self.bucket_cycles, sink);
+        statecodec::Codec::encode(&self.cores, sink);
+        statecodec::Codec::encode(&self.buckets, sink);
+        statecodec::Codec::encode(&self.cur_busy, sink);
+        statecodec::Codec::encode(&self.cur_alloc, sink);
+        statecodec::Codec::encode(&self.cur_count, sink);
+    }
+    fn decode(src: &mut statecodec::Src<'_>) -> Result<Self, statecodec::DecodeError> {
+        let bucket_cycles = <u64 as statecodec::Codec>::decode(src)?;
+        let cores = <usize as statecodec::Codec>::decode(src)?;
+        let buckets: Vec<TimelineBucket> = statecodec::Codec::decode(src)?;
+        let cur_busy: Vec<f64> = statecodec::Codec::decode(src)?;
+        let cur_alloc: Vec<u64> = statecodec::Codec::decode(src)?;
+        let cur_count = <u64 as statecodec::Codec>::decode(src)?;
+        if bucket_cycles == 0 {
+            return Err(statecodec::DecodeError::at(src, "timeline bucket width is zero"));
+        }
+        if cur_busy.len() != cores || cur_alloc.len() != cores {
+            return Err(statecodec::DecodeError::at(
+                src,
+                format!(
+                    "timeline accumulators sized {}/{} for {cores} cores",
+                    cur_busy.len(),
+                    cur_alloc.len()
+                ),
+            ));
+        }
+        Ok(Timeline { bucket_cycles, cores, buckets, cur_busy, cur_alloc, cur_count })
+    }
+}
+
+impl Timeline {
+    /// Core count this timeline was sized for; checkpoint decoding
+    /// cross-checks it against the machine configuration.
+    pub(crate) fn num_cores(&self) -> usize {
+        self.cores
+    }
+}

@@ -31,6 +31,9 @@ const LINTED: &[&str] = &[
     // The functional engine executes the same untrusted programs as the
     // timing path and must trip the same typed faults.
     "crates/occamy-sim/src/functional.rs",
+    // The snapshot codec decodes checkpoint files that may be torn,
+    // bit-flipped, or adversarially crafted on disk.
+    "crates/occamy-sim/src/snapshot_io.rs",
     // The two-speed campaign code runs in CI sweeps.
     "crates/bench/src/two_speed.rs",
     "crates/bench/src/bin/speedup.rs",
@@ -46,6 +49,12 @@ const LINTED: &[&str] = &[
     "crates/occamyd/src/service.rs",
     "crates/occamyd/src/server.rs",
     "crates/occamyd/src/bin/load_test.rs",
+    // The durability layer replays journals and state files written by
+    // a process that may have died mid-write: every record is parsed
+    // defensively, and an I/O error must degrade the daemon to
+    // in-memory operation, never crash it.
+    "crates/occamyd/src/journal.rs",
+    "crates/occamyd/src/loadgen.rs",
 ];
 
 /// Justified residual panic sites: `"<file suffix>:<exact line content>"`.

@@ -1,9 +1,10 @@
-//! Load and chaos generator for the `occamyd` service layer.
+//! Load, chaos, and crash-restart generator for the `occamyd` service
+//! layer.
 //!
 //! Replays thousands of concurrent job arrivals from many tenants
-//! against an in-process service — a fraction of them *chaos* jobs
-//! (deliberate panics, synthetic faults, already-expired deadlines) —
-//! and checks the service's robustness contract:
+//! against the service — a fraction of them *chaos* jobs (deliberate
+//! panics, synthetic faults, already-expired deadlines) — and checks
+//! the service's robustness contract:
 //!
 //! - the daemon never crashes (a panicking job fails alone);
 //! - every submitted job receives exactly one terminal reply;
@@ -18,23 +19,51 @@
 //! function of the job spec. Wall-clock figures (latency quantiles,
 //! throughput) go to stderr only.
 //!
+//! # Crash-restart chaos harness
+//!
+//! `--crash-after N` switches to the durability harness: it first runs
+//! the campaign crash-free in-process to capture the baseline outcome
+//! document, then (for `--restarts K` rounds) spawns a real daemon
+//! child with `--state-dir`, submits jobs over the wire, hard-kills the
+//! child with `SIGKILL` mid-load, and restarts it against the same
+//! state directory. A final restart re-submits the full workload,
+//! drains every terminal, asks the daemon to shut down gracefully
+//! (exit 0), and asserts:
+//!
+//! - the final outcome document is **byte-identical** to the crash-free
+//!   baseline (zero lost accepted jobs, zero corrupted results);
+//! - the journal shows every accepted job reaching a terminal record
+//!   and **no job ran to a fresh (non-cached) `ok` more than once**
+//!   (zero duplicated side effects).
+//!
+//! The harness needs non-shedding sizing (the default `--capacity`/
+//! `--per-tenant` of `--jobs`): shedding depends on arrival timing,
+//! which a crash perturbs by design.
+//!
 //! ```text
 //! load_test [--jobs N] [--tenants N] [--chaos PCT] [--inject PCT]
 //!           [--workers N] [--capacity N] [--per-tenant N]
-//!           [--seed N] [--json]
+//!           [--seed N] [--json] [--state-dir DIR]
+//!           [--crash-after N] [--restarts K]
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use bench::json::Value;
-use bench::runner::BackoffPolicy;
-use occamyd::admission::AdmissionConfig;
-use occamyd::cache::CacheConfig;
-use occamyd::protocol::{fnv1a, ChaosKind, JobSpec, Reply};
-use occamyd::service::{Service, ServiceConfig};
+use occamyd::journal::{replay_bytes, JournalRecord};
+use occamyd::loadgen::{
+    apply_chaos, campaign_config, install_chaos_panic_hook, make_spec, outcome_digest,
+};
+use occamyd::protocol::{JobSpec, Reply, Request};
+use occamyd::server::{Client, Endpoint};
+use occamyd::service::Service;
 
+#[derive(Clone)]
 struct Args {
     jobs: usize,
     tenants: usize,
@@ -45,6 +74,10 @@ struct Args {
     per_tenant: Option<usize>,
     seed: u64,
     json: bool,
+    state_dir: Option<PathBuf>,
+    crash_after: Option<usize>,
+    restarts: usize,
+    daemon: bool,
 }
 
 impl Default for Args {
@@ -59,43 +92,61 @@ impl Default for Args {
             per_tenant: None,
             seed: 0x10ad_7e57,
             json: false,
+            state_dir: None,
+            crash_after: None,
+            restarts: 2,
+            daemon: false,
         }
     }
+}
+
+fn next_value(it: &mut impl Iterator<Item = String>, name: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{name} needs a value"))
+}
+
+fn next_num(it: &mut impl Iterator<Item = String>, name: &str) -> Result<u64, String> {
+    next_value(it, name)?.parse::<u64>().map_err(|_| format!("{name} needs a number"))
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut num = |name: &str| -> Result<u64, String> {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))?
-                .parse::<u64>()
-                .map_err(|_| format!("{name} needs a number"))
-        };
         match flag.as_str() {
-            "--jobs" => args.jobs = num("--jobs")? as usize,
-            "--tenants" => args.tenants = (num("--tenants")? as usize).max(1),
-            "--chaos" => args.chaos_pct = num("--chaos")?.min(100),
-            "--inject" => args.inject_pct = num("--inject")?.min(100),
-            "--workers" => args.workers = (num("--workers")? as usize).max(1),
-            "--capacity" => args.capacity = Some(num("--capacity")? as usize),
-            "--per-tenant" => args.per_tenant = Some(num("--per-tenant")? as usize),
-            "--seed" => args.seed = num("--seed")?,
+            "--jobs" => args.jobs = next_num(&mut it, "--jobs")? as usize,
+            "--tenants" => args.tenants = (next_num(&mut it, "--tenants")? as usize).max(1),
+            "--chaos" => args.chaos_pct = next_num(&mut it, "--chaos")?.min(100),
+            "--inject" => args.inject_pct = next_num(&mut it, "--inject")?.min(100),
+            "--workers" => args.workers = (next_num(&mut it, "--workers")? as usize).max(1),
+            "--capacity" => args.capacity = Some(next_num(&mut it, "--capacity")? as usize),
+            "--per-tenant" => args.per_tenant = Some(next_num(&mut it, "--per-tenant")? as usize),
+            "--seed" => args.seed = next_num(&mut it, "--seed")?,
             "--json" => args.json = true,
+            "--state-dir" => {
+                args.state_dir = Some(PathBuf::from(next_value(&mut it, "--state-dir")?));
+            }
+            "--crash-after" => {
+                args.crash_after = Some((next_num(&mut it, "--crash-after")? as usize).max(1));
+            }
+            "--restarts" => args.restarts = (next_num(&mut it, "--restarts")? as usize).max(1),
+            "--daemon" => args.daemon = true,
             "--help" | "-h" => {
                 println!(
                     "load_test: replay concurrent multi-tenant arrivals (with chaos) \
                      against the occamyd service\n\n\
-                     \t--jobs N       total submissions (default 1200)\n\
-                     \t--tenants N    distinct tenants (default 8)\n\
-                     \t--chaos PCT    percent of jobs that are chaos probes (default 10)\n\
-                     \t--inject PCT   percent of jobs with fault injection (default 5)\n\
-                     \t--workers N    service worker threads (default: host parallelism)\n\
-                     \t--capacity N   admission queue capacity (default: jobs, so nothing sheds)\n\
-                     \t--per-tenant N per-tenant active-job quota (default: jobs)\n\
-                     \t--seed N       arrival-pattern seed (default 0x10ad7e57)\n\
-                     \t--json         deterministic JSON report on stdout"
+                     \t--jobs N        total submissions (default 1200)\n\
+                     \t--tenants N     distinct tenants (default 8)\n\
+                     \t--chaos PCT     percent of jobs that are chaos probes (default 10)\n\
+                     \t--inject PCT    percent of jobs with fault injection (default 5)\n\
+                     \t--workers N     service worker threads (default: host parallelism)\n\
+                     \t--capacity N    admission queue capacity (default: jobs, so nothing sheds)\n\
+                     \t--per-tenant N  per-tenant active-job quota (default: jobs)\n\
+                     \t--seed N        arrival-pattern seed (default 0x10ad7e57)\n\
+                     \t--json          deterministic JSON report on stdout\n\
+                     \t--state-dir DIR durable state directory (journal + result cache)\n\
+                     \t--crash-after N crash-restart harness: SIGKILL the daemon after N\n\
+                     \t                acknowledged submissions, restart, assert recovery\n\
+                     \t--restarts K    hard-kill rounds before the final recovery run (default 2)"
                 );
                 std::process::exit(0);
             }
@@ -105,72 +156,552 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
+fn fatal(msg: &str) -> ! {
+    eprintln!("load_test: FATAL: {msg}");
+    std::process::exit(1);
 }
 
-/// The deterministic job plan: spec `i` is a pure function of
-/// `(seed, i)`, so every process, worker count and interleaving
-/// replays the identical workload.
-fn make_spec(seed: u64, i: usize) -> JobSpec {
-    let r = splitmix64(seed ^ (i as u64).wrapping_mul(0x5851_f42d_4c95_7f2d));
-    JobSpec {
-        // A small pool of distinct kernels so duplicates exercise the
-        // cache and in-flight coalescing.
-        workloads: vec![format!(
-            "synth:{},{},{},{}",
-            2 + r % 2,          // 2..=3 loads (flops+stores always covers them)
-            1 + (r >> 8) % 2,   // 1..=2 stores
-            2 + (r >> 16) % 5,  // 2..=6 flops
-            64 << ((r >> 24) % 2) // trip 64 or 128
-        )],
-        scale: 1.0,
-        seed: r % 4, // few distinct seeds -> duplicate canonical keys
-        max_cycles: 5_000_000,
-        ..JobSpec::default()
-    }
+/// The deterministic `(tenant, id, spec)` of campaign job `i` — the
+/// same plan whether submitted in-process, over the wire, or replayed
+/// after a crash.
+fn job_plan(args: &Args, i: usize) -> (String, String, JobSpec) {
+    let mut spec = make_spec(args.seed, i);
+    apply_chaos(&mut spec, args.seed, i, args.chaos_pct, args.inject_pct);
+    (format!("tenant{}", i % args.tenants.max(1)), format!("job{i:06}"), spec)
 }
 
-/// Marks job `i` as a chaos probe (deterministically, on a stripe of
-/// the id space) and returns the flavour applied.
-fn apply_chaos(spec: &mut JobSpec, seed: u64, i: usize, chaos_pct: u64, inject_pct: u64) {
-    let r = splitmix64(seed ^ 0xc4a0_5000 ^ (i as u64));
-    if r % 100 < chaos_pct {
-        match r % 3 {
-            0 => spec.chaos = Some(ChaosKind::Panic),
-            1 => spec.chaos = Some(ChaosKind::Fault),
-            _ => {
-                // An already-expired deadline; a unique seed keeps the
-                // canonical key unique so the job can neither coalesce
-                // with nor be cached by a runnable sibling (which would
-                // make its outcome timing-dependent).
-                spec.deadline_ms = Some(0);
-                spec.seed = 0xdead_0000_0000_0000 | i as u64;
-            }
-        }
-    } else if splitmix64(r) % 100 < inject_pct {
-        // Deterministic fault injection: failures are retryable (the
-        // per-attempt seed is re-salted) so these exercise the backoff
-        // path — some jobs recover on a later attempt, some burn every
-        // attempt and surface `lane-fault`. The rates are high because
-        // the synthetic kernels are tiny (few compute issues to draw
-        // on); the terminal outcome is still a pure function of the
-        // spec because the canonical key covers the plan and seed.
-        let rate = ["0.3", "0.6", "0.9"][(splitmix64(r ^ 1) % 3) as usize];
-        spec.inject = Some(format!("seed={},lanet={rate}", 1 + splitmix64(r) % 8));
-    }
-}
-
-struct Terminal {
+struct Outcome {
     id: String,
     kind: String,
     payload: Option<String>,
     cached: bool,
     attempts: u32,
     latency: Duration,
+}
+
+struct Summary {
+    ok: u64,
+    shed: u64,
+    failed: BTreeMap<String, u64>,
+    digest: u64,
+}
+
+/// Sorts outcomes by job id and folds them into counts + digest.
+fn summarize(outcomes: &mut Vec<Outcome>) -> Summary {
+    outcomes.sort_by(|a, b| a.id.cmp(&b.id));
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    let mut failed: BTreeMap<String, u64> = BTreeMap::new();
+    for t in outcomes.iter() {
+        match t.kind.as_str() {
+            "ok" => ok += 1,
+            k if k.starts_with("shed:") => shed += 1,
+            k => *failed.entry(k.to_owned()).or_default() += 1,
+        }
+    }
+    let digest = outcome_digest(
+        outcomes.iter().map(|t| (t.id.as_str(), t.kind.as_str(), t.payload.as_deref())),
+    );
+    Summary { ok, shed, failed, digest }
+}
+
+/// The deterministic outcome document (`--json` payload). Two runs of
+/// the same campaign must render byte-identical documents — the chaos
+/// harness compares these directly.
+fn json_doc(args: &Args, s: &Summary) -> String {
+    let mut obj = Value::obj();
+    obj.push("experiment", Value::Str("load_test".into()))
+        .push("jobs", Value::UInt(args.jobs as u64))
+        .push("tenants", Value::UInt(args.tenants as u64))
+        .push("chaos_pct", Value::UInt(args.chaos_pct))
+        .push("inject_pct", Value::UInt(args.inject_pct))
+        .push("seed", Value::UInt(args.seed))
+        .push("ok", Value::UInt(s.ok))
+        .push("shed", Value::UInt(s.shed));
+    let mut failures = Value::obj();
+    for (kind, count) in &s.failed {
+        failures.push(kind, Value::UInt(*count));
+    }
+    obj.push("failed", failures);
+    obj.push("outcome_digest", Value::Str(format!("{:016x}", s.digest)));
+    obj.render()
+}
+
+/// Maps a terminal reply to the digest's outcome row. Returns `None`
+/// for non-terminal replies.
+fn outcome_of(reply: Reply, latency: Duration) -> Option<Outcome> {
+    match reply {
+        Reply::Result { id, cached, attempts, payload } => Some(Outcome {
+            id,
+            kind: "ok".into(),
+            payload: Some(payload.render_compact()),
+            cached,
+            attempts,
+            latency,
+        }),
+        Reply::Error { id, kind, .. } => {
+            Some(Outcome { id, kind, payload: None, cached: false, attempts: 0, latency })
+        }
+        Reply::Shed { id, kind, .. } => Some(Outcome {
+            id,
+            kind: format!("shed:{kind}"),
+            payload: None,
+            cached: false,
+            attempts: 0,
+            latency,
+        }),
+        _ => None,
+    }
+}
+
+struct RunOutput {
+    outcomes: Vec<Outcome>,
+    summary: Summary,
+    wall: Duration,
+    metrics: String,
+}
+
+/// The in-process campaign: one submitter thread per tenant blasting
+/// its stripe of the id space, then collecting terminal replies.
+fn run_campaign(args: &Args, state_dir: Option<PathBuf>) -> RunOutput {
+    let mut config = campaign_config(
+        args.jobs,
+        args.tenants,
+        args.workers,
+        args.capacity,
+        args.per_tenant,
+        args.seed,
+    );
+    config.state_dir = state_dir;
+    let service = Service::start(config);
+    let started = Instant::now();
+
+    let mut outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+        let service = &service;
+        let handles: Vec<_> = (0..args.tenants)
+            .map(|t| {
+                scope.spawn(move || {
+                    let (tx, rx) = mpsc::channel::<Reply>();
+                    let mut pending = 0usize;
+                    let mut submitted_at: BTreeMap<String, Instant> = BTreeMap::new();
+                    for i in (t..args.jobs).step_by(args.tenants.max(1)) {
+                        let (tenant, id, spec) = job_plan(args, i);
+                        submitted_at.insert(id.clone(), Instant::now());
+                        service.submit(&tenant, &id, spec, &tx);
+                        pending += 1;
+                    }
+                    let mut terminals = Vec::with_capacity(pending);
+                    while terminals.len() < pending {
+                        let reply = match rx.recv_timeout(Duration::from_secs(300)) {
+                            Ok(r) => r,
+                            Err(_) => break, // liveness violation; reported below
+                        };
+                        let latency = reply
+                            .id()
+                            .and_then(|id| submitted_at.get(id))
+                            .map_or(Duration::ZERO, Instant::elapsed);
+                        if let Some(outcome) = outcome_of(reply, latency) {
+                            terminals.push(outcome);
+                        }
+                    }
+                    (pending, terminals)
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(args.jobs);
+        let mut missing = 0usize;
+        for h in handles {
+            let (pending, terminals) = match h.join() {
+                Ok(v) => v,
+                Err(_) => fatal("a submitter thread panicked"),
+            };
+            missing += pending - terminals.len();
+            all.extend(terminals);
+        }
+        if missing > 0 {
+            fatal(&format!(
+                "{missing} jobs never received a terminal reply (liveness contract broken)"
+            ));
+        }
+        all
+    });
+    let wall = started.elapsed();
+
+    service.quiesce();
+    let metrics = service.metrics().dump();
+    service.join();
+
+    let summary = summarize(&mut outcomes);
+    RunOutput { outcomes, summary, wall, metrics }
+}
+
+fn report_run(args: &Args, out: &RunOutput) {
+    let mut latencies: Vec<Duration> = out.outcomes.iter().map(|t| t.latency).collect();
+    latencies.sort();
+    let quantile = |q: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+    let cached_replies = out.outcomes.iter().filter(|t| t.cached).count();
+    let retried_jobs = out.outcomes.iter().filter(|t| t.attempts > 1).count();
+
+    eprintln!(
+        "[load_test] {} jobs, {} tenants, {}% chaos on {} workers in {:.2}s \
+         ({:.0} jobs/s)",
+        args.jobs,
+        args.tenants,
+        args.chaos_pct,
+        args.workers,
+        out.wall.as_secs_f64(),
+        args.jobs as f64 / out.wall.as_secs_f64().max(1e-9),
+    );
+    eprintln!(
+        "[load_test] ok={} shed={} failed={} cached_replies={} retried_jobs={}",
+        out.summary.ok,
+        out.summary.shed,
+        out.outcomes.len() as u64 - out.summary.ok - out.summary.shed,
+        cached_replies,
+        retried_jobs,
+    );
+    eprintln!(
+        "[load_test] latency p50={:?} p90={:?} p99={:?} max={:?}",
+        quantile(0.50),
+        quantile(0.90),
+        quantile(0.99),
+        latencies.last().copied().unwrap_or(Duration::ZERO),
+    );
+    eprintln!("{}", out.metrics);
+}
+
+// --- Crash-restart chaos harness ----------------------------------------
+
+/// Daemon-child mode (spawned by the harness via `--daemon`): serve the
+/// campaign's service on an ephemeral TCP port, announce the bound
+/// endpoint on stdout, and drain gracefully on shutdown or SIGTERM.
+fn run_daemon(args: &Args) -> ! {
+    let mut config = campaign_config(
+        args.jobs,
+        args.tenants,
+        args.workers,
+        args.capacity,
+        args.per_tenant,
+        args.seed,
+    );
+    config.state_dir = args.state_dir.clone();
+    let endpoint = match Endpoint::parse("tcp:127.0.0.1:0") {
+        Ok(e) => e,
+        Err(e) => fatal(&e),
+    };
+    let mut handle = match occamyd::server::serve(&endpoint, config) {
+        Ok(h) => h,
+        Err(e) => fatal(&format!("daemon bind: {e}")),
+    };
+    println!("LISTENING {}", handle.endpoint);
+    let _ = std::io::stdout().flush();
+    #[cfg(unix)]
+    let term = occamyd::server::install_termination_flag();
+    loop {
+        if handle.stopping() {
+            break;
+        }
+        #[cfg(unix)]
+        if term.load(std::sync::atomic::Ordering::SeqCst) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.stop();
+    std::process::exit(0);
+}
+
+fn spawn_daemon(args: &Args, state_dir: &Path) -> Child {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => fatal(&format!("cannot locate own binary: {e}")),
+    };
+    let mut cmd = Command::new(exe);
+    cmd.arg("--daemon")
+        .arg("--jobs")
+        .arg(args.jobs.to_string())
+        .arg("--tenants")
+        .arg(args.tenants.to_string())
+        .arg("--chaos")
+        .arg(args.chaos_pct.to_string())
+        .arg("--inject")
+        .arg(args.inject_pct.to_string())
+        .arg("--workers")
+        .arg(args.workers.to_string())
+        .arg("--seed")
+        .arg(args.seed.to_string())
+        .arg("--state-dir")
+        .arg(state_dir);
+    if let Some(c) = args.capacity {
+        cmd.arg("--capacity").arg(c.to_string());
+    }
+    if let Some(p) = args.per_tenant {
+        cmd.arg("--per-tenant").arg(p.to_string());
+    }
+    cmd.stdout(Stdio::piped()).stderr(Stdio::inherit());
+    match cmd.spawn() {
+        Ok(child) => child,
+        Err(e) => fatal(&format!("spawn daemon child: {e}")),
+    }
+}
+
+fn read_listening(child: &mut Child) -> Endpoint {
+    let stdout = match child.stdout.take() {
+        Some(s) => s,
+        None => fatal("daemon stdout was not piped"),
+    };
+    let mut line = String::new();
+    if BufReader::new(stdout).read_line(&mut line).unwrap_or(0) == 0 {
+        fatal("daemon child exited before announcing its endpoint");
+    }
+    let spec = match line.trim().strip_prefix("LISTENING ") {
+        Some(s) => s,
+        None => fatal(&format!("unexpected daemon banner: {line:?}")),
+    };
+    match Endpoint::parse(spec) {
+        Ok(e) => e,
+        Err(e) => fatal(&e),
+    }
+}
+
+fn connect_retry(endpoint: &Endpoint) -> Client {
+    for _ in 0..200 {
+        match Client::connect(endpoint) {
+            Ok(c) => return c,
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    fatal("daemon never became connectable")
+}
+
+/// One hard-kill round: submit until `kill_at` jobs are acknowledged
+/// (each ack arrives *after* the journal fsync), then SIGKILL the
+/// daemon mid-load. Returns the number of acknowledged submissions.
+fn crash_round(args: &Args, state_dir: &Path, round: usize, kill_at: usize) -> usize {
+    let mut child = spawn_daemon(args, state_dir);
+    let endpoint = read_listening(&mut child);
+    let mut client = connect_retry(&endpoint);
+    let mut acked = 0usize;
+    'submit: for i in 0..kill_at {
+        let (tenant, id, spec) = job_plan(args, i);
+        if client.send(&Request::Submit { tenant, id: id.clone(), job: spec }).is_err() {
+            break;
+        }
+        // Any reply mentioning the id (Accepted, a cached Result, a
+        // Shed) proves the daemon admitted — and journaled — it.
+        loop {
+            match client.recv() {
+                Ok(r) if r.id() == Some(id.as_str()) => {
+                    acked += 1;
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) => break 'submit,
+            }
+        }
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    eprintln!(
+        "[chaos] round {}: SIGKILL after {acked}/{kill_at} acknowledged submissions",
+        round + 1
+    );
+    acked
+}
+
+fn metric_u64(rendered: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = rendered.find(&needle)? + needle.len();
+    let digits: String =
+        rendered[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The recovery run: restart the daemon against the surviving state
+/// directory, re-submit the *entire* campaign, drain every terminal,
+/// and shut the daemon down gracefully.
+fn final_round(args: &Args, state_dir: &Path) -> (Vec<Outcome>, ExitStatus) {
+    let mut child = spawn_daemon(args, state_dir);
+    let endpoint = read_listening(&mut child);
+    let mut client = connect_retry(&endpoint);
+
+    let mut pending: BTreeSet<String> = BTreeSet::new();
+    for i in 0..args.jobs {
+        let (tenant, id, spec) = job_plan(args, i);
+        pending.insert(id.clone());
+        if let Err(e) = client.send(&Request::Submit { tenant, id, job: spec }) {
+            fatal(&format!("final run lost the daemon while submitting: {e}"));
+        }
+    }
+    // The daemon's per-connection writer queue is unbounded, so it is
+    // safe to submit everything first and drain afterwards.
+    let mut outcomes = Vec::with_capacity(args.jobs);
+    while !pending.is_empty() {
+        let reply = match client.recv() {
+            Ok(r) => r,
+            Err(e) => fatal(&format!("final run lost the daemon while draining: {e}")),
+        };
+        if let Reply::ProtocolError { kind, detail } = &reply {
+            fatal(&format!("protocol error ({kind}): {detail}"));
+        }
+        if reply.is_terminal() {
+            if let Some(id) = reply.id() {
+                if !pending.remove(id) {
+                    fatal(&format!("duplicate terminal reply for {id}"));
+                }
+            }
+            if let Some(outcome) = outcome_of(reply, Duration::ZERO) {
+                outcomes.push(outcome);
+            }
+        }
+    }
+
+    // Surface the daemon's recovery counters before it goes away.
+    if client.send(&Request::Stats).is_ok() {
+        loop {
+            match client.recv() {
+                Ok(Reply::Stats { payload }) => {
+                    let rendered = payload.render_compact();
+                    eprintln!(
+                        "[chaos] final daemon: recovered_jobs={} checkpoints_written={} \
+                         checkpoints_resumed={} journal_bytes={}",
+                        metric_u64(&rendered, "service.recovered_jobs").unwrap_or(0),
+                        metric_u64(&rendered, "service.checkpoints_written").unwrap_or(0),
+                        metric_u64(&rendered, "service.checkpoints_resumed").unwrap_or(0),
+                        metric_u64(&rendered, "service.journal_bytes").unwrap_or(0),
+                    );
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    // Graceful shutdown: the daemon must drain and exit 0.
+    let _ = client.send(&Request::Shutdown);
+    loop {
+        match client.recv() {
+            Ok(Reply::ShuttingDown) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let status = match child.wait() {
+        Ok(s) => s,
+        Err(e) => fatal(&format!("waiting for daemon exit: {e}")),
+    };
+    (outcomes, status)
+}
+
+/// Replays the journal and checks the durability ledger: every accepted
+/// job reached a terminal record, and no job produced more than one
+/// fresh (non-cached) `ok` — i.e. no duplicated side effects across all
+/// the crashes and restarts.
+fn check_journal(state_dir: &Path) -> Result<String, String> {
+    let path = state_dir.join("journal.log");
+    let bytes = std::fs::read(&path)
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let (records, report) = replay_bytes(&bytes);
+    let mut accepted: BTreeSet<String> = BTreeSet::new();
+    let mut completed: BTreeMap<String, u64> = BTreeMap::new();
+    let mut fresh_ok: BTreeMap<String, u64> = BTreeMap::new();
+    for r in &records {
+        match r {
+            JournalRecord::Accepted { spec, .. } => {
+                accepted.insert(spec.canonical_key());
+            }
+            JournalRecord::Completed { key, outcome, cached } => {
+                *completed.entry(key.clone()).or_default() += 1;
+                if outcome == "ok" && !cached {
+                    *fresh_ok.entry(key.clone()).or_default() += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let lost = accepted.iter().filter(|k| !completed.contains_key(*k)).count();
+    if lost > 0 {
+        return Err(format!("{lost} accepted jobs never reached a terminal journal record"));
+    }
+    let duplicated = fresh_ok.values().filter(|&&n| n > 1).count();
+    if duplicated > 0 {
+        return Err(format!(
+            "{duplicated} jobs ran to a fresh `ok` more than once (duplicated side effects)"
+        ));
+    }
+    Ok(format!(
+        "{} records over {} accepted jobs, torn_tail={}",
+        records.len(),
+        accepted.len(),
+        report.torn
+    ))
+}
+
+fn run_chaos(args: &Args, crash_after: usize) {
+    eprintln!("[chaos] baseline: crash-free in-process campaign ({} jobs)", args.jobs);
+    let baseline = run_campaign(args, None);
+    let base_doc = json_doc(args, &baseline.summary);
+    eprintln!("[chaos] baseline digest {:016x}", baseline.summary.digest);
+
+    let (state_dir, ephemeral) = match &args.state_dir {
+        Some(d) => (d.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("occamy-chaos-{}", std::process::id())),
+            true,
+        ),
+    };
+    let _ = std::fs::remove_dir_all(&state_dir);
+    if let Err(e) = std::fs::create_dir_all(&state_dir) {
+        fatal(&format!("create state dir {}: {e}", state_dir.display()));
+    }
+
+    for round in 0..args.restarts {
+        // Progressive kill points so successive rounds reach fresh
+        // territory instead of re-dying on the same jobs.
+        let kill_at = crash_after.saturating_mul(round + 1).min(args.jobs).max(1);
+        crash_round(args, &state_dir, round, kill_at);
+    }
+
+    let (mut outcomes, status) = final_round(args, &state_dir);
+    if !status.success() {
+        fatal(&format!("daemon did not exit cleanly after graceful shutdown: {status}"));
+    }
+    eprintln!("[chaos] graceful shutdown: daemon exited 0");
+
+    let summary = summarize(&mut outcomes);
+    let doc = json_doc(args, &summary);
+    if doc != base_doc {
+        eprintln!("[chaos] baseline : {base_doc}");
+        eprintln!("[chaos] recovered: {doc}");
+        fatal("recovered outcome document differs from the crash-free baseline");
+    }
+    eprintln!(
+        "[chaos] outcome document byte-identical to baseline (digest {:016x})",
+        summary.digest
+    );
+
+    match check_journal(&state_dir) {
+        Ok(note) => eprintln!("[chaos] journal ledger clean: {note}"),
+        Err(e) => fatal(&format!("journal ledger violation: {e}")),
+    }
+
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
+    if args.json {
+        println!("{doc}");
+    } else {
+        println!(
+            "chaos: PASS ({} kill rounds, {} jobs, digest {:016x} matches crash-free baseline)",
+            args.restarts, args.jobs, summary.digest,
+        );
+    }
 }
 
 fn main() {
@@ -184,223 +715,28 @@ fn main() {
 
     // Chaos probes panic on purpose (the service contains them); keep
     // their spam out of the report while leaving genuine panics loud.
-    let default_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        let chaos = info
-            .payload()
-            .downcast_ref::<&str>()
-            .is_some_and(|m| m.starts_with("chaos:"));
-        if !chaos {
-            default_hook(info);
-        }
-    }));
+    install_chaos_panic_hook();
 
-    let config = ServiceConfig {
-        workers: args.workers,
-        admission: AdmissionConfig {
-            capacity: args.capacity.unwrap_or(args.jobs.max(1)),
-            per_tenant: args.per_tenant.unwrap_or(args.jobs.max(1)),
-            max_tenants: args.tenants.max(1) + 1,
-        },
-        // Verification re-runs would make run counts interleaving-
-        // dependent; the deterministic replay turns sampling off (the
-        // soak tests cover verification separately).
-        cache: CacheConfig { max_entries: 512, verify_every: 0 },
-        max_attempts: 3,
-        backoff: BackoffPolicy { base_us: 50, cap_us: 5_000, seed: args.seed },
-        ..ServiceConfig::default()
-    };
-    let service = Service::start(config);
-    let started = Instant::now();
-
-    // One submitter thread per tenant, each blasting its stripe of the
-    // id space and then collecting terminal replies.
-    let mut collected: Vec<Terminal> = std::thread::scope(|scope| {
-        let service = &service;
-        let handles: Vec<_> = (0..args.tenants)
-            .map(|t| {
-                scope.spawn(move || {
-                    let tenant = format!("tenant{t}");
-                    let (tx, rx) = mpsc::channel::<Reply>();
-                    let mut pending = 0usize;
-                    let mut submitted_at: BTreeMap<String, Instant> = BTreeMap::new();
-                    for i in (t..args.jobs).step_by(args.tenants.max(1)) {
-                        let mut spec = make_spec(args.seed, i);
-                        apply_chaos(&mut spec, args.seed, i, args.chaos_pct, args.inject_pct);
-                        let id = format!("job{i:06}");
-                        submitted_at.insert(id.clone(), Instant::now());
-                        service.submit(&tenant, &id, spec, &tx);
-                        pending += 1;
-                    }
-                    let mut terminals = Vec::with_capacity(pending);
-                    while terminals.len() < pending {
-                        let reply = match rx.recv_timeout(Duration::from_secs(300)) {
-                            Ok(r) => r,
-                            Err(_) => break, // liveness violation; reported below
-                        };
-                        let latency = |id: &str| {
-                            submitted_at.get(id).map_or(Duration::ZERO, |t0| t0.elapsed())
-                        };
-                        match reply {
-                            Reply::Result { id, cached, attempts, payload } => {
-                                terminals.push(Terminal {
-                                    latency: latency(&id),
-                                    kind: "ok".into(),
-                                    payload: Some(payload.render_compact()),
-                                    cached,
-                                    attempts,
-                                    id,
-                                });
-                            }
-                            Reply::Error { id, kind, .. } => {
-                                terminals.push(Terminal {
-                                    latency: latency(&id),
-                                    kind,
-                                    payload: None,
-                                    cached: false,
-                                    attempts: 0,
-                                    id,
-                                });
-                            }
-                            Reply::Shed { id, kind, .. } => {
-                                terminals.push(Terminal {
-                                    latency: latency(&id),
-                                    kind: format!("shed:{kind}"),
-                                    payload: None,
-                                    cached: false,
-                                    attempts: 0,
-                                    id,
-                                });
-                            }
-                            _ => {}
-                        }
-                    }
-                    (pending, terminals)
-                })
-            })
-            .collect();
-        let mut all = Vec::with_capacity(args.jobs);
-        let mut missing = 0usize;
-        for h in handles {
-            let (pending, terminals) = match h.join() {
-                Ok(v) => v,
-                Err(_) => {
-                    eprintln!("load_test: FATAL: a submitter thread panicked");
-                    std::process::exit(1);
-                }
-            };
-            missing += pending - terminals.len();
-            all.extend(terminals);
-        }
-        if missing > 0 {
-            eprintln!(
-                "load_test: FATAL: {missing} jobs never received a terminal reply \
-                 (liveness contract broken)"
-            );
-            std::process::exit(1);
-        }
-        all
-    });
-    let wall = started.elapsed();
-
-    service.quiesce();
-    let metrics = service.metrics();
-    service.join();
-
-    // --- Invariant checks -------------------------------------------------
-    collected.sort_by(|a, b| a.id.cmp(&b.id));
-    let mut ok = 0u64;
-    let mut shed = 0u64;
-    let mut failed: BTreeMap<String, u64> = BTreeMap::new();
-    let mut cached_replies = 0u64;
-    let mut retried_jobs = 0u64;
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
-    for t in &collected {
-        match t.kind.as_str() {
-            "ok" => ok += 1,
-            k if k.starts_with("shed:") => shed += 1,
-            k => *failed.entry(k.to_owned()).or_default() += 1,
-        }
-        if t.cached {
-            cached_replies += 1;
-        }
-        if t.attempts > 1 {
-            retried_jobs += 1;
-        }
-        let mut line = String::new();
-        line.push_str(&t.id);
-        line.push('=');
-        line.push_str(&t.kind);
-        if let Some(p) = &t.payload {
-            line.push(':');
-            line.push_str(p);
-        }
-        digest ^= fnv1a(line.as_bytes());
-        digest = digest.rotate_left(1);
+    if args.daemon {
+        run_daemon(&args);
+    }
+    if let Some(crash_after) = args.crash_after {
+        run_chaos(&args, crash_after);
+        return;
     }
 
-    let mut latencies: Vec<Duration> = collected.iter().map(|t| t.latency).collect();
-    latencies.sort();
-    let quantile = |q: f64| -> Duration {
-        if latencies.is_empty() {
-            return Duration::ZERO;
-        }
-        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
-        latencies[idx]
-    };
-
-    eprintln!(
-        "[load_test] {} jobs, {} tenants, {}% chaos on {} workers in {:.2}s \
-         ({:.0} jobs/s)",
-        args.jobs,
-        args.tenants,
-        args.chaos_pct,
-        args.workers,
-        wall.as_secs_f64(),
-        args.jobs as f64 / wall.as_secs_f64().max(1e-9),
-    );
-    eprintln!(
-        "[load_test] ok={} shed={} failed={} cached_replies={} retried_jobs={}",
-        ok,
-        shed,
-        collected.len() as u64 - ok - shed,
-        cached_replies,
-        retried_jobs,
-    );
-    eprintln!(
-        "[load_test] latency p50={:?} p90={:?} p99={:?} max={:?}",
-        quantile(0.50),
-        quantile(0.90),
-        quantile(0.99),
-        latencies.last().copied().unwrap_or(Duration::ZERO),
-    );
-    eprintln!("{}", metrics.dump());
-
+    let out = run_campaign(&args, args.state_dir.clone());
+    report_run(&args, &out);
     if args.json {
-        let mut obj = Value::obj();
-        obj.push("experiment", Value::Str("load_test".into()))
-            .push("jobs", Value::UInt(args.jobs as u64))
-            .push("tenants", Value::UInt(args.tenants as u64))
-            .push("chaos_pct", Value::UInt(args.chaos_pct))
-            .push("inject_pct", Value::UInt(args.inject_pct))
-            .push("seed", Value::UInt(args.seed))
-            .push("ok", Value::UInt(ok))
-            .push("shed", Value::UInt(shed));
-        let mut failures = Value::obj();
-        for (kind, count) in &failed {
-            failures.push(kind, Value::UInt(*count));
-        }
-        obj.push("failed", failures);
-        obj.push("outcome_digest", Value::Str(format!("{digest:016x}")));
-        println!("{}", obj.render());
+        println!("{}", json_doc(&args, &out.summary));
     } else {
         println!(
             "load_test: {} jobs -> {} ok, {} failed, {} shed (digest {:016x})",
-            collected.len(),
-            ok,
-            collected.len() as u64 - ok - shed,
-            shed,
-            digest,
+            out.outcomes.len(),
+            out.summary.ok,
+            out.outcomes.len() as u64 - out.summary.ok - out.summary.shed,
+            out.summary.shed,
+            out.summary.digest,
         );
     }
 }

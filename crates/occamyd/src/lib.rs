@@ -32,19 +32,34 @@
 //! - **Hardened protocol** ([`protocol`]): bounded frames, depth- and
 //!   size-limited JSON parsing, field-by-field schema validation with
 //!   typed errors; a hostile line costs one reply, not the daemon.
+//! - **Durability** ([`journal`], [`cache`], [`service`]): with a
+//!   state directory the daemon keeps a CRC-guarded write-ahead job
+//!   journal (group-committed before acks, torn-tail tolerant,
+//!   compacting), persists the result cache to disk under a byte
+//!   budget, and checkpoints long runs for bit-faithful resume; on
+//!   restart it replays the journal and finishes every accepted job
+//!   exactly once. `SIGTERM` drains gracefully. Without a state
+//!   directory the service is byte-identical to the pre-durability
+//!   daemon.
 //!
 //! The `load_test` binary (in `src/bin`) replays thousands of
 //! concurrent arrivals across many tenants with a chaos fraction and
-//! reports acceptance/shed/retry counts and latency quantiles.
+//! reports acceptance/shed/retry counts and latency quantiles; its
+//! `--crash-after` mode SIGKILLs a real daemon child mid-load and
+//! asserts the recovered outcomes are byte-identical to a crash-free
+//! run.
 
 pub mod admission;
 pub mod cache;
+pub mod journal;
+pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
 pub use admission::{AdmissionConfig, AdmissionQueue, ShedReason};
 pub use cache::{CacheConfig, CacheStats, ResultCache};
+pub use journal::{Journal, JournalConfig, JournalRecord};
 pub use protocol::{JobSpec, ProtocolError, ProtocolErrorKind, Reply, Request};
 pub use server::{serve, Client, Endpoint, ServerHandle};
 pub use service::{JobError, Service, ServiceConfig};

@@ -198,6 +198,10 @@ impl ServerHandle {
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         self.service.shutdown();
+        // Graceful drain: let every in-flight run reach its terminal
+        // (and its journal record) before the connection threads that
+        // deliver the replies are joined.
+        self.service.drain_workers();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -232,6 +236,34 @@ impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// Installs `SIGTERM`/`SIGINT` handlers that set (and return) a global
+/// termination flag, so a daemonized server can turn an operator's
+/// `kill` into a graceful drain: stop admission, finish or checkpoint
+/// in-flight jobs, flush the journal, exit 0.
+///
+/// The handler body is a single atomic store — async-signal-safe by
+/// construction. Idempotent; later calls return the same flag.
+#[cfg(unix)]
+pub fn install_termination_flag() -> &'static AtomicBool {
+    static TERM: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+    // libc is always linked on unix; declaring `signal` directly keeps
+    // the crate std-only.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+    &TERM
 }
 
 fn accept_loop(

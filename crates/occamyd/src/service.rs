@@ -30,19 +30,28 @@
 //!    against the cached bytes.
 
 use std::collections::HashMap;
+use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use bench::json::Value;
 use bench::runner::{run_with_retry, BackoffPolicy};
-use occamy_sim::{Architecture, FaultPlan, Histogram, MetricsRegistry, SimConfig};
+use occamy_sim::{Architecture, FaultPlan, Histogram, Machine, MetricsRegistry, SimConfig};
 use workloads::{corun, table3, SyntheticSpec, WorkloadSpec};
 
 use crate::admission::{AdmissionConfig, AdmissionQueue, ShedReason};
-use crate::cache::{CacheConfig, ResultCache};
+use crate::cache::{short_address, CacheConfig, ResultCache};
+use crate::journal::{plan_recovery, Journal, JournalConfig, JournalRecord};
 use crate::protocol::{ChaosKind, JobSpec, Reply};
+
+/// Tenant name for requester-less background verification runs. The
+/// control character keeps it out of the wire namespace: the protocol
+/// rejects control characters in tenant names, so no client can ever
+/// collide with (or spoof) it.
+const VERIFY_TENANT: &str = "\u{1}verify";
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -63,6 +72,19 @@ pub struct ServiceConfig {
     pub slice_cycles: u64,
     /// Forward-progress watchdog per attempt.
     pub watchdog: u64,
+    /// Durable-state directory. `None` (the default) runs the service
+    /// fully in memory — byte-identical to the pre-durability daemon.
+    /// `Some(dir)` enables the write-ahead job journal
+    /// (`dir/journal.log`), the persistent result cache (`dir/cache/`)
+    /// and checkpoint-resumable jobs (`dir/checkpoints/`).
+    pub state_dir: Option<PathBuf>,
+    /// With a state dir: persist a resumable checkpoint every N
+    /// simulation slices of a first-attempt run.
+    pub checkpoint_slices: u32,
+    /// With a state dir: journal size that triggers compaction.
+    pub journal_max_bytes: u64,
+    /// With a state dir: byte budget of the on-disk result cache.
+    pub disk_cache_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +97,10 @@ impl Default for ServiceConfig {
             backoff: BackoffPolicy::default(),
             slice_cycles: 25_000,
             watchdog: 1_000_000,
+            state_dir: None,
+            checkpoint_slices: 8,
+            journal_max_bytes: 4 * 1024 * 1024,
+            disk_cache_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -153,10 +179,28 @@ enum RunState {
     Running,
 }
 
+/// Who a run answers to — and therefore how requester-less states and
+/// the journal treat it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunClass {
+    /// Submitted by a live client; abandoned when every requester
+    /// leaves; terminal outcome journaled.
+    Client,
+    /// Re-enqueued from the journal after a crash. Requester-less by
+    /// construction (the submitting connections died with the old
+    /// process) but must still run to its journaled terminal.
+    Recovered,
+    /// Background verification of a sampled cache hit. Requester-less,
+    /// and *not* journaled: its key already has a terminal record, and
+    /// a second non-cached `ok` would read as a duplicated side effect.
+    Verify,
+}
+
 /// All bookkeeping for one canonical key with at least one live
-/// requester.
+/// requester (or a live background purpose).
 struct InFlight {
     state: RunState,
+    class: RunClass,
     requesters: Vec<Requester>,
     /// Tenant whose quota holds the queue slot (released exactly once,
     /// at terminal time or on queued-cancel).
@@ -164,6 +208,9 @@ struct InFlight {
     /// Cached payload bytes to compare against when this run is a
     /// verification re-run of a sampled cache hit.
     verify_against: Option<String>,
+    /// The journal record that admitted this run — kept so compaction
+    /// can rewrite the journal with only still-incomplete jobs.
+    accepted: Option<JournalRecord>,
 }
 
 /// A queue ticket: the key into the in-flight map plus the spec to run.
@@ -185,6 +232,9 @@ struct Counters {
     retries: u64,
     coalesced: u64,
     poisoned_locks: u64,
+    recovered: u64,
+    checkpoints_written: u64,
+    checkpoints_resumed: u64,
 }
 
 struct State {
@@ -195,6 +245,31 @@ struct State {
     latency_us: Histogram,
     shutting_down: bool,
     live_workers: usize,
+    /// The write-ahead job journal (`--state-dir` only).
+    journal: Option<Journal>,
+}
+
+impl State {
+    /// Appends to the journal when one is attached (no-op otherwise).
+    fn journal_append(&mut self, record: JournalRecord) {
+        if let Some(journal) = &mut self.journal {
+            journal.append(&record);
+        }
+    }
+
+    /// Group commit: fsyncs pending journal appends before a reply that
+    /// promises durability is released, then compacts if the size
+    /// trigger fired.
+    fn journal_commit(&mut self) {
+        let State { journal, inflight, .. } = self;
+        let Some(journal) = journal else {
+            return;
+        };
+        journal.sync();
+        if journal.should_compact() {
+            journal.compact(inflight.values().filter_map(|f| f.accepted.as_ref()));
+        }
+    }
 }
 
 struct Inner {
@@ -225,19 +300,29 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts the worker pool.
+    /// Starts the worker pool. With [`ServiceConfig::state_dir`] set,
+    /// first restores durable state: the persistent result cache is
+    /// re-attached, the write-ahead journal is replayed, and every job
+    /// that was accepted but never reached a terminal outcome is
+    /// re-enqueued (requester-less) so it still runs to its journaled
+    /// terminal.
     pub fn start(config: ServiceConfig) -> Service {
         let workers = config.workers.max(1);
+        let mut state = State {
+            queue: AdmissionQueue::new(config.admission),
+            inflight: HashMap::new(),
+            cache: ResultCache::new(config.cache),
+            counters: Counters::default(),
+            latency_us: latency_histogram(),
+            shutting_down: false,
+            live_workers: workers,
+            journal: None,
+        };
+        if let Some(dir) = &config.state_dir {
+            recover_state(&mut state, dir, &config);
+        }
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                queue: AdmissionQueue::new(config.admission),
-                inflight: HashMap::new(),
-                cache: ResultCache::new(config.cache),
-                counters: Counters::default(),
-                latency_us: latency_histogram(),
-                shutting_down: false,
-                live_workers: workers,
-            }),
+            state: Mutex::new(state),
             work_ready: Condvar::new(),
             idle: Condvar::new(),
             config,
@@ -261,6 +346,11 @@ impl Service {
         st.counters.submitted += 1;
         if st.shutting_down {
             st.counters.shed += 1;
+            st.journal_append(JournalRecord::Shed {
+                tenant: tenant.into(),
+                id: id.into(),
+                kind: ShedReason::ShuttingDown.tag().into(),
+            });
             send(tx, shed_reply(id, ShedReason::ShuttingDown));
             return;
         }
@@ -289,6 +379,12 @@ impl Service {
                 Ok(()) => {
                     st.counters.accepted += 1;
                     st.counters.coalesced += 1;
+                    st.journal_append(JournalRecord::Accepted {
+                        tenant: tenant.into(),
+                        id: id.into(),
+                        spec,
+                    });
+                    st.journal_commit();
                     let depth = st.queue.len() as u64;
                     send(tx, Reply::Accepted { id: id.into(), queue_depth: depth });
                     if let Some(flight) = st.inflight.get_mut(&key) {
@@ -299,42 +395,90 @@ impl Service {
                             tx: tx.clone(),
                             via_queue: false,
                         });
+                        // A background run a client coalesced onto now
+                        // answers to that client: it may be abandoned
+                        // if the client leaves, and its terminal must
+                        // be journaled (the accepted record above needs
+                        // one).
+                        flight.class = RunClass::Client;
                     }
                 }
                 Err(reason) => {
                     st.counters.shed += 1;
+                    st.journal_append(JournalRecord::Shed {
+                        tenant: tenant.into(),
+                        id: id.into(),
+                        kind: reason.tag().into(),
+                    });
                     send(tx, shed_reply(id, reason));
                 }
             }
             return;
         }
 
-        // Fast path: a clean cache hit answers without admission.
-        let mut verify_against = None;
+        // Fast path: a cache hit answers instantly — even one sampled
+        // for verification, which re-runs in the *background* (the
+        // requester must not pay for our own invariant auditing).
         if let Some(hit) = st.cache.lookup(&key) {
-            if hit.verify {
-                // Sampled for verification: run anyway, compare bytes.
-                verify_against = Some(hit.payload.render_compact());
-            } else {
-                st.counters.accepted += 1;
-                st.counters.completed += 1;
-                send(
-                    tx,
-                    Reply::Result { id: id.into(), cached: true, attempts: 0, payload: hit.payload },
-                );
-                return;
+            st.counters.accepted += 1;
+            st.counters.completed += 1;
+            st.journal_append(JournalRecord::Accepted {
+                tenant: tenant.into(),
+                id: id.into(),
+                spec: spec.clone(),
+            });
+            st.journal_append(JournalRecord::Completed {
+                key: key.clone(),
+                outcome: "ok".into(),
+                cached: true,
+            });
+            st.journal_commit();
+            let expected = hit.verify.then(|| hit.payload.render_compact());
+            send(
+                tx,
+                Reply::Result { id: id.into(), cached: true, attempts: 0, payload: hit.payload },
+            );
+            if let Some(expected) = expected {
+                let offered = st
+                    .queue
+                    .offer(VERIFY_TENANT, QueuedJob { key: key.clone(), spec })
+                    .is_ok();
+                if offered {
+                    st.inflight.insert(
+                        key,
+                        InFlight {
+                            state: RunState::Queued,
+                            class: RunClass::Verify,
+                            requesters: Vec::new(),
+                            queue_slot_tenant: Some(VERIFY_TENANT.into()),
+                            verify_against: Some(expected),
+                            accepted: None,
+                        },
+                    );
+                    drop(st);
+                    self.inner.work_ready.notify_one();
+                }
+                // A full queue skips the sample — verification is
+                // opportunistic, load is not allowed to shed for it.
             }
+            return;
         }
 
         // Fresh run: through the bounded fair queue.
+        let accepted =
+            JournalRecord::Accepted { tenant: tenant.into(), id: id.into(), spec: spec.clone() };
         match st.queue.offer(tenant, QueuedJob { key: key.clone(), spec }) {
             Ok(depth) => {
                 st.counters.accepted += 1;
+                st.journal_append(accepted.clone());
+                st.journal_commit();
                 send(tx, Reply::Accepted { id: id.into(), queue_depth: depth as u64 });
+                let journaled = st.journal.is_some();
                 st.inflight.insert(
                     key,
                     InFlight {
                         state: RunState::Queued,
+                        class: RunClass::Client,
                         requesters: vec![Requester {
                             tenant: tenant.into(),
                             id: id.into(),
@@ -343,7 +487,8 @@ impl Service {
                             via_queue: true,
                         }],
                         queue_slot_tenant: Some(tenant.into()),
-                        verify_against,
+                        verify_against: None,
+                        accepted: journaled.then_some(accepted),
                     },
                 );
                 drop(st);
@@ -351,6 +496,11 @@ impl Service {
             }
             Err(reason) => {
                 st.counters.shed += 1;
+                st.journal_append(JournalRecord::Shed {
+                    tenant: tenant.into(),
+                    id: id.into(),
+                    kind: reason.tag().into(),
+                });
                 send(tx, shed_reply(id, reason));
             }
         }
@@ -422,6 +572,16 @@ impl Service {
         st.shutting_down = true;
         for (_, job) in st.queue.drain() {
             if let Some(flight) = st.inflight.remove(&job.key) {
+                if flight.accepted.is_some() {
+                    // Journal the drain as this key's terminal so a
+                    // restart does not resurrect work the clients were
+                    // already told was shed.
+                    st.journal_append(JournalRecord::Completed {
+                        key: job.key.clone(),
+                        outcome: format!("shed:{}", ShedReason::ShuttingDown.tag()),
+                        cached: false,
+                    });
+                }
                 for r in flight.requesters {
                     send(&r.tx, shed_reply(&r.id, ShedReason::ShuttingDown));
                     st.counters.shed += 1;
@@ -433,6 +593,7 @@ impl Service {
                 // release needed for `queue_slot_tenant`.
             }
         }
+        st.journal_commit();
         drop(st);
         self.inner.work_ready.notify_all();
     }
@@ -447,6 +608,21 @@ impl Service {
             // error is ignored rather than propagated.
             let _ = handle.join();
         }
+        // Final flush: every terminal the drained workers wrote is on
+        // disk before the process exits.
+        self.inner.locked().journal_commit();
+    }
+
+    /// Blocks until every worker has exited (after [`Service::shutdown`])
+    /// and flushes the journal — the shared-handle drain used by the
+    /// socket server, which cannot consume the service like
+    /// [`Service::join`] does.
+    pub fn drain_workers(&self) {
+        let mut st = self.inner.locked();
+        while st.live_workers > 0 {
+            st = self.inner.idle.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        st.journal_commit();
     }
 
     /// Blocks until no work is queued or running (test/soak helper).
@@ -477,6 +653,26 @@ fn snapshot_metrics(st: &State) -> MetricsRegistry {
     m.counter("service.retries", c.retries, "extra simulation attempts consumed");
     m.counter("service.coalesced", c.coalesced, "submissions coalesced onto in-flight runs");
     m.counter("service.poisoned_locks", c.poisoned_locks, "poisoned state locks recovered");
+    m.counter("service.recovered_jobs", c.recovered, "journaled jobs re-enqueued after a restart");
+    m.counter(
+        "service.checkpoints_written",
+        c.checkpoints_written,
+        "resumable job checkpoints persisted",
+    );
+    m.counter(
+        "service.checkpoints_resumed",
+        c.checkpoints_resumed,
+        "runs resumed from a persisted checkpoint",
+    );
+    m.counter(
+        "sim.cache.verify_mismatch",
+        st.cache.stats().verify_failures,
+        "cache verification re-runs whose payload differed from the cached bytes",
+    );
+    if let Some(journal) = &st.journal {
+        m.counter("service.journal_errors", journal.errors(), "journal I/O failures absorbed");
+        m.gauge("service.journal_bytes", journal.len_bytes() as f64, "journal size on disk");
+    }
     m.gauge("service.queue_depth", st.queue.len() as f64, "jobs currently queued");
     m.gauge("service.tenants", st.queue.tenants() as f64, "distinct tenants tracked");
     m.histogram(
@@ -485,6 +681,81 @@ fn snapshot_metrics(st: &State) -> MetricsRegistry {
         "admission-to-terminal latency of executed jobs (µs)",
     );
     m
+}
+
+/// Restores durable state from `dir` at startup: persistent cache,
+/// journal replay, and re-enqueue of incomplete jobs. Degrades to
+/// in-memory operation on I/O failure — a broken disk must not keep the
+/// service down.
+fn recover_state(st: &mut State, dir: &Path, config: &ServiceConfig) {
+    if std::fs::create_dir_all(dir.join("checkpoints")).is_err() {
+        return;
+    }
+    // Persistence is best-effort: a failed attach leaves a working
+    // in-memory cache.
+    let _ = st.cache.attach_disk(&dir.join("cache"), config.disk_cache_bytes);
+    let journal_cfg = JournalConfig { max_bytes: config.journal_max_bytes };
+    let Ok((mut journal, records, _report)) =
+        Journal::open(&dir.join("journal.log"), journal_cfg)
+    else {
+        return;
+    };
+    for job in plan_recovery(&records).incomplete {
+        if job.spec.deadline_ms.is_some() {
+            // The wall-clock deadline predates the crash, so it has
+            // long expired; journal the terminal directly. Re-running
+            // would also cache a result for a key whose crash-free
+            // outcome is `deadline`.
+            journal.append(&JournalRecord::Completed {
+                key: job.key,
+                outcome: "deadline".into(),
+                cached: false,
+            });
+            continue;
+        }
+        if st.cache.contains(&job.key) {
+            // The result survived in the persistent cache — the crash
+            // landed between the cache write and the journal record.
+            journal.append(&JournalRecord::Completed {
+                key: job.key,
+                outcome: "ok".into(),
+                cached: true,
+            });
+            continue;
+        }
+        let accepted = JournalRecord::Accepted {
+            tenant: job.tenant.clone(),
+            id: job.id,
+            spec: job.spec.clone(),
+        };
+        match st.queue.offer(&job.tenant, QueuedJob { key: job.key.clone(), spec: job.spec }) {
+            Ok(_) => {
+                st.counters.recovered += 1;
+                st.inflight.insert(
+                    job.key,
+                    InFlight {
+                        state: RunState::Queued,
+                        class: RunClass::Recovered,
+                        requesters: Vec::new(),
+                        queue_slot_tenant: Some(job.tenant),
+                        verify_against: None,
+                        accepted: Some(accepted),
+                    },
+                );
+            }
+            Err(reason) => {
+                // No room to re-run: the job still gets its journaled
+                // terminal, so nothing is silently lost.
+                journal.append(&JournalRecord::Completed {
+                    key: job.key,
+                    outcome: format!("shed:{}", reason.tag()),
+                    cached: false,
+                });
+            }
+        }
+    }
+    journal.sync();
+    st.journal = Some(journal);
 }
 
 fn send(tx: &Sender<Reply>, reply: Reply) {
@@ -512,6 +783,11 @@ fn worker_loop(inner: &Arc<Inner>) {
                 if let Some((_tenant, job)) = st.queue.take() {
                     if let Some(flight) = st.inflight.get_mut(&job.key) {
                         flight.state = RunState::Running;
+                        if flight.accepted.is_some() {
+                            // Informational; rides along with the next
+                            // group commit.
+                            st.journal_append(JournalRecord::Started { key: job.key.clone() });
+                        }
                     }
                     break (job.key, job.spec, Instant::now());
                 }
@@ -597,7 +873,10 @@ fn execute(inner: &Arc<Inner>, key: &str, spec: &JobSpec) -> Outcome {
 }
 
 /// One simulation attempt: fresh machine, sliced run with control
-/// checks between slices.
+/// checks between slices. With a state dir, first attempts periodically
+/// persist a resumable checkpoint and resume from one left by a crashed
+/// process — simulations are deterministic, so the resumed run's result
+/// is byte-identical to an uninterrupted one.
 fn run_attempt(inner: &Arc<Inner>, key: &str, spec: &JobSpec, attempt: u32) -> Result<Value, JobError> {
     let specs = resolve_workloads(spec).map_err(JobError::Build)?;
     let cfg = SimConfig::paper(specs.len().max(2));
@@ -614,11 +893,23 @@ fn run_attempt(inner: &Arc<Inner>, key: &str, spec: &JobSpec, attempt: u32) -> R
         machine.set_fault_plan(&plan);
     }
 
+    // Checkpoints apply only to first attempts: a retry re-salts the
+    // fault seed, so a checkpoint from a different attempt would resume
+    // a different fault stream.
+    let ck_path = if attempt == 0 { checkpoint_path(inner, key) } else { None };
+    let mut horizon = 0u64;
+    if let Some(path) = &ck_path {
+        if let Some(resumed_horizon) = load_checkpoint(&mut machine, path, key) {
+            horizon = resumed_horizon;
+            inner.locked().counters.checkpoints_resumed += 1;
+        }
+    }
+
     // `Machine::run` treats the budget as an absolute cycle deadline
     // and resumes on repeated calls, so the run is sliced to give
     // cancellation and deadline sweeps a bounded reaction time.
     let slice = inner.config.slice_cycles.max(1);
-    let mut horizon = 0u64;
+    let mut slices_since_ck = 0u32;
     loop {
         horizon = horizon.saturating_add(slice).min(spec.max_cycles);
         let stats = machine
@@ -636,7 +927,67 @@ fn run_attempt(inner: &Arc<Inner>, key: &str, spec: &JobSpec, attempt: u32) -> R
             // of them by the sweep.
             return Err(JobError::Cancelled);
         }
+        if let Some(path) = &ck_path {
+            slices_since_ck += 1;
+            if slices_since_ck >= inner.config.checkpoint_slices.max(1) {
+                slices_since_ck = 0;
+                if save_checkpoint(&machine, path, key, horizon) {
+                    inner.locked().counters.checkpoints_written += 1;
+                }
+            }
+        }
     }
+}
+
+/// Where a run's resumable checkpoint lives (state dir only).
+fn checkpoint_path(inner: &Inner, key: &str) -> Option<PathBuf> {
+    inner
+        .config
+        .state_dir
+        .as_ref()
+        .map(|d| d.join("checkpoints").join(format!("{}.ck", short_address(key))))
+}
+
+/// Checkpoint file layout: `u64` resume horizon (LE), `u32` key length
+/// (LE), the full canonical key, then the versioned CRC-guarded
+/// snapshot from [`occamy_sim::snapshot_to_bytes`]. The key is stored
+/// in full because the file name is only a 64-bit content address.
+fn save_checkpoint(machine: &Machine, path: &Path, key: &str, horizon: u64) -> bool {
+    let Ok(snapshot) = occamy_sim::snapshot_to_bytes(&machine.snapshot()) else {
+        // Refused (observer state enabled) — checkpointing is an
+        // optimization, the run continues without it.
+        return false;
+    };
+    let mut bytes = Vec::with_capacity(16 + key.len() + snapshot.len());
+    bytes.extend_from_slice(&horizon.to_le_bytes());
+    bytes.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(key.as_bytes());
+    bytes.extend_from_slice(&snapshot);
+    let tmp = path.with_extension("ck.tmp");
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, path)
+    };
+    write().is_ok()
+}
+
+/// Restores a checkpoint left by a crashed process, returning the
+/// horizon to resume from. Any mismatch or corruption (the snapshot
+/// layer CRC-checks itself) falls back to a fresh run.
+fn load_checkpoint(machine: &mut Machine, path: &Path, key: &str) -> Option<u64> {
+    let bytes = std::fs::read(path).ok()?;
+    let horizon = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?);
+    let key_len = u32::from_le_bytes(bytes.get(8..12)?.try_into().ok()?) as usize;
+    let stored_key = bytes.get(12..12 + key_len)?;
+    if stored_key != key.as_bytes() {
+        // A different key hashed to the same address; ignore the file.
+        return None;
+    }
+    let snapshot = occamy_sim::snapshot_from_bytes(bytes.get(12 + key_len..)?).ok()?;
+    machine.restore_snapshot(&snapshot);
+    Some(horizon)
 }
 
 /// Removes cancelled and deadline-expired requesters (replying to the
@@ -663,7 +1014,10 @@ fn sweep(inner: &Arc<Inner>, key: &str) -> Control {
         }
         !dead
     });
-    let empty = flight.requesters.is_empty();
+    // Requester-less background runs (recovery, verification) answer
+    // to the journal or the cache, not to a client — they are never
+    // abandoned for having no audience.
+    let abandon = flight.requesters.is_empty() && flight.class == RunClass::Client;
     for (tenant, via_queue) in expired {
         st.counters.deadline_expired += 1;
         st.counters.failed += 1;
@@ -671,7 +1025,7 @@ fn sweep(inner: &Arc<Inner>, key: &str) -> Control {
             st.queue.release(&tenant);
         }
     }
-    if empty {
+    if abandon {
         Control::Abandon
     } else {
         Control::Continue
@@ -683,6 +1037,10 @@ fn sweep(inner: &Arc<Inner>, key: &str) -> Control {
 /// replied to by sweeps or cancellation).
 fn finish(inner: &Arc<Inner>, key: &str, started: Instant, outcome: Option<Outcome>) {
     let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    // The run is over; its resumable checkpoint (if any) is obsolete.
+    if let Some(path) = checkpoint_path(inner, key) {
+        let _ = std::fs::remove_file(path);
+    }
     let mut st = inner.locked();
     st.latency_us.observe(elapsed_us);
     let Some(flight) = st.inflight.remove(key) else {
@@ -691,10 +1049,22 @@ fn finish(inner: &Arc<Inner>, key: &str, started: Instant, outcome: Option<Outco
     if let Some(tenant) = &flight.queue_slot_tenant {
         st.queue.release(tenant);
     }
+    // A journaled run gets exactly one journaled terminal. Background
+    // verification runs stay out: their key already has its terminal,
+    // and a second non-cached `ok` would read as a duplicated effect.
+    let journal_terminal = flight.accepted.is_some();
     let Some(outcome) = outcome else {
         // Abandoned: requesters (if any slipped in between the last
         // sweep and here) get a cancelled reply so no one waits
         // forever.
+        if journal_terminal {
+            st.journal_append(JournalRecord::Completed {
+                key: key.to_owned(),
+                outcome: "abandoned".into(),
+                cached: false,
+            });
+            st.journal_commit();
+        }
         for r in flight.requesters {
             send(
                 &r.tx,
@@ -721,7 +1091,20 @@ fn finish(inner: &Arc<Inner>, key: &str, started: Instant, outcome: Option<Outco
                 let matched = payload.render_compact() == *expected;
                 st.cache.report_verification(key, matched);
             }
+            // Ordering matters for exactly-once: the durable cache
+            // write lands *before* the journal terminal. A crash in
+            // between re-enqueues the job on restart, which then hits
+            // the persistent cache and journals `cached: true` — never
+            // a second fresh `ok`.
             st.cache.insert(key.to_owned(), payload.clone());
+            if journal_terminal {
+                st.journal_append(JournalRecord::Completed {
+                    key: key.to_owned(),
+                    outcome: "ok".into(),
+                    cached: false,
+                });
+                st.journal_commit();
+            }
             for (i, r) in flight.requesters.iter().enumerate() {
                 send(
                     &r.tx,
@@ -741,6 +1124,20 @@ fn finish(inner: &Arc<Inner>, key: &str, started: Instant, outcome: Option<Outco
             }
         }
         Err(error) => {
+            if flight.verify_against.is_some() {
+                // The cached entry said `ok`; the verification re-run
+                // failed. The simulator is deterministic, so this is a
+                // mismatch — poison the entry and count it.
+                st.cache.report_verification(key, false);
+            }
+            if journal_terminal {
+                st.journal_append(JournalRecord::Completed {
+                    key: key.to_owned(),
+                    outcome: error.tag().into(),
+                    cached: false,
+                });
+                st.journal_commit();
+            }
             for r in &flight.requesters {
                 send(
                     &r.tx,

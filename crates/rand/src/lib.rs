@@ -116,6 +116,29 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state. Together with
+        /// [`StdRng::from_state`] this lets checkpoint code serialize a
+        /// generator mid-stream and resume it bit-identically.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] dump.
+        ///
+        /// # Errors
+        ///
+        /// Rejects the all-zero state (a xoshiro fixed point that would
+        /// emit zeros forever); seeding can never produce it, so seeing
+        /// it means the dump is corrupt.
+        pub fn from_state(s: [u64; 4]) -> Result<Self, &'static str> {
+            if s == [0; 4] {
+                return Err("all-zero xoshiro256** state is degenerate");
+            }
+            Ok(StdRng { s })
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

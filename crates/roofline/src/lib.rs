@@ -361,3 +361,20 @@ mod tests {
         assert_eq!(c.mem_bounds[2].0, MemLevel::Dram);
     }
 }
+
+// --- Checkpoint serialization --------------------------------------------
+
+statecodec::impl_codec_enum!(MemLevel {
+    0 => VecCache,
+    1 => L2,
+    2 => Dram,
+});
+
+statecodec::impl_codec!(MachineCeilings {
+    freq_ghz,
+    flops_per_granule_cycle,
+    simd_issue_width,
+    veccache_bytes_cycle,
+    l2_bytes_cycle,
+    dram_bytes_cycle,
+});
