@@ -86,6 +86,8 @@ fn main() -> ExitCode {
         Some("roofline") => cmd_roofline(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("--help" | "-h") | None => {
             print_usage();
             Ok(())
@@ -111,7 +113,9 @@ fn print_usage() {
          occamy sched <k.ok>... [options]          # time-share N kernels (§5)\n  \
          occamy roofline <oi> [<oi>...]\n  \
          occamy serve [--listen <ep>] [options]    # multi-tenant simulation daemon\n  \
-         occamy submit <workload>... [options]     # run a job on a daemon\n\n\
+         occamy submit <workload>... [options]     # run a job on a daemon\n  \
+         occamy stats [--tenant T] [--prefix P]    # one metrics snapshot from a daemon\n  \
+         occamy top [--tenant T] [options]         # live per-tenant monitor (watch stream)\n\n\
          options:\n  --trip <n>        elements per pass (default 4096)\n  \
          --passes <n>      sweeps over the arrays (default 1)\n  \
          --arch <a>        occamy|private|fts|vls (default occamy)\n  \
@@ -149,6 +153,11 @@ fn print_usage() {
          --seed <n>        submit: retry-salted fault seed (default 0)\n  \
          --max-cycles <n>  submit: per-attempt cycle budget (default 50000000)\n  \
          --deadline-ms <n> submit: wall-clock deadline for the job\n  \
+         --timing          submit: print the job's queue/run wall-time breakdown\n  \
+         --prefix <p>      stats: keep only metrics whose dotted name starts with <p>\n  \
+         --interval-ms <n> top: refresh period (default 1000)\n  \
+         --iterations <n>  top: stop after <n> refreshes (default: until interrupted)\n  \
+         --buffer <n>      top: watch frames buffered server-side before dropping\n  \
          --ping | --stats | --shutdown   submit: daemon control ops\n                    \
          workloads: WL1..WL22 | cv1..cv12 | synth:<loads>,<stores>,<flops>[,trip[,repeat]]\n\n\
          exit codes: 0 ok, 2 usage, 3 kernel load/compile, 4 simulation/job fault,\n             \
@@ -793,6 +802,7 @@ fn cmd_submit(args: &[String]) -> Result<(), CliError> {
     let mut id = "job".to_owned();
     let mut op = SubmitOp::Run;
     let mut retries = 5u32;
+    let mut timing = false;
     let mut spec = occamyd::JobSpec::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -823,6 +833,7 @@ fn cmd_submit(args: &[String]) -> Result<(), CliError> {
             "--ping" => op = SubmitOp::Ping,
             "--stats" => op = SubmitOp::Stats,
             "--shutdown" => op = SubmitOp::Shutdown,
+            "--timing" => timing = true,
             other if other.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown option `{other}`")))
             }
@@ -833,7 +844,7 @@ fn cmd_submit(args: &[String]) -> Result<(), CliError> {
     let mut client = connect_with_retry(&endpoint, retries).map_err(CliError::Net)?;
     let request = match op {
         SubmitOp::Ping => occamyd::Request::Ping,
-        SubmitOp::Stats => occamyd::Request::Stats,
+        SubmitOp::Stats => occamyd::Request::Stats { tenant: None, prefix: None },
         SubmitOp::Shutdown => occamyd::Request::Shutdown,
         SubmitOp::Run => {
             if spec.workloads.is_empty() {
@@ -860,11 +871,22 @@ fn cmd_submit(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
     match client.wait_terminal(&id).map_err(CliError::Net)? {
-        occamyd::Reply::Result { cached, attempts, payload, .. } => {
+        occamyd::Reply::Result { cached, attempts, payload, timing: job_timing, .. } => {
             eprintln!(
                 "job `{id}` ok ({}, {attempts} attempt(s))",
                 if cached { "cached" } else { "cold" }
             );
+            if timing {
+                match job_timing {
+                    Some(t) => eprintln!(
+                        "job `{id}` timing: queue_wait {} µs, service {} µs, total {} µs",
+                        t.queue_us,
+                        t.run_us,
+                        t.queue_us.saturating_add(t.run_us),
+                    ),
+                    None => eprintln!("job `{id}` timing: not reported by this daemon"),
+                }
+            }
             println!("{}", payload.render());
             Ok(())
         }
@@ -875,6 +897,200 @@ fn cmd_submit(args: &[String]) -> Result<(), CliError> {
             Err(CliError::Sim(format!("job `{id}` shed ({kind}): {detail}")))
         }
         other => Err(CliError::Net(format!("unexpected terminal reply: {}", other.to_line()))),
+    }
+}
+
+/// One metrics snapshot from a running daemon: sends a filtered `stats`
+/// request and prints the JSON payload (metrics + tenant list + cache).
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    let mut connect = DEFAULT_ENDPOINT.to_owned();
+    let mut retries = 5u32;
+    let mut tenant: Option<String> = None;
+    let mut prefix: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--connect" => connect = value("--connect")?,
+            "--connect-retries" => {
+                retries = parse_num(&value("--connect-retries")?, "--connect-retries")?;
+            }
+            "--tenant" => tenant = Some(value("--tenant")?),
+            "--prefix" => prefix = Some(value("--prefix")?),
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+    let endpoint = occamyd::Endpoint::parse(&connect).map_err(CliError::Usage)?;
+    let mut client = connect_with_retry(&endpoint, retries).map_err(CliError::Net)?;
+    client.send(&occamyd::Request::Stats { tenant, prefix }).map_err(CliError::Net)?;
+    match client.recv().map_err(CliError::Net)? {
+        occamyd::Reply::Stats { payload } => {
+            println!("{}", payload.render());
+            Ok(())
+        }
+        other => Err(CliError::Net(format!("unexpected reply: {}", other.to_line()))),
+    }
+}
+
+/// The live monitor: subscribes to the daemon's `watch` event stream
+/// and polls `stats` once per refresh, rendering a per-tenant table
+/// plus the most recent events. On a TTY each refresh redraws in
+/// place; piped output degrades to plain appended frames.
+fn cmd_top(args: &[String]) -> Result<(), CliError> {
+    let mut connect = DEFAULT_ENDPOINT.to_owned();
+    let mut retries = 5u32;
+    let mut tenant: Option<String> = None;
+    let mut interval_ms = 1_000u64;
+    let mut iterations = 0u64; // 0 = run until interrupted or daemon exit
+    let mut buffer: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--connect" => connect = value("--connect")?,
+            "--connect-retries" => {
+                retries = parse_num(&value("--connect-retries")?, "--connect-retries")?;
+            }
+            "--tenant" => tenant = Some(value("--tenant")?),
+            "--interval-ms" => interval_ms = parse_num(&value("--interval-ms")?, "--interval-ms")?,
+            "--iterations" => iterations = parse_num(&value("--iterations")?, "--iterations")?,
+            "--buffer" => buffer = Some(parse_num(&value("--buffer")?, "--buffer")?),
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+    let endpoint = occamyd::Endpoint::parse(&connect).map_err(CliError::Usage)?;
+    let mut client = connect_with_retry(&endpoint, retries).map_err(CliError::Net)?;
+    client
+        .send(&occamyd::Request::Watch { tenant: tenant.clone(), buffer })
+        .map_err(CliError::Net)?;
+    match client.recv().map_err(CliError::Net)? {
+        occamyd::Reply::Watching { .. } => {}
+        other => return Err(CliError::Net(format!("unexpected reply: {}", other.to_line()))),
+    }
+
+    use std::io::IsTerminal;
+    let ansi = std::io::stdout().is_terminal();
+    let mut events: std::collections::VecDeque<String> = std::collections::VecDeque::new();
+    let mut dropped = 0u64;
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        client
+            .send(&occamyd::Request::Stats { tenant: tenant.clone(), prefix: None })
+            .map_err(CliError::Net)?;
+        // Drain event frames that arrived since the last refresh; the
+        // stats reply (sent after them on the same connection) closes
+        // the batch.
+        let payload = loop {
+            match client.recv().map_err(CliError::Net)? {
+                occamyd::Reply::Stats { payload } => break payload,
+                occamyd::Reply::Event {
+                    dropped: d, vcycles, kind, tenant, id, detail, ..
+                } => {
+                    dropped = d;
+                    let line = if detail.is_empty() {
+                        format!("{vcycles:>14}vc  {kind:<9} {tenant}/{id}")
+                    } else {
+                        format!("{vcycles:>14}vc  {kind:<9} {tenant}/{id}  {detail}")
+                    };
+                    if events.len() >= TOP_EVENT_LINES {
+                        events.pop_front();
+                    }
+                    events.push_back(line);
+                }
+                occamyd::Reply::ShuttingDown => {
+                    println!("daemon shutting down");
+                    return Ok(());
+                }
+                _ => {}
+            }
+        };
+        render_top(ansi, &connect, tick, &payload, &events, dropped);
+        if iterations > 0 && tick >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
+/// Event lines kept on screen by `occamy top`.
+const TOP_EVENT_LINES: usize = 10;
+
+/// Renders one `occamy top` frame from a `stats` payload.
+fn render_top(
+    ansi: bool,
+    endpoint: &str,
+    tick: u64,
+    payload: &bench::json::Value,
+    events: &std::collections::VecDeque<String>,
+    dropped: u64,
+) {
+    use std::fmt::Write as _;
+    let metrics = payload.get("metrics");
+    let counter = |name: &str| {
+        metrics.and_then(|m| m.get(name)).and_then(|v| v.as_u64()).unwrap_or(0)
+    };
+    let gauge = |name: &str| {
+        metrics
+            .and_then(|m| m.get(name))
+            .and_then(|v| v.as_f64())
+            .map_or(0, |v| v.max(0.0) as u64)
+    };
+    let mut frame = String::new();
+    let _ = writeln!(frame, "occamy top — {endpoint}  (refresh {tick})");
+    let _ = writeln!(
+        frame,
+        "submitted {}  accepted {}  completed {}  failed {}  shed {}  queue {}  \
+         cache {}h/{}m  watch dropped {dropped}",
+        counter("service.submitted"),
+        counter("service.accepted"),
+        counter("service.completed"),
+        counter("service.failed"),
+        counter("service.shed"),
+        gauge("service.queue_depth"),
+        counter("sim.cache.hits"),
+        counter("sim.cache.misses"),
+    );
+    let _ = writeln!(
+        frame,
+        "{:<16} {:>9} {:>7} {:>16} {:>12} {:>12} {:>12} {:>12}",
+        "TENANT", "ADMITTED", "OK", "SIM_CYCLES", "QWAIT_P50", "QWAIT_P99", "LAT_P50", "LAT_P99"
+    );
+    if let Some(bench::json::Value::Arr(tenants)) = payload.get("tenants") {
+        for t in tenants.iter().filter_map(|t| t.as_str()) {
+            let key = |q: &str| format!("service.tenant.{t}.{q}");
+            let _ = writeln!(
+                frame,
+                "{:<16} {:>9} {:>7} {:>16} {:>12} {:>12} {:>12} {:>12}",
+                t,
+                counter(&key("admitted")),
+                counter(&key("ok")),
+                counter(&key("sim_cycles")),
+                gauge(&key("queue_wait_vcycles_p50")),
+                gauge(&key("queue_wait_vcycles_p99")),
+                gauge(&key("latency_vcycles_p50")),
+                gauge(&key("latency_vcycles_p99")),
+            );
+        }
+    }
+    if !events.is_empty() {
+        let _ = writeln!(frame, "recent events (virtual-time stamps):");
+        for line in events {
+            let _ = writeln!(frame, "  {line}");
+        }
+    }
+    if ansi {
+        // Redraw in place: home the cursor, print, clear what's left of
+        // the previous (possibly taller) frame.
+        print!("\x1b[H{frame}\x1b[J");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    } else {
+        print!("{frame}");
     }
 }
 

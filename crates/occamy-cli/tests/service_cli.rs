@@ -1,0 +1,95 @@
+//! End-to-end tests of the service-facing CLI verbs against a live
+//! in-process daemon: `submit --timing`, `stats` (with filters), and a
+//! bounded `top` session over the watch stream.
+
+use std::process::Command;
+use std::time::Duration;
+
+use bench::json;
+use occamyd::{serve, Endpoint, ServiceConfig};
+
+fn occamy() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_occamy"))
+}
+
+/// One daemon serves all three verbs; tests on a shared socket would
+/// race, so this is a single test walking the full session.
+#[test]
+fn stats_top_and_timing_against_a_live_daemon() {
+    let path = std::env::temp_dir().join(format!("occamy-cli-obs-{}.sock", std::process::id()));
+    let endpoint = Endpoint::Unix(path.clone());
+    let connect = format!("unix:{}", path.display());
+    let config = ServiceConfig { workers: 2, ..ServiceConfig::default() };
+    let mut handle = serve(&endpoint, config).expect("daemon starts");
+
+    // Submit a job with the timing breakdown.
+    let out = occamy()
+        .args([
+            "submit", "--connect", &connect, "--tenant", "t1", "--id", "j1", "--timing",
+            "--scale", "0.05", "--max-cycles", "2000000", "synth:2,1,3,64",
+        ])
+        .output()
+        .expect("submit runs");
+    assert!(out.status.success(), "submit failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("timing: queue_wait"), "no timing breakdown:\n{err}");
+    let payload = json::parse(&String::from_utf8_lossy(&out.stdout)).expect("result payload");
+    assert!(payload.get("cycles").is_some(), "payload is the stats document");
+
+    // A full stats snapshot counts the job under its tenant.
+    let out = occamy().args(["stats", "--connect", &connect]).output().expect("stats runs");
+    assert!(out.status.success(), "stats failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    let snapshot = json::parse(&String::from_utf8_lossy(&out.stdout)).expect("stats payload");
+    let metrics = snapshot.get("metrics").expect("metrics object");
+    assert_eq!(
+        metrics.get("service.tenant.t1.admitted").and_then(json::Value::as_u64),
+        Some(1),
+        "tenant t1's admission is missing from the snapshot"
+    );
+
+    // A prefix filter narrows the snapshot to matching names only.
+    let out = occamy()
+        .args(["stats", "--connect", &connect, "--prefix", "service.tenant."])
+        .output()
+        .expect("filtered stats runs");
+    assert!(out.status.success());
+    let snapshot = json::parse(&String::from_utf8_lossy(&out.stdout)).expect("stats payload");
+    let json::Value::Obj(fields) = snapshot.get("metrics").expect("metrics object") else {
+        panic!("metrics is not an object");
+    };
+    assert!(!fields.is_empty(), "filter must keep the tenant entries");
+    for (name, _) in fields {
+        assert!(
+            name.starts_with("service.tenant."),
+            "`{name}` escaped the --prefix filter"
+        );
+    }
+
+    // A bounded top session renders the per-tenant table to a pipe.
+    let out = occamy()
+        .args([
+            "top", "--connect", &connect, "--iterations", "2", "--interval-ms", "60",
+        ])
+        .output()
+        .expect("top runs");
+    assert!(out.status.success(), "top failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("occamy top —"), "missing header:\n{text}");
+    assert!(text.contains("TENANT"), "missing table header:\n{text}");
+    assert!(text.contains("t1"), "missing tenant row:\n{text}");
+    assert_eq!(
+        text.matches("occamy top —").count(),
+        2,
+        "--iterations 2 must render exactly two frames:\n{text}"
+    );
+
+    // Clean shutdown through the CLI.
+    let out = occamy()
+        .args(["submit", "--connect", &connect, "--shutdown"])
+        .output()
+        .expect("shutdown runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    handle.wait(Duration::from_millis(10));
+    handle.stop();
+    assert!(!path.exists(), "socket removed on clean shutdown");
+}

@@ -65,6 +65,80 @@ impl Histogram {
         }
     }
 
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The ascending bucket edges this histogram was built with.
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// Raw per-bucket counts, in bucket order (`edges.len() + 1` slots).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from serialized parts (e.g. a JSON metrics
+    /// snapshot). `counts` must hold exactly `edges.len() + 1` buckets;
+    /// the observation total is recomputed from the counts. Returns
+    /// `None` when the shapes disagree or the edges are not strictly
+    /// ascending.
+    pub fn from_parts(edges: &[u64], counts: &[u64], sum: u64) -> Option<Self> {
+        if counts.len() != edges.len() + 1 {
+            return None;
+        }
+        if edges.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        let total = counts.iter().fold(0u64, |acc, &c| acc.saturating_add(c));
+        Some(Histogram { edges: edges.to_vec(), counts: counts.to_vec(), total, sum })
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the inclusive upper bound of
+    /// the bucket containing the `ceil(q * total)`-th smallest
+    /// observation. Bounded buckets report `edge - 1` (observations are
+    /// integers strictly below the edge); the open-ended overflow bucket
+    /// saturates to its lower edge (the last edge) — a conservative
+    /// lower bound, flagged as such in the docs. Returns 0 when the
+    /// histogram is empty. Deterministic and monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(count);
+            if seen >= rank {
+                return match self.edges.get(i) {
+                    Some(&edge) => edge.saturating_sub(1),
+                    None => self.edges.last().copied().unwrap_or(0),
+                };
+            }
+        }
+        self.edges.last().copied().unwrap_or(0)
+    }
+
+    /// Bucket-wise merge: after `a.absorb(&b)`, `a` equals the histogram
+    /// that would have observed the union of both observation multisets
+    /// (bucket-resolution exact; `sum` saturates). Returns `false` and
+    /// leaves `self` untouched when the edge vectors differ.
+    pub fn absorb(&mut self, other: &Histogram) -> bool {
+        if self.edges != other.edges {
+            return false;
+        }
+        for (slot, &add) in self.counts.iter_mut().zip(&other.counts) {
+            *slot = slot.saturating_add(add);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
+        true
+    }
+
     /// `(label, count)` rows for serialization, in bucket order.
     pub fn buckets(&self) -> Vec<(String, u64)> {
         let mut rows = Vec::with_capacity(self.counts.len());
@@ -275,5 +349,60 @@ mod tests {
         let mut h = Histogram::new(&[]);
         h.observe(3);
         assert_eq!(h.buckets(), vec![("all".to_owned(), 1)]);
+    }
+
+    #[test]
+    fn quantile_walks_buckets() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in [1, 2, 3, 50, 60, 70, 80, 500, 600, 5000] {
+            h.observe(v);
+        }
+        // Ranks 1-3 land in lt_10 (upper bound 9), 4-7 in 10_100 (99),
+        // 8-9 in 100_1000 (999), 10 in ge_1000 (saturates to 1000).
+        assert_eq!(h.quantile(0.0), 9);
+        assert_eq!(h.quantile(0.3), 9);
+        assert_eq!(h.quantile(0.5), 99);
+        assert_eq!(h.quantile(0.7), 99);
+        assert_eq!(h.quantile(0.9), 999);
+        assert_eq!(h.quantile(1.0), 1000);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-3.0), 9);
+        assert_eq!(h.quantile(7.0), 1000);
+    }
+
+    #[test]
+    fn absorb_matches_observing_the_union() {
+        let mut a = Histogram::new(&[10, 100]);
+        let mut b = Histogram::new(&[10, 100]);
+        let mut union = Histogram::new(&[10, 100]);
+        for v in [1, 5, 50] {
+            a.observe(v);
+            union.observe(v);
+        }
+        for v in [7, 70, 700] {
+            b.observe(v);
+            union.observe(v);
+        }
+        assert!(a.absorb(&b));
+        assert_eq!(a, union);
+        // Mismatched edges refuse and leave the receiver untouched.
+        let before = a.clone();
+        let other = Histogram::new(&[10, 100, 1000]);
+        assert!(!a.absorb(&other));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_bad_shapes() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [1, 5, 50, 500] {
+            h.observe(v);
+        }
+        let rebuilt = Histogram::from_parts(h.edges(), h.counts(), h.sum()).expect("valid parts");
+        assert_eq!(rebuilt, h);
+        assert!(Histogram::from_parts(&[10, 100], &[1, 2], 0).is_none(), "count shape");
+        assert!(Histogram::from_parts(&[100, 10], &[1, 2, 3], 0).is_none(), "unsorted edges");
+        assert!(Histogram::from_parts(&[10, 10], &[1, 2, 3], 0).is_none(), "duplicate edges");
     }
 }

@@ -1,0 +1,73 @@
+//! Property tests for the histogram aggregation API behind SLO
+//! reporting: `quantile` must be monotone in `q` and bounded by the
+//! bucket edges, and `absorb` must be exactly equivalent to observing
+//! the union of both observation multisets (the identity the service
+//! layer relies on when merging per-job histograms into per-tenant
+//! aggregates).
+
+use occamy_sim::Histogram;
+use proptest::prelude::*;
+
+/// Strictly ascending, non-empty edge vectors.
+fn edges_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..10_000, 1..6).prop_map(|mut raw| {
+        raw.sort_unstable();
+        raw.dedup();
+        raw
+    })
+}
+
+proptest! {
+    #[test]
+    fn quantile_is_monotone_and_edge_bounded(
+        edges in edges_strategy(),
+        values in proptest::collection::vec(0u64..20_000, 0..64),
+        qs in proptest::collection::vec(0u32..=1000, 2..8),
+    ) {
+        let mut h = Histogram::new(&edges);
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted_qs: Vec<f64> = qs.iter().map(|&q| f64::from(q) / 1000.0).collect();
+        sorted_qs.sort_by(|a, b| a.partial_cmp(b).expect("qs are finite"));
+        let mut last = None;
+        for &q in &sorted_qs {
+            let v = h.quantile(q);
+            if let Some(prev) = last {
+                prop_assert!(v >= prev, "quantile not monotone: q={q} gave {v} < {prev}");
+            }
+            last = Some(v);
+            // Every reported quantile is one of the bucket bounds.
+            let last_edge = *edges.last().expect("non-empty");
+            prop_assert!(
+                edges.iter().any(|&e| v == e.saturating_sub(1)) || v == last_edge || v == 0,
+                "quantile {v} is not a bucket bound of {edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_equals_observing_the_union(
+        edges in edges_strategy(),
+        left in proptest::collection::vec(0u64..20_000, 0..48),
+        right in proptest::collection::vec(0u64..20_000, 0..48),
+    ) {
+        let mut a = Histogram::new(&edges);
+        let mut b = Histogram::new(&edges);
+        let mut union = Histogram::new(&edges);
+        for &v in &left {
+            a.observe(v);
+            union.observe(v);
+        }
+        for &v in &right {
+            b.observe(v);
+            union.observe(v);
+        }
+        prop_assert!(a.absorb(&b), "matching edges must merge");
+        prop_assert_eq!(&a, &union);
+        // The merge is also exact through the serialization round trip.
+        let rebuilt = Histogram::from_parts(union.edges(), union.counts(), union.sum())
+            .expect("buckets round-trip");
+        prop_assert_eq!(rebuilt, union);
+    }
+}

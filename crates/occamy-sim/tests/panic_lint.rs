@@ -49,6 +49,9 @@ const LINTED: &[&str] = &[
     "crates/occamyd/src/service.rs",
     "crates/occamyd/src/server.rs",
     "crates/occamyd/src/bin/load_test.rs",
+    // SLO accounting runs inside the service lock on every terminal;
+    // a panic here would poison the whole daemon's state.
+    "crates/occamyd/src/slo.rs",
     // The durability layer replays journals and state files written by
     // a process that may have died mid-write: every record is parsed
     // defensively, and an I/O error must degrade the daemon to

@@ -74,6 +74,7 @@ struct Args {
     per_tenant: Option<usize>,
     seed: u64,
     json: bool,
+    slo: bool,
     state_dir: Option<PathBuf>,
     crash_after: Option<usize>,
     restarts: usize,
@@ -92,6 +93,7 @@ impl Default for Args {
             per_tenant: None,
             seed: 0x10ad_7e57,
             json: false,
+            slo: false,
             state_dir: None,
             crash_after: None,
             restarts: 2,
@@ -122,6 +124,7 @@ fn parse_args() -> Result<Args, String> {
             "--per-tenant" => args.per_tenant = Some(next_num(&mut it, "--per-tenant")? as usize),
             "--seed" => args.seed = next_num(&mut it, "--seed")?,
             "--json" => args.json = true,
+            "--slo" => args.slo = true,
             "--state-dir" => {
                 args.state_dir = Some(PathBuf::from(next_value(&mut it, "--state-dir")?));
             }
@@ -143,6 +146,8 @@ fn parse_args() -> Result<Args, String> {
                      \t--per-tenant N  per-tenant active-job quota (default: jobs)\n\
                      \t--seed N        arrival-pattern seed (default 0x10ad7e57)\n\
                      \t--json          deterministic JSON report on stdout\n\
+                     \t--slo           add per-tenant virtual-time SLO quantiles and\n\
+                     \t                durability counters to the JSON report\n\
                      \t--state-dir DIR durable state directory (journal + result cache)\n\
                      \t--crash-after N crash-restart harness: SIGKILL the daemon after N\n\
                      \t                acknowledged submissions, restart, assert recovery\n\
@@ -207,8 +212,10 @@ fn summarize(outcomes: &mut Vec<Outcome>) -> Summary {
 
 /// The deterministic outcome document (`--json` payload). Two runs of
 /// the same campaign must render byte-identical documents — the chaos
-/// harness compares these directly.
-fn json_doc(args: &Args, s: &Summary) -> String {
+/// harness compares these directly. `slo` (from [`slo_section`]) is
+/// appended only under `--slo`, so the default document's bytes are
+/// untouched by the observability layer.
+fn json_doc(args: &Args, s: &Summary, slo: Option<Value>) -> String {
     let mut obj = Value::obj();
     obj.push("experiment", Value::Str("load_test".into()))
         .push("jobs", Value::UInt(args.jobs as u64))
@@ -224,14 +231,61 @@ fn json_doc(args: &Args, s: &Summary) -> String {
     }
     obj.push("failed", failures);
     obj.push("outcome_digest", Value::Str(format!("{:016x}", s.digest)));
+    if let Some(slo) = slo {
+        obj.push("slo", slo);
+    }
     obj.render()
+}
+
+/// The `slo` section of the `--json` document, distilled from a metrics
+/// snapshot (the JSON rendering of the service registry — the same
+/// shape whether it came from an in-process [`Service::metrics`] call
+/// or a daemon's `stats` reply). Only *virtual-time* quantities and the
+/// durability counters appear here: all of them are pure functions of
+/// the campaign plan, so the section is byte-identical across worker
+/// counts and thread interleavings. Wall-clock latencies and the
+/// timing-dependent hit-vs-coalesce split are deliberately excluded.
+fn slo_section(args: &Args, metrics: &Value) -> Value {
+    let counter = |name: &str| metrics.get(name).and_then(Value::as_u64).unwrap_or(0);
+    let gauge = |name: &str| {
+        metrics.get(name).and_then(Value::as_f64).map_or(0, |v| v.max(0.0) as u64)
+    };
+    let mut tenants = Value::obj();
+    let mut cycles_min = u64::MAX;
+    let mut cycles_max = 0u64;
+    for t in 0..args.tenants {
+        let name = format!("tenant{t}");
+        let key = |q: &str| format!("service.tenant.{name}.{q}");
+        let sim_cycles = counter(&key("sim_cycles"));
+        cycles_min = cycles_min.min(sim_cycles);
+        cycles_max = cycles_max.max(sim_cycles);
+        let mut obj = Value::obj();
+        obj.push("admitted", Value::UInt(counter(&key("admitted"))))
+            .push("ok", Value::UInt(counter(&key("ok"))))
+            .push("sim_cycles", Value::UInt(sim_cycles))
+            .push("queue_wait_vcycles_p50", Value::UInt(gauge(&key("queue_wait_vcycles_p50"))))
+            .push("queue_wait_vcycles_p99", Value::UInt(gauge(&key("queue_wait_vcycles_p99"))))
+            .push("latency_vcycles_p50", Value::UInt(gauge(&key("latency_vcycles_p50"))))
+            .push("latency_vcycles_p99", Value::UInt(gauge(&key("latency_vcycles_p99"))));
+        tenants.push(&name, obj);
+    }
+    if cycles_min == u64::MAX {
+        cycles_min = 0;
+    }
+    let mut out = Value::obj();
+    out.push("tenants", tenants)
+        .push("fairness_spread_cycles", Value::UInt(cycles_max.saturating_sub(cycles_min)))
+        .push("journal_errors", Value::UInt(counter("service.journal_errors")))
+        .push("cache_disk_errors", Value::UInt(counter("sim.cache.disk_errors")))
+        .push("cache_verify_mismatch", Value::UInt(counter("sim.cache.verify_mismatch")));
+    out
 }
 
 /// Maps a terminal reply to the digest's outcome row. Returns `None`
 /// for non-terminal replies.
 fn outcome_of(reply: Reply, latency: Duration) -> Option<Outcome> {
     match reply {
-        Reply::Result { id, cached, attempts, payload } => Some(Outcome {
+        Reply::Result { id, cached, attempts, payload, .. } => Some(Outcome {
             id,
             kind: "ok".into(),
             payload: Some(payload.render_compact()),
@@ -259,6 +313,7 @@ struct RunOutput {
     summary: Summary,
     wall: Duration,
     metrics: String,
+    metrics_json: Value,
 }
 
 /// The in-process campaign: one submitter thread per tenant blasting
@@ -328,11 +383,13 @@ fn run_campaign(args: &Args, state_dir: Option<PathBuf>) -> RunOutput {
     let wall = started.elapsed();
 
     service.quiesce();
-    let metrics = service.metrics().dump();
+    let registry = service.metrics();
+    let metrics = registry.dump();
+    let metrics_json = bench::metrics_to_json(&registry);
     service.join();
 
     let summary = summarize(&mut outcomes);
-    RunOutput { outcomes, summary, wall, metrics }
+    RunOutput { outcomes, summary, wall, metrics, metrics_json }
 }
 
 fn report_run(args: &Args, out: &RunOutput) {
@@ -563,7 +620,7 @@ fn final_round(args: &Args, state_dir: &Path) -> (Vec<Outcome>, ExitStatus) {
     }
 
     // Surface the daemon's recovery counters before it goes away.
-    if client.send(&Request::Stats).is_ok() {
+    if client.send(&Request::Stats { tenant: None, prefix: None }).is_ok() {
         loop {
             match client.recv() {
                 Ok(Reply::Stats { payload }) => {
@@ -646,7 +703,7 @@ fn check_journal(state_dir: &Path) -> Result<String, String> {
 fn run_chaos(args: &Args, crash_after: usize) {
     eprintln!("[chaos] baseline: crash-free in-process campaign ({} jobs)", args.jobs);
     let baseline = run_campaign(args, None);
-    let base_doc = json_doc(args, &baseline.summary);
+    let base_doc = json_doc(args, &baseline.summary, None);
     eprintln!("[chaos] baseline digest {:016x}", baseline.summary.digest);
 
     let (state_dir, ephemeral) = match &args.state_dir {
@@ -675,7 +732,7 @@ fn run_chaos(args: &Args, crash_after: usize) {
     eprintln!("[chaos] graceful shutdown: daemon exited 0");
 
     let summary = summarize(&mut outcomes);
-    let doc = json_doc(args, &summary);
+    let doc = json_doc(args, &summary, None);
     if doc != base_doc {
         eprintln!("[chaos] baseline : {base_doc}");
         eprintln!("[chaos] recovered: {doc}");
@@ -728,7 +785,8 @@ fn main() {
     let out = run_campaign(&args, args.state_dir.clone());
     report_run(&args, &out);
     if args.json {
-        println!("{}", json_doc(&args, &out.summary));
+        let slo = args.slo.then(|| slo_section(&args, &out.metrics_json));
+        println!("{}", json_doc(&args, &out.summary, slo));
     } else {
         println!(
             "load_test: {} jobs -> {} ok, {} failed, {} shed (digest {:016x})",

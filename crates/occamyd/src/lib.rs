@@ -56,10 +56,12 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod slo;
 
 pub use admission::{AdmissionConfig, AdmissionQueue, ShedReason};
 pub use cache::{CacheConfig, CacheStats, ResultCache};
 pub use journal::{Journal, JournalConfig, JournalRecord};
-pub use protocol::{JobSpec, ProtocolError, ProtocolErrorKind, Reply, Request};
+pub use protocol::{JobSpec, JobTiming, ProtocolError, ProtocolErrorKind, Reply, Request};
 pub use server::{serve, Client, Endpoint, ServerHandle};
 pub use service::{JobError, Service, ServiceConfig};
+pub use slo::SloBook;

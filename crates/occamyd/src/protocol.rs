@@ -39,6 +39,12 @@ pub mod limits {
     pub const MAX_CYCLES: u64 = 500_000_000;
     /// Largest accepted deadline (one hour).
     pub const MAX_DEADLINE_MS: u64 = 3_600_000;
+    /// Longest accepted stats metric-name prefix filter.
+    pub const MAX_PREFIX: usize = 128;
+    /// Largest accepted per-subscriber watch buffer (frames in flight).
+    pub const MAX_WATCH_BUFFER: u64 = 65_536;
+    /// Watch buffer used when the subscriber does not pick one.
+    pub const DEFAULT_WATCH_BUFFER: u64 = 1_024;
 }
 
 /// Why a message was rejected before reaching the service.
@@ -401,8 +407,26 @@ pub enum Request {
         /// The job id given at submit.
         id: String,
     },
-    /// Ask for the service statistics snapshot.
-    Stats,
+    /// Ask for the service statistics snapshot, optionally narrowed to
+    /// one tenant's metrics and/or a dotted metric-name prefix.
+    Stats {
+        /// Only metrics attributed to this tenant (plus the tenant-less
+        /// service-wide entries when combined with no prefix).
+        tenant: Option<String>,
+        /// Only metrics whose dotted name starts with this prefix.
+        prefix: Option<String>,
+    },
+    /// Subscribe this connection to the live event stream (job
+    /// accepted/started/completed/shed/retried/resumed frames). The
+    /// stream is lossy by design: a subscriber that cannot keep up has
+    /// frames dropped (and counted) rather than stalling the workers.
+    Watch {
+        /// Only events for this tenant.
+        tenant: Option<String>,
+        /// Per-subscriber in-flight frame budget (1..=[`limits::MAX_WATCH_BUFFER`]);
+        /// defaults to [`limits::DEFAULT_WATCH_BUFFER`].
+        buffer: Option<u64>,
+    },
     /// Liveness probe.
     Ping,
     /// Ask the daemon to shut down gracefully.
@@ -426,6 +450,25 @@ fn name_field(v: &Value, key: &str) -> Result<String, ProtocolError> {
     Ok(s.to_owned())
 }
 
+/// An optional name-shaped field: absent → `None`, present → validated
+/// like [`name_field`] but with a caller-chosen byte cap (the stats
+/// prefix filter allows longer dotted paths than tenant/job names).
+fn opt_name_field(v: &Value, key: &str, max: usize) -> Result<Option<String>, ProtocolError> {
+    let Some(field) = v.get(key) else {
+        return Ok(None);
+    };
+    let s = field
+        .as_str()
+        .ok_or_else(|| ProtocolError::schema(format!("`{key}` must be a string")))?;
+    if s.is_empty() || s.len() > max {
+        return Err(ProtocolError::schema(format!("`{key}` must be 1..={max} bytes")));
+    }
+    if s.chars().any(|c| c.is_control()) {
+        return Err(ProtocolError::schema(format!("`{key}` must not contain control characters")));
+    }
+    Ok(Some(s.to_owned()))
+}
+
 impl Request {
     /// Encodes the request as a wire object.
     pub fn to_value(&self) -> Value {
@@ -442,8 +485,23 @@ impl Request {
                     .push("tenant", Value::Str(tenant.clone()))
                     .push("id", Value::Str(id.clone()));
             }
-            Request::Stats => {
+            Request::Stats { tenant, prefix } => {
                 obj.push("op", Value::Str("stats".into()));
+                if let Some(t) = tenant {
+                    obj.push("tenant", Value::Str(t.clone()));
+                }
+                if let Some(p) = prefix {
+                    obj.push("prefix", Value::Str(p.clone()));
+                }
+            }
+            Request::Watch { tenant, buffer } => {
+                obj.push("op", Value::Str("watch".into()));
+                if let Some(t) = tenant {
+                    obj.push("tenant", Value::Str(t.clone()));
+                }
+                if let Some(b) = buffer {
+                    obj.push("buffer", Value::UInt(*b));
+                }
             }
             Request::Ping => {
                 obj.push("op", Value::Str("ping".into()));
@@ -488,11 +546,61 @@ impl Request {
             "cancel" => {
                 Ok(Request::Cancel { tenant: name_field(&v, "tenant")?, id: name_field(&v, "id")? })
             }
-            "stats" => Ok(Request::Stats),
+            "stats" => Ok(Request::Stats {
+                tenant: opt_name_field(&v, "tenant", limits::MAX_NAME)?,
+                prefix: opt_name_field(&v, "prefix", limits::MAX_PREFIX)?,
+            }),
+            "watch" => {
+                let tenant = opt_name_field(&v, "tenant", limits::MAX_NAME)?;
+                let buffer = match v.get("buffer") {
+                    None => None,
+                    Some(b) => {
+                        let b = b
+                            .as_u64()
+                            .ok_or_else(|| ProtocolError::schema("`buffer` must be a u64"))?;
+                        if b == 0 || b > limits::MAX_WATCH_BUFFER {
+                            return Err(ProtocolError::schema(format!(
+                                "`buffer` must be in 1..={}",
+                                limits::MAX_WATCH_BUFFER
+                            )));
+                        }
+                        Some(b)
+                    }
+                };
+                Ok(Request::Watch { tenant, buffer })
+            }
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtocolError::schema(format!("unknown op `{other}`"))),
         }
+    }
+}
+
+/// Wall-clock timing breakdown attached to a completed reply. These are
+/// *nondeterministic* observability numbers (they vary run to run with
+/// scheduling); the deterministic virtual-time SLO axis lives in the
+/// stats registry, never here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTiming {
+    /// Microseconds between admission and the job leaving the queue
+    /// (0 for cache hits and coalesced waiters — they never queue).
+    pub queue_us: u64,
+    /// Microseconds between leaving the queue and the terminal reply.
+    pub run_us: u64,
+}
+
+impl JobTiming {
+    fn to_value(self) -> Value {
+        let mut obj = Value::obj();
+        obj.push("queue_us", Value::UInt(self.queue_us)).push("run_us", Value::UInt(self.run_us));
+        obj
+    }
+
+    fn from_value(v: &Value) -> Option<JobTiming> {
+        Some(JobTiming {
+            queue_us: v.get("queue_us").and_then(Value::as_u64)?,
+            run_us: v.get("run_us").and_then(Value::as_u64)?,
+        })
     }
 }
 
@@ -518,6 +626,10 @@ pub enum Reply {
         cached: bool,
         /// Simulation attempts consumed (0 for pure cache hits).
         attempts: u32,
+        /// Wall-clock queue-wait/service-time breakdown (absent from
+        /// replies recovered after a crash restart, where admission
+        /// time is unknowable).
+        timing: Option<JobTiming>,
         /// The result document.
         payload: Value,
     },
@@ -555,6 +667,32 @@ pub enum Reply {
         /// Counters, queue gauges and cache statistics.
         payload: Value,
     },
+    /// Acknowledges a [`Request::Watch`] subscription.
+    Watching {
+        /// The effective in-flight frame budget for this subscriber.
+        buffer: u64,
+    },
+    /// One live event frame on a watched connection. Frames carry a
+    /// per-subscriber sequence number and a cumulative drop counter so
+    /// a reader can detect (and quantify) loss from falling behind.
+    Event {
+        /// Per-subscriber sequence number (monotone from 1).
+        seq: u64,
+        /// Frames dropped so far because this subscriber was slow.
+        dropped: u64,
+        /// Virtual-time stamp: total simulated cycles completed by the
+        /// service when the event fired.
+        vcycles: u64,
+        /// `accepted` | `started` | `completed` | `shed` | `retried` |
+        /// `resumed`.
+        kind: String,
+        /// The owning tenant (empty for service-internal runs).
+        tenant: String,
+        /// The job id (empty for service-internal runs).
+        id: String,
+        /// Event-specific detail (outcome tag, shed kind, attempt…).
+        detail: String,
+    },
     /// The daemon acknowledged a shutdown request.
     ShuttingDown,
 }
@@ -585,12 +723,15 @@ impl Reply {
                     .push("id", Value::Str(id.clone()))
                     .push("queue_depth", Value::UInt(*queue_depth));
             }
-            Reply::Result { id, cached, attempts, payload } => {
+            Reply::Result { id, cached, attempts, timing, payload } => {
                 obj.push("reply", Value::Str("result".into()))
                     .push("id", Value::Str(id.clone()))
                     .push("cached", Value::Bool(*cached))
-                    .push("attempts", Value::UInt(u64::from(*attempts)))
-                    .push("payload", payload.clone());
+                    .push("attempts", Value::UInt(u64::from(*attempts)));
+                if let Some(t) = timing {
+                    obj.push("timing", t.to_value());
+                }
+                obj.push("payload", payload.clone());
             }
             Reply::Error { id, kind, detail } => {
                 obj.push("reply", Value::Str("error".into()))
@@ -614,6 +755,20 @@ impl Reply {
             }
             Reply::Stats { payload } => {
                 obj.push("reply", Value::Str("stats".into())).push("payload", payload.clone());
+            }
+            Reply::Watching { buffer } => {
+                obj.push("reply", Value::Str("watching".into()))
+                    .push("buffer", Value::UInt(*buffer));
+            }
+            Reply::Event { seq, dropped, vcycles, kind, tenant, id, detail } => {
+                obj.push("reply", Value::Str("event".into()))
+                    .push("seq", Value::UInt(*seq))
+                    .push("dropped", Value::UInt(*dropped))
+                    .push("vcycles", Value::UInt(*vcycles))
+                    .push("kind", Value::Str(kind.clone()))
+                    .push("tenant", Value::Str(tenant.clone()))
+                    .push("id", Value::Str(id.clone()))
+                    .push("detail", Value::Str(detail.clone()));
             }
             Reply::ShuttingDown => {
                 obj.push("reply", Value::Str("shutting_down".into()));
@@ -661,6 +816,7 @@ impl Reply {
                 id: id()?,
                 cached: v.get("cached").and_then(Value::as_bool).unwrap_or(false),
                 attempts: v.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32,
+                timing: v.get("timing").and_then(JobTiming::from_value),
                 payload: v
                     .get("payload")
                     .cloned()
@@ -677,6 +833,18 @@ impl Reply {
                     .get("payload")
                     .cloned()
                     .ok_or_else(|| ProtocolError::schema("missing `payload`"))?,
+            }),
+            "watching" => Ok(Reply::Watching {
+                buffer: v.get("buffer").and_then(Value::as_u64).unwrap_or(0),
+            }),
+            "event" => Ok(Reply::Event {
+                seq: v.get("seq").and_then(Value::as_u64).unwrap_or(0),
+                dropped: v.get("dropped").and_then(Value::as_u64).unwrap_or(0),
+                vcycles: v.get("vcycles").and_then(Value::as_u64).unwrap_or(0),
+                kind: string("kind")?,
+                tenant: string("tenant")?,
+                id: string("id")?,
+                detail: string("detail")?,
             }),
             "shutting_down" => Ok(Reply::ShuttingDown),
             other => Err(ProtocolError::schema(format!("unknown reply `{other}`"))),
@@ -811,11 +979,38 @@ mod tests {
     fn control_ops_round_trip() {
         for req in [
             Request::Cancel { tenant: "t".into(), id: "j".into() },
-            Request::Stats,
+            Request::Stats { tenant: None, prefix: None },
+            Request::Stats { tenant: Some("alice".into()), prefix: Some("service.".into()) },
+            Request::Watch { tenant: None, buffer: None },
+            Request::Watch { tenant: Some("alice".into()), buffer: Some(16) },
             Request::Ping,
             Request::Shutdown,
         ] {
             assert_eq!(Request::parse_line(&req.to_line()).expect("round trip"), req);
+        }
+        // The pre-filter wire form still parses (older clients).
+        assert_eq!(
+            Request::parse_line("{\"op\":\"stats\"}").expect("bare stats"),
+            Request::Stats { tenant: None, prefix: None }
+        );
+    }
+
+    #[test]
+    fn stats_and_watch_filters_are_validated() {
+        let long = "p".repeat(limits::MAX_PREFIX + 1);
+        let cases = [
+            format!("{{\"op\":\"stats\",\"prefix\":\"{long}\"}}"),
+            "{\"op\":\"stats\",\"prefix\":\"\"}".to_owned(),
+            "{\"op\":\"stats\",\"tenant\":42}".to_owned(),
+            "{\"op\":\"stats\",\"prefix\":\"a\\nb\"}".to_owned(),
+            "{\"op\":\"watch\",\"buffer\":0}".to_owned(),
+            "{\"op\":\"watch\",\"buffer\":100000}".to_owned(),
+            "{\"op\":\"watch\",\"buffer\":\"big\"}".to_owned(),
+            format!("{{\"op\":\"watch\",\"tenant\":\"{}\"}}", "t".repeat(limits::MAX_NAME + 1)),
+        ];
+        for line in &cases {
+            let e = Request::parse_line(line).expect_err(line);
+            assert_eq!(e.kind, ProtocolErrorKind::Schema, "{line} → {e}");
         }
     }
 
@@ -825,12 +1020,35 @@ mod tests {
         payload.push("cycles", Value::UInt(123));
         for reply in [
             Reply::Accepted { id: "j".into(), queue_depth: 4 },
-            Reply::Result { id: "j".into(), cached: true, attempts: 2, payload: payload.clone() },
+            Reply::Result {
+                id: "j".into(),
+                cached: true,
+                attempts: 2,
+                timing: None,
+                payload: payload.clone(),
+            },
+            Reply::Result {
+                id: "j".into(),
+                cached: false,
+                attempts: 1,
+                timing: Some(JobTiming { queue_us: 1500, run_us: 42_000 }),
+                payload: payload.clone(),
+            },
             Reply::Error { id: "j".into(), kind: "panic".into(), detail: "boom".into() },
             Reply::Shed { id: "j".into(), kind: "overloaded".into(), detail: "full".into() },
             Reply::ProtocolError { kind: "schema".into(), detail: "nope".into() },
             Reply::Pong,
             Reply::Stats { payload },
+            Reply::Watching { buffer: 1024 },
+            Reply::Event {
+                seq: 7,
+                dropped: 2,
+                vcycles: 123_456,
+                kind: "completed".into(),
+                tenant: "alice".into(),
+                id: "j7".into(),
+                detail: "ok".into(),
+            },
             Reply::ShuttingDown,
         ] {
             assert_eq!(Reply::parse_line(&reply.to_line()).expect("round trip"), reply);

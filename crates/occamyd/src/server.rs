@@ -17,7 +17,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -312,7 +312,13 @@ fn serve_connection(
     // The read timeout doubles as the shutdown poll interval.
     read_half.set_read_timeout(Duration::from_millis(100))?;
     let (tx, rx) = channel::<Reply>();
-    let writer_thread = std::thread::spawn(move || writer_loop(write_half, &rx));
+    // Shared with the service's watch subscription (if this connection
+    // opens one): counts event frames accepted but not yet written, so
+    // the service can drop frames for a slow reader instead of letting
+    // the channel grow without bound.
+    let pending_events = Arc::new(AtomicUsize::new(0));
+    let writer_pending = Arc::clone(&pending_events);
+    let writer_thread = std::thread::spawn(move || writer_loop(write_half, &rx, &writer_pending));
 
     let mut reader = BufReader::new(read_half);
     loop {
@@ -346,8 +352,15 @@ fn serve_connection(
                     });
                 }
             }
-            Ok(Request::Stats) => {
-                let _ = tx.send(Reply::Stats { payload: service.stats_value() });
+            Ok(Request::Stats { tenant, prefix }) => {
+                let _ = tx.send(Reply::Stats {
+                    payload: service.stats_value(tenant.as_deref(), prefix.as_deref()),
+                });
+            }
+            Ok(Request::Watch { tenant, buffer }) => {
+                let cap =
+                    service.watch(tenant, buffer, tx.clone(), Arc::clone(&pending_events));
+                let _ = tx.send(Reply::Watching { buffer: cap });
             }
             Ok(Request::Ping) => {
                 let _ = tx.send(Reply::Pong);
@@ -371,21 +384,33 @@ fn serve_connection(
     Ok(())
 }
 
-fn writer_loop(half: Stream, rx: &Receiver<Reply>) {
+fn writer_loop(half: Stream, rx: &Receiver<Reply>, pending_events: &AtomicUsize) {
     let mut out = BufWriter::new(half);
     while let Ok(reply) = rx.recv() {
+        if matches!(reply, Reply::Event { .. }) {
+            // Acknowledge the frame to the watch backpressure counter
+            // whether or not the write succeeds — the slot is free.
+            pending_events.fetch_sub(1, Ordering::AcqRel);
+        }
         let line = reply.to_line();
         if out.write_all(line.as_bytes()).is_err()
             || out.write_all(b"\n").is_err()
             || out.flush().is_err()
         {
-            // The peer is gone; drain silently so senders never block
-            // (the channel is unbounded) and the service can finish.
+            // The peer is gone; stop writing. Senders never block (the
+            // channel is unbounded) and the service can finish.
             break;
         }
     }
-    // Drain any stragglers so late terminal replies don't pile up.
-    while rx.recv().is_ok() {}
+    // Discard whatever already arrived, then drop the receiver: a watch
+    // subscription held by the service keeps its `Sender` alive until a
+    // send fails, so a blocking drain here would never terminate. After
+    // the drop, the service's next emit errors and prunes the watcher.
+    while let Ok(reply) = rx.try_recv() {
+        if matches!(reply, Reply::Event { .. }) {
+            pending_events.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
 }
 
 /// A synchronous protocol client (used by `occamy submit`, the load

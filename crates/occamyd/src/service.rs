@@ -33,6 +33,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -45,7 +46,8 @@ use workloads::{corun, table3, SyntheticSpec, WorkloadSpec};
 use crate::admission::{AdmissionConfig, AdmissionQueue, ShedReason};
 use crate::cache::{short_address, CacheConfig, ResultCache};
 use crate::journal::{plan_recovery, Journal, JournalConfig, JournalRecord};
-use crate::protocol::{ChaosKind, JobSpec, Reply};
+use crate::protocol::{limits, ChaosKind, JobSpec, JobTiming, Reply};
+use crate::slo::SloBook;
 
 /// Tenant name for requester-less background verification runs. The
 /// control character keeps it out of the wire namespace: the protocol
@@ -172,6 +174,13 @@ struct Requester {
     /// submitting requester) or by an `admit_direct` in-flight count
     /// (coalesced waiters).
     via_queue: bool,
+    /// This requester's admission sequence in the per-tenant SLO book;
+    /// every terminal must settle it so the tenant's reorder buffer
+    /// keeps draining.
+    slo_seq: u64,
+    /// When the requester was admitted (wall clock, for the timing
+    /// breakdown in result replies).
+    submitted: Instant,
 }
 
 enum RunState {
@@ -224,6 +233,9 @@ struct Counters {
     submitted: u64,
     accepted: u64,
     shed: u64,
+    shed_overloaded: u64,
+    shed_quota: u64,
+    shed_shutdown: u64,
     completed: u64,
     failed: u64,
     cancelled: u64,
@@ -235,6 +247,39 @@ struct Counters {
     recovered: u64,
     checkpoints_written: u64,
     checkpoints_resumed: u64,
+    watch_emitted: u64,
+    watch_dropped: u64,
+}
+
+impl Counters {
+    /// One shed: the aggregate counter plus the per-kind breakdown.
+    fn count_shed(&mut self, reason: ShedReason) {
+        self.shed += 1;
+        match reason {
+            ShedReason::Overloaded => self.shed_overloaded += 1,
+            ShedReason::QuotaExceeded => self.shed_quota += 1,
+            ShedReason::ShuttingDown => self.shed_shutdown += 1,
+        }
+    }
+}
+
+/// One live `watch` subscriber. Delivery is strictly non-blocking: the
+/// `pending` counter (shared with the connection's writer thread, which
+/// decrements it as frames reach the socket) caps frames in flight, and
+/// a subscriber at its cap has the frame *dropped and counted* — a slow
+/// reader can never stall a worker.
+struct Watcher {
+    tx: Sender<Reply>,
+    /// Frames queued but not yet written to the subscriber's socket.
+    pending: Arc<AtomicUsize>,
+    /// Drop threshold for `pending`.
+    cap: usize,
+    /// Only events for this tenant (None = all).
+    tenant: Option<String>,
+    /// Per-subscriber frame sequence (monotone from 1).
+    seq: u64,
+    /// Frames dropped for this subscriber so far.
+    dropped: u64,
 }
 
 struct State {
@@ -243,6 +288,16 @@ struct State {
     cache: ResultCache,
     counters: Counters,
     latency_us: Histogram,
+    /// Deterministic per-tenant SLO accounting (virtual time).
+    slo: SloBook,
+    /// Live `watch` subscribers.
+    watchers: Vec<Watcher>,
+    /// Virtual clock for event stamps: total simulated cycles of
+    /// fresh (non-cached) completions service-wide.
+    vcycles: u64,
+    /// Wall-clock microseconds the last worker drain took (set by
+    /// [`Service::drain_workers`]; nondeterministic, gauge-only).
+    drain_us: Option<u64>,
     shutting_down: bool,
     live_workers: usize,
     /// The write-ahead job journal (`--state-dir` only).
@@ -268,6 +323,60 @@ impl State {
         journal.sync();
         if journal.should_compact() {
             journal.compact(inflight.values().filter_map(|f| f.accepted.as_ref()));
+        }
+    }
+
+    /// Fans one event out to every matching `watch` subscriber, without
+    /// ever blocking: a subscriber at its in-flight cap has the frame
+    /// dropped and counted instead of queued. Subscribers whose
+    /// connection is gone are pruned here.
+    fn emit_event(&mut self, kind: &str, tenant: &str, id: &str, detail: &str) {
+        if self.watchers.is_empty() {
+            return;
+        }
+        // Service-internal runs are visible but not tenant-attributed.
+        let tenant = if tenant == VERIFY_TENANT { "" } else { tenant };
+        let vcycles = self.vcycles;
+        let State { watchers, counters, .. } = self;
+        watchers.retain_mut(|w| {
+            if w.tenant.as_deref().is_some_and(|t| t != tenant) {
+                return true;
+            }
+            if w.pending.load(Ordering::Acquire) >= w.cap {
+                w.dropped += 1;
+                counters.watch_dropped += 1;
+                return true;
+            }
+            w.seq += 1;
+            let frame = Reply::Event {
+                seq: w.seq,
+                dropped: w.dropped,
+                vcycles,
+                kind: kind.into(),
+                tenant: tenant.into(),
+                id: id.into(),
+                detail: detail.into(),
+            };
+            w.pending.fetch_add(1, Ordering::AcqRel);
+            if w.tx.send(frame).is_err() {
+                // The connection is gone; drop the subscription.
+                return false;
+            }
+            counters.watch_emitted += 1;
+            true
+        });
+    }
+
+    /// The tenant and job id a key's run is attributed to in event
+    /// frames: its first live requester, or the queue-slot tenant for
+    /// requester-less (recovered/verify) runs.
+    fn flight_identity(&self, key: &str) -> (String, String) {
+        match self.inflight.get(key) {
+            Some(f) => match f.requesters.first() {
+                Some(r) => (r.tenant.clone(), r.id.clone()),
+                None => (f.queue_slot_tenant.clone().unwrap_or_default(), String::new()),
+            },
+            None => (String::new(), String::new()),
         }
     }
 }
@@ -314,6 +423,10 @@ impl Service {
             cache: ResultCache::new(config.cache),
             counters: Counters::default(),
             latency_us: latency_histogram(),
+            slo: SloBook::new(),
+            watchers: Vec::new(),
+            vcycles: 0,
+            drain_us: None,
             shutting_down: false,
             live_workers: workers,
             journal: None,
@@ -341,16 +454,18 @@ impl Service {
     /// `Accepted` followed eventually by exactly one terminal reply.
     pub fn submit(&self, tenant: &str, id: &str, spec: JobSpec, tx: &Sender<Reply>) {
         let key = spec.canonical_key();
-        let deadline = spec.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let now = Instant::now();
+        let deadline = spec.deadline_ms.map(|ms| now + Duration::from_millis(ms));
         let mut st = self.inner.locked();
         st.counters.submitted += 1;
         if st.shutting_down {
-            st.counters.shed += 1;
+            st.counters.count_shed(ShedReason::ShuttingDown);
             st.journal_append(JournalRecord::Shed {
                 tenant: tenant.into(),
                 id: id.into(),
                 kind: ShedReason::ShuttingDown.tag().into(),
             });
+            st.emit_event("shed", tenant, id, ShedReason::ShuttingDown.tag());
             send(tx, shed_reply(id, ShedReason::ShuttingDown));
             return;
         }
@@ -387,6 +502,8 @@ impl Service {
                     st.journal_commit();
                     let depth = st.queue.len() as u64;
                     send(tx, Reply::Accepted { id: id.into(), queue_depth: depth });
+                    st.emit_event("accepted", tenant, id, "coalesced");
+                    let slo_seq = st.slo.admit(tenant);
                     if let Some(flight) = st.inflight.get_mut(&key) {
                         flight.requesters.push(Requester {
                             tenant: tenant.into(),
@@ -394,6 +511,8 @@ impl Service {
                             deadline,
                             tx: tx.clone(),
                             via_queue: false,
+                            slo_seq,
+                            submitted: now,
                         });
                         // A background run a client coalesced onto now
                         // answers to that client: it may be abandoned
@@ -404,12 +523,13 @@ impl Service {
                     }
                 }
                 Err(reason) => {
-                    st.counters.shed += 1;
+                    st.counters.count_shed(reason);
                     st.journal_append(JournalRecord::Shed {
                         tenant: tenant.into(),
                         id: id.into(),
                         kind: reason.tag().into(),
                     });
+                    st.emit_event("shed", tenant, id, reason.tag());
                     send(tx, shed_reply(id, reason));
                 }
             }
@@ -433,10 +553,25 @@ impl Service {
                 cached: true,
             });
             st.journal_commit();
+            // Settle the SLO admission instantly: a cache hit consumes
+            // the same deterministic service cycles as the cold run
+            // that produced the payload.
+            let slo_seq = st.slo.admit(tenant);
+            let cycles = hit.payload.get("cycles").and_then(Value::as_u64).unwrap_or(0);
+            st.slo.settle(tenant, slo_seq, cycles);
+            st.slo.fold_payload(tenant, &hit.payload);
+            st.emit_event("accepted", tenant, id, "cache_hit");
+            st.emit_event("completed", tenant, id, "ok");
             let expected = hit.verify.then(|| hit.payload.render_compact());
             send(
                 tx,
-                Reply::Result { id: id.into(), cached: true, attempts: 0, payload: hit.payload },
+                Reply::Result {
+                    id: id.into(),
+                    cached: true,
+                    attempts: 0,
+                    timing: Some(JobTiming { queue_us: 0, run_us: 0 }),
+                    payload: hit.payload,
+                },
             );
             if let Some(expected) = expected {
                 let offered = st
@@ -473,6 +608,8 @@ impl Service {
                 st.journal_append(accepted.clone());
                 st.journal_commit();
                 send(tx, Reply::Accepted { id: id.into(), queue_depth: depth as u64 });
+                st.emit_event("accepted", tenant, id, "queued");
+                let slo_seq = st.slo.admit(tenant);
                 let journaled = st.journal.is_some();
                 st.inflight.insert(
                     key,
@@ -485,6 +622,8 @@ impl Service {
                             deadline,
                             tx: tx.clone(),
                             via_queue: true,
+                            slo_seq,
+                            submitted: now,
                         }],
                         queue_slot_tenant: Some(tenant.into()),
                         verify_against: None,
@@ -495,12 +634,13 @@ impl Service {
                 self.inner.work_ready.notify_one();
             }
             Err(reason) => {
-                st.counters.shed += 1;
+                st.counters.count_shed(reason);
                 st.journal_append(JournalRecord::Shed {
                     tenant: tenant.into(),
                     id: id.into(),
                     kind: reason.tag().into(),
                 });
+                st.emit_event("shed", tenant, id, reason.tag());
                 send(tx, shed_reply(id, reason));
             }
         }
@@ -536,6 +676,8 @@ impl Service {
             st.queue.release(&requester.tenant);
         }
         st.counters.cancelled += 1;
+        st.slo.settle(&requester.tenant, requester.slo_seq, 0);
+        st.emit_event("completed", tenant, id, "cancelled");
         if orphaned && queued {
             // Nobody else wants this run: drop the ticket before a
             // worker picks it up. Removing the queued entry frees the
@@ -547,11 +689,24 @@ impl Service {
     }
 
     /// Statistics snapshot as a JSON object (the `stats` reply
-    /// payload): service counters, queue gauges and cache counters.
-    pub fn stats_value(&self) -> Value {
+    /// payload): service counters, per-tenant SLO metrics, queue gauges
+    /// and cache counters, plus a `tenants` name list so clients can
+    /// parse per-tenant entries without guessing at dots in tenant
+    /// names. `tenant`/`prefix` narrow the metrics exactly like the
+    /// wire-level `stats` filters.
+    pub fn stats_value(&self, tenant: Option<&str>, prefix: Option<&str>) -> Value {
         let st = self.inner.locked();
+        let metrics = filter_metrics(&snapshot_metrics(&st), tenant, prefix);
+        let tenants = st
+            .slo
+            .tenant_names()
+            .into_iter()
+            .filter(|t| tenant.is_none_or(|want| want == t))
+            .map(Value::Str)
+            .collect();
         let mut obj = Value::obj();
-        obj.push("metrics", bench::metrics_to_json(&snapshot_metrics(&st)))
+        obj.push("metrics", bench::metrics_to_json(&metrics))
+            .push("tenants", Value::Arr(tenants))
             .push("cache", st.cache.to_value());
         obj
     }
@@ -560,6 +715,33 @@ impl Service {
     /// histogram), for embedding or dumping.
     pub fn metrics(&self) -> MetricsRegistry {
         snapshot_metrics(&self.inner.locked())
+    }
+
+    /// Registers a `watch` subscriber on `tx`. `pending` must be
+    /// decremented by the owner of `tx` as each event frame actually
+    /// reaches the subscriber (the socket writer does this); `buffer`
+    /// caps frames in flight, beyond which frames are dropped and
+    /// counted rather than queued. Returns the effective buffer.
+    pub fn watch(
+        &self,
+        tenant: Option<String>,
+        buffer: Option<u64>,
+        tx: Sender<Reply>,
+        pending: Arc<AtomicUsize>,
+    ) -> u64 {
+        let cap = buffer
+            .unwrap_or(limits::DEFAULT_WATCH_BUFFER)
+            .clamp(1, limits::MAX_WATCH_BUFFER);
+        let mut st = self.inner.locked();
+        st.watchers.push(Watcher {
+            tx,
+            pending,
+            cap: cap as usize,
+            tenant,
+            seq: 0,
+            dropped: 0,
+        });
+        cap
     }
 
     /// Begins a graceful shutdown: no new admissions, queued jobs are
@@ -584,7 +766,9 @@ impl Service {
                 }
                 for r in flight.requesters {
                     send(&r.tx, shed_reply(&r.id, ShedReason::ShuttingDown));
-                    st.counters.shed += 1;
+                    st.counters.count_shed(ShedReason::ShuttingDown);
+                    st.slo.settle(&r.tenant, r.slo_seq, 0);
+                    st.emit_event("shed", &r.tenant, &r.id, ShedReason::ShuttingDown.tag());
                     if !r.via_queue {
                         st.queue.release(&r.tenant);
                     }
@@ -594,6 +778,9 @@ impl Service {
             }
         }
         st.journal_commit();
+        // Watch subscriptions end with the service: clearing them drops
+        // our `Sender` clones so connection writer loops can finish.
+        st.watchers.clear();
         drop(st);
         self.inner.work_ready.notify_all();
     }
@@ -618,10 +805,12 @@ impl Service {
     /// socket server, which cannot consume the service like
     /// [`Service::join`] does.
     pub fn drain_workers(&self) {
+        let begun = Instant::now();
         let mut st = self.inner.locked();
         while st.live_workers > 0 {
             st = self.inner.idle.wait(st).unwrap_or_else(|p| p.into_inner());
         }
+        st.drain_us = Some(begun.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         st.journal_commit();
     }
 
@@ -664,9 +853,22 @@ fn snapshot_metrics(st: &State) -> MetricsRegistry {
         c.checkpoints_resumed,
         "runs resumed from a persisted checkpoint",
     );
+    m.counter("service.shed_overloaded", c.shed_overloaded, "sheds: global queue or tenant table full");
+    m.counter("service.shed_quota", c.shed_quota, "sheds: tenant active-job quota exhausted");
+    m.counter("service.shed_shutting_down", c.shed_shutdown, "sheds: daemon draining");
+    m.counter("service.watch.emitted", c.watch_emitted, "event frames delivered to watch subscribers");
+    m.counter(
+        "service.watch.dropped_frames",
+        c.watch_dropped,
+        "event frames dropped because a watch subscriber was slow",
+    );
+    let cache = st.cache.stats();
+    m.counter("sim.cache.hits", cache.hits, "result-cache hits (instant terminal replies)");
+    m.counter("sim.cache.misses", cache.misses, "result-cache misses (fresh simulations)");
+    m.counter("sim.cache.disk_errors", cache.disk_errors, "persistent-cache I/O failures absorbed");
     m.counter(
         "sim.cache.verify_mismatch",
-        st.cache.stats().verify_failures,
+        cache.verify_failures,
         "cache verification re-runs whose payload differed from the cached bytes",
     );
     if let Some(journal) = &st.journal {
@@ -675,12 +877,53 @@ fn snapshot_metrics(st: &State) -> MetricsRegistry {
     }
     m.gauge("service.queue_depth", st.queue.len() as f64, "jobs currently queued");
     m.gauge("service.tenants", st.queue.tenants() as f64, "distinct tenants tracked");
+    m.gauge("service.watch.subscribers", st.watchers.len() as f64, "live watch subscribers");
+    if let Some(us) = st.drain_us {
+        // Wall clock: nondeterministic by nature, excluded from golden
+        // comparisons (gauges published only after a drain).
+        m.gauge("service.drain_us", us as f64, "wall time the last worker drain took (µs)");
+    }
     m.histogram(
         "service.latency_us",
         st.latency_us.clone(),
         "admission-to-terminal latency of executed jobs (µs)",
     );
+    st.slo.publish(&mut m);
     m
+}
+
+/// Applies the `stats` request's `tenant`/`prefix` filters to a metrics
+/// snapshot. A tenant filter keeps that tenant's `service.tenant.<T>.*`
+/// entries plus every tenant-less entry; a prefix filter keeps entries
+/// whose dotted name starts with the prefix. Both compose.
+fn filter_metrics(
+    full: &MetricsRegistry,
+    tenant: Option<&str>,
+    prefix: Option<&str>,
+) -> MetricsRegistry {
+    if tenant.is_none() && prefix.is_none() {
+        return full.clone();
+    }
+    let tenant_prefix = tenant.map(|t| format!("service.tenant.{t}."));
+    let mut out = MetricsRegistry::new();
+    for metric in full.iter() {
+        if prefix.is_some_and(|p| !metric.name.starts_with(p)) {
+            continue;
+        }
+        if let Some(want) = &tenant_prefix {
+            if metric.name.starts_with("service.tenant.") && !metric.name.starts_with(want) {
+                continue;
+            }
+        }
+        match &metric.value {
+            occamy_sim::MetricValue::Counter(v) => out.counter(&metric.name, *v, &metric.desc),
+            occamy_sim::MetricValue::Gauge(v) => out.gauge(&metric.name, *v, &metric.desc),
+            occamy_sim::MetricValue::Histogram(h) => {
+                out.histogram(&metric.name, h.clone(), &metric.desc)
+            }
+        }
+    }
+    out
 }
 
 /// Restores durable state from `dir` at startup: persistent cache,
@@ -758,6 +1001,12 @@ fn recover_state(st: &mut State, dir: &Path, config: &ServiceConfig) {
     st.journal = Some(journal);
 }
 
+/// Saturating wall-clock span in microseconds (0 when `until < from`,
+/// e.g. a waiter that coalesced onto a run already underway).
+fn elapsed_us(from: Instant, until: Instant) -> u64 {
+    until.saturating_duration_since(from).as_micros().min(u128::from(u64::MAX)) as u64
+}
+
 fn send(tx: &Sender<Reply>, reply: Reply) {
     // A gone client cannot receive its reply; dropping it is the only
     // correct behaviour and must not disturb the service.
@@ -780,7 +1029,7 @@ fn worker_loop(inner: &Arc<Inner>) {
         let (key, spec, started) = {
             let mut st = inner.locked();
             loop {
-                if let Some((_tenant, job)) = st.queue.take() {
+                if let Some((tenant, job)) = st.queue.take() {
                     if let Some(flight) = st.inflight.get_mut(&job.key) {
                         flight.state = RunState::Running;
                         if flight.accepted.is_some() {
@@ -789,6 +1038,8 @@ fn worker_loop(inner: &Arc<Inner>) {
                             st.journal_append(JournalRecord::Started { key: job.key.clone() });
                         }
                     }
+                    let (_, id) = st.flight_identity(&job.key);
+                    st.emit_event("started", &tenant, &id, short_address(&job.key).as_str());
                     break (job.key, job.spec, Instant::now());
                 }
                 if st.shutting_down {
@@ -868,6 +1119,8 @@ fn execute(inner: &Arc<Inner>, key: &str, spec: &JobSpec) -> Outcome {
     if retry.attempts > 1 {
         let mut st = inner.locked();
         st.counters.retries += u64::from(retry.attempts - 1);
+        let (tenant, id) = st.flight_identity(key);
+        st.emit_event("retried", &tenant, &id, &format!("attempts={}", retry.attempts));
     }
     Outcome { attempts: retry.attempts, result: retry.result }
 }
@@ -901,7 +1154,10 @@ fn run_attempt(inner: &Arc<Inner>, key: &str, spec: &JobSpec, attempt: u32) -> R
     if let Some(path) = &ck_path {
         if let Some(resumed_horizon) = load_checkpoint(&mut machine, path, key) {
             horizon = resumed_horizon;
-            inner.locked().counters.checkpoints_resumed += 1;
+            let mut st = inner.locked();
+            st.counters.checkpoints_resumed += 1;
+            let (tenant, id) = st.flight_identity(key);
+            st.emit_event("resumed", &tenant, &id, &format!("horizon={resumed_horizon}"));
         }
     }
 
@@ -1010,7 +1266,7 @@ fn sweep(inner: &Arc<Inner>, key: &str) -> Control {
                     detail: JobError::Deadline.detail(),
                 },
             );
-            expired.push((r.tenant.clone(), r.via_queue));
+            expired.push((r.tenant.clone(), r.id.clone(), r.via_queue, r.slo_seq));
         }
         !dead
     });
@@ -1018,9 +1274,11 @@ fn sweep(inner: &Arc<Inner>, key: &str) -> Control {
     // to the journal or the cache, not to a client — they are never
     // abandoned for having no audience.
     let abandon = flight.requesters.is_empty() && flight.class == RunClass::Client;
-    for (tenant, via_queue) in expired {
+    for (tenant, id, via_queue, slo_seq) in expired {
         st.counters.deadline_expired += 1;
         st.counters.failed += 1;
+        st.slo.settle(&tenant, slo_seq, 0);
+        st.emit_event("completed", &tenant, &id, "deadline");
         if !via_queue {
             st.queue.release(&tenant);
         }
@@ -1036,13 +1294,13 @@ fn sweep(inner: &Arc<Inner>, key: &str) -> Control {
 /// `outcome: None` means the run was abandoned (all requesters already
 /// replied to by sweeps or cancellation).
 fn finish(inner: &Arc<Inner>, key: &str, started: Instant, outcome: Option<Outcome>) {
-    let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    let wall_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     // The run is over; its resumable checkpoint (if any) is obsolete.
     if let Some(path) = checkpoint_path(inner, key) {
         let _ = std::fs::remove_file(path);
     }
     let mut st = inner.locked();
-    st.latency_us.observe(elapsed_us);
+    st.latency_us.observe(wall_us);
     let Some(flight) = st.inflight.remove(key) else {
         return;
     };
@@ -1069,12 +1327,14 @@ fn finish(inner: &Arc<Inner>, key: &str, started: Instant, outcome: Option<Outco
             send(
                 &r.tx,
                 Reply::Error {
-                    id: r.id,
+                    id: r.id.clone(),
                     kind: "cancelled".into(),
                     detail: "the run was abandoned".into(),
                 },
             );
             st.counters.failed += 1;
+            st.slo.settle(&r.tenant, r.slo_seq, 0);
+            st.emit_event("completed", &r.tenant, &r.id, "cancelled");
             if !r.via_queue {
                 st.queue.release(&r.tenant);
             }
@@ -1105,7 +1365,14 @@ fn finish(inner: &Arc<Inner>, key: &str, started: Instant, outcome: Option<Outco
                 });
                 st.journal_commit();
             }
+            // Advance the service's virtual clock by this fresh run's
+            // simulated cycles (cache hits never reach here).
+            let cycles = payload.get("cycles").and_then(Value::as_u64).unwrap_or(0);
+            st.vcycles = st.vcycles.saturating_add(cycles);
+            let now = Instant::now();
             for (i, r) in flight.requesters.iter().enumerate() {
+                let queue_us = elapsed_us(r.submitted, started);
+                let run_us = elapsed_us(started.max(r.submitted), now);
                 send(
                     &r.tx,
                     Reply::Result {
@@ -1114,10 +1381,14 @@ fn finish(inner: &Arc<Inner>, key: &str, started: Instant, outcome: Option<Outco
                         // rest were coalesced onto it.
                         cached: i > 0,
                         attempts: outcome.attempts,
+                        timing: Some(JobTiming { queue_us, run_us }),
                         payload: payload.clone(),
                     },
                 );
                 st.counters.completed += 1;
+                st.slo.settle(&r.tenant, r.slo_seq, cycles);
+                st.slo.fold_payload(&r.tenant, payload);
+                st.emit_event("completed", &r.tenant, &r.id, "ok");
                 if !r.via_queue {
                     st.queue.release(&r.tenant);
                 }
@@ -1148,6 +1419,8 @@ fn finish(inner: &Arc<Inner>, key: &str, started: Instant, outcome: Option<Outco
                     },
                 );
                 st.counters.failed += 1;
+                st.slo.settle(&r.tenant, r.slo_seq, 0);
+                st.emit_event("completed", &r.tenant, &r.id, error.tag());
                 if !r.via_queue {
                     st.queue.release(&r.tenant);
                 }
@@ -1402,7 +1675,7 @@ mod tests {
             panic!("expected a lane-fault error, got {reply:?}");
         };
         assert_eq!(kind, "lane-fault");
-        let stats = service.stats_value().render_compact();
+        let stats = service.stats_value(None, None).render_compact();
         assert!(
             stats.contains("\"service.retries\":2"),
             "two retries recorded in {stats}"

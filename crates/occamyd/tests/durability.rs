@@ -124,7 +124,7 @@ fn restart_recovers_interrupted_jobs_from_the_journal() {
 
     let service = Service::start(durable_config(&dir));
     service.quiesce();
-    let stats = service.stats_value().render_compact();
+    let stats = service.stats_value(None, None).render_compact();
     assert_eq!(metric_u64(&stats, "service.recovered_jobs"), 1, "stats: {stats}");
     service.join();
 
@@ -211,7 +211,7 @@ fn long_runs_write_and_clean_up_checkpoints() {
     let Reply::Result { .. } = wait_terminal(&rx) else {
         panic!("expected a result");
     };
-    let stats = service.stats_value().render_compact();
+    let stats = service.stats_value(None, None).render_compact();
     assert!(
         metric_u64(&stats, "service.checkpoints_written") >= 1,
         "a multi-slice run must checkpoint: {stats}"

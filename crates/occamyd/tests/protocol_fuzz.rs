@@ -3,8 +3,8 @@
 //! requests must survive an encode/decode round trip unchanged.
 
 use occamy_sim::SimMode;
-use occamyd::protocol::{ChaosKind, MAX_LINE_BYTES};
-use occamyd::{JobSpec, ProtocolErrorKind, Reply, Request};
+use occamyd::protocol::{limits, ChaosKind, MAX_LINE_BYTES};
+use occamyd::{JobSpec, JobTiming, ProtocolErrorKind, Reply, Request};
 use proptest::prelude::*;
 
 proptest! {
@@ -34,7 +34,7 @@ proptest! {
     /// field, including simulator-level specs (mode, fault plan).
     #[test]
     fn hostile_field_values_are_schema_errors(
-        op in prop_oneof!["submit", "cancel", "stats", "\\PC{0,12}"],
+        op in prop_oneof!["submit", "cancel", "stats", "watch", "\\PC{0,12}"],
         tenant in "\\PC{0,80}",
         arch in "\\PC{0,12}",
         scale in -4.0f64..1e9,
@@ -108,28 +108,96 @@ proptest! {
     }
 
     /// Every reply the daemon can emit round-trips through the client
-    /// decoder.
+    /// decoder — including the watch-stream frames and the optional
+    /// timing breakdown on results.
     #[test]
     fn replies_round_trip(
         id in "[a-z0-9]{1,12}",
-        which in 0u8..5,
+        which in 0u8..7,
         attempts in 0u32..8,
         cached in any::<bool>(),
+        with_timing in any::<bool>(),
+        seq in any::<u64>(),
+        vcycles in any::<u64>(),
     ) {
         let reply = match which {
             0 => Reply::Accepted { id, queue_depth: u64::from(attempts) },
             1 => {
                 let mut payload = bench::json::Value::obj();
                 payload.push("cycles", bench::json::Value::UInt(u64::from(attempts)));
-                Reply::Result { id, cached, attempts, payload }
+                let timing = with_timing.then(|| JobTiming {
+                    queue_us: seq % 1_000_000,
+                    run_us: vcycles % 1_000_000,
+                });
+                Reply::Result { id, cached, attempts, payload, timing }
             }
             2 => Reply::Error { id, kind: "lane-fault".into(), detail: "d".into() },
             3 => Reply::Shed { id, kind: "overloaded".into(), detail: "d".into() },
+            4 => Reply::Watching { buffer: seq % limits::MAX_WATCH_BUFFER + 1 },
+            5 => Reply::Event {
+                seq,
+                dropped: u64::from(attempts),
+                vcycles,
+                kind: "completed".into(),
+                tenant: "t".into(),
+                id,
+                detail: if cached { "ok".into() } else { String::new() },
+            },
             _ => Reply::Pong,
         };
         let decoded = Reply::parse_line(&reply.to_line())
             .map_err(|e| TestCaseError::fail(e.to_string()))?;
         prop_assert_eq!(reply, decoded);
+    }
+
+    /// Well-formed `stats`/`watch` requests round-trip with their
+    /// filters intact.
+    #[test]
+    fn stats_and_watch_round_trip(
+        tenant in proptest::option::of("[a-z]{1,12}"),
+        prefix in proptest::option::of("[a-z.]{1,16}"),
+        buffer in proptest::option::of(1u64..=65_536),
+    ) {
+        for request in [
+            Request::Stats { tenant: tenant.clone(), prefix: prefix.clone() },
+            Request::Watch { tenant: tenant.clone(), buffer },
+        ] {
+            let decoded = Request::parse_line(&request.to_line())
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(request, decoded);
+        }
+    }
+
+    /// Hostile `stats`/`watch` field values either decode into
+    /// limit-respecting filters or die as typed schema errors — the
+    /// introspection ops get the same rigor as `submit`.
+    #[test]
+    fn hostile_stats_watch_fields_are_typed(
+        op in prop_oneof![Just("stats"), Just("watch")],
+        tenant in "\\PC{0,200}",
+        prefix in "\\PC{0,200}",
+        buffer in any::<i64>(),
+    ) {
+        let line = format!(
+            "{{\"op\":{op:?},\"tenant\":{tenant:?},\"prefix\":{prefix:?},\"buffer\":{buffer}}}"
+        );
+        match Request::parse_line(&line) {
+            Ok(Request::Stats { tenant, prefix }) => {
+                prop_assert!(tenant.is_none_or(|t| t.len() <= limits::MAX_NAME));
+                prop_assert!(prefix.is_none_or(|p| p.len() <= limits::MAX_PREFIX));
+            }
+            Ok(Request::Watch { tenant, buffer }) => {
+                prop_assert!(tenant.is_none_or(|t| t.len() <= limits::MAX_NAME));
+                prop_assert!(
+                    buffer.is_none_or(|b| (1..=limits::MAX_WATCH_BUFFER).contains(&b))
+                );
+            }
+            Ok(_) => {}
+            Err(e) => prop_assert!(matches!(
+                e.kind,
+                ProtocolErrorKind::Schema | ProtocolErrorKind::Malformed
+            )),
+        }
     }
 }
 

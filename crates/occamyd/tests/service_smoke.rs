@@ -185,7 +185,7 @@ fn soak_1000_jobs_8_tenants_with_chaos() {
         }
     });
 
-    let stats = service.stats_value().render_compact();
+    let stats = service.stats_value(None, None).render_compact();
     service.join();
     let _ = std::panic::take_hook();
 

@@ -1,0 +1,89 @@
+//! Tier-1 metric-name lint: both metrics registries — the simulator's
+//! (published by a `Machine` run) and the service's (published by the
+//! `occamyd` daemon) — must use the dotted naming scheme (`sim.<...>`
+//! for simulator quantities, `service.<...>` for daemon quantities),
+//! lowercase snake-case segments throughout, and never register the
+//! same name twice. Dashboards and the `stats` wire filters key on
+//! these names; a rename or collision is a silent breakage for every
+//! consumer, so it fails CI here instead.
+
+use std::collections::BTreeSet;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use occamy_sim::{Architecture, SimConfig};
+use occamyd::{JobSpec, Reply, Service, ServiceConfig};
+use workloads::{corun, motivating};
+
+/// Checks one registry's names; extends `seen` so a second registry can
+/// be checked against the union.
+fn assert_well_named(origin: &str, names: &[String], seen: &mut BTreeSet<String>) {
+    assert!(!names.is_empty(), "{origin}: registry published nothing");
+    for name in names {
+        assert!(
+            name.starts_with("sim.") || name.starts_with("service."),
+            "{origin}: `{name}` is outside the sim.* / service.* namespaces"
+        );
+        for segment in name.split('.') {
+            assert!(
+                !segment.is_empty()
+                    && segment
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{origin}: `{name}` has a segment that is not lowercase snake-case"
+            );
+        }
+        assert!(
+            seen.insert(name.clone()),
+            "{origin}: `{name}` is registered more than once"
+        );
+    }
+}
+
+fn sim_metric_names() -> Vec<String> {
+    let cfg = SimConfig::paper_2core();
+    let specs = [motivating::wl0(), motivating::wl1()];
+    let mut machine =
+        corun::build_machine(&specs, &cfg, &Architecture::Occamy, 0.25).expect("build");
+    let stats = machine.run(100_000_000).expect("simulation fault");
+    assert!(stats.completed);
+    stats.metrics.iter().map(|m| m.name.clone()).collect()
+}
+
+fn service_metric_names() -> Vec<String> {
+    let service = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let (tx, rx) = mpsc::channel::<Reply>();
+    let job = JobSpec {
+        workloads: vec!["synth:2,1,3,64".into()],
+        scale: 0.05,
+        max_cycles: 2_000_000,
+        ..JobSpec::default()
+    };
+    service.submit("lint_tenant", "j1", job, &tx);
+    loop {
+        match rx.recv_timeout(Duration::from_secs(60)).expect("job terminal") {
+            Reply::Result { .. } | Reply::Error { .. } | Reply::Shed { .. } => break,
+            _ => {}
+        }
+    }
+    service.quiesce();
+    let names = service.metrics().iter().map(|m| m.name.clone()).collect();
+    service.join();
+    names
+}
+
+#[test]
+fn metric_names_are_dotted_unique_and_namespaced() {
+    let mut seen = BTreeSet::new();
+    assert_well_named("machine registry", &sim_metric_names(), &mut seen);
+    // The service registry republishes nothing from the machine run —
+    // the union must stay collision-free too.
+    let service_names = service_metric_names();
+    assert_well_named("service registry", &service_names, &mut seen);
+
+    // The per-tenant SLO block actually made it into the snapshot.
+    assert!(
+        service_names.iter().any(|n| n == "service.tenant.lint_tenant.latency_vcycles_p99"),
+        "per-tenant SLO metrics missing from the service registry: {service_names:?}"
+    );
+}
