@@ -18,6 +18,7 @@ use occamy_sim::{Architecture, MachineStats, MetricValue, MetricsRegistry, SimCo
 use workloads::table3::CorunPair;
 use workloads::{corun, WorkloadSpec};
 
+pub mod event_kernel;
 pub mod json;
 pub mod recovery;
 pub mod runner;

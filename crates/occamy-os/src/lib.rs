@@ -296,7 +296,25 @@ impl Scheduler {
                 }
             }
 
-            machine.step()?;
+            // Step with the event kernel bounded by the earliest quantum
+            // expiry: a skipped idle span must not jump past the cycle
+            // where a preemption decision is due. (`core_done` cannot
+            // change during an inert span, so the quantum boundary is
+            // the only scheduler-visible deadline inside one.) With an
+            // empty ready queue no preemption can fire — and the queue
+            // stays empty from then on, preemption being its only
+            // producer — so the quantum bound is dropped there.
+            let bound = if queue.is_empty() {
+                max_cycles
+            } else {
+                running
+                    .iter()
+                    .flatten()
+                    .map(|&(_, since)| since.saturating_add(self.quantum))
+                    .fold(max_cycles, Cycle::min)
+            }
+            .max(machine.cycle() + 1);
+            machine.step_bounded(bound)?;
 
             // Retire finished tasks; preempt expired quanta.
             for core in 0..cores {

@@ -31,6 +31,7 @@ use crate::exec;
 use crate::fault::FaultState;
 use crate::lsu::{Lsu, LsuEntry};
 use crate::regblocks::{BlockOwner, LaneHealth, PhysId, PhysRegFile, RegBlocks};
+use crate::sched::EventQueue;
 use crate::stats::{CoreStats, PhaseStats};
 use crate::trace::{Trace, TraceEvent, TraceStage};
 
@@ -72,6 +73,21 @@ pub(crate) struct OsContext {
     pub status: u64,
     pub vregs: Vec<Vec<f32>>,
     pub pregs: Vec<Vec<f32>>,
+}
+
+/// Outcome of the event kernel's per-core co-processor inertness probe
+/// ([`CoProcessor::core_activity`]): whether a `tick` at the probed cycle
+/// would change any co-processor state for the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CoprocActivity {
+    /// Nothing would happen this cycle. `reg_stall` reports whether the
+    /// pool head is a vector instruction stalled on register-block
+    /// exhaustion — the one inert case with a per-cycle statistics
+    /// side-effect (`rename_stall_cycles`), which the skip path must
+    /// replay in bulk.
+    Inert { reg_stall: bool },
+    /// A stage would do real work (or trip a fault) — do not skip.
+    Active,
 }
 
 /// Per-core issue counts for one cycle (consumed by the machine's
@@ -364,6 +380,158 @@ impl CoProcessor {
             }
             _ => false,
         })
+    }
+
+    /// Whether any in-flight compute result is due at `now` — a machine-
+    /// wide activity signal the event kernel checks before probing cores.
+    pub(crate) fn inflight_due(&self, now: Cycle) -> bool {
+        self.inflight.iter().any(|f| f.complete_at <= now)
+    }
+
+    /// Schedules every pending completion — in-flight compute writebacks
+    /// and issued LSU accesses — into the event queue, keyed by the same
+    /// `(track, seq)` identities the event log uses.
+    pub(crate) fn schedule_completions(&self, q: &mut EventQueue) {
+        for f in &self.inflight {
+            q.schedule(f.complete_at, Track::Coproc, f.rob_seq);
+        }
+        for ctx in &self.cores {
+            for (at, seq) in ctx.lsu.issued_completions() {
+                q.schedule(at, Track::Memory, seq);
+            }
+        }
+    }
+
+    /// The event kernel's inertness probe for one core: decides — without
+    /// mutating anything — whether a `tick` at cycle `now` would change
+    /// co-processor state for `core`. Each check mirrors the corresponding
+    /// stage exactly; when in doubt the probe answers
+    /// [`CoprocActivity::Active`], which merely forgoes a skip and can
+    /// never change results. The differential proptests in
+    /// `tests/event_kernel.rs` hold the mirror to the real stages.
+    pub(crate) fn core_activity(
+        &self,
+        core: usize,
+        now: Cycle,
+        mem_capacity: u64,
+    ) -> CoprocActivity {
+        let ctx = &self.cores[core];
+
+        // Stage 1 (complete): a retirement-ready ROB head or a due LSU
+        // completion would do work. (Due in-flight compute results are
+        // ruled out machine-wide by `inflight_due` before cores are
+        // probed.)
+        if ctx.rob.front().is_some_and(|h| h.done) {
+            return CoprocActivity::Active;
+        }
+        if ctx.lsu.issued_completions().any(|(at, _)| at <= now) {
+            return CoprocActivity::Active;
+        }
+
+        // Stage 2a (compute issue): mirrors `try_issue_compute`'s
+        // readiness filter.
+        let compute_ready = ctx.iq.iter().any(|e| {
+            e.srcs.iter().all(|&s| self.prf.is_ready(s))
+                && e.pred.is_none_or(|p| self.ppf.is_ready(p))
+                && e.psrcs.iter().all(|&p| self.ppf.is_ready(p))
+                && e.merge.is_none_or(|m| self.prf.is_ready(m))
+        });
+        if compute_ready {
+            return CoprocActivity::Active;
+        }
+
+        // Stage 2b (memory issue): mirrors `try_issue_mem`'s skip order,
+        // including the bounds check that trips *before* the blocked
+        // checks.
+        for (idx, e) in ctx.lsu.entries().iter().enumerate() {
+            if e.issued {
+                continue;
+            }
+            if e.pred.is_some_and(|p| !self.ppf.is_ready(p)) {
+                continue;
+            }
+            let span = match e.pred {
+                Some(p) => self
+                    .ppf
+                    .read(p)
+                    .iter()
+                    .rposition(|&a| a != 0.0)
+                    .map_or(0, |i| (i as u64 + 1) * 4),
+                None => e.bytes,
+            };
+            if span > 0 && e.addr.checked_add(span).is_none_or(|end| end > mem_capacity) {
+                // Would trip a MemoryFault.
+                return CoprocActivity::Active;
+            }
+            if e.store {
+                if ctx.lsu.store_blocked(idx) {
+                    continue;
+                }
+                match e.src {
+                    Some(src) if self.prf.is_ready(src) => return CoprocActivity::Active,
+                    _ => continue,
+                }
+            } else {
+                if ctx.lsu.load_blocked(idx) {
+                    continue;
+                }
+                return CoprocActivity::Active;
+            }
+        }
+
+        // Stage 3 (rename / EM-SIMD path): only the pool head can act.
+        let mut reg_stall = false;
+        match ctx.pool.front() {
+            None => {}
+            Some(PoolEntry::Vector { inst, .. }) => {
+                let structural_full = ctx.rob.len() >= self.cfg.rob_entries
+                    || (inst.is_mem() && ctx.lsu.is_full())
+                    || (!inst.is_mem() && ctx.iq.len() >= self.cfg.iq_entries);
+                if !structural_full {
+                    if ctx.cur_vl.lanes() == 0 {
+                        // Would trip InvalidVl.
+                        return CoprocActivity::Active;
+                    }
+                    if inst.vector_dst().is_some() {
+                        if self.blocks.can_reserve(&ctx.spans) {
+                            return CoprocActivity::Active;
+                        }
+                        reg_stall = true;
+                    } else if inst.pred_dst().is_some() {
+                        if self.blocks.can_reserve_pred(&ctx.spans) {
+                            return CoprocActivity::Active;
+                        }
+                        reg_stall = true;
+                    } else {
+                        // Stores rename without reserving a destination.
+                        return CoprocActivity::Active;
+                    }
+                }
+            }
+            Some(PoolEntry::Em { inst, .. }) => {
+                // Mirrors `exec_em`: only `MSR <VL>` over a non-drained
+                // pipeline waits; every other EM-SIMD instruction
+                // executes. (A zero `em_width` would also block the head,
+                // but then no cycle can drain it — treating it as active
+                // just forgoes the skip, conservatively.)
+                let waiting = matches!(inst, EmSimdInst::Msr { reg: DedicatedReg::Vl, .. })
+                    && !ctx.rob.is_empty();
+                if !waiting {
+                    return CoprocActivity::Active;
+                }
+                if self.events.is_enabled() && ctx.drain_start.is_none() {
+                    // exec_em would stamp drain_start this cycle.
+                    return CoprocActivity::Active;
+                }
+            }
+        }
+
+        // Event-log edges: `rename` records RenameStallBegin/End whenever
+        // the stall flag flips, so a flip cycle is not inert.
+        if self.events.is_enabled() && (ctx.stall_since.is_some() != reg_stall) {
+            return CoprocActivity::Active;
+        }
+        CoprocActivity::Inert { reg_stall }
     }
 
     fn mark_rob_done(rob: &mut VecDeque<RobEntry>, seq: u64) {

@@ -134,6 +134,15 @@ impl Lsu {
         done
     }
 
+    /// Completion times of issued entries, as `(complete_at, seq)` pairs
+    /// — the wakeups the event kernel schedules on the memory track.
+    pub fn issued_completions(&self) -> impl Iterator<Item = (Cycle, u64)> + '_ {
+        self.entries
+            .iter()
+            .filter(|e| e.issued)
+            .filter_map(|e| e.complete_at.map(|c| (c, e.seq)))
+    }
+
     /// Whether any entry (issued or not) overlaps the byte range — the
     /// MOB query scalar cores use before scalar memory accesses
     /// (Table 2's address-overlap ordering).

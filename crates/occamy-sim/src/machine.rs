@@ -4,7 +4,7 @@ use em_simd::{DedicatedReg, EmSimdInst, Inst, InstTag, Operand, Program, ScalarI
 use mem_sim::{Cycle, MemStats, Memory, MemorySystem};
 
 use crate::config::{Architecture, SimConfig};
-use crate::coproc::{CoProcessor, OsContext};
+use crate::coproc::{CoProcessor, CoprocActivity, OsContext};
 use crate::error::{CoreDump, SimError, WatchdogDump};
 use crate::events::{EventKind, EventLog, Track};
 use crate::fault::{FaultPlan, FaultState, FaultStats};
@@ -12,6 +12,7 @@ use crate::metrics::{Histogram, MetricsRegistry};
 use crate::profile::{CycleClass, ProfileState};
 use crate::recovery::{RecoveryPolicy, RecoveryStats};
 use crate::scalar::{ScalarCore, Wait};
+use crate::sched::EventQueue;
 use crate::stats::{CoreStats, MachineStats, Timeline};
 
 /// Width of the timeline buckets, matching the paper's plots
@@ -89,6 +90,69 @@ pub struct Machine {
     /// (and therefore preserves full-machine `==`) until a functional
     /// window actually runs.
     twospeed: TwoSpeed,
+    /// Event-driven timing-kernel control (see
+    /// [`step_bounded`](Machine::step_bounded)): the reference-mode flag
+    /// and skip accounting. Not architectural state — excluded from
+    /// machine equality, snapshots and rollbacks, so a run that jumped
+    /// its idle spans compares `==` to one that ticked through them.
+    kernel: KernelCtl,
+}
+
+/// Control state of the event-driven timing kernel.
+#[derive(Debug, Clone, Default)]
+struct KernelCtl {
+    /// `true` forces the per-cycle reference path (no idle-span jumps);
+    /// seeded from the `OCCAMY_REFERENCE_KERNEL` environment variable so
+    /// differential harnesses can flip whole binaries without plumbing.
+    reference: bool,
+    /// Idle cycles jumped (still simulated: every per-cycle statistic is
+    /// applied in bulk, so `sim.cycles` and all outputs are unchanged).
+    cycles_skipped: u64,
+    /// Number of jumped spans.
+    skips: u64,
+    /// Whether to publish `sim.cycles_skipped` in the metrics registry
+    /// (off by default: golden documents embed registry snapshots).
+    expose_metric: bool,
+}
+
+impl KernelCtl {
+    fn from_env() -> Self {
+        let reference = std::env::var("OCCAMY_REFERENCE_KERNEL")
+            .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+        KernelCtl { reference, ..KernelCtl::default() }
+    }
+}
+
+/// The kernel choice and its skip history are measurement details, not
+/// machine state: two machines in identical architectural state must
+/// compare equal regardless of how their cycles were driven (the
+/// differential and mode-switch tests rely on exactly that).
+impl PartialEq for KernelCtl {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+/// What the event kernel's probe found for one inert core: the per-cycle
+/// side-effects a real tick would have had, which
+/// [`Machine::apply_skip`] replays in bulk over the jumped span.
+#[derive(Debug, Clone, Copy)]
+struct InertCore {
+    /// `Some(tag)` when the core is parked in `Wait::EmAck` and charges
+    /// its wait tag to the overhead counters every cycle.
+    overhead: Option<InstTag>,
+    /// Whether the core's pool head stalls on register-block exhaustion
+    /// (charging `rename_stall_cycles` every cycle).
+    reg_stall: bool,
+}
+
+/// Outcome of the machine-level scalar-core inertness probe.
+#[derive(Debug, Clone, Copy)]
+enum ScalarActivity {
+    /// The core would execute, trip a fault, or otherwise change state.
+    Active,
+    /// The core is blocked; `overhead` as in [`InertCore`].
+    Inert { overhead: Option<InstTag> },
 }
 
 /// The machine's execution mode (the gem5 Atomic-vs-O3 split): the
@@ -298,6 +362,7 @@ impl Machine {
             profile: None,
             mode: SimMode::Timing,
             twospeed: TwoSpeed::default(),
+            kernel: KernelCtl::from_env(),
         })
     }
 
@@ -387,7 +452,7 @@ impl Machine {
                 self.fault = Some(e.clone());
                 return Err(e);
             }
-            if let Err(e) = self.step() {
+            if let Err(e) = self.step_bounded(deadline) {
                 for s in &mut self.scalar {
                     s.frozen = false;
                 }
@@ -422,6 +487,37 @@ impl Machine {
         self.stagnant = 0;
     }
 
+    /// Selects the per-cycle reference kernel (`true`) instead of the
+    /// event-driven kernel (`false`, the default). The two produce
+    /// byte-identical results — the reference path exists for the
+    /// differential test harnesses that prove exactly that. Also
+    /// settable process-wide via the `OCCAMY_REFERENCE_KERNEL`
+    /// environment variable (`1` or `true`), read at machine
+    /// construction.
+    pub fn set_reference_kernel(&mut self, on: bool) {
+        self.kernel.reference = on;
+    }
+
+    /// Idle cycles the event kernel jumped so far. The jumped cycles are
+    /// still fully accounted (statistics, profiler, timeline, watchdog),
+    /// just not individually ticked; `sim.cycles` includes them.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.kernel.cycles_skipped
+    }
+
+    /// Number of idle spans the event kernel jumped so far.
+    pub fn skip_count(&self) -> u64 {
+        self.kernel.skips
+    }
+
+    /// Publishes `sim.cycles_skipped` in the metrics registry. Off by
+    /// default: golden documents embed registry snapshots, and the skip
+    /// counter is the one quantity that legitimately differs between the
+    /// kernels.
+    pub fn expose_kernel_metric(&mut self, on: bool) {
+        self.kernel.expose_metric = on;
+    }
+
     /// Captures a deterministic architectural snapshot of the whole
     /// machine (pipelines, memory image, statistics, cycle counter and
     /// fault-injection stream). The recovery controller itself is not
@@ -438,8 +534,12 @@ impl Machine {
     /// kept.
     pub fn restore_snapshot(&mut self, snapshot: &MachineSnapshot) {
         let ctl = self.recovery.take();
+        let kernel = self.kernel.clone();
         *self = (*snapshot.0).clone();
         self.recovery = ctl;
+        // Kernel choice and skip accounting are measurement state, not
+        // part of the captured run.
+        self.kernel = kernel;
     }
 
     /// Arms the detection-and-recovery subsystem (§ detection &
@@ -673,7 +773,7 @@ impl Machine {
 
     fn run_timing(&mut self, max_cycles: Cycle) -> Result<MachineStats, SimError> {
         while self.cycle < max_cycles && !self.done() {
-            self.step()?;
+            self.step_bounded(max_cycles)?;
         }
         // A program epilogue may shed its last blocks on the final step;
         // finish any pending quarantine drains so the run's end-state
@@ -713,7 +813,7 @@ impl Machine {
             // doesn't measure the cold-start transient.
             let warm_end = (self.cycle + spec.warmup).min(deadline);
             while self.cycle < warm_end && !self.done() {
-                self.step()?;
+                self.step_bounded(warm_end)?;
             }
             if self.done() || self.cycle >= deadline {
                 break;
@@ -723,7 +823,7 @@ impl Machine {
             let start = self.cycle;
             let sample_end = (self.cycle + spec.sample).min(deadline);
             while self.cycle < sample_end && !self.done() {
-                self.step()?;
+                self.step_bounded(sample_end)?;
             }
             let elapsed = self.cycle - start;
             if elapsed > 0 {
@@ -836,6 +936,263 @@ impl Machine {
         self.check_watchdog()
     }
 
+    /// Advances the machine by one *real* step toward `bound` (an
+    /// exclusive cycle limit the caller's loop is running to), first
+    /// letting the event-driven kernel jump any leading span of provably
+    /// inert cycles. Equivalent to calling [`step`](Machine::step) in a
+    /// loop — same statistics, same outputs, same faults at the same
+    /// cycles — but idle spans cost O(1) instead of O(span).
+    ///
+    /// How the jump stays exact: the inertness probe
+    /// ([`probe_inert`](Machine::probe_inert)) proves that a tick at the
+    /// current cycle would change nothing, a [`EventQueue`] over every
+    /// scheduled future action (pipeline and memory completions, scalar
+    /// load arrivals, watchdog/checkpoint/self-test timers) bounds how
+    /// long that stays true, and [`apply_skip`](Machine::apply_skip)
+    /// replays the span's per-cycle accounting in bulk. The cycle at the
+    /// horizon itself is always executed as a real step.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Machine::run).
+    pub fn step_bounded(&mut self, bound: Cycle) -> Result<(), SimError> {
+        if !self.kernel.reference && self.fault().is_none() {
+            self.try_skip_idle(bound);
+        }
+        self.step()
+    }
+
+    /// The skip decision: probes for inertness, gathers the event
+    /// horizon, and jumps `cycle` to `min(horizon, bound - 1)` when that
+    /// is in the future. Leaves the machine untouched otherwise.
+    fn try_skip_idle(&mut self, bound: Cycle) {
+        let now = self.cycle;
+        // Capping at `bound - 1` keeps the loop's final cycle a real
+        // step, so `cycle` lands exactly on `bound` and never overshoots
+        // a `while cycle < bound` driver.
+        if bound <= now + 1 {
+            return;
+        }
+        // Quarantined granules draining toward retirement can retire on
+        // any cycle an owner sheds them — too entangled with the lane
+        // manager to predict, so never skip while one is in flight.
+        if self.recovery.is_some() && self.coproc.quarantine_counts().0 != 0 {
+            return;
+        }
+        let Some(inert) = self.probe_inert() else { return };
+        let mut q = EventQueue::new(now);
+        self.coproc.schedule_completions(&mut q);
+        for (c, s) in self.scalar.iter().enumerate() {
+            for &(done, _) in &s.pending_loads {
+                q.schedule(done, Track::Core(c), 0);
+            }
+        }
+        // Watchdog timer: inert cycles are by definition stagnant, so
+        // the trip step (which must execute for real, recording the
+        // event and the dump) comes `watchdog - stagnant` steps out; the
+        // step *starting* at that cycle performs the trip.
+        if !self.done() {
+            let trip = now + self.watchdog.saturating_sub(self.stagnant).saturating_sub(1);
+            q.schedule(trip, Track::Recovery, 0);
+        }
+        if let Some(ctl) = self.recovery.as_ref() {
+            // Checkpoint timer: the next multiple of the interval
+            // (`recovery_maintenance` checkpoints when `cycle % interval
+            // == 0`), or right now if the initial checkpoint is owed.
+            let at = if ctl.checkpoint.is_none() {
+                now
+            } else {
+                let i = ctl.policy.checkpoint_interval.max(1);
+                now.div_ceil(i) * i
+            };
+            q.schedule(at, Track::Recovery, 1);
+            // Self-test timer — only when the sweep can observe anything
+            // (mirrors the guards in `recovery_maintenance`; without a
+            // fault plan the sweep is a no-op and needs no event).
+            if ctl.policy.selftest_interval > 0
+                && ctl.policy.quarantine
+                && self.coproc.has_lane_manager()
+                && self.faults.is_some()
+            {
+                let i = ctl.policy.selftest_interval;
+                q.schedule(now.max(1).div_ceil(i) * i, Track::Recovery, 2);
+            }
+        }
+        let horizon = q.next_at().map_or(bound - 1, |at| at.min(bound - 1));
+        if horizon <= now {
+            return;
+        }
+        self.apply_skip(horizon - now, &inert);
+    }
+
+    /// Proves — without mutating anything — that a `tick` at the current
+    /// cycle would change no machine state, and captures each core's
+    /// per-cycle statistics side-effects for bulk replay. Returns `None`
+    /// as soon as any component would act; a conservative `None` merely
+    /// forgoes the skip.
+    fn probe_inert(&self) -> Option<Vec<InertCore>> {
+        let now = self.cycle;
+        if self.coproc.inflight_due(now) {
+            return None;
+        }
+        let mem_capacity = self.mem.capacity() as u64;
+        let mut cores = Vec::with_capacity(self.cfg.cores);
+        for c in 0..self.cfg.cores {
+            if self.scalar[c].pending_loads.iter().any(|&(done, _)| done <= now) {
+                return None;
+            }
+            // `tick` records a finish marker the first cycle a halted
+            // core's co-processor context drains.
+            if self.scalar[c].halted
+                && self.core_stats[c].finish_cycle.is_none()
+                && self.coproc.is_drained(c)
+                && self.scalar[c].program.is_some()
+            {
+                return None;
+            }
+            let reg_stall = match self.coproc.core_activity(c, now, mem_capacity) {
+                CoprocActivity::Active => return None,
+                CoprocActivity::Inert { reg_stall } => reg_stall,
+            };
+            let overhead = match self.probe_scalar(c) {
+                ScalarActivity::Active => return None,
+                ScalarActivity::Inert { overhead } => overhead,
+            };
+            cores.push(InertCore { overhead, reg_stall });
+        }
+        Some(cores)
+    }
+
+    /// The scalar half of the inertness probe: decides whether
+    /// [`step_scalar`](Machine::step_scalar) would make progress on core
+    /// `c` this cycle, mirroring its dispatch on the first fetched
+    /// instruction (only the first matters — if it blocks, nothing after
+    /// it runs; if it acts, the cycle is not inert).
+    fn probe_scalar(&self, c: usize) -> ScalarActivity {
+        let s = &self.scalar[c];
+        if s.frozen {
+            // Frozen precedes the EmAck attribution in `step_scalar`:
+            // a frozen waiting core charges nothing.
+            return ScalarActivity::Inert { overhead: None };
+        }
+        if s.wait == Wait::EmAck {
+            return ScalarActivity::Inert { overhead: Some(s.wait_tag) };
+        }
+        if s.halted {
+            return ScalarActivity::Inert { overhead: None };
+        }
+        let pc = s.pc;
+        let Some(inst) = s.program.as_ref().and_then(|p| (pc < p.len()).then(|| p.fetch(pc)))
+        else {
+            // Would trip a Decode fault (PC off the end).
+            return ScalarActivity::Active;
+        };
+        let blocked = match inst {
+            Inst::Halt => false,
+            Inst::Scalar(sc) if sc.is_mem() => {
+                s.blocked_on_pending(sc)
+                    || s.pending_loads.len() >= 8
+                    || {
+                        let (base, index) = match sc {
+                            ScalarInst::Ldr { base, index, .. }
+                            | ScalarInst::Str { base, index, .. } => (base, index),
+                            _ => return ScalarActivity::Active,
+                        };
+                        let addr = s.x[base.index()]
+                            .wrapping_add(s.x[index.index()].wrapping_mul(4));
+                        // An overlap parks the access; anything else —
+                        // including an out-of-bounds trip — acts.
+                        self.coproc.any_mem_overlap(c, addr, 4)
+                    }
+            }
+            Inst::Scalar(sc) => s.blocked_on_pending(sc),
+            Inst::Vector(v) => {
+                v.scalar_srcs().iter().any(|r| s.pending_x[r.index()])
+                    || !self.coproc.pool_has_space(c)
+            }
+            Inst::EmSimd(e) => match e {
+                // MRS <decision> executes speculatively, always.
+                EmSimdInst::Mrs { reg: DedicatedReg::Decision, .. } => false,
+                EmSimdInst::Msr { src: Operand::Reg(r), .. }
+                    if s.pending_x[r.index()] =>
+                {
+                    true
+                }
+                _ => !self.coproc.pool_has_space(c),
+            },
+        };
+        if blocked {
+            ScalarActivity::Inert { overhead: None }
+        } else {
+            ScalarActivity::Active
+        }
+    }
+
+    /// Replays `span` inert cycles' worth of per-cycle accounting in one
+    /// shot: lane-allocation integrals, rename-stall and overhead
+    /// charges, profiler attribution, the timeline series, watchdog
+    /// stagnation, and the cycle counter itself. Exact by construction —
+    /// every quantity below is what `span` consecutive inert `tick`s
+    /// would have accumulated (integer counters add exactly; the f64
+    /// overhead counters hold dyadic multiples of 1/8 far below 2^52,
+    /// where repeated `+1.0` equals one `+span`; busy-lane terms are
+    /// identically zero on an inert cycle).
+    fn apply_skip(&mut self, span: Cycle, inert: &[InertCore]) {
+        let start = self.cycle;
+        let mut alloc = vec![0usize; self.cfg.cores];
+        for c in 0..self.cfg.cores {
+            let lanes = self.coproc.cur_vl(c).lanes();
+            alloc[c] = lanes;
+            self.core_stats[c].alloc_lane_cycles += lanes as u64 * span;
+            if inert[c].reg_stall {
+                self.core_stats[c].rename_stall_cycles += span;
+            }
+            if let Some(tag) = inert[c].overhead {
+                self.attribute_overhead(c, tag, span as f64);
+            }
+        }
+        if let Some(mut prof) = self.profile.take() {
+            for c in 0..self.cfg.cores {
+                // The per-tick classifier, restricted to what an inert
+                // cycle can be: no issue and no scalar retirement, so
+                // Compute is unreachable.
+                let class = match inert[c].overhead {
+                    Some(InstTag::Monitor) => CycleClass::Monitor,
+                    Some(
+                        InstTag::Reconfigure
+                        | InstTag::PhasePrologue
+                        | InstTag::PhaseEpilogue,
+                    ) => CycleClass::DrainReconfig,
+                    _ => {
+                        if self.coproc.lsu_outstanding(c) + self.scalar[c].pending_loads.len()
+                            > 0
+                        {
+                            CycleClass::MemoryBound
+                        } else if self.scalar[c].halted && self.coproc.is_drained(c) {
+                            CycleClass::Idle
+                        } else {
+                            CycleClass::Other
+                        }
+                    }
+                };
+                prof.attribute_span(c, self.coproc.open_phase(c), class, span);
+            }
+            self.profile = Some(prof);
+        }
+        self.timeline.record_idle_span(start, &alloc, span);
+        // Inert cycles are stagnant by definition; `check_watchdog`
+        // would have reset to zero each cycle only if the machine were
+        // done.
+        if self.done() {
+            self.stagnant = 0;
+        } else {
+            self.stagnant += span;
+        }
+        self.cycle += span;
+        self.kernel.cycles_skipped += span;
+        self.kernel.skips += 1;
+    }
+
     /// Housekeeping of the recovery subsystem, run before each cycle:
     /// finishes lazy quarantine drains, runs the periodic lane
     /// self-test, and takes the periodic checkpoint. No-op when recovery
@@ -847,11 +1204,17 @@ impl Machine {
         // Periodic lane self-test: catches permanent faults on granules
         // that are not currently computing (a lightly-loaded machine
         // would otherwise never detect them through the residue check).
+        // `faults.is_none()` means `hit` below is constant-false: skip
+        // the whole granule sweep (it used to run — a pure waste — on
+        // every interval boundary of a fault-free recovery-enabled run,
+        // and the event kernel's self-test timer assumes it is a no-op
+        // then).
         if ctl.policy.selftest_interval > 0
             && ctl.policy.quarantine
             && self.cycle > 0
             && self.cycle % ctl.policy.selftest_interval == 0
             && self.coproc.has_lane_manager()
+            && self.faults.is_some()
         {
             for g in 0..self.cfg.total_granules {
                 let hit =
@@ -964,8 +1327,12 @@ impl Machine {
         // not recur deterministically, while a permanent fault keeps
         // firing until classification quarantines its granule.
         let keep_faults = self.faults.take();
+        let keep_kernel = self.kernel.clone();
         *self = (*image.0).clone();
         self.faults = keep_faults;
+        // Skip accounting survives the rollback: it measures the driver,
+        // not the replayed architectural history.
+        self.kernel = keep_kernel;
         // The event log and profiler rewound with the restore; record the
         // detection and rollback *after* it so they survive, stamped at
         // the restored cycle (which keeps track timestamps monotone).
@@ -1026,6 +1393,16 @@ impl Machine {
         let mut r = MetricsRegistry::new();
         r.counter("sim.cycles", self.cycle, "total simulated cycles");
         r.counter("sim.completed", u64::from(self.done()), "1 when every workload halted");
+        // Opt-in (see `expose_kernel_metric`): golden documents embed
+        // registry snapshots, and this is the one counter that
+        // legitimately differs between the event and reference kernels.
+        if self.kernel.expose_metric {
+            r.counter(
+                "sim.cycles_skipped",
+                self.kernel.cycles_skipped,
+                "idle cycles jumped by the event-driven kernel (included in sim.cycles)",
+            );
+        }
         // Two-speed metrics are emitted only after a functional window
         // has run, so pure-timing registries stay byte-identical to
         // pre-two-speed builds.
@@ -1291,7 +1668,7 @@ impl Machine {
                 self.fault = Some(e.clone());
                 return Err(e);
             }
-            self.step()?;
+            self.step_bounded(deadline)?;
         }
         let em = self.coproc.os_save(core, self.cycle);
         let scalar = std::mem::replace(&mut self.scalar[core], ScalarCore::idle());
@@ -1848,6 +2225,9 @@ pub(crate) fn decode_machine(
         profile: None,
         mode,
         twospeed,
+        // Measurement state, not part of the checkpoint format: the
+        // resuming process picks its own kernel.
+        kernel: KernelCtl::from_env(),
     })
 }
 

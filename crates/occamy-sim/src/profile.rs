@@ -138,6 +138,20 @@ impl ProfileState {
     /// `phase` (`None` = outside any phase). Out-of-range indices are
     /// ignored rather than panicking (the profiler is diagnostic-only).
     pub fn attribute(&mut self, core: usize, phase: Option<usize>, class: CycleClass) {
+        self.attribute_span(core, phase, class, 1);
+    }
+
+    /// Attributes `n` cycles at once — the event kernel's bulk form for
+    /// skipped idle spans. Equivalent to `n` calls to
+    /// [`attribute`](Self::attribute) (all counters are integers, so
+    /// bulk addition is exact).
+    pub fn attribute_span(
+        &mut self,
+        core: usize,
+        phase: Option<usize>,
+        class: CycleClass,
+        n: u64,
+    ) {
         let Some(cp) = self.cores.get_mut(core) else { return };
         let bucket = match phase {
             Some(idx) => {
@@ -152,12 +166,12 @@ impl ProfileState {
             None => &mut cp.outside,
         };
         match class {
-            CycleClass::Compute => bucket.compute += 1,
-            CycleClass::MemoryBound => bucket.memory_bound += 1,
-            CycleClass::DrainReconfig => bucket.drain_reconfig += 1,
-            CycleClass::Monitor => bucket.monitor += 1,
-            CycleClass::Idle => bucket.idle += 1,
-            CycleClass::Other => bucket.other += 1,
+            CycleClass::Compute => bucket.compute += n,
+            CycleClass::MemoryBound => bucket.memory_bound += n,
+            CycleClass::DrainReconfig => bucket.drain_reconfig += n,
+            CycleClass::Monitor => bucket.monitor += n,
+            CycleClass::Idle => bucket.idle += n,
+            CycleClass::Other => bucket.other += n,
         }
     }
 }

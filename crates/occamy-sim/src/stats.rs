@@ -148,6 +148,29 @@ impl Timeline {
         }
     }
 
+    /// Records `span` consecutive *inert* cycles starting at `cycle` in
+    /// one call — the event kernel's bulk equivalent of `span` calls to
+    /// [`record`](Self::record) with zero busy lanes and constant
+    /// per-core allocations. Bucket boundaries inside the span flush
+    /// exactly where the per-cycle path would, so the resulting series
+    /// is identical.
+    pub fn record_idle_span(&mut self, mut cycle: Cycle, alloc: &[usize], mut span: Cycle) {
+        while span > 0 {
+            let take = (self.bucket_cycles - self.cur_count).min(span);
+            for c in 0..self.cores {
+                self.cur_alloc[c] += alloc[c] as u64 * take;
+            }
+            self.cur_count += take;
+            cycle += take;
+            span -= take;
+            if self.cur_count == self.bucket_cycles {
+                // Last cycle folded in was `cycle - 1`, matching
+                // `record`'s flush at `cycle + 1 - bucket_cycles`.
+                self.flush(cycle - self.bucket_cycles);
+            }
+        }
+    }
+
     fn flush(&mut self, start: Cycle) {
         if self.cur_count == 0 {
             return;

@@ -1,0 +1,623 @@
+//! Differential suite for the event-driven timing kernel.
+//!
+//! The kernel's contract (see `src/sched.rs` and
+//! `Machine::step_bounded`) is that skipping provably inert cycles is
+//! *invisible*: every architectural and statistical observable — memory,
+//! registers, `MachineStats`, the structured event log, fault cycles,
+//! watchdog trips — is identical to the per-cycle reference path. This
+//! suite enforces that contract three ways:
+//!
+//! * lockstep differentials on arbitrary generated programs (the
+//!   `no_panic_fuzz`-style generator, biased toward plausible
+//!   addresses), with the reference kernel selected via
+//!   [`Machine::set_reference_kernel`] — the same switch the
+//!   `OCCAMY_REFERENCE_KERNEL` environment variable drives;
+//! * the same differential under injected fault plans and the full
+//!   detection-and-recovery subsystem (checkpoints, rollbacks,
+//!   quarantine), where the kernel must either skip exactly or refuse
+//!   to skip;
+//! * invariants of the scheduler itself: the queue never pops into the
+//!   past, and pop order is a pure function of the event *set* — any
+//!   insertion order yields the same sequence.
+
+use em_simd::{
+    DedicatedReg, EmSimdInst, Operand, OperationalIntensity, PReg, Program, ProgramBuilder,
+    ScalarInst, VBinOp, VReg, VectorInst, XReg,
+};
+use mem_sim::Memory;
+use occamy_sim::{
+    Architecture, EventQueue, FaultPlan, Machine, RecoveryPolicy, SimConfig, Track,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const MEM_BYTES: usize = 1 << 16;
+const BUDGET: u64 = 30_000;
+const WATCHDOG: u64 = 3_000;
+
+fn xreg(rng: &mut StdRng) -> XReg {
+    XReg::from_index(rng.gen_range(0..8))
+}
+
+fn vreg(rng: &mut StdRng) -> VReg {
+    VReg::from_index(rng.gen_range(0..6))
+}
+
+fn operand(rng: &mut StdRng) -> Operand {
+    if rng.gen_bool(0.5) {
+        Operand::Imm(rng.gen_range(-1024..1024))
+    } else {
+        Operand::Reg(xreg(rng))
+    }
+}
+
+/// A structurally valid, mostly-plausible program (the `differential`
+/// suite's generator, trimmed): a well-formed `<OI>`/`<VL>` preamble
+/// most of the time, base registers biased toward in-bounds addresses,
+/// arbitrary compute/memory/predication in the body. Dependent
+/// reductions (`ReduceAdd` feeding scalar arithmetic) are generated
+/// often, because the resulting interlock stalls are exactly the idle
+/// spans the event kernel elides.
+fn plausible_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new();
+
+    if rng.gen_bool(0.8) {
+        b.em_simd(EmSimdInst::Msr {
+            reg: DedicatedReg::Oi,
+            src: Operand::Imm(
+                OperationalIntensity::uniform(rng.gen_range(0.01..64.0)).to_bits() as i64
+            ),
+        });
+        b.em_simd(EmSimdInst::Msr {
+            reg: DedicatedReg::Vl,
+            src: Operand::Imm(rng.gen_range(0..12)),
+        });
+    }
+    for r in 0..4 {
+        let imm = if rng.gen_bool(0.85) {
+            rng.gen_range(0..(MEM_BYTES / 2) as i64) & !3
+        } else {
+            rng.gen_range(-64..64)
+        };
+        b.scalar(ScalarInst::MovImm { dst: XReg::from_index(r), imm });
+    }
+
+    let len = rng.gen_range(0..40);
+    let n_labels = rng.gen_range(0..3usize);
+    let mut labels: Vec<_> = (0..n_labels).map(|i| b.fresh_label(&format!("l{i}"))).collect();
+    for _ in 0..len {
+        if !labels.is_empty() && rng.gen_bool(0.3) {
+            b.bind(labels.swap_remove(rng.gen_range(0..labels.len())));
+        }
+        match rng.gen_range(0..12) {
+            0 => {
+                b.scalar(ScalarInst::Add {
+                    dst: xreg(&mut rng),
+                    a: xreg(&mut rng),
+                    b: operand(&mut rng),
+                });
+            }
+            1 => {
+                b.scalar(ScalarInst::Ldr {
+                    dst: xreg(&mut rng),
+                    base: xreg(&mut rng),
+                    index: xreg(&mut rng),
+                });
+            }
+            2 => {
+                b.scalar(ScalarInst::Str {
+                    src: xreg(&mut rng),
+                    base: xreg(&mut rng),
+                    index: xreg(&mut rng),
+                });
+            }
+            3 => {
+                if let Some(&target) = labels.first() {
+                    b.scalar(ScalarInst::Bne {
+                        a: xreg(&mut rng),
+                        b: operand(&mut rng),
+                        target,
+                    });
+                }
+            }
+            4 => {
+                b.em_simd(EmSimdInst::Msr {
+                    reg: [DedicatedReg::Oi, DedicatedReg::Vl, DedicatedReg::Status]
+                        [rng.gen_range(0..3usize)],
+                    src: Operand::Imm(rng.gen_range(-8..1_000_000)),
+                });
+            }
+            5 => {
+                b.em_simd(EmSimdInst::Mrs {
+                    dst: xreg(&mut rng),
+                    reg: [
+                        DedicatedReg::Oi,
+                        DedicatedReg::Vl,
+                        DedicatedReg::Decision,
+                        DedicatedReg::Status,
+                        DedicatedReg::Al,
+                    ][rng.gen_range(0..5usize)],
+                });
+            }
+            6 => {
+                b.vector(VectorInst::Load {
+                    dst: vreg(&mut rng),
+                    base: xreg(&mut rng),
+                    index: xreg(&mut rng),
+                });
+            }
+            7 => {
+                b.vector(VectorInst::Store {
+                    src: vreg(&mut rng),
+                    base: xreg(&mut rng),
+                    index: xreg(&mut rng),
+                });
+            }
+            8 => {
+                let op = [VBinOp::Fadd, VBinOp::Fsub, VBinOp::Fmul, VBinOp::Fdiv, VBinOp::Fmax]
+                    [rng.gen_range(0..5usize)];
+                b.vector(VectorInst::Binary {
+                    op,
+                    dst: vreg(&mut rng),
+                    a: vreg(&mut rng),
+                    b: vreg(&mut rng),
+                });
+            }
+            9 => {
+                b.vector(VectorInst::DupImm {
+                    dst: vreg(&mut rng),
+                    imm: rng.gen_range(-8.0..8.0),
+                });
+            }
+            _ => {
+                // The idle-span workhorse: a reduction whose scalar
+                // result immediately feeds dependent arithmetic, so the
+                // front end interlocks until the vector pipe drains.
+                let dst = xreg(&mut rng);
+                b.vector(VectorInst::ReduceAdd { dst, src: vreg(&mut rng) });
+                b.scalar(ScalarInst::Add {
+                    dst: xreg(&mut rng),
+                    a: dst,
+                    b: operand(&mut rng),
+                });
+            }
+        }
+    }
+    for label in labels {
+        b.bind(label);
+    }
+    if rng.gen_bool(0.95) {
+        b.halt();
+    }
+    b.build()
+}
+
+/// Deterministic pseudo-random fill so loads see varied data.
+fn seeded_memory(seed: u64) -> Memory {
+    let mut mem = Memory::new(MEM_BYTES);
+    let mut s = seed as u32 ^ 0x2545_f491;
+    for i in 0..(MEM_BYTES / 4) as u64 {
+        s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        mem.write_f32(4 * i, 0.25 + (s >> 20) as f32 / 4096.0);
+    }
+    mem
+}
+
+fn build_machine(seed: u64, cores: usize) -> Machine {
+    let cfg = if cores == 1 { SimConfig::paper(1) } else { SimConfig::paper_2core() };
+    let mut m = Machine::new(cfg, Architecture::Occamy, seeded_memory(seed))
+        .expect("paper config is valid");
+    m.set_watchdog(WATCHDOG);
+    m.enable_events(1 << 14);
+    for c in 0..cores {
+        m.load_program(c, plausible_program(seed.wrapping_add(c as u64 * 0x9e37)));
+    }
+    m
+}
+
+/// The machine's full debug dump minus the kernel's own bookkeeping
+/// (skip counters and the reference-mode flag — the one part of the
+/// state *allowed* to differ between the two paths). Dump comparison
+/// rather than `Machine: PartialEq` because arbitrary programs put
+/// NaNs in the physical register file, and `NaN != NaN` would fail
+/// `==` on bit-identical machines.
+fn kernel_blind_dump(m: &Machine) -> String {
+    let kernel_fields = ["reference:", "cycles_skipped:", "skips:", "expose_metric:"];
+    format!("{m:#?}")
+        .lines()
+        .filter(|l| !kernel_fields.iter().any(|f| l.trim_start().starts_with(f)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs the same machine configuration under the per-cycle reference
+/// kernel and the event-driven kernel, then requires full equality:
+/// the typed result (including fault kinds and watchdog trip cycles),
+/// the complete `Machine` state (memory, registers, pipelines, RNG
+/// position, statistics, profiler), and the structured event log.
+fn assert_kernels_agree(mut reference: Machine, mut event: Machine, label: &str) {
+    reference.set_reference_kernel(true);
+    let want = reference.run(BUDGET);
+    let got = event.run(BUDGET);
+
+    assert_eq!(
+        format!("{want:?}"),
+        format!("{got:?}"),
+        "{label}: run results diverged between reference and event kernels"
+    );
+    // Fast path: `Machine: PartialEq` (kernel counters excluded by
+    // design). It reports false negatives when NaNs are live in the
+    // register files, so only fall back to the (slow, NaN-tolerant)
+    // dump comparison when it fails.
+    assert!(
+        reference == event || kernel_blind_dump(&reference) == kernel_blind_dump(&event),
+        "{label}: machine state diverged between reference and event kernels"
+    );
+    let ref_events: Vec<_> = reference.events().events().collect();
+    let evt_events: Vec<_> = event.events().events().collect();
+    assert_eq!(ref_events, evt_events, "{label}: event logs diverged");
+    assert_eq!(
+        reference.events().dropped(),
+        event.events().dropped(),
+        "{label}: event-log eviction diverged"
+    );
+    assert_eq!(reference.cycles_skipped(), 0, "{label}: reference kernel must not skip");
+}
+
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(300)))]
+
+    /// Arbitrary single-core programs: the event kernel is
+    /// observationally identical to per-cycle stepping — completions,
+    /// faults and watchdog trips all land on the same cycle with the
+    /// same state.
+    #[test]
+    fn event_kernel_matches_reference_on_arbitrary_programs(seed in 0u64..1u64 << 48) {
+        assert_kernels_agree(
+            build_machine(seed, 1),
+            build_machine(seed, 1),
+            &format!("seed {seed}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(100)))]
+
+    /// Two co-running cores: cross-core EM-SIMD negotiation and
+    /// lane-manager repartitions must serialize identically when idle
+    /// spans of one core are skipped while the other is mid-flight.
+    #[test]
+    fn event_kernel_matches_reference_on_two_cores(seed in 0u64..1u64 << 48) {
+        assert_kernels_agree(
+            build_machine(seed, 2),
+            build_machine(seed, 2),
+            &format!("seed {seed} (2-core)"),
+        );
+    }
+}
+
+/// The recovery suite's elastic scale kernel: acquire `<VL>`, stream
+/// `a[i] * k` into `c[i]`, release. Long enough to cross checkpoint and
+/// self-test timer boundaries.
+fn scale_program(a: u64, c: u64, n: usize, k: f32, granules: i64) -> Program {
+    const BASE_A: XReg = XReg::X0;
+    const BASE_C: XReg = XReg::X2;
+    const I: XReg = XReg::X3;
+    const N: XReg = XReg::X4;
+    const LANES: XReg = XReg::X5;
+    const STATUS: XReg = XReg::X6;
+    const NEXT: XReg = XReg::X8;
+    let mut b = ProgramBuilder::new();
+    b.scalar(ScalarInst::MovImm { dst: BASE_A, imm: a as i64 });
+    b.scalar(ScalarInst::MovImm { dst: BASE_C, imm: c as i64 });
+    b.scalar(ScalarInst::MovImm { dst: N, imm: n as i64 });
+    b.em_simd(EmSimdInst::Msr {
+        reg: DedicatedReg::Oi,
+        src: Operand::Imm(OperationalIntensity::uniform(0.5).to_bits() as i64),
+    });
+    let retry = b.fresh_label("cfg");
+    b.bind(retry);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(granules) });
+    b.em_simd(EmSimdInst::Mrs { dst: STATUS, reg: DedicatedReg::Status });
+    b.scalar(ScalarInst::Bne { a: STATUS, b: Operand::Imm(1), target: retry });
+    b.em_simd(EmSimdInst::Mrs { dst: XReg::X7, reg: DedicatedReg::Vl });
+    b.scalar(ScalarInst::ShlImm { dst: LANES, a: XReg::X7, shift: 2 });
+    b.vector(VectorInst::DupImm { dst: VReg::Z9, imm: k });
+    b.scalar(ScalarInst::MovImm { dst: I, imm: 0 });
+    let vloop = b.fresh_label("vloop");
+    let done = b.fresh_label("done");
+    b.bind(vloop);
+    b.scalar(ScalarInst::Add { dst: NEXT, a: I, b: Operand::Reg(LANES) });
+    b.scalar(ScalarInst::Blt { a: N, b: Operand::Reg(NEXT), target: done });
+    b.vector(VectorInst::Load { dst: VReg::Z1, base: BASE_A, index: I });
+    b.vector(VectorInst::Binary { op: VBinOp::Fmul, dst: VReg::Z2, a: VReg::Z1, b: VReg::Z9 });
+    b.vector(VectorInst::Store { src: VReg::Z2, base: BASE_C, index: I });
+    b.scalar(ScalarInst::Mov { dst: I, src: NEXT });
+    b.scalar(ScalarInst::B { target: vloop });
+    b.bind(done);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Oi, src: Operand::Imm(0) });
+    let rel = b.fresh_label("rel");
+    b.bind(rel);
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(0) });
+    b.em_simd(EmSimdInst::Mrs { dst: STATUS, reg: DedicatedReg::Status });
+    b.scalar(ScalarInst::Bne { a: STATUS, b: Operand::Imm(1), target: rel });
+    b.halt();
+    b.build()
+}
+
+fn recovery_machine(granule: usize, onset: u64, strikes: u32, g0: i64, g1: i64) -> Machine {
+    let n = 1024usize;
+    let mut mem = Memory::new(1 << 20);
+    let a0 = mem.alloc_f32(n as u64);
+    let c0 = mem.alloc_f32(n as u64);
+    let a1 = mem.alloc_f32(n as u64);
+    let c1 = mem.alloc_f32(n as u64);
+    for i in 0..n as u64 {
+        let v = ((i * 37 + 13) % 251) as f32 / 251.0 - 0.5;
+        mem.write_f32(a0 + 4 * i, v);
+        mem.write_f32(a1 + 4 * i, -2.0 * v + 0.125);
+    }
+    let mut m =
+        Machine::new(SimConfig::paper_2core(), Architecture::Occamy, mem).expect("paper config");
+    m.enable_events(1 << 14);
+    m.load_program(0, scale_program(a0, c0, n, 3.0, g0));
+    m.load_program(1, scale_program(a1, c1, n, -2.0, g1));
+    m.set_fault_plan(&FaultPlan {
+        seed: 7,
+        permanent_lane: Some(granule),
+        permanent_lane_from: onset,
+        ..FaultPlan::default()
+    });
+    m.enable_recovery(RecoveryPolicy {
+        checkpoint_interval: 500,
+        selftest_interval: 1_500,
+        strike_threshold: strikes,
+        max_rollbacks: 256,
+        quarantine: true,
+    });
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(16)))]
+
+    /// Under an injected permanent fault with the full recovery
+    /// subsystem live (periodic checkpoints, rollbacks, lazy-drain
+    /// quarantine), the event kernel reproduces the reference run
+    /// exactly: same detection cycles, same rollbacks, same quarantine
+    /// set, same survivor values. The fault-plan RNG only advances on
+    /// real issue/access events, so skipped inert spans cannot
+    /// desynchronize it.
+    #[test]
+    fn event_kernel_matches_reference_under_fault_plans(
+        granule in 0usize..8,
+        onset in 0u64..4_000,
+        strikes in 1u32..5,
+        g0 in 1i64..5,
+        g1 in 1i64..5,
+    ) {
+        let mut reference = recovery_machine(granule, onset, strikes, g0, g1);
+        reference.set_reference_kernel(true);
+        let want = reference.run(200_000);
+
+        let mut event = recovery_machine(granule, onset, strikes, g0, g1);
+        let got = event.run(200_000);
+
+        prop_assert_eq!(
+            format!("{:?}", want),
+            format!("{:?}", got),
+            "fault-plan run results diverged"
+        );
+        prop_assert!(reference == event, "machine state diverged under fault plan");
+        prop_assert_eq!(
+            reference.quarantined_granules(),
+            event.quarantined_granules(),
+            "quarantine set diverged"
+        );
+        let ref_events: Vec<_> = reference.events().events().collect();
+        let evt_events: Vec<_> = event.events().events().collect();
+        prop_assert_eq!(ref_events, evt_events, "recovery event logs diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler invariants.
+// ---------------------------------------------------------------------
+
+fn track_from(idx: u8) -> Track {
+    match idx % 6 {
+        0 => Track::Core(0),
+        1 => Track::Core(1),
+        2 => Track::Coproc,
+        3 => Track::LaneManager,
+        4 => Track::Memory,
+        _ => Track::Recovery,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
+
+    /// Pop order is a pure function of the scheduled event *set*: any
+    /// permutation of the insertions yields the identical pop sequence,
+    /// and the clock never moves backwards while draining.
+    #[test]
+    fn pop_order_is_insertion_order_independent(
+        events in prop::collection::vec((0u64..500, 0u8..6, 0u64..50), 0..64),
+        rot in 0usize..64,
+    ) {
+        let mut a = EventQueue::new(0);
+        for &(at, t, seq) in &events {
+            a.schedule(at, track_from(t), seq);
+        }
+        let mut b = EventQueue::new(0);
+        let pivot = rot.min(events.len());
+        for &(at, t, seq) in events[pivot..].iter().chain(&events[..pivot]) {
+            b.schedule(at, track_from(t), seq);
+        }
+        prop_assert_eq!(a.len(), events.len());
+        prop_assert_eq!(a.len(), b.len());
+
+        let mut last_at = 0u64;
+        for _ in 0..events.len() {
+            let (x, y) = (a.pop(), b.pop());
+            prop_assert_eq!(x, y, "pop sequence depends on insertion order");
+            let ev = x.expect("len() events must pop");
+            prop_assert!(ev.at >= last_at, "pop order must be cycle-monotone");
+            prop_assert!(a.now() >= ev.at, "pop must advance the clock to the event");
+            last_at = ev.at;
+        }
+        prop_assert!(a.is_empty() && b.is_empty());
+    }
+
+    /// The queue never schedules into the past: whatever mix of
+    /// `advance_to` and `schedule` calls, `next_at` (and every pop)
+    /// stays at or after the clock.
+    #[test]
+    fn queue_never_schedules_into_the_past(
+        ops in prop::collection::vec((0u64..1_000, 0u64..1_000, 0u8..6), 1..64),
+    ) {
+        let mut q = EventQueue::new(0);
+        for (i, &(advance, at, t)) in ops.iter().enumerate() {
+            // Advance like the kernel does: never beyond the earliest
+            // pending event (the skip horizon is `min(next_at, bound)`).
+            let target = q.now().max(advance);
+            q.advance_to(q.next_at().map_or(target, |h| h.min(target)));
+            // Release builds clamp past deadlines to `now` (debug builds
+            // assert first — so only schedule at/after the clock here;
+            // the clamp itself is covered by the sched unit tests).
+            q.schedule(at.max(q.now()), track_from(t), i as u64);
+            if let Some(head) = q.next_at() {
+                prop_assert!(head >= q.now(), "head {head} fell behind clock {}", q.now());
+            }
+        }
+        let mut last = q.now();
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= last, "pop went into the past");
+            last = ev.at;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic idle-heavy cases: the skip path must actually engage.
+// ---------------------------------------------------------------------
+
+/// A serial pointer-chase-shaped loop: each iteration vector-loads with
+/// a large stride (cold misses all the way to DRAM), reduces into a
+/// scalar register and immediately consumes it, so the core spends most
+/// of its life provably inert waiting on memory.
+fn idle_heavy_program(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.em_simd(EmSimdInst::Msr {
+        reg: DedicatedReg::Oi,
+        src: Operand::Imm(OperationalIntensity::uniform(0.05).to_bits() as i64),
+    });
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(2) });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X0, imm: 0 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X3, imm: 0 });
+    b.scalar(ScalarInst::MovImm { dst: XReg::X4, imm: iters });
+    let head = b.fresh_label("chase");
+    b.bind(head);
+    b.vector(VectorInst::Load { dst: VReg::Z1, base: XReg::X0, index: XReg::X3 });
+    b.vector(VectorInst::ReduceAdd { dst: XReg::X1, src: VReg::Z1 });
+    // Dependent use: interlocks the front end until the reduce lands.
+    b.scalar(ScalarInst::Add { dst: XReg::X2, a: XReg::X1, b: Operand::Imm(1) });
+    b.scalar(ScalarInst::Add { dst: XReg::X3, a: XReg::X3, b: Operand::Imm(1_024) });
+    b.scalar(ScalarInst::Add { dst: XReg::X4, a: XReg::X4, b: Operand::Imm(-1) });
+    b.scalar(ScalarInst::Bne { a: XReg::X4, b: Operand::Imm(0), target: head });
+    b.em_simd(EmSimdInst::Msr { reg: DedicatedReg::Vl, src: Operand::Imm(0) });
+    b.halt();
+    b.build()
+}
+
+fn idle_heavy_machine() -> Machine {
+    let mut m =
+        Machine::new(SimConfig::paper(1), Architecture::Occamy, seeded_memory(11))
+            .expect("paper config");
+    m.enable_events(1 << 12);
+    m.load_program(0, idle_heavy_program(12));
+    m
+}
+
+/// On a memory-latency-bound loop the skip path must engage (otherwise
+/// the whole kernel is dead code) and still match the reference run
+/// cycle-for-cycle.
+#[test]
+fn idle_heavy_run_skips_and_matches_reference() {
+    let mut reference = idle_heavy_machine();
+    reference.set_reference_kernel(true);
+    let want = reference.run(BUDGET).expect("reference run completes");
+    assert!(want.completed, "idle-heavy workload must complete");
+
+    let mut event = idle_heavy_machine();
+    let got = event.run(BUDGET).expect("event-kernel run completes");
+
+    assert_eq!(want, got, "stats diverged on the idle-heavy loop");
+    assert!(reference == event, "machine state diverged on the idle-heavy loop");
+    assert!(
+        event.cycles_skipped() > 0,
+        "the event kernel must skip on a memory-latency-bound loop \
+         (skipped {} over {} cycles)",
+        event.cycles_skipped(),
+        got.cycles
+    );
+    assert!(event.skip_count() > 0);
+    assert!(
+        event.cycles_skipped() < got.cycles,
+        "skipped cycles are a strict subset of simulated cycles"
+    );
+}
+
+/// The watchdog must trip at the identical cycle whether the stagnant
+/// span was ticked through or jumped: the kernel schedules the trip as
+/// a timer event and executes the tripping step for real.
+#[test]
+fn watchdog_trips_at_the_same_cycle_under_skips() {
+    let build = || {
+        let mut m = Machine::new(SimConfig::paper(1), Architecture::Occamy, seeded_memory(13))
+            .expect("paper config");
+        m.enable_events(1 << 10);
+        // Long-latency waits with a watchdog shorter than the memory
+        // round-trip: the machine stagnates mid-wait and must trip.
+        m.set_watchdog(40);
+        m.load_program(0, idle_heavy_program(12));
+        m
+    };
+    let mut reference = build();
+    reference.set_reference_kernel(true);
+    let want = reference.run(BUDGET);
+    assert!(want.is_err(), "watchdog 40 must trip inside a DRAM wait");
+
+    let mut event = build();
+    let got = event.run(BUDGET);
+
+    assert_eq!(format!("{want:?}"), format!("{got:?}"), "watchdog trips diverged");
+    assert_eq!(reference.cycle(), event.cycle(), "trip cycle diverged");
+    assert!(event.cycles_skipped() > 0, "the stagnant span should have been jumped");
+    let ref_events: Vec<_> = reference.events().events().collect();
+    let evt_events: Vec<_> = event.events().events().collect();
+    assert_eq!(ref_events, evt_events, "watchdog event records diverged");
+}
+
+/// `OCCAMY_REFERENCE_KERNEL` aside, the in-process switch must be
+/// enough: flipping a machine to reference mode mid-flight stops
+/// skipping without perturbing the run.
+#[test]
+fn reference_switch_stops_skipping() {
+    let mut m = idle_heavy_machine();
+    m.run(BUDGET).expect("event-kernel run completes");
+    let skipped = m.cycles_skipped();
+    assert!(skipped > 0);
+
+    let mut m2 = idle_heavy_machine();
+    m2.set_reference_kernel(true);
+    m2.run(BUDGET).expect("reference run completes");
+    assert_eq!(m2.cycles_skipped(), 0, "reference mode must never skip");
+}

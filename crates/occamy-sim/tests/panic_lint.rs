@@ -23,6 +23,10 @@ const LINTED: &[&str] = &[
     "crates/occamy-sim/src/recovery.rs",
     "crates/occamy-sim/src/regblocks.rs",
     "crates/occamy-sim/src/lsu.rs",
+    // The event-driven timing kernel sits on the hot path of every run;
+    // a mis-scheduled event must degrade to a conservative real tick,
+    // never a crash.
+    "crates/occamy-sim/src/sched.rs",
     // The observability layer is diagnostic-only and must never abort a
     // run it is merely watching.
     "crates/occamy-sim/src/events.rs",
@@ -36,6 +40,7 @@ const LINTED: &[&str] = &[
     "crates/occamy-sim/src/snapshot_io.rs",
     // The two-speed campaign code runs in CI sweeps.
     "crates/bench/src/two_speed.rs",
+    "crates/bench/src/event_kernel.rs",
     "crates/bench/src/bin/speedup.rs",
     // The JSON layer parses bytes straight off the daemon socket.
     "crates/bench/src/json.rs",

@@ -64,6 +64,40 @@ fn default_json_document_bytes_are_untouched() {
     assert_eq!(doc.trim(), golden.trim(), "default --json document changed");
 }
 
+/// Both goldens again, under `OCCAMY_REFERENCE_KERNEL=1`: the
+/// per-cycle reference stepper and the (default) event-driven timing
+/// kernel must produce the very same service documents, so a
+/// regression in either kernel path is caught against the other. (The
+/// two tests above pin the same bytes with the event kernel enabled.)
+#[test]
+fn reference_kernel_reproduces_both_goldens() {
+    for (extra, golden) in [
+        (&["--workers", "3", "--json"][..], include_str!("golden/load_test_campaign.json")),
+        (
+            &["--workers", "3", "--json", "--slo"][..],
+            include_str!("golden/load_test_campaign_slo.json"),
+        ),
+    ] {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_load_test"))
+            .args(GOLDEN_ARGS)
+            .args(extra)
+            .env("OCCAMY_REFERENCE_KERNEL", "1")
+            .output()
+            .expect("load_test runs");
+        assert!(
+            out.status.success(),
+            "load_test (reference kernel) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = String::from_utf8(out.stdout).expect("utf-8 stdout");
+        assert_eq!(
+            doc.trim(),
+            golden.trim(),
+            "reference-kernel document diverged from the golden ({extra:?})"
+        );
+    }
+}
+
 fn quick_spec(seed: u64) -> JobSpec {
     JobSpec {
         workloads: vec!["synth:2,1,3,64".into()],
